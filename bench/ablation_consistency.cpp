@@ -1,0 +1,80 @@
+//===- bench/ablation_consistency.cpp - §2.6 dataflow ablation --*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates §2.6's claims about the consistency machinery:
+//   - the iterative dataflow "terminates in two or three iterations at
+//     most" and costs a vanishing share of allocation time;
+//   - the conservative linear-time initialisation of ARE_CONSISTENT is a
+//     drop-in replacement that only costs a few extra stores.
+//
+// Run:  ./build/bench/ablation_consistency
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "workloads/SyntheticModule.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace lsra;
+
+namespace {
+
+void report(const char *Name, Module &MIter, Module &MCons,
+            const TargetDesc &TD) {
+  AllocOptions Iter;
+  Iter.Consistency = AllocOptions::ConsistencyMode::Iterative;
+  AllocStats SIter = compileModule(MIter, TD, AllocatorKind::SecondChanceBinpack, Iter);
+  RunResult RIter = runAllocated(MIter, TD);
+
+  AllocOptions Cons;
+  Cons.Consistency = AllocOptions::ConsistencyMode::Conservative;
+  AllocStats SCons = compileModule(MCons, TD, AllocatorKind::SecondChanceBinpack, Cons);
+  RunResult RCons = runAllocated(MCons, TD);
+
+  bool Same = RIter.Ok && RCons.Ok && RIter.Output == RCons.Output;
+  std::printf("%-16s | iter: %u passes, %u stores, %9llu dyn | cons: %u "
+              "stores, %9llu dyn | dyn ratio %.4f %s\n",
+              Name, SIter.DataflowIterations,
+              SIter.EvictStores + SIter.ResolveStores,
+              (unsigned long long)RIter.Stats.Total,
+              SCons.EvictStores + SCons.ResolveStores,
+              (unsigned long long)RCons.Stats.Total,
+              static_cast<double>(RCons.Stats.Total) /
+                  static_cast<double>(RIter.Stats.Total),
+              Same ? "" : "OUTPUT MISMATCH!");
+}
+
+} // namespace
+
+int main() {
+  TargetDesc TD = TargetDesc::alphaLike();
+  std::printf("Iterative (§2.4) vs conservative (§2.6) consistency "
+              "handling\n\n");
+
+  for (const WorkloadSpec &W : allWorkloads()) {
+    auto M1 = W.Build();
+    auto M2 = W.Build();
+    report(W.Name, *M1, *M2, TD);
+  }
+
+  // An fpppp-scale stress module, where the dataflow has real work to do.
+  ScaledModuleOptions SMO;
+  SMO.NumProcs = 1;
+  SMO.CandidatesPerProc = 6000;
+  SMO.LiveWindow = 48;
+  SMO.BlocksPerProc = 10;
+  SMO.Seed = 7;
+  auto M1 = buildScaledModule(SMO);
+  auto M2 = buildScaledModule(SMO);
+  report("fpppp-scale", *M1, *M2, TD);
+
+  std::printf("\npaper's shape: the dataflow settles in 2-3 iterations; the "
+              "conservative variant\nis semantically identical and only "
+              "slightly store-heavier.\n");
+  return 0;
+}

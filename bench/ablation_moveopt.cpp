@@ -1,0 +1,66 @@
+//===- bench/ablation_moveopt.cpp - §2.5 move optimisations -----*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates the §2.5 discussion: the move-coalescing check removes the
+// parameter-register moves the Alpha calling convention forces at
+// procedure entry ("If we leave them in the code, they can noticeably
+// degrade the performance of call-intensive programs"), and "early second
+// chance" turns store+load pairs at convention evictions into single
+// moves. This bench toggles each optimisation independently.
+//
+// Run:  ./build/bench/ablation_moveopt
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace lsra;
+
+int main() {
+  TargetDesc TD = TargetDesc::alphaLike();
+
+  std::printf("Move optimisations (§2.5), dynamic instructions per "
+              "configuration\n\n");
+  std::printf("%-10s %12s %12s %12s %12s\n", "benchmark", "both", "no-coal",
+              "no-esc", "neither");
+  std::printf("------------------------------------------------------------"
+              "---\n");
+
+  struct Conf {
+    bool Coal, Esc;
+  };
+  const Conf Confs[4] = {
+      {true, true}, {false, true}, {true, false}, {false, false}};
+
+  for (const WorkloadSpec &W : allWorkloads()) {
+    uint64_t Dyn[4];
+    bool Ok = true;
+    auto Ref = W.Build();
+    RunResult RefRun = runReference(*Ref, TD);
+    for (unsigned I = 0; I < 4; ++I) {
+      auto M = W.Build();
+      AllocOptions Opts;
+      Opts.MoveCoalesce = Confs[I].Coal;
+      Opts.EarlySecondChance = Confs[I].Esc;
+      compileModule(*M, TD, AllocatorKind::SecondChanceBinpack, Opts);
+      RunResult Run = runAllocated(*M, TD);
+      Ok &= Run.Ok && Run.Output == RefRun.Output;
+      Dyn[I] = Run.Stats.Total;
+    }
+    std::printf("%-10s %12llu %12llu %12llu %12llu %s\n", W.Name,
+                (unsigned long long)Dyn[0], (unsigned long long)Dyn[1],
+                (unsigned long long)Dyn[2], (unsigned long long)Dyn[3],
+                Ok ? "" : "OUTPUT MISMATCH!");
+  }
+  std::printf("\npaper's shape: disabling coalescing hurts call-intensive "
+              "code (li, eqntott,\nsort) by leaving parameter moves in "
+              "place; early second chance matters where\nconvention "
+              "evictions are hot (wc).\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+//===- bench/ablation_secondchance.cpp - §3.1 two-pass ablation -*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates the §3.1 ablation: "To evaluate the advantages of our
+// second-chance binpacking over traditional two-pass binpacking, we
+// created a version of our allocator that assigns a whole lifetime to
+// either memory or register." The paper reports wc running 38% slower
+// (1445466 vs 1046734 dynamic instructions) under two-pass binpacking, and
+// eqntott almost identical (2783984589 vs 2782873030).
+//
+// Run:  ./build/bench/ablation_secondchance
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace lsra;
+
+int main() {
+  TargetDesc TD = TargetDesc::alphaLike();
+
+  std::printf("Second chance vs two-pass binpacking (dynamic "
+              "instructions)\n\n");
+  std::printf("%-10s %14s %14s %8s\n", "benchmark", "second-chance",
+              "two-pass", "ratio");
+  std::printf("------------------------------------------------\n");
+
+  for (const WorkloadSpec &W : allWorkloads()) {
+    uint64_t Dyn[2];
+    unsigned Idx = 0;
+    bool Ok = true;
+    auto Ref = W.Build();
+    RunResult RefRun = runReference(*Ref, TD);
+    for (AllocatorKind K : {AllocatorKind::SecondChanceBinpack,
+                            AllocatorKind::TwoPassBinpack}) {
+      auto M = W.Build();
+      compileModule(*M, TD, K);
+      RunResult Run = runAllocated(*M, TD);
+      Ok &= Run.Ok && Run.Output == RefRun.Output;
+      Dyn[Idx++] = Run.Stats.Total;
+    }
+    std::printf("%-10s %14llu %14llu %8.3f %s\n", W.Name,
+                (unsigned long long)Dyn[0], (unsigned long long)Dyn[1],
+                static_cast<double>(Dyn[1]) / static_cast<double>(Dyn[0]),
+                Ok ? "" : "OUTPUT MISMATCH!");
+  }
+  std::printf("\npaper's shape: wc degrades sharply (1.38x) because two-pass "
+              "binpacking cannot\nuse caller-saved registers for values live "
+              "across the loop's I/O call; eqntott\nis unchanged (its hot "
+              "procedure has almost no register pressure).\n");
+  return 0;
+}

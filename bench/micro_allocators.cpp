@@ -1,0 +1,73 @@
+//===- bench/micro_allocators.cpp - google-benchmark micro suite -*- C++-*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Allocation-throughput microbenchmarks on the google-benchmark harness,
+// complementing the Table 3 report: per-allocator wall time as a function
+// of register-candidate count, so the linear-vs-superlinear growth is
+// visible directly from the --benchmark output.
+//
+// Run:  ./build/bench/micro_allocators
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "workloads/SyntheticModule.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lsra;
+
+namespace {
+
+ScaledModuleOptions optsFor(int64_t Candidates) {
+  ScaledModuleOptions SMO;
+  SMO.NumProcs = 1;
+  SMO.CandidatesPerProc = static_cast<unsigned>(Candidates);
+  SMO.LiveWindow = 40;
+  SMO.BlocksPerProc = 8;
+  SMO.Seed = 42;
+  return SMO;
+}
+
+void runAllocatorBench(benchmark::State &State, AllocatorKind K) {
+  TargetDesc TD = TargetDesc::alphaLike();
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto M = buildScaledModule(optsFor(State.range(0)));
+    State.ResumeTiming();
+    AllocStats S = compileModule(*M, TD, K);
+    benchmark::DoNotOptimize(S.staticSpillInstrs());
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_SecondChanceBinpack(benchmark::State &State) {
+  runAllocatorBench(State, AllocatorKind::SecondChanceBinpack);
+}
+void BM_GraphColoring(benchmark::State &State) {
+  runAllocatorBench(State, AllocatorKind::GraphColoring);
+}
+void BM_TwoPassBinpack(benchmark::State &State) {
+  runAllocatorBench(State, AllocatorKind::TwoPassBinpack);
+}
+void BM_PolettoScan(benchmark::State &State) {
+  runAllocatorBench(State, AllocatorKind::PolettoScan);
+}
+
+} // namespace
+
+BENCHMARK(BM_SecondChanceBinpack)
+    ->Arg(250)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Complexity(benchmark::oN);
+BENCHMARK(BM_GraphColoring)
+    ->Arg(250)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Complexity(benchmark::oNSquared);
+BENCHMARK(BM_TwoPassBinpack)->Arg(250)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_PolettoScan)->Arg(250)->Arg(1000)->Arg(4000);

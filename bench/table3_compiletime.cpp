@@ -1,0 +1,87 @@
+//===- bench/table3_compiletime.cpp - Paper Table 3 -------------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Table 3: "A comparison of the allocation times." The paper
+// times only the core allocators (after setup common to both) on modules
+// averaging 245, 6218, and 6697 register candidates per procedure, and
+// reports the interference-graph sizes the coloring allocator builds.
+// Each time is the best of five consecutive runs, as in the paper.
+//
+// Run:  ./build/bench/table3_compiletime
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "workloads/SyntheticModule.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace lsra;
+
+namespace {
+
+struct Row {
+  const char *Label;       ///< paper module this row models
+  ScaledModuleOptions Opts;
+};
+
+TargetDesc &TD() {
+  static TargetDesc T = TargetDesc::alphaLike();
+  return T;
+}
+
+double bestOfFive(const Row &R, AllocatorKind K, AllocStats &LastStats) {
+  double Best = 1e9;
+  for (int Rep = 0; Rep < 5; ++Rep) {
+    auto M = buildScaledModule(R.Opts);
+    // Setup (lowering, DCE) happens outside the timed region, like the
+    // paper's "after setup activities common to both allocators".
+    AllocOptions AO;
+    AllocStats S = compileModule(*M, TD(), K, AO);
+    Best = std::min(Best, S.AllocSeconds);
+    LastStats = S;
+  }
+  return Best;
+}
+
+} // namespace
+
+int main() {
+  // Candidate counts follow the paper's three modules: espresso's cvrin.c
+  // (245 avg), fpppp's twldrv.f (6218) and fpppp.f (6697, multiple procs).
+  Row Rows[] = {
+      {"cvrin-like (245/proc)",
+       {/*NumProcs=*/4, /*CandidatesPerProc=*/245, /*LiveWindow=*/8,
+        /*BlocksPerProc=*/6, /*Seed=*/11}},
+      {"twldrv-like (6218/proc)",
+       {/*NumProcs=*/1, /*CandidatesPerProc=*/6218, /*LiveWindow=*/48,
+        /*BlocksPerProc=*/10, /*Seed=*/22}},
+      {"fpppp-like (6697/proc)",
+       {/*NumProcs=*/2, /*CandidatesPerProc=*/3348, /*LiveWindow=*/56,
+        /*BlocksPerProc=*/8, /*Seed=*/33}},
+  };
+
+  std::printf("Table 3: core allocation times (best of 5), interference "
+              "sizes\n\n");
+  std::printf("%-26s %10s %12s | %12s %12s %8s\n", "module", "candidates",
+              "IG edges", "coloring s", "binpack s", "ratio");
+  std::printf("---------------------------------------------------------------"
+              "----------------\n");
+
+  for (const Row &R : Rows) {
+    AllocStats ColorStats, BinStats;
+    double ColorT = bestOfFive(R, AllocatorKind::GraphColoring, ColorStats);
+    double BinT = bestOfFive(R, AllocatorKind::SecondChanceBinpack, BinStats);
+    std::printf("%-26s %10u %12u | %12.4f %12.4f %8.2f\n", R.Label,
+                ColorStats.RegCandidates / R.Opts.NumProcs,
+                ColorStats.InterferenceEdges, ColorT, BinT, ColorT / BinT);
+  }
+  std::printf("\npaper's shape: coloring is faster on the small module but "
+              "slows sharply as the\ninterference graph grows (0.4s vs 1.5s "
+              "at 245 candidates; 15.8s vs 4.5s at 6697).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+//===- examples/dynamic_codegen.cpp - The Poletto/tcc use case -*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's motivation for linear scan is dynamic code generation: a
+// run-time compiler must allocate registers in microseconds. This example
+// plays a `C/tcc-style session: it "JIT compiles" a stream of freshly
+// generated procedures and measures per-procedure allocation time and
+// resulting code quality for all four allocators.
+//
+// Run:  ./build/examples/dynamic_codegen
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "support/Timer.h"
+#include "workloads/RandomProgram.h"
+
+#include <cstdio>
+
+using namespace lsra;
+
+int main() {
+  TargetDesc TD = TargetDesc::alphaLike();
+  constexpr unsigned NumPrograms = 60;
+
+  RandomProgramOptions RPO;
+  RPO.Statements = 80;
+  RPO.MaxDepth = 3;
+
+  std::printf("JIT session: %u generated procedures per allocator\n\n",
+              NumPrograms);
+  std::printf("%-24s %12s %14s %12s\n", "allocator", "alloc ms",
+              "dyn instrs", "spill %");
+
+  for (AllocatorKind K :
+       {AllocatorKind::SecondChanceBinpack, AllocatorKind::GraphColoring,
+        AllocatorKind::TwoPassBinpack, AllocatorKind::PolettoScan}) {
+    Timer T;
+    uint64_t DynTotal = 0, SpillTotal = 0;
+    bool AllOk = true;
+    for (unsigned Seed = 1; Seed <= NumPrograms; ++Seed) {
+      auto Ref = buildRandomProgram(Seed, RPO);
+      RunResult RefRun = runReference(*Ref, TD);
+
+      auto M = buildRandomProgram(Seed, RPO);
+      T.start();
+      compileModule(*M, TD, K);
+      T.stop();
+      RunResult Run = runAllocated(*M, TD);
+      AllOk &= Run.Ok && Run.Output == RefRun.Output;
+      DynTotal += Run.Stats.Total;
+      SpillTotal += Run.Stats.spillInstrs();
+    }
+    std::printf("%-24s %12.3f %14llu %11.3f%%  %s\n", allocatorName(K),
+                T.milliseconds(), (unsigned long long)DynTotal,
+                100.0 * static_cast<double>(SpillTotal) /
+                    static_cast<double>(DynTotal),
+                AllOk ? "" : "OUTPUT MISMATCH!");
+    if (!AllOk)
+      return 1;
+  }
+  std::printf("\nLinear scan's pitch: almost-coloring-quality code at a "
+              "fraction of the\ncompile time, which is what a dynamic code "
+              "generator needs.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- examples/pressure_explorer.cpp - Register-file sweeps ---*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Interactive-style exploration of how code quality degrades as the
+// allocatable register file shrinks, for a chosen workload. Shows the
+// crossover behaviour between the allocators under extreme pressure.
+//
+// Run:  ./build/examples/pressure_explorer [workload]
+//       (default workload: espresso)
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace lsra;
+
+int main(int argc, char **argv) {
+  const char *Name = argc > 1 ? argv[1] : "espresso";
+  bool Known = false;
+  for (const WorkloadSpec &S : allWorkloads())
+    Known |= std::strcmp(S.Name, Name) == 0;
+  if (!Known) {
+    std::printf("unknown workload '%s'; available:\n", Name);
+    for (const WorkloadSpec &S : allWorkloads())
+      std::printf("  %-10s %s\n", S.Name, S.Description);
+    return 1;
+  }
+
+  TargetDesc Full = TargetDesc::alphaLike();
+  auto Ref = buildWorkload(Name);
+  RunResult RefRun = runReference(*Ref, Full);
+
+  std::printf("workload %s, reference run: %llu dynamic instructions\n\n",
+              Name, (unsigned long long)RefRun.Stats.Total);
+  std::printf("%6s | %26s | %26s\n", "regs", "second-chance binpack",
+              "graph coloring");
+  std::printf("%6s | %14s %10s | %14s %10s\n", "", "dyn instrs", "spill %",
+              "dyn instrs", "spill %");
+
+  for (unsigned Regs : {25u, 16u, 12u, 8u, 6u, 4u}) {
+    TargetDesc TD = Regs == 25 ? Full : Full.withRegLimit(Regs, Regs);
+    uint64_t Dyn[2];
+    double Pct[2];
+    unsigned Idx = 0;
+    for (AllocatorKind K : {AllocatorKind::SecondChanceBinpack,
+                            AllocatorKind::GraphColoring}) {
+      auto M = buildWorkload(Name);
+      compileModule(*M, TD, K);
+      RunResult Run = runAllocated(*M, TD);
+      if (!Run.Ok || Run.Output != RefRun.Output) {
+        std::printf("%s at %u regs: WRONG OUTPUT\n", allocatorName(K), Regs);
+        return 1;
+      }
+      Dyn[Idx] = Run.Stats.Total;
+      Pct[Idx] = Run.Stats.spillPercent();
+      ++Idx;
+    }
+    std::printf("%6u | %14llu %9.2f%% | %14llu %9.2f%%\n", Regs,
+                (unsigned long long)Dyn[0], Pct[0],
+                (unsigned long long)Dyn[1], Pct[1]);
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+//===- examples/wordcount.cpp - The paper's §3.1 wc showcase ---*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces the paper's wc discussion: a loop with many temporaries live
+// across a procedure call. Second-chance binpacking evicts them into
+// memory just before the call *without* stores (their memory homes are
+// consistent) and gives them a new register on the next reference; two-pass
+// binpacking can only use the six callee-saved registers, so everything
+// else lives in memory for the whole loop. The paper measured a 38%
+// dynamic-instruction gap; this example prints the gap our substrate
+// produces.
+//
+// Run:  ./build/examples/wordcount
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace lsra;
+
+int main() {
+  TargetDesc TD = TargetDesc::alphaLike();
+
+  auto Ref = buildWorkload("wc");
+  RunResult RefRun = runReference(*Ref, TD);
+  std::printf("wc input: %llu lines, %llu words, %llu chars\n",
+              (unsigned long long)RefRun.Output[0],
+              (unsigned long long)RefRun.Output[1],
+              (unsigned long long)RefRun.Output[2]);
+
+  struct Row {
+    AllocatorKind Kind;
+    RunResult Run;
+    AllocStats Stats;
+  };
+  std::vector<Row> Rows;
+  for (AllocatorKind K :
+       {AllocatorKind::SecondChanceBinpack, AllocatorKind::TwoPassBinpack,
+        AllocatorKind::GraphColoring}) {
+    auto M = buildWorkload("wc");
+    Row R;
+    R.Kind = K;
+    R.Stats = compileModule(*M, TD, K);
+    R.Run = runAllocated(*M, TD);
+    if (!R.Run.Ok || R.Run.Output != RefRun.Output) {
+      std::printf("%s: WRONG OUTPUT\n", allocatorName(K));
+      return 1;
+    }
+    Rows.push_back(R);
+  }
+
+  std::printf("\n%-24s %14s %10s %10s %8s\n", "allocator", "dyn instrs",
+              "spill", "spill %", "ratio");
+  double Base = static_cast<double>(Rows[0].Run.Stats.Total);
+  for (const Row &R : Rows) {
+    std::printf("%-24s %14llu %10llu %9.2f%% %8.3f\n", allocatorName(R.Kind),
+                (unsigned long long)R.Run.Stats.Total,
+                (unsigned long long)R.Run.Stats.spillInstrs(),
+                R.Run.Stats.spillPercent(),
+                static_cast<double>(R.Run.Stats.Total) / Base);
+  }
+  std::printf("\nThe paper reports two-pass binpacking running wc 38%% "
+              "slower than\nsecond-chance binpacking (1445466 vs 1046734 "
+              "dynamic instructions).\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+//===- analysis/Dominators.cpp --------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include "analysis/Order.h"
+
+using namespace lsra;
+
+Dominators::Dominators(const Function &F) {
+  unsigned N = F.numBlocks();
+  IDom.assign(N, ~0u);
+  RPONumber.assign(N, ~0u);
+
+  std::vector<unsigned> RPO = reversePostOrder(F);
+  for (unsigned I = 0; I < RPO.size(); ++I)
+    RPONumber[RPO[I]] = I;
+
+  auto Preds = F.predecessors();
+  IDom[0] = 0;
+
+  auto Intersect = [&](unsigned A, unsigned B) {
+    while (A != B) {
+      while (RPONumber[A] > RPONumber[B])
+        A = IDom[A];
+      while (RPONumber[B] > RPONumber[A])
+        B = IDom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned B : RPO) {
+      if (B == 0)
+        continue;
+      unsigned NewIDom = ~0u;
+      for (unsigned P : Preds[B]) {
+        if (IDom[P] == ~0u)
+          continue; // unreachable or not yet processed
+        NewIDom = NewIDom == ~0u ? P : Intersect(P, NewIDom);
+      }
+      if (NewIDom != ~0u && IDom[B] != NewIDom) {
+        IDom[B] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool Dominators::dominates(unsigned A, unsigned B) const {
+  if (!isReachable(B))
+    return false;
+  while (true) {
+    if (A == B)
+      return true;
+    if (B == 0)
+      return false;
+    B = IDom[B];
+  }
+}

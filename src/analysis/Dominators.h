@@ -1,0 +1,43 @@
+//===- analysis/Dominators.h - Dominator tree ------------------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immediate dominators via the Cooper–Harvey–Kennedy iterative algorithm.
+/// Used by the natural-loop analysis that supplies the loop depths both
+/// allocators weight their spill heuristics with.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_ANALYSIS_DOMINATORS_H
+#define LSRA_ANALYSIS_DOMINATORS_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace lsra {
+
+class Dominators {
+public:
+  explicit Dominators(const Function &F);
+
+  /// Immediate dominator of \p B; the entry's idom is itself. ~0u for
+  /// unreachable blocks.
+  unsigned idom(unsigned B) const { return IDom[B]; }
+
+  /// True if \p A dominates \p B (reflexive).
+  bool dominates(unsigned A, unsigned B) const;
+
+  bool isReachable(unsigned B) const { return IDom[B] != ~0u; }
+
+private:
+  std::vector<unsigned> IDom;
+  std::vector<unsigned> RPONumber;
+};
+
+} // namespace lsra
+
+#endif // LSRA_ANALYSIS_DOMINATORS_H

@@ -1,0 +1,65 @@
+//===- analysis/Liveness.cpp ----------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+#include "analysis/Order.h"
+
+using namespace lsra;
+
+Liveness::Liveness(const Function &F, const TargetDesc &TD)
+    : NumVRegs(F.numVRegs()) {
+  (void)TD;
+  unsigned NumBlocks = F.numBlocks();
+  LiveIn.assign(NumBlocks, BitVector(NumVRegs));
+  LiveOut.assign(NumBlocks, BitVector(NumVRegs));
+  UseSets.assign(NumBlocks, BitVector(NumVRegs));
+  DefSets.assign(NumBlocks, BitVector(NumVRegs));
+  CrossBlock.resize(NumVRegs);
+
+  // Local GEN (upward-exposed uses) and KILL (defs) sets.
+  for (unsigned B = 0; B < NumBlocks; ++B) {
+    BitVector &Use = UseSets[B];
+    BitVector &Def = DefSets[B];
+    for (const Instr &I : F.block(B).instrs()) {
+      forEachUsedReg(I, [&](const Operand &Op) {
+        if (Op.isVReg() && !Def.test(Op.vregId()))
+          Use.set(Op.vregId());
+      });
+      forEachDefinedReg(I, [&](const Operand &Op) {
+        if (Op.isVReg())
+          Def.set(Op.vregId());
+      });
+    }
+  }
+
+  // Iterate LiveOut(b) = U LiveIn(s); LiveIn(b) = Use(b) | (LiveOut - Def).
+  // Processing blocks in reverse id order approximates post-order for the
+  // layouts our builder produces; the loop iterates to a fixed point either
+  // way.
+  std::vector<std::vector<unsigned>> Succs(NumBlocks);
+  for (unsigned B = 0; B < NumBlocks; ++B)
+    Succs[B] = F.block(B).successors();
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++Iterations;
+    for (unsigned B = NumBlocks; B-- > 0;) {
+      BitVector &Out = LiveOut[B];
+      for (unsigned S : Succs[B])
+        Changed |= (Out |= LiveIn[S]);
+      BitVector &In = LiveIn[B];
+      Changed |= In.unionWithDifference(Out, DefSets[B]);
+      Changed |= (In |= UseSets[B]);
+    }
+  }
+
+  for (unsigned B = 0; B < NumBlocks; ++B) {
+    CrossBlock |= LiveIn[B];
+    CrossBlock |= LiveOut[B];
+  }
+}

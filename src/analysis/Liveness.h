@@ -1,0 +1,59 @@
+//===- analysis/Liveness.h - Bit-vector liveness ---------------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Iterative backward bit-vector liveness over virtual registers. Both the
+/// paper's allocators consume liveness "attached to the CFG prior to
+/// register allocation" by a shared library; this is that library.
+///
+/// Physical registers are deliberately excluded from the cross-block sets:
+/// after LowerCalls, every physical-register live range in this IR is local
+/// to one block (argument setup immediately precedes the call; result moves
+/// immediately follow it; entry moves copy argument registers away at the
+/// top of the entry block).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_ANALYSIS_LIVENESS_H
+#define LSRA_ANALYSIS_LIVENESS_H
+
+#include "ir/Function.h"
+#include "support/BitVector.h"
+#include "target/Target.h"
+
+#include <vector>
+
+namespace lsra {
+
+class Liveness {
+public:
+  /// Compute liveness for \p F (calls must already be lowered).
+  Liveness(const Function &F, const TargetDesc &TD);
+
+  const BitVector &liveIn(unsigned B) const { return LiveIn[B]; }
+  const BitVector &liveOut(unsigned B) const { return LiveOut[B]; }
+  const BitVector &useSet(unsigned B) const { return UseSets[B]; }
+  const BitVector &defSet(unsigned B) const { return DefSets[B]; }
+
+  /// True if \p V appears in any block's live-in or live-out set, i.e. its
+  /// lifetime crosses a basic-block boundary. The paper excludes purely
+  /// local temporaries from the dataflow universes of both allocators.
+  bool isCrossBlock(unsigned V) const { return CrossBlock.test(V); }
+  const BitVector &crossBlockSet() const { return CrossBlock; }
+
+  unsigned numVRegs() const { return NumVRegs; }
+  unsigned numIterations() const { return Iterations; }
+
+private:
+  unsigned NumVRegs;
+  unsigned Iterations = 0;
+  std::vector<BitVector> LiveIn, LiveOut, UseSets, DefSets;
+  BitVector CrossBlock;
+};
+
+} // namespace lsra
+
+#endif // LSRA_ANALYSIS_LIVENESS_H

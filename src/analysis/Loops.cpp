@@ -1,0 +1,69 @@
+//===- analysis/Loops.cpp -------------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Loops.h"
+
+#include "analysis/Dominators.h"
+#include "support/BitVector.h"
+
+using namespace lsra;
+
+LoopInfo::LoopInfo(const Function &F) {
+  unsigned N = F.numBlocks();
+  Depth.assign(N, 0);
+  Dominators Dom(F);
+  auto Preds = F.predecessors();
+
+  // Find back edges T -> H (H dominates T); flood backward from T to H to
+  // collect the natural loop body.
+  for (unsigned T = 0; T < N; ++T) {
+    if (!Dom.isReachable(T))
+      continue;
+    for (unsigned H : F.block(T).successors()) {
+      if (!Dom.dominates(H, T))
+        continue;
+      Loop L;
+      L.Header = H;
+      BitVector InLoop(N);
+      InLoop.set(H);
+      std::vector<unsigned> Work;
+      if (!InLoop.test(T)) {
+        InLoop.set(T);
+        Work.push_back(T);
+      }
+      while (!Work.empty()) {
+        unsigned B = Work.back();
+        Work.pop_back();
+        for (unsigned P : Preds[B])
+          if (!InLoop.test(P)) {
+            InLoop.set(P);
+            Work.push_back(P);
+          }
+      }
+      for (unsigned B : InLoop.setBits())
+        L.Blocks.push_back(B);
+      Loops.push_back(std::move(L));
+    }
+  }
+
+  // Depth = number of loops containing the block. Two back edges sharing a
+  // header describe one loop, so count each (header, block) pair once.
+  for (unsigned B = 0; B < N; ++B) {
+    BitVector SeenHeaders(N);
+    for (const Loop &L : Loops) {
+      bool Contains = false;
+      for (unsigned LB : L.Blocks)
+        if (LB == B) {
+          Contains = true;
+          break;
+        }
+      if (Contains && !SeenHeaders.test(L.Header)) {
+        SeenHeaders.set(L.Header);
+        ++Depth[B];
+      }
+    }
+  }
+}

@@ -1,0 +1,52 @@
+//===- analysis/Loops.h - Natural loops and loop depth ---------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop detection (back edges to dominators) and per-block loop
+/// depth. "Loop depth is used in the same way to weight occurrence counts
+/// in both allocators" (§3 of the paper): binpacking weights its eviction
+/// distances with it, and graph coloring weights its spill costs with it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_ANALYSIS_LOOPS_H
+#define LSRA_ANALYSIS_LOOPS_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace lsra {
+
+struct Loop {
+  unsigned Header;
+  std::vector<unsigned> Blocks; ///< includes the header
+};
+
+class LoopInfo {
+public:
+  explicit LoopInfo(const Function &F);
+
+  /// Nesting depth of \p B: 0 outside any loop.
+  unsigned depth(unsigned B) const { return Depth[B]; }
+
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  /// 10^min(depth, 6): the standard occurrence-count weight.
+  double blockWeight(unsigned B) const {
+    static const double Pow10[7] = {1, 10, 100, 1000, 1e4, 1e5, 1e6};
+    unsigned D = Depth[B];
+    return Pow10[D > 6 ? 6 : D];
+  }
+
+private:
+  std::vector<unsigned> Depth;
+  std::vector<Loop> Loops;
+};
+
+} // namespace lsra
+
+#endif // LSRA_ANALYSIS_LOOPS_H

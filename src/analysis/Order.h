@@ -1,0 +1,76 @@
+//===- analysis/Order.h - Linear order and positions ----------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static linear order of a procedure (Figure 1 of the paper) and the
+/// position numbering the lifetime machinery uses.
+///
+/// The linear order is the block layout order (block-id order). Every
+/// instruction gets a global linear index; index K owns two positions:
+///   - 2K   : the "use" point (operands are read here), and
+///   - 2K+1 : the "def" point (results are written here).
+/// Live segments are half-open [Start, End) over these positions, so a
+/// value defined at K and last used at M occupies [2K+1, 2M+1), and a def
+/// can reuse a register whose occupant dies at the same instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_ANALYSIS_ORDER_H
+#define LSRA_ANALYSIS_ORDER_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace lsra {
+
+class Numbering {
+public:
+  explicit Numbering(const Function &F);
+
+  unsigned numInstrs() const { return NumInstrs; }
+
+  /// Global linear index of instruction \p I of block \p B.
+  unsigned instrIndex(unsigned B, unsigned I) const {
+    return BlockFirstIdx[B] + I;
+  }
+
+  static unsigned usePos(unsigned Idx) { return 2 * Idx; }
+  static unsigned defPos(unsigned Idx) { return 2 * Idx + 1; }
+
+  /// Position of the top of block \p B (live-in segments start here).
+  unsigned blockStartPos(unsigned B) const {
+    return 2 * BlockFirstIdx[B];
+  }
+  /// Position just past block \p B (live-out segments end here).
+  unsigned blockEndPos(unsigned B) const {
+    return 2 * (BlockFirstIdx[B] + BlockSize[B]);
+  }
+
+  unsigned blockFirstIndex(unsigned B) const { return BlockFirstIdx[B]; }
+  unsigned blockSize(unsigned B) const { return BlockSize[B]; }
+
+  /// The block containing linear instruction index \p Idx.
+  unsigned blockOfIndex(unsigned Idx) const;
+
+private:
+  std::vector<unsigned> BlockFirstIdx;
+  std::vector<unsigned> BlockSize;
+  unsigned NumInstrs = 0;
+};
+
+/// Block ids in reverse post order from the entry (unreachable blocks are
+/// appended at the end so analyses still cover them).
+std::vector<unsigned> reversePostOrder(const Function &F);
+
+/// Split the CFG edge \p Pred -> \p Succ by inserting a fresh block that
+/// branches to \p Succ; returns the new block. Used to place resolution
+/// code on critical edges (§2.4 footnote 1).
+Block &splitEdge(Function &F, unsigned Pred, unsigned Succ);
+
+} // namespace lsra
+
+#endif // LSRA_ANALYSIS_ORDER_H

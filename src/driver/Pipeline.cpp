@@ -1,0 +1,42 @@
+//===- driver/Pipeline.cpp ------------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include "ir/IRVerifier.h"
+#include "passes/DCE.h"
+#include "target/LowerCalls.h"
+
+using namespace lsra;
+
+AllocStats lsra::compileModule(Module &M, const TargetDesc &TD,
+                               AllocatorKind K, const AllocOptions &Opts) {
+  lowerCalls(M);
+  eliminateDeadCode(M, TD);
+  return allocateModule(M, TD, K, Opts);
+}
+
+std::string lsra::checkAllocated(const Module &M) {
+  VerifyOptions VO;
+  VO.RequireAllocated = true;
+  VO.RequireLoweredCalls = true;
+  return verifyModule(M, VO);
+}
+
+RunResult lsra::runReference(Module &M, const TargetDesc &TD) {
+  lowerCalls(M);
+  eliminateDeadCode(M, TD);
+  VM Machine(M, TD);
+  return Machine.run();
+}
+
+RunResult lsra::runAllocated(const Module &M, const TargetDesc &TD) {
+  VM::Options VO;
+  VO.PoisonCallerSaved = true;
+  VO.CheckCalleeSaved = true;
+  VM Machine(M, TD, VO);
+  return Machine.run();
+}

@@ -1,0 +1,45 @@
+//===- driver/Pipeline.h - Whole-module compilation driver ----*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standard compilation pipeline used by every experiment, mirroring
+/// §3 of the paper: dead-code elimination, calling-convention lowering,
+/// register allocation (one of the four allocators), the move-removing
+/// peephole, and callee-save insertion. Everything except the central
+/// register-assignment algorithm is identical across allocators — the
+/// paper's "identical in every respect except the central register
+/// assignment algorithms" setup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_DRIVER_PIPELINE_H
+#define LSRA_DRIVER_PIPELINE_H
+
+#include "regalloc/Allocator.h"
+#include "vm/VM.h"
+
+namespace lsra {
+
+/// Run the full pipeline over \p M. On return every function is fully
+/// allocated (no virtual registers). Returns the summed allocator
+/// statistics.
+AllocStats compileModule(Module &M, const TargetDesc &TD, AllocatorKind K,
+                         const AllocOptions &Opts = AllocOptions());
+
+/// Post-allocation structural check; returns an empty string when valid.
+std::string checkAllocated(const Module &M);
+
+/// Reference semantics of \p M: lower calls + DCE (same pre-passes as
+/// compileModule), then run on the VM with virtual registers intact.
+RunResult runReference(Module &M, const TargetDesc &TD);
+
+/// Execute an allocated module with the machine-contract checks enabled
+/// (caller-saved poisoning, callee-saved verification).
+RunResult runAllocated(const Module &M, const TargetDesc &TD);
+
+} // namespace lsra
+
+#endif // LSRA_DRIVER_PIPELINE_H

@@ -1,0 +1,78 @@
+//===- ir/Block.h - Basic block -------------------------------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A basic block: a label, a straight-line instruction vector ending in a
+/// terminator, and CFG edges derived from the terminator's labels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_IR_BLOCK_H
+#define LSRA_IR_BLOCK_H
+
+#include "ir/Instr.h"
+
+#include <string>
+#include <vector>
+
+namespace lsra {
+
+class Block {
+public:
+  Block(unsigned Id, std::string Name) : Id(Id), Name(std::move(Name)) {}
+
+  unsigned id() const { return Id; }
+  const std::string &name() const { return Name; }
+
+  std::vector<Instr> &instrs() { return Instrs; }
+  const std::vector<Instr> &instrs() const { return Instrs; }
+
+  bool empty() const { return Instrs.empty(); }
+  unsigned size() const { return static_cast<unsigned>(Instrs.size()); }
+
+  Instr &append(Instr I) {
+    Instrs.push_back(I);
+    return Instrs.back();
+  }
+
+  /// The terminator, asserting the block is non-empty and well-formed.
+  Instr &terminator() {
+    assert(!Instrs.empty() && Instrs.back().isTerminator() &&
+           "block has no terminator");
+    return Instrs.back();
+  }
+  const Instr &terminator() const {
+    return const_cast<Block *>(this)->terminator();
+  }
+
+  bool hasTerminator() const {
+    return !Instrs.empty() && Instrs.back().isTerminator();
+  }
+
+  /// Successor block ids, in terminator operand order (empty for Ret).
+  std::vector<unsigned> successors() const;
+
+  /// Replace every label operand referring to \p OldId with \p NewId.
+  void replaceSuccessor(unsigned OldId, unsigned NewId);
+
+  /// Insert \p I immediately before the terminator.
+  void insertBeforeTerminator(Instr I) {
+    assert(hasTerminator() && "block has no terminator");
+    Instrs.insert(Instrs.end() - 1, I);
+  }
+
+  /// Insert \p I at the top of the block.
+  void insertAtTop(Instr I) { Instrs.insert(Instrs.begin(), I); }
+
+private:
+  unsigned Id;
+  std::string Name;
+  std::vector<Instr> Instrs;
+};
+
+} // namespace lsra
+
+#endif // LSRA_IR_BLOCK_H

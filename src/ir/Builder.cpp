@@ -1,0 +1,181 @@
+//===- ir/Builder.cpp -----------------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+
+using namespace lsra;
+
+FunctionBuilder::FunctionBuilder(Module &M, std::string Name,
+                                 unsigned IntParams, unsigned FpParams,
+                                 CallRetKind Ret)
+    : M(M), F(M.addFunction(std::move(Name))) {
+  assert(IntParams <= 6 && FpParams <= 6 &&
+         "at most 6 register parameters per class");
+  F.RetKind = Ret;
+  for (unsigned I = 0; I < IntParams; ++I)
+    F.IntParamVRegs.push_back(F.newVReg(RegClass::Int));
+  for (unsigned I = 0; I < FpParams; ++I)
+    F.FpParamVRegs.push_back(F.newVReg(RegClass::Float));
+}
+
+unsigned FunctionBuilder::binop(Opcode Op, Operand A, Operand B) {
+  unsigned D = newInt();
+  emit(Instr(Op, Operand::vreg(D), A, B));
+  return D;
+}
+
+unsigned FunctionBuilder::movi(int64_t V) {
+  unsigned D = newInt();
+  emit(Instr(Opcode::MovI, Operand::vreg(D), Operand::imm(V)));
+  return D;
+}
+
+unsigned FunctionBuilder::mov(unsigned Src) {
+  unsigned D = newInt();
+  emit(Instr(Opcode::Mov, Operand::vreg(D), Operand::vreg(Src)));
+  return D;
+}
+
+unsigned FunctionBuilder::neg(unsigned A) {
+  unsigned D = newInt();
+  emit(Instr(Opcode::Neg, Operand::vreg(D), Operand::vreg(A)));
+  return D;
+}
+
+unsigned FunctionBuilder::notOp(unsigned A) {
+  unsigned D = newInt();
+  emit(Instr(Opcode::Not, Operand::vreg(D), Operand::vreg(A)));
+  return D;
+}
+
+unsigned FunctionBuilder::fbinop(Opcode Op, unsigned A, unsigned B) {
+  unsigned D = newFp();
+  emit(Instr(Op, Operand::vreg(D), Operand::vreg(A), Operand::vreg(B)));
+  return D;
+}
+
+unsigned FunctionBuilder::fcmp(Opcode Op, unsigned A, unsigned B) {
+  assert((Op == Opcode::FCmpEq || Op == Opcode::FCmpLt ||
+          Op == Opcode::FCmpLe) &&
+         "not a floating compare");
+  unsigned D = newInt();
+  emit(Instr(Op, Operand::vreg(D), Operand::vreg(A), Operand::vreg(B)));
+  return D;
+}
+
+unsigned FunctionBuilder::movf(double V) {
+  unsigned D = newFp();
+  emit(Instr(Opcode::MovF, Operand::vreg(D), Operand::fimm(V)));
+  return D;
+}
+
+unsigned FunctionBuilder::fmov(unsigned Src) {
+  unsigned D = newFp();
+  emit(Instr(Opcode::FMov, Operand::vreg(D), Operand::vreg(Src)));
+  return D;
+}
+
+unsigned FunctionBuilder::fneg(unsigned A) {
+  unsigned D = newFp();
+  emit(Instr(Opcode::FNeg, Operand::vreg(D), Operand::vreg(A)));
+  return D;
+}
+
+unsigned FunctionBuilder::itof(unsigned A) {
+  unsigned D = newFp();
+  emit(Instr(Opcode::ItoF, Operand::vreg(D), Operand::vreg(A)));
+  return D;
+}
+
+unsigned FunctionBuilder::ftoi(unsigned A) {
+  unsigned D = newInt();
+  emit(Instr(Opcode::FtoI, Operand::vreg(D), Operand::vreg(A)));
+  return D;
+}
+
+unsigned FunctionBuilder::load(unsigned AddrReg, int64_t Off) {
+  unsigned D = newInt();
+  emit(Instr(Opcode::Ld, Operand::vreg(D), Operand::vreg(AddrReg),
+             Operand::imm(Off)));
+  return D;
+}
+
+void FunctionBuilder::store(unsigned Val, unsigned AddrReg, int64_t Off) {
+  emit(Instr(Opcode::St, Operand::vreg(Val), Operand::vreg(AddrReg),
+             Operand::imm(Off)));
+}
+
+unsigned FunctionBuilder::fload(unsigned AddrReg, int64_t Off) {
+  unsigned D = newFp();
+  emit(Instr(Opcode::FLd, Operand::vreg(D), Operand::vreg(AddrReg),
+             Operand::imm(Off)));
+  return D;
+}
+
+void FunctionBuilder::fstore(unsigned Val, unsigned AddrReg, int64_t Off) {
+  emit(Instr(Opcode::FSt, Operand::vreg(Val), Operand::vreg(AddrReg),
+             Operand::imm(Off)));
+}
+
+void FunctionBuilder::br(Block &Target) {
+  emit(Instr(Opcode::Br, Operand::label(Target.id())));
+}
+
+void FunctionBuilder::cbr(unsigned Cond, Block &TrueB, Block &FalseB) {
+  emit(Instr(Opcode::CBr, Operand::vreg(Cond), Operand::label(TrueB.id()),
+             Operand::label(FalseB.id())));
+}
+
+void FunctionBuilder::retVoid() {
+  assert(F.RetKind == CallRetKind::None && "function returns a value");
+  emit(Instr(Opcode::Ret));
+}
+
+void FunctionBuilder::retVal(unsigned V) {
+  assert(F.RetKind != CallRetKind::None && "function returns void");
+  assert(F.vregClass(V) == (F.RetKind == CallRetKind::Int ? RegClass::Int
+                                                          : RegClass::Float) &&
+         "return value class mismatch");
+  emit(Instr(Opcode::Ret, Operand::vreg(V)));
+}
+
+unsigned FunctionBuilder::call(const Function &Callee,
+                               const std::vector<unsigned> &IntArgs,
+                               const std::vector<unsigned> &FpArgs) {
+  assert(IntArgs.size() == Callee.IntParamVRegs.size() &&
+         FpArgs.size() == Callee.FpParamVRegs.size() &&
+         "argument count mismatch");
+  for (unsigned I = 0; I < IntArgs.size(); ++I)
+    emit(Instr(Opcode::CArg, Operand::vreg(IntArgs[I]),
+               Operand::imm(static_cast<int64_t>(I))));
+  for (unsigned I = 0; I < FpArgs.size(); ++I)
+    emit(Instr(Opcode::FCArg, Operand::vreg(FpArgs[I]),
+               Operand::imm(static_cast<int64_t>(I))));
+  Instr CallI(Opcode::Call, Operand::func(Callee.id()));
+  CallI.CallIntArgs = static_cast<uint8_t>(IntArgs.size());
+  CallI.CallFpArgs = static_cast<uint8_t>(FpArgs.size());
+  CallI.CallRet = Callee.RetKind;
+  emit(CallI);
+  if (Callee.RetKind == CallRetKind::Int) {
+    unsigned D = newInt();
+    emit(Instr(Opcode::CRes, Operand::vreg(D)));
+    return D;
+  }
+  if (Callee.RetKind == CallRetKind::Float) {
+    unsigned D = newFp();
+    emit(Instr(Opcode::FCRes, Operand::vreg(D)));
+    return D;
+  }
+  return ~0u;
+}
+
+void FunctionBuilder::emitValue(unsigned V) {
+  emit(Instr(Opcode::Emit, Operand::vreg(V)));
+}
+
+void FunctionBuilder::femitValue(unsigned V) {
+  emit(Instr(Opcode::FEmit, Operand::vreg(V)));
+}

@@ -1,0 +1,166 @@
+//===- ir/Builder.h - Convenience IR construction -------------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FunctionBuilder is the public API the examples and workloads use to
+/// construct IR: it creates virtual registers, emits instructions into a
+/// current block, and provides high-level call/return helpers that the
+/// LowerCalls pass later expands into the Alpha-like calling convention.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_IR_BUILDER_H
+#define LSRA_IR_BUILDER_H
+
+#include "ir/Module.h"
+
+namespace lsra {
+
+/// Builder for one function. Typical use:
+/// \code
+///   FunctionBuilder B(M, "main", /*IntParams=*/0, /*FpParams=*/0,
+///                     CallRetKind::Int);
+///   Block &Entry = B.newBlock("entry");
+///   B.setBlock(Entry);
+///   unsigned X = B.movi(42);
+///   B.retVal(X);
+/// \endcode
+class FunctionBuilder {
+public:
+  /// Create a new function in \p M. Parameter vregs are created eagerly and
+  /// can be retrieved with intParam()/fpParam(). At most 6 parameters per
+  /// register class (the Alpha passes $16-$21 / $f16-$f21 in registers; the
+  /// IR does not model stack arguments).
+  FunctionBuilder(Module &M, std::string Name, unsigned IntParams,
+                  unsigned FpParams, CallRetKind Ret);
+
+  Module &module() { return M; }
+  Function &function() { return F; }
+
+  unsigned intParam(unsigned I) const { return F.IntParamVRegs.at(I); }
+  unsigned fpParam(unsigned I) const { return F.FpParamVRegs.at(I); }
+
+  // --- Blocks -------------------------------------------------------------
+
+  Block &newBlock(std::string Name) { return F.addBlock(std::move(Name)); }
+  void setBlock(Block &B) { Cur = &B; }
+  Block &currentBlock() {
+    assert(Cur && "no current block");
+    return *Cur;
+  }
+
+  // --- Virtual registers --------------------------------------------------
+
+  unsigned newInt() { return F.newVReg(RegClass::Int); }
+  unsigned newFp() { return F.newVReg(RegClass::Float); }
+
+  // --- Raw emission -------------------------------------------------------
+
+  Instr &emit(Instr I) {
+    assert(Cur && "no current block");
+    return Cur->append(I);
+  }
+
+  // --- Integer ops (return the defined vreg) -------------------------------
+
+  unsigned binop(Opcode Op, Operand A, Operand B);
+  unsigned binop(Opcode Op, unsigned A, unsigned B) {
+    return binop(Op, Operand::vreg(A), Operand::vreg(B));
+  }
+
+  unsigned add(unsigned A, unsigned B) { return binop(Opcode::Add, A, B); }
+  unsigned addi(unsigned A, int64_t B) {
+    return binop(Opcode::Add, Operand::vreg(A), Operand::imm(B));
+  }
+  unsigned sub(unsigned A, unsigned B) { return binop(Opcode::Sub, A, B); }
+  unsigned subi(unsigned A, int64_t B) {
+    return binop(Opcode::Sub, Operand::vreg(A), Operand::imm(B));
+  }
+  unsigned mul(unsigned A, unsigned B) { return binop(Opcode::Mul, A, B); }
+  unsigned muli(unsigned A, int64_t B) {
+    return binop(Opcode::Mul, Operand::vreg(A), Operand::imm(B));
+  }
+  unsigned div(unsigned A, unsigned B) { return binop(Opcode::Div, A, B); }
+  unsigned rem(unsigned A, unsigned B) { return binop(Opcode::Rem, A, B); }
+  unsigned andOp(unsigned A, unsigned B) { return binop(Opcode::And, A, B); }
+  unsigned andi(unsigned A, int64_t B) {
+    return binop(Opcode::And, Operand::vreg(A), Operand::imm(B));
+  }
+  unsigned orOp(unsigned A, unsigned B) { return binop(Opcode::Or, A, B); }
+  unsigned ori(unsigned A, int64_t B) {
+    return binop(Opcode::Or, Operand::vreg(A), Operand::imm(B));
+  }
+  unsigned xorOp(unsigned A, unsigned B) { return binop(Opcode::Xor, A, B); }
+  unsigned xori(unsigned A, int64_t B) {
+    return binop(Opcode::Xor, Operand::vreg(A), Operand::imm(B));
+  }
+  unsigned shli(unsigned A, int64_t B) {
+    return binop(Opcode::Shl, Operand::vreg(A), Operand::imm(B));
+  }
+  unsigned shri(unsigned A, int64_t B) {
+    return binop(Opcode::Shr, Operand::vreg(A), Operand::imm(B));
+  }
+
+  unsigned cmp(Opcode Op, unsigned A, unsigned B) { return binop(Op, A, B); }
+  unsigned cmpi(Opcode Op, unsigned A, int64_t B) {
+    return binop(Op, Operand::vreg(A), Operand::imm(B));
+  }
+
+  unsigned movi(int64_t V);
+  unsigned mov(unsigned Src);
+  unsigned neg(unsigned A);
+  unsigned notOp(unsigned A);
+
+  // --- Floating-point ops --------------------------------------------------
+
+  unsigned fbinop(Opcode Op, unsigned A, unsigned B);
+  unsigned fadd(unsigned A, unsigned B) { return fbinop(Opcode::FAdd, A, B); }
+  unsigned fsub(unsigned A, unsigned B) { return fbinop(Opcode::FSub, A, B); }
+  unsigned fmul(unsigned A, unsigned B) { return fbinop(Opcode::FMul, A, B); }
+  unsigned fdiv(unsigned A, unsigned B) { return fbinop(Opcode::FDiv, A, B); }
+  unsigned fcmp(Opcode Op, unsigned A, unsigned B);
+  unsigned movf(double V);
+  unsigned fmov(unsigned Src);
+  unsigned fneg(unsigned A);
+  unsigned itof(unsigned A);
+  unsigned ftoi(unsigned A);
+
+  // --- Memory ---------------------------------------------------------------
+
+  unsigned load(unsigned AddrReg, int64_t Off);
+  void store(unsigned Val, unsigned AddrReg, int64_t Off);
+  unsigned fload(unsigned AddrReg, int64_t Off);
+  void fstore(unsigned Val, unsigned AddrReg, int64_t Off);
+
+  // --- Control flow ----------------------------------------------------------
+
+  void br(Block &Target);
+  /// Conditional branch: to \p TrueB when \p Cond is non-zero.
+  void cbr(unsigned Cond, Block &TrueB, Block &FalseB);
+  void retVoid();
+  void retVal(unsigned V);
+
+  // --- Calls (high-level; expanded by LowerCalls) ----------------------------
+
+  /// Call \p Callee with the given int/fp argument vregs. Returns the result
+  /// vreg if the callee returns a value, otherwise ~0u.
+  unsigned call(const Function &Callee, const std::vector<unsigned> &IntArgs,
+                const std::vector<unsigned> &FpArgs = {});
+
+  // --- Observation -----------------------------------------------------------
+
+  void emitValue(unsigned V);
+  void femitValue(unsigned V);
+
+private:
+  Module &M;
+  Function &F;
+  Block *Cur = nullptr;
+};
+
+} // namespace lsra
+
+#endif // LSRA_IR_BUILDER_H

@@ -1,0 +1,24 @@
+//===- ir/Function.cpp ----------------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+
+using namespace lsra;
+
+std::vector<std::vector<unsigned>> Function::predecessors() const {
+  std::vector<std::vector<unsigned>> Preds(Blocks.size());
+  for (const auto &B : Blocks)
+    for (unsigned S : B->successors())
+      Preds[S].push_back(B->id());
+  return Preds;
+}
+
+unsigned Function::numInstrs() const {
+  unsigned N = 0;
+  for (const auto &B : Blocks)
+    N += B->size();
+  return N;
+}

@@ -1,0 +1,116 @@
+//===- ir/Function.h - Function (procedure) -------------------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A procedure: an entry block plus a vector of basic blocks, a dense space
+/// of virtual registers (the paper's "temporaries": both program variables
+/// and compiler-generated values), and a dense space of frame slots used for
+/// locals, spill homes, and callee-save storage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_IR_FUNCTION_H
+#define LSRA_IR_FUNCTION_H
+
+#include "ir/Block.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lsra {
+
+class Function {
+public:
+  Function(unsigned Id, std::string Name) : Id(Id), Name(std::move(Name)) {}
+
+  unsigned id() const { return Id; }
+  const std::string &name() const { return Name; }
+
+  // --- Virtual registers -------------------------------------------------
+
+  unsigned newVReg(RegClass RC) {
+    VRegClasses.push_back(RC);
+    return static_cast<unsigned>(VRegClasses.size() - 1);
+  }
+  unsigned numVRegs() const { return static_cast<unsigned>(VRegClasses.size()); }
+  RegClass vregClass(unsigned V) const {
+    assert(V < VRegClasses.size() && "bad vreg id");
+    return VRegClasses[V];
+  }
+
+  // --- Frame slots --------------------------------------------------------
+
+  unsigned newSlot(RegClass RC) {
+    SlotClasses.push_back(RC);
+    return static_cast<unsigned>(SlotClasses.size() - 1);
+  }
+  unsigned numSlots() const { return static_cast<unsigned>(SlotClasses.size()); }
+  RegClass slotClass(unsigned S) const {
+    assert(S < SlotClasses.size() && "bad slot id");
+    return SlotClasses[S];
+  }
+
+  // --- Blocks -------------------------------------------------------------
+
+  Block &addBlock(std::string BlockName) {
+    unsigned BId = static_cast<unsigned>(Blocks.size());
+    Blocks.push_back(std::make_unique<Block>(BId, std::move(BlockName)));
+    return *Blocks.back();
+  }
+  unsigned numBlocks() const { return static_cast<unsigned>(Blocks.size()); }
+  Block &block(unsigned BId) {
+    assert(BId < Blocks.size() && "bad block id");
+    return *Blocks[BId];
+  }
+  const Block &block(unsigned BId) const {
+    assert(BId < Blocks.size() && "bad block id");
+    return *Blocks[BId];
+  }
+  Block &entry() {
+    assert(!Blocks.empty() && "function has no blocks");
+    return *Blocks.front();
+  }
+  const Block &entry() const {
+    assert(!Blocks.empty() && "function has no blocks");
+    return *Blocks.front();
+  }
+
+  /// Iterate blocks in id (layout) order. Block ids are stable; this is
+  /// also the static linear order the binpacking scan uses.
+  std::vector<std::unique_ptr<Block>> &blocks() { return Blocks; }
+  const std::vector<std::unique_ptr<Block>> &blocks() const { return Blocks; }
+
+  /// Predecessor lists, indexed by block id, computed on demand.
+  std::vector<std::vector<unsigned>> predecessors() const;
+
+  /// Total instruction count across all blocks.
+  unsigned numInstrs() const;
+
+  // --- Signature ----------------------------------------------------------
+
+  // Parameter vregs, in declaration order per class. LowerCalls emits the
+  // entry moves from the argument registers into these vregs (the code
+  // shape the paper's move optimisation targets).
+  std::vector<unsigned> IntParamVRegs;
+  std::vector<unsigned> FpParamVRegs;
+  CallRetKind RetKind = CallRetKind::None;
+
+  /// Set once LowerCalls has expanded calling conventions; allocators
+  /// require it.
+  bool CallsLowered = false;
+
+private:
+  unsigned Id;
+  std::string Name;
+  std::vector<RegClass> VRegClasses;
+  std::vector<RegClass> SlotClasses;
+  std::vector<std::unique_ptr<Block>> Blocks;
+};
+
+} // namespace lsra
+
+#endif // LSRA_IR_FUNCTION_H

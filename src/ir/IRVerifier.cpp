@@ -1,0 +1,202 @@
+//===- ir/IRVerifier.cpp --------------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRVerifier.h"
+
+#include "ir/Printer.h"
+
+#include <sstream>
+
+using namespace lsra;
+
+namespace {
+
+class Verifier {
+public:
+  Verifier(const Function &F, const Module &M, VerifyOptions Opts)
+      : F(F), M(M), Opts(Opts) {}
+
+  std::string run() {
+    if (F.numBlocks() == 0) {
+      error() << "function has no blocks";
+      return OS.str();
+    }
+    for (const auto &B : F.blocks())
+      checkBlock(*B);
+    return OS.str();
+  }
+
+private:
+  std::ostream &error() {
+    if (!FirstError)
+      OS << "\n";
+    FirstError = false;
+    OS << F.name() << ": ";
+    return OS;
+  }
+
+  void checkBlock(const Block &B) {
+    if (B.empty()) {
+      error() << "bb" << B.id() << " is empty";
+      return;
+    }
+    for (unsigned Idx = 0; Idx < B.size(); ++Idx) {
+      const Instr &I = B.instrs()[Idx];
+      bool IsLast = Idx + 1 == B.size();
+      if (I.isTerminator() != IsLast) {
+        error() << "bb" << B.id() << "[" << Idx << "]: "
+                << (IsLast ? "block does not end in a terminator"
+                           : "terminator in the middle of a block");
+      }
+      checkInstr(B, Idx, I);
+    }
+  }
+
+  void checkRegOperand(const Block &B, unsigned Idx, const Instr &I,
+                       unsigned Slot, bool IsDef) {
+    const Operand &Op = I.op(Slot);
+    // Ret's value class depends on the function signature, not the opcode
+    // table.
+    RegClass RC = I.opcode() == Opcode::Ret
+                      ? (F.RetKind == CallRetKind::Float ? RegClass::Float
+                                                         : RegClass::Int)
+                      : I.slotClass(Slot);
+    if (Op.isVReg()) {
+      if (Opts.RequireAllocated) {
+        error() << "bb" << B.id() << "[" << Idx
+                << "]: virtual register survives allocation in '"
+                << toString(I, F, &M) << "'";
+        return;
+      }
+      if (Op.vregId() >= F.numVRegs()) {
+        error() << "bb" << B.id() << "[" << Idx << "]: vreg out of range";
+        return;
+      }
+      if (F.vregClass(Op.vregId()) != RC)
+        error() << "bb" << B.id() << "[" << Idx
+                << "]: register class mismatch in '" << toString(I, F, &M)
+                << "'";
+      return;
+    }
+    if (Op.isPReg()) {
+      if (pregClass(Op.pregId()) != RC)
+        error() << "bb" << B.id() << "[" << Idx
+                << "]: physical register class mismatch in '"
+                << toString(I, F, &M) << "'";
+      return;
+    }
+    if (IsDef) {
+      error() << "bb" << B.id() << "[" << Idx << "]: def slot " << Slot
+              << " is not a register in '" << toString(I, F, &M) << "'";
+      return;
+    }
+    // A use slot may hold an immediate for integer ALU second operands, and
+    // Ret's use slot may be empty (void return).
+    bool ImmOk = Op.isImm() && RC == RegClass::Int;
+    bool NoneOk = Op.isNone() && I.opcode() == Opcode::Ret;
+    if (!ImmOk && !NoneOk)
+      error() << "bb" << B.id() << "[" << Idx << "]: bad use operand in '"
+              << toString(I, F, &M) << "'";
+  }
+
+  void checkInstr(const Block &B, unsigned Idx, const Instr &I) {
+    const OpcodeInfo &Info = I.info();
+    for (unsigned S = 0; S < Info.NumDefs; ++S)
+      checkRegOperand(B, Idx, I, S, /*IsDef=*/true);
+    for (unsigned S = Info.NumDefs; S < unsigned(Info.NumDefs) + Info.NumUses;
+         ++S)
+      checkRegOperand(B, Idx, I, S, /*IsDef=*/false);
+
+    switch (I.opcode()) {
+    case Opcode::Br:
+      checkLabel(B, Idx, I.op(0));
+      break;
+    case Opcode::CBr:
+      checkLabel(B, Idx, I.op(1));
+      checkLabel(B, Idx, I.op(2));
+      break;
+    case Opcode::Call:
+      if (!I.op(0).isFunc() || I.op(0).funcId() >= M.numFunctions())
+        error() << "bb" << B.id() << "[" << Idx << "]: bad call target";
+      break;
+    case Opcode::Ld:
+    case Opcode::St:
+    case Opcode::FLd:
+    case Opcode::FSt:
+      if (!I.op(2).isImm())
+        error() << "bb" << B.id() << "[" << Idx
+                << "]: memory op needs an immediate offset";
+      break;
+    case Opcode::LdSlot:
+    case Opcode::FLdSlot:
+      checkSlot(B, Idx, I.op(1), I.slotClass(0));
+      break;
+    case Opcode::StSlot:
+    case Opcode::FStSlot:
+      checkSlot(B, Idx, I.op(1), I.slotClass(0));
+      break;
+    case Opcode::MovI:
+      if (!I.op(1).isImm())
+        error() << "bb" << B.id() << "[" << Idx << "]: movi needs an imm";
+      break;
+    case Opcode::MovF:
+      if (!I.op(1).isFImm())
+        error() << "bb" << B.id() << "[" << Idx << "]: movf needs a fimm";
+      break;
+    case Opcode::CArg:
+    case Opcode::FCArg:
+    case Opcode::CRes:
+    case Opcode::FCRes:
+      if (Opts.RequireLoweredCalls || F.CallsLowered)
+        error() << "bb" << B.id() << "[" << Idx
+                << "]: call pseudo op survives lowering";
+      break;
+    default:
+      break;
+    }
+  }
+
+  void checkLabel(const Block &B, unsigned Idx, const Operand &Op) {
+    if (!Op.isLabel() || Op.labelBlock() >= F.numBlocks())
+      error() << "bb" << B.id() << "[" << Idx << "]: bad label operand";
+  }
+
+  void checkSlot(const Block &B, unsigned Idx, const Operand &Op,
+                 RegClass RC) {
+    if (!Op.isSlot() || Op.slotId() >= F.numSlots()) {
+      error() << "bb" << B.id() << "[" << Idx << "]: bad slot operand";
+      return;
+    }
+    if (F.slotClass(Op.slotId()) != RC)
+      error() << "bb" << B.id() << "[" << Idx << "]: slot class mismatch";
+  }
+
+  const Function &F;
+  const Module &M;
+  VerifyOptions Opts;
+  std::ostringstream OS;
+  bool FirstError = true;
+};
+
+} // namespace
+
+std::string lsra::verifyFunction(const Function &F, const Module &M,
+                                 VerifyOptions Opts) {
+  return Verifier(F, M, Opts).run();
+}
+
+std::string lsra::verifyModule(const Module &M, VerifyOptions Opts) {
+  std::string All;
+  for (const auto &F : M.functions()) {
+    std::string S = verifyFunction(*F, M, Opts);
+    if (S.empty())
+      continue;
+    if (!All.empty())
+      All += "\n";
+    All += S;
+  }
+  return All;
+}

@@ -1,0 +1,43 @@
+//===- ir/IRVerifier.h - Structural IR checks -----------------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural well-formedness checks for functions: terminator placement,
+/// operand kinds and register classes per opcode, label/slot/vreg ranges,
+/// and (optionally) the post-allocation invariant that no virtual registers
+/// remain. Returns a diagnostic string; empty means the function is valid.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_IR_IRVERIFIER_H
+#define LSRA_IR_IRVERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace lsra {
+
+struct VerifyOptions {
+  /// Require every register operand to be a physical register (the state
+  /// after register allocation).
+  bool RequireAllocated = false;
+  /// Forbid the CArg/FCArg/CRes/FCRes pseudo ops (the state after the
+  /// LowerCalls pass).
+  bool RequireLoweredCalls = false;
+};
+
+/// Verify \p F; returns an empty string when valid, otherwise a
+/// newline-separated list of diagnostics.
+std::string verifyFunction(const Function &F, const Module &M,
+                           VerifyOptions Opts = {});
+
+/// Verify every function in \p M.
+std::string verifyModule(const Module &M, VerifyOptions Opts = {});
+
+} // namespace lsra
+
+#endif // LSRA_IR_IRVERIFIER_H

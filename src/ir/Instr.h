@@ -1,0 +1,133 @@
+//===- ir/Instr.h - Machine instruction -----------------------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A machine instruction: opcode, up to three operand slots, call metadata,
+/// and a spill-category tag used by the VM to attribute dynamic instruction
+/// counts to the paper's Figure 3 categories.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_IR_INSTR_H
+#define LSRA_IR_INSTR_H
+
+#include "ir/Operand.h"
+
+#include <array>
+#include <cassert>
+
+namespace lsra {
+
+/// Category tag for instructions inserted by a register allocator. "Evict"
+/// spill code is inserted during the linear allocate/rewrite scan (or, for
+/// graph coloring, during its spill phase); "Resolve" spill code is inserted
+/// by second-chance binpacking's resolution phase (§2.4). Callee-save
+/// save/restore code is tagged separately because the paper's spill
+/// accounting covers allocation candidates only.
+enum class SpillKind : uint8_t {
+  None,
+  EvictLoad,
+  EvictStore,
+  EvictMove,
+  ResolveLoad,
+  ResolveStore,
+  ResolveMove,
+  CalleeSave,
+  CalleeRestore,
+};
+
+const char *spillKindName(SpillKind K);
+inline bool isSpillCode(SpillKind K) {
+  return K != SpillKind::None && K != SpillKind::CalleeSave &&
+         K != SpillKind::CalleeRestore;
+}
+
+/// Which register class (if any) a call returns a value in.
+enum class CallRetKind : uint8_t { None, Int, Float };
+
+class Instr {
+public:
+  Instr() : Op(Opcode::Nop) {}
+  explicit Instr(Opcode Op) : Op(Op) {}
+  Instr(Opcode Op, Operand A) : Op(Op) { Ops[0] = A; }
+  Instr(Opcode Op, Operand A, Operand B) : Op(Op) {
+    Ops[0] = A;
+    Ops[1] = B;
+  }
+  Instr(Opcode Op, Operand A, Operand B, Operand C) : Op(Op) {
+    Ops[0] = A;
+    Ops[1] = B;
+    Ops[2] = C;
+  }
+
+  Opcode opcode() const { return Op; }
+  const OpcodeInfo &info() const { return opcodeInfo(Op); }
+
+  Operand &op(unsigned I) {
+    assert(I < Ops.size() && "operand index out of range");
+    return Ops[I];
+  }
+  const Operand &op(unsigned I) const {
+    assert(I < Ops.size() && "operand index out of range");
+    return Ops[I];
+  }
+
+  unsigned numDefSlots() const { return info().NumDefs; }
+  unsigned numUseSlots() const { return info().NumUses; }
+
+  /// The register definition slot (asserting there is one).
+  Operand &defOp() {
+    assert(numDefSlots() == 1 && "instruction has no def");
+    return Ops[0];
+  }
+  const Operand &defOp() const {
+    assert(numDefSlots() == 1 && "instruction has no def");
+    return Ops[0];
+  }
+
+  /// Use slot \p I (0-based among the register-use slots).
+  Operand &useOp(unsigned I) {
+    assert(I < numUseSlots() && "use index out of range");
+    return Ops[numDefSlots() + I];
+  }
+  const Operand &useOp(unsigned I) const {
+    assert(I < numUseSlots() && "use index out of range");
+    return Ops[numDefSlots() + I];
+  }
+
+  /// Register class of operand slot \p I according to the opcode layout.
+  RegClass slotClass(unsigned I) const {
+    return (info().FloatMask >> I) & 1 ? RegClass::Float : RegClass::Int;
+  }
+
+  bool isTerminator() const { return info().IsTerminator; }
+  bool isCall() const { return Op == Opcode::Call; }
+
+  /// Is this a register-to-register copy (Mov or FMov) whose source slot is
+  /// a register operand?
+  bool isRegMove() const {
+    return (Op == Opcode::Mov || Op == Opcode::FMov) && Ops[1].isReg();
+  }
+
+  // Call metadata: number of integer/fp argument registers used, and the
+  // return-value register class. Implicit operand expansion (argument
+  // register uses, return register def, caller-saved clobbers) is done by
+  // the target layer.
+  uint8_t CallIntArgs = 0;
+  uint8_t CallFpArgs = 0;
+  CallRetKind CallRet = CallRetKind::None;
+
+  /// Allocator-inserted spill category (None for ordinary code).
+  SpillKind Spill = SpillKind::None;
+
+private:
+  Opcode Op;
+  std::array<Operand, 3> Ops;
+};
+
+} // namespace lsra
+
+#endif // LSRA_IR_INSTR_H

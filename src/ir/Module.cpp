@@ -1,0 +1,14 @@
+//===- ir/Module.cpp ------------------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+// Module is header-only; this file anchors the translation unit.
+namespace lsra {
+namespace detail {
+void anchorModuleTU() {}
+} // namespace detail
+} // namespace lsra

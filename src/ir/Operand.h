@@ -1,0 +1,138 @@
+//===- ir/Operand.h - Instruction operands --------------------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact tagged operand: virtual register, physical register, integer or
+/// floating immediate, frame slot, block label, or function reference.
+/// Register allocation is, at bottom, the act of rewriting VReg operands
+/// into PReg operands in place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_IR_OPERAND_H
+#define LSRA_IR_OPERAND_H
+
+#include "ir/Opcodes.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace lsra {
+
+/// Physical registers live in a single id space: [0, 32) are the integer
+/// registers $0..$31 and [32, 64) are the floating-point registers
+/// $f0..$f31, mirroring the two Alpha register files.
+constexpr unsigned NumIntPRegs = 32;
+constexpr unsigned NumFpPRegs = 32;
+constexpr unsigned NumPRegs = NumIntPRegs + NumFpPRegs;
+
+inline RegClass pregClass(unsigned PReg) {
+  assert(PReg < NumPRegs && "bad physical register id");
+  return PReg < NumIntPRegs ? RegClass::Int : RegClass::Float;
+}
+
+/// Integer register $N.
+inline unsigned intReg(unsigned N) {
+  assert(N < NumIntPRegs && "bad integer register number");
+  return N;
+}
+
+/// Floating-point register $fN.
+inline unsigned fpReg(unsigned N) {
+  assert(N < NumFpPRegs && "bad fp register number");
+  return NumIntPRegs + N;
+}
+
+class Operand {
+public:
+  enum class Kind : uint8_t { None, VReg, PReg, Imm, FImm, Slot, Label, Func };
+
+  Operand() : K(Kind::None), I(0) {}
+
+  static Operand none() { return Operand(); }
+  static Operand vreg(unsigned Id) { return Operand(Kind::VReg, Id); }
+  static Operand preg(unsigned Id) {
+    assert(Id < NumPRegs && "bad physical register id");
+    return Operand(Kind::PReg, Id);
+  }
+  static Operand imm(int64_t V) {
+    Operand O;
+    O.K = Kind::Imm;
+    O.I = V;
+    return O;
+  }
+  static Operand fimm(double V) {
+    Operand O;
+    O.K = Kind::FImm;
+    O.F = V;
+    return O;
+  }
+  static Operand slot(unsigned Id) { return Operand(Kind::Slot, Id); }
+  static Operand label(unsigned BlockId) { return Operand(Kind::Label, BlockId); }
+  static Operand func(unsigned FuncId) { return Operand(Kind::Func, FuncId); }
+
+  Kind kind() const { return K; }
+  bool isNone() const { return K == Kind::None; }
+  bool isVReg() const { return K == Kind::VReg; }
+  bool isPReg() const { return K == Kind::PReg; }
+  bool isReg() const { return isVReg() || isPReg(); }
+  bool isImm() const { return K == Kind::Imm; }
+  bool isFImm() const { return K == Kind::FImm; }
+  bool isSlot() const { return K == Kind::Slot; }
+  bool isLabel() const { return K == Kind::Label; }
+  bool isFunc() const { return K == Kind::Func; }
+
+  unsigned vregId() const {
+    assert(isVReg() && "not a virtual register");
+    return static_cast<unsigned>(I);
+  }
+  unsigned pregId() const {
+    assert(isPReg() && "not a physical register");
+    return static_cast<unsigned>(I);
+  }
+  int64_t immValue() const {
+    assert(isImm() && "not an immediate");
+    return I;
+  }
+  double fimmValue() const {
+    assert(isFImm() && "not a float immediate");
+    return F;
+  }
+  unsigned slotId() const {
+    assert(isSlot() && "not a slot");
+    return static_cast<unsigned>(I);
+  }
+  unsigned labelBlock() const {
+    assert(isLabel() && "not a label");
+    return static_cast<unsigned>(I);
+  }
+  unsigned funcId() const {
+    assert(isFunc() && "not a function reference");
+    return static_cast<unsigned>(I);
+  }
+
+  bool operator==(const Operand &RHS) const {
+    if (K != RHS.K)
+      return false;
+    if (K == Kind::FImm)
+      return F == RHS.F;
+    return I == RHS.I;
+  }
+  bool operator!=(const Operand &RHS) const { return !(*this == RHS); }
+
+private:
+  Operand(Kind K, unsigned Id) : K(K), I(Id) {}
+
+  Kind K;
+  union {
+    int64_t I;
+    double F;
+  };
+};
+
+} // namespace lsra
+
+#endif // LSRA_IR_OPERAND_H

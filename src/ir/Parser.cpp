@@ -1,0 +1,409 @@
+//===- ir/Parser.cpp ------------------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <vector>
+
+using namespace lsra;
+
+namespace {
+
+/// One parsed call-target fixup: the instruction refers to a function by
+/// name; ids are resolved once every function header is known.
+struct CallFixup {
+  Function *F;
+  unsigned Block;
+  unsigned InstrIdx;
+  std::string Callee;
+};
+
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : In(Text) {}
+
+  ParseResult run();
+
+private:
+  std::istringstream In;
+  std::unique_ptr<Module> M = std::make_unique<Module>();
+  unsigned LineNo = 0;
+  std::string Line;
+  std::string Error;
+  std::vector<CallFixup> Fixups;
+  std::map<std::string, Opcode, std::less<>> OpcodeByName;
+  std::map<std::string, SpillKind, std::less<>> SpillByName;
+
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = "line " + std::to_string(LineNo) + ": " + Msg;
+    return false;
+  }
+
+  bool nextLine() {
+    while (std::getline(In, Line)) {
+      ++LineNo;
+      // Trim trailing whitespace; skip blank lines.
+      while (!Line.empty() && (Line.back() == ' ' || Line.back() == '\r'))
+        Line.pop_back();
+      size_t First = Line.find_first_not_of(' ');
+      if (First != std::string::npos)
+        return true;
+    }
+    return false;
+  }
+
+  void buildTables() {
+    for (unsigned I = 0; I < NumOpcodes; ++I) {
+      Opcode Op = static_cast<Opcode>(I);
+      OpcodeByName[opcodeName(Op)] = Op;
+    }
+    const SpillKind Kinds[] = {
+        SpillKind::EvictLoad,     SpillKind::EvictStore,
+        SpillKind::EvictMove,     SpillKind::ResolveLoad,
+        SpillKind::ResolveStore,  SpillKind::ResolveMove,
+        SpillKind::CalleeSave,    SpillKind::CalleeRestore,
+    };
+    for (SpillKind K : Kinds)
+      SpillByName[spillKindName(K)] = K;
+  }
+
+  /// Extract "key=value" from a header body like
+  /// "iparams=2 fparams=0 ret=int vregs=9 slots=0 lowered".
+  static bool headerField(const std::string &Body, const char *Key,
+                          std::string &Out) {
+    std::string Needle = std::string(Key) + "=";
+    size_t P = Body.find(Needle);
+    if (P == std::string::npos)
+      return false;
+    size_t S = P + Needle.size();
+    size_t E = Body.find_first_of(" )", S);
+    Out = Body.substr(S, E == std::string::npos ? E : E - S);
+    return true;
+  }
+
+  bool parseFunctionHeader(const std::string &L, bool Prescan);
+  bool parseFunctionBody(Function &F);
+  bool parseInstr(Function &F, Block &B, const std::string &Body);
+  bool parseOperand(const std::string &Tok, Opcode Op, unsigned Slot,
+                    Operand &Out, std::string *CalleeName);
+
+  bool parseTopLevel(bool Prescan);
+};
+
+bool Parser::parseFunctionHeader(const std::string &L, bool Prescan) {
+  // "func NAME (iparams=I fparams=P ret=K vregs=V slots=S [lowered])"
+  size_t NameStart = 5;
+  size_t NameEnd = L.find(' ', NameStart);
+  if (NameEnd == std::string::npos)
+    return fail("malformed func header");
+  std::string Name = L.substr(NameStart, NameEnd - NameStart);
+  if (Prescan) {
+    M->addFunction(Name);
+    return true;
+  }
+  Function *F = M->findFunction(Name);
+  if (!F)
+    return fail("internal: function not prescanned");
+  std::string Ret, VRegs, Slots;
+  if (!headerField(L, "ret", Ret) || !headerField(L, "vregs", VRegs) ||
+      !headerField(L, "slots", Slots))
+    return fail("func header missing ret=/vregs=/slots=");
+  F->RetKind = Ret == "int"   ? CallRetKind::Int
+               : Ret == "fp"  ? CallRetKind::Float
+                              : CallRetKind::None;
+  F->CallsLowered = L.find(" lowered") != std::string::npos;
+
+  unsigned NumV = static_cast<unsigned>(std::strtoul(VRegs.c_str(), nullptr, 10));
+  unsigned NumS = static_cast<unsigned>(std::strtoul(Slots.c_str(), nullptr, 10));
+
+  // Optional declaration lines follow, before the first block header.
+  std::vector<bool> FpVReg(NumV, false), FpSlot(NumS, false);
+  std::vector<unsigned> Params;
+  std::streampos Mark = In.tellg();
+  unsigned MarkLine = LineNo;
+  while (nextLine()) {
+    std::string Trimmed = Line.substr(Line.find_first_not_of(' '));
+    if (Trimmed.rfind("fpvregs:", 0) == 0 || Trimmed.rfind("fpslots:", 0) == 0 ||
+        Trimmed.rfind("params:", 0) == 0) {
+      std::istringstream SS(Trimmed.substr(Trimmed.find(':') + 1));
+      std::string Tok;
+      while (SS >> Tok) {
+        if (Trimmed[0] == 'p') { // params
+          if (Tok[0] != '%')
+            return fail("bad params entry");
+          Params.push_back(
+              static_cast<unsigned>(std::strtoul(Tok.c_str() + 1, nullptr, 10)));
+        } else if (Trimmed.rfind("fpvregs", 0) == 0) {
+          if (Tok[0] != '%')
+            return fail("bad fpvregs entry");
+          unsigned V =
+              static_cast<unsigned>(std::strtoul(Tok.c_str() + 1, nullptr, 10));
+          if (V >= NumV)
+            return fail("fpvregs id out of range");
+          FpVReg[V] = true;
+        } else {
+          if (Tok[0] != 's')
+            return fail("bad fpslots entry");
+          unsigned S =
+              static_cast<unsigned>(std::strtoul(Tok.c_str() + 1, nullptr, 10));
+          if (S >= NumS)
+            return fail("fpslots id out of range");
+          FpSlot[S] = true;
+        }
+      }
+      Mark = In.tellg();
+      MarkLine = LineNo;
+      continue;
+    }
+    // Not a declaration: rewind so the body parser sees this line.
+    In.seekg(Mark);
+    LineNo = MarkLine;
+    break;
+  }
+
+  for (unsigned V = 0; V < NumV; ++V)
+    F->newVReg(FpVReg[V] ? RegClass::Float : RegClass::Int);
+  for (unsigned S = 0; S < NumS; ++S)
+    F->newSlot(FpSlot[S] ? RegClass::Float : RegClass::Int);
+  for (unsigned V : Params) {
+    if (V >= NumV)
+      return fail("param vreg out of range");
+    (F->vregClass(V) == RegClass::Float ? F->FpParamVRegs : F->IntParamVRegs)
+        .push_back(V);
+  }
+  return parseFunctionBody(*F);
+}
+
+bool Parser::parseFunctionBody(Function &F) {
+  Block *Cur = nullptr;
+  while (true) {
+    std::streampos Mark = In.tellg();
+    unsigned MarkLine = LineNo;
+    if (!nextLine())
+      return true; // end of input ends the function
+    size_t First = Line.find_first_not_of(' ');
+    std::string Trimmed = Line.substr(First);
+    if (Trimmed.rfind("func ", 0) == 0 || Trimmed.rfind("mem", 0) == 0) {
+      In.seekg(Mark);
+      LineNo = MarkLine;
+      return true; // next top-level entity
+    }
+    if (Trimmed.rfind("bb", 0) == 0 && Trimmed.find(" (") != std::string::npos &&
+        Trimmed.back() == ':') {
+      size_t NameStart = Trimmed.find(" (") + 2;
+      size_t NameEnd = Trimmed.rfind("):");
+      std::string BlockName =
+          Trimmed.substr(NameStart, NameEnd - NameStart);
+      unsigned Id =
+          static_cast<unsigned>(std::strtoul(Trimmed.c_str() + 2, nullptr, 10));
+      Block &B = F.addBlock(BlockName);
+      if (B.id() != Id)
+        return fail("block ids must be dense and in order");
+      Cur = &B;
+      continue;
+    }
+    if (!Cur)
+      return fail("instruction outside any block");
+    if (!parseInstr(F, *Cur, Trimmed))
+      return false;
+  }
+}
+
+bool Parser::parseInstr(Function &F, Block &B, const std::string &BodyIn) {
+  std::string Body = BodyIn;
+
+  // Spill tag comment: "...  ; evict-store".
+  SpillKind Spill = SpillKind::None;
+  size_t Semi = Body.find("  ; ");
+  if (Semi == std::string::npos)
+    Semi = Body.find(" ; ");
+  if (Semi != std::string::npos) {
+    std::string Tag = Body.substr(Body.find("; ", Semi) + 2);
+    auto It = SpillByName.find(Tag);
+    if (It == SpillByName.end())
+      return fail("unknown spill tag '" + Tag + "'");
+    Spill = It->second;
+    Body = Body.substr(0, Semi);
+  }
+
+  // Call metadata: "...  (iargs=N fargs=M)".
+  uint8_t IArgs = 0, FArgs = 0;
+  size_t Paren = Body.find("  (iargs=");
+  if (Paren != std::string::npos) {
+    std::string Meta = Body.substr(Paren);
+    std::string V;
+    if (headerField(Meta, "iargs", V))
+      IArgs = static_cast<uint8_t>(std::strtoul(V.c_str(), nullptr, 10));
+    if (headerField(Meta, "fargs", V))
+      FArgs = static_cast<uint8_t>(std::strtoul(V.c_str(), nullptr, 10));
+    Body = Body.substr(0, Paren);
+  }
+  while (!Body.empty() && Body.back() == ' ')
+    Body.pop_back();
+
+  // "opcode op1, op2, op3".
+  size_t Sp = Body.find(' ');
+  std::string OpName = Body.substr(0, Sp);
+  auto OpIt = OpcodeByName.find(OpName);
+  if (OpIt == OpcodeByName.end())
+    return fail("unknown opcode '" + OpName + "'");
+  Opcode Op = OpIt->second;
+
+  Instr I(Op);
+  I.Spill = Spill;
+  I.CallIntArgs = IArgs;
+  I.CallFpArgs = FArgs;
+
+  std::string CalleeName;
+  if (Sp != std::string::npos) {
+    std::string Rest = Body.substr(Sp + 1);
+    unsigned Slot = 0;
+    size_t Pos = 0;
+    while (Pos <= Rest.size() && Slot < 3) {
+      size_t Comma = Rest.find(", ", Pos);
+      std::string Tok = Rest.substr(
+          Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+      if (!Tok.empty()) {
+        Operand O;
+        if (!parseOperand(Tok, Op, Slot, O, &CalleeName))
+          return false;
+        I.op(Slot) = O;
+      }
+      ++Slot;
+      if (Comma == std::string::npos)
+        break;
+      Pos = Comma + 2;
+    }
+  }
+
+  B.append(I);
+  if (Op == Opcode::Call)
+    Fixups.push_back({&F, B.id(), B.size() - 1, CalleeName});
+  return true;
+}
+
+bool Parser::parseOperand(const std::string &Tok, Opcode Op, unsigned Slot,
+                          Operand &Out, std::string *CalleeName) {
+  if (Tok == "_") {
+    Out = Operand::none();
+    return true;
+  }
+  if (Tok[0] == '%') {
+    Out = Operand::vreg(
+        static_cast<unsigned>(std::strtoul(Tok.c_str() + 1, nullptr, 10)));
+    return true;
+  }
+  if (Tok[0] == '$') {
+    if (Tok.size() > 1 && Tok[1] == 'f')
+      Out = Operand::preg(fpReg(
+          static_cast<unsigned>(std::strtoul(Tok.c_str() + 2, nullptr, 10))));
+    else
+      Out = Operand::preg(intReg(
+          static_cast<unsigned>(std::strtoul(Tok.c_str() + 1, nullptr, 10))));
+    return true;
+  }
+  if (Tok[0] == '[') {
+    if (Tok.size() < 4 || Tok[1] != 's' || Tok.back() != ']')
+      return fail("bad slot operand '" + Tok + "'");
+    Out = Operand::slot(
+        static_cast<unsigned>(std::strtoul(Tok.c_str() + 2, nullptr, 10)));
+    return true;
+  }
+  if (Tok.rfind("bb", 0) == 0 && Tok.size() > 2 && Tok[2] >= '0' &&
+      Tok[2] <= '9') {
+    Out = Operand::label(
+        static_cast<unsigned>(std::strtoul(Tok.c_str() + 2, nullptr, 10)));
+    return true;
+  }
+  if (Tok[0] == '@') {
+    *CalleeName = Tok.substr(1);
+    Out = Operand::func(0); // fixed up once all functions are known
+    return true;
+  }
+  // Numeric: a float immediate only in MovF's value slot.
+  if (Op == Opcode::MovF && Slot == 1) {
+    Out = Operand::fimm(std::strtod(Tok.c_str(), nullptr));
+    return true;
+  }
+  Out = Operand::imm(std::strtoll(Tok.c_str(), nullptr, 10));
+  return true;
+}
+
+bool Parser::parseTopLevel(bool Prescan) {
+  while (nextLine()) {
+    size_t First = Line.find_first_not_of(' ');
+    std::string Trimmed = Line.substr(First);
+    if (Trimmed.rfind("mem ", 0) == 0) {
+      if (Prescan)
+        continue;
+      unsigned Addr = 0;
+      uint64_t Val = 0;
+      if (std::sscanf(Trimmed.c_str(), "mem %u 0x%llx", &Addr,
+                      reinterpret_cast<unsigned long long *>(&Val)) != 2)
+        return fail("bad mem line");
+      M->reserveMemory(Addr + 1);
+      M->InitialMemory[Addr] = Val;
+      continue;
+    }
+    if (Trimmed.rfind("memsize ", 0) == 0) {
+      if (!Prescan)
+        M->reserveMemory(static_cast<unsigned>(
+            std::strtoul(Trimmed.c_str() + 8, nullptr, 10)));
+      continue;
+    }
+    if (Trimmed.rfind("func ", 0) == 0) {
+      if (Prescan) {
+        if (!parseFunctionHeader(Trimmed, /*Prescan=*/true))
+          return false;
+        continue;
+      }
+      if (!parseFunctionHeader(Trimmed, /*Prescan=*/false))
+        return false;
+      continue;
+    }
+    if (Prescan)
+      continue; // bodies are skipped during the prescan
+    return fail("unexpected top-level line: '" + Trimmed + "'");
+  }
+  return true;
+}
+
+ParseResult Parser::run() {
+  buildTables();
+  // Pass 1: collect function names so call targets can be resolved.
+  if (!parseTopLevel(/*Prescan=*/true))
+    return {nullptr, Error};
+  // Pass 2: full parse.
+  In.clear();
+  In.seekg(0);
+  LineNo = 0;
+  if (!parseTopLevel(/*Prescan=*/false))
+    return {nullptr, Error};
+
+  // Resolve call targets and their return-kind metadata.
+  for (const CallFixup &Fx : Fixups) {
+    Function *Callee = M->findFunction(Fx.Callee);
+    if (!Callee) {
+      Error = "unknown call target '@" + Fx.Callee + "'";
+      return {nullptr, Error};
+    }
+    Instr &I = Fx.F->block(Fx.Block).instrs()[Fx.InstrIdx];
+    I.op(0) = Operand::func(Callee->id());
+    I.CallRet = Callee->RetKind;
+  }
+  return {std::move(M), ""};
+}
+
+} // namespace
+
+ParseResult lsra::parseModule(const std::string &Text) {
+  return Parser(Text).run();
+}

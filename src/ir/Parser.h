@@ -1,0 +1,38 @@
+//===- ir/Parser.h - Textual IR parser -------------------------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the textual form emitted by ir/Printer.h. Printing a module
+/// and parsing the result reproduces the module exactly (instructions,
+/// register classes, parameter bindings, call metadata, spill tags, and
+/// the initial memory image), which the round-trip tests verify. This is
+/// what lets IR test fixtures live as text and lets the `lsra` command
+/// line tool load programs from files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_IR_PARSER_H
+#define LSRA_IR_PARSER_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+
+namespace lsra {
+
+struct ParseResult {
+  std::unique_ptr<Module> M; ///< null on failure
+  std::string Error;         ///< "line N: message" on failure
+  bool ok() const { return M != nullptr; }
+};
+
+/// Parse the textual form of a module.
+ParseResult parseModule(const std::string &Text);
+
+} // namespace lsra
+
+#endif // LSRA_IR_PARSER_H

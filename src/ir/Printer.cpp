@@ -1,0 +1,196 @@
+//===- ir/Printer.cpp -----------------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+using namespace lsra;
+
+namespace {
+
+/// Print a double losslessly (17 significant digits round-trip).
+void printDouble(std::ostream &OS, double D) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+  OS << Buf;
+}
+
+const char *retKindName(CallRetKind K) {
+  switch (K) {
+  case CallRetKind::None:
+    return "void";
+  case CallRetKind::Int:
+    return "int";
+  case CallRetKind::Float:
+    return "fp";
+  }
+  return "void";
+}
+
+} // namespace
+
+void lsra::printOperand(std::ostream &OS, const Operand &Op, const Module *M) {
+  switch (Op.kind()) {
+  case Operand::Kind::None:
+    OS << "_";
+    break;
+  case Operand::Kind::VReg:
+    OS << "%" << Op.vregId();
+    break;
+  case Operand::Kind::PReg:
+    if (pregClass(Op.pregId()) == RegClass::Int)
+      OS << "$" << Op.pregId();
+    else
+      OS << "$f" << (Op.pregId() - NumIntPRegs);
+    break;
+  case Operand::Kind::Imm:
+    OS << Op.immValue();
+    break;
+  case Operand::Kind::FImm:
+    printDouble(OS, Op.fimmValue());
+    break;
+  case Operand::Kind::Slot:
+    OS << "[s" << Op.slotId() << "]";
+    break;
+  case Operand::Kind::Label:
+    OS << "bb" << Op.labelBlock();
+    break;
+  case Operand::Kind::Func:
+    if (M)
+      OS << "@" << M->function(Op.funcId()).name();
+    else
+      OS << "@f" << Op.funcId();
+    break;
+  }
+}
+
+void lsra::printInstr(std::ostream &OS, const Instr &I, const Function &F,
+                      const Module *M) {
+  (void)F;
+  OS << opcodeName(I.opcode());
+  bool First = true;
+  for (unsigned OpIdx = 0; OpIdx < 3; ++OpIdx) {
+    const Operand &Op = I.op(OpIdx);
+    if (Op.isNone())
+      continue;
+    OS << (First ? " " : ", ");
+    First = false;
+    printOperand(OS, Op, M);
+  }
+  if (I.isCall())
+    OS << "  (iargs=" << unsigned(I.CallIntArgs)
+       << " fargs=" << unsigned(I.CallFpArgs) << ")";
+  if (I.Spill != SpillKind::None)
+    OS << "  ; " << spillKindName(I.Spill);
+}
+
+void lsra::printFunction(std::ostream &OS, const Function &F,
+                         const Module *M) {
+  OS << "func " << F.name() << " (iparams=" << F.IntParamVRegs.size()
+     << " fparams=" << F.FpParamVRegs.size() << " ret="
+     << retKindName(F.RetKind) << " vregs=" << F.numVRegs()
+     << " slots=" << F.numSlots() << (F.CallsLowered ? " lowered" : "")
+     << ")\n";
+  // Declarations the textual form needs for a lossless round trip: vreg
+  // and slot register classes (fp ids only; everything else is int), and
+  // parameter vreg bindings.
+  bool AnyFp = false;
+  for (unsigned V = 0; V < F.numVRegs(); ++V)
+    AnyFp |= F.vregClass(V) == RegClass::Float;
+  if (AnyFp) {
+    OS << "  fpvregs:";
+    for (unsigned V = 0; V < F.numVRegs(); ++V)
+      if (F.vregClass(V) == RegClass::Float)
+        OS << " %" << V;
+    OS << "\n";
+  }
+  bool AnyFpSlot = false;
+  for (unsigned S = 0; S < F.numSlots(); ++S)
+    AnyFpSlot |= F.slotClass(S) == RegClass::Float;
+  if (AnyFpSlot) {
+    OS << "  fpslots:";
+    for (unsigned S = 0; S < F.numSlots(); ++S)
+      if (F.slotClass(S) == RegClass::Float)
+        OS << " s" << S;
+    OS << "\n";
+  }
+  if (!F.IntParamVRegs.empty() || !F.FpParamVRegs.empty()) {
+    OS << "  params:";
+    for (unsigned V : F.IntParamVRegs)
+      OS << " %" << V;
+    for (unsigned V : F.FpParamVRegs)
+      OS << " %" << V;
+    OS << "\n";
+  }
+  for (const auto &B : F.blocks()) {
+    OS << "bb" << B->id() << " (" << B->name() << "):\n";
+    for (const Instr &I : B->instrs()) {
+      OS << "  ";
+      printInstr(OS, I, F, M);
+      OS << "\n";
+    }
+  }
+}
+
+void lsra::printModule(std::ostream &OS, const Module &M) {
+  // Sparse initial-memory image.
+  for (unsigned A = 0; A < M.InitialMemory.size(); ++A)
+    if (M.InitialMemory[A] != 0) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "mem %u 0x%" PRIx64 "\n", A,
+                    M.InitialMemory[A]);
+      OS << Buf;
+    }
+  if (!M.InitialMemory.empty())
+    OS << "memsize " << M.InitialMemory.size() << "\n\n";
+  for (const auto &F : M.functions()) {
+    printFunction(OS, *F, &M);
+    OS << "\n";
+  }
+}
+
+std::string lsra::toString(const Function &F, const Module *M) {
+  std::ostringstream OS;
+  printFunction(OS, F, M);
+  return OS.str();
+}
+
+std::string lsra::toString(const Instr &I, const Function &F,
+                           const Module *M) {
+  std::ostringstream OS;
+  printInstr(OS, I, F, M);
+  return OS.str();
+}
+
+void lsra::printDotCFG(std::ostream &OS, const Function &F, const Module *M) {
+  OS << "digraph \"" << F.name() << "\" {\n";
+  OS << "  node [shape=box fontname=\"monospace\"];\n";
+  for (const auto &B : F.blocks()) {
+    OS << "  bb" << B->id() << " [label=\"bb" << B->id() << " (" << B->name()
+       << ")\\l";
+    for (const Instr &I : B->instrs()) {
+      std::ostringstream Tmp;
+      printInstr(Tmp, I, F, M);
+      std::string S = Tmp.str();
+      // Escape characters dot treats specially inside labels.
+      std::string Esc;
+      for (char C : S) {
+        if (C == '"' || C == '\\')
+          Esc += '\\';
+        Esc += C;
+      }
+      OS << "  " << Esc << "\\l";
+    }
+    OS << "\"];\n";
+    for (unsigned S : B->successors())
+      OS << "  bb" << B->id() << " -> bb" << S << ";\n";
+  }
+  OS << "}\n";
+}

@@ -1,0 +1,78 @@
+//===- passes/DCE.cpp -----------------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/DCE.h"
+
+#include "analysis/Liveness.h"
+#include "support/BitVector.h"
+
+using namespace lsra;
+
+namespace {
+
+/// True if \p I can be deleted when its definition is dead: it defines a
+/// virtual register and has no other observable effect. (Loads are pure in
+/// this IR; stores, calls, emits, and terminators are not removable.)
+bool isRemovableWhenDead(const Instr &I) {
+  if (I.info().NumDefs != 1 || !I.op(0).isVReg())
+    return false;
+  switch (I.opcode()) {
+  case Opcode::CRes:
+  case Opcode::FCRes:
+    // The call happens regardless; an unused result move is dead.
+    return true;
+  default:
+    return !I.isCall() && !I.isTerminator();
+  }
+}
+
+} // namespace
+
+unsigned lsra::eliminateDeadCode(Function &F, const TargetDesc &TD) {
+  unsigned Removed = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    Liveness LV(F, TD);
+    for (unsigned B = 0; B < F.numBlocks(); ++B) {
+      Block &Blk = F.block(B);
+      BitVector Live = LV.liveOut(B);
+      std::vector<Instr> Kept;
+      Kept.reserve(Blk.size());
+      // Backward scan; collect survivors in reverse.
+      for (unsigned Idx = Blk.size(); Idx-- > 0;) {
+        const Instr &I = Blk.instrs()[Idx];
+        bool Dead = isRemovableWhenDead(I) && !Live.test(I.op(0).vregId());
+        if (Dead) {
+          ++Removed;
+          Changed = true;
+          continue;
+        }
+        forEachDefinedReg(I, [&](const Operand &Op) {
+          if (Op.isVReg())
+            Live.reset(Op.vregId());
+        });
+        forEachUsedReg(I, [&](const Operand &Op) {
+          if (Op.isVReg())
+            Live.set(Op.vregId());
+        });
+        Kept.push_back(I);
+      }
+      if (Kept.size() != Blk.size()) {
+        std::vector<Instr> Fwd(Kept.rbegin(), Kept.rend());
+        Blk.instrs() = std::move(Fwd);
+      }
+    }
+  }
+  return Removed;
+}
+
+unsigned lsra::eliminateDeadCode(Module &M, const TargetDesc &TD) {
+  unsigned Removed = 0;
+  for (auto &F : M.functions())
+    Removed += eliminateDeadCode(*F, TD);
+  return Removed;
+}

@@ -1,0 +1,37 @@
+//===- passes/Peephole.cpp ------------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/Peephole.h"
+
+using namespace lsra;
+
+unsigned lsra::runPeephole(Function &F) {
+  unsigned Removed = 0;
+  for (auto &B : F.blocks()) {
+    std::vector<Instr> Kept;
+    Kept.reserve(B->size());
+    for (const Instr &I : B->instrs()) {
+      bool IsSelfMove =
+          (I.opcode() == Opcode::Mov || I.opcode() == Opcode::FMov) &&
+          I.op(0).isReg() && I.op(1).isReg() && I.op(0) == I.op(1);
+      if (IsSelfMove || I.opcode() == Opcode::Nop) {
+        ++Removed;
+        continue;
+      }
+      Kept.push_back(I);
+    }
+    if (Kept.size() != B->size())
+      B->instrs() = std::move(Kept);
+  }
+  return Removed;
+}
+
+unsigned lsra::runPeephole(Module &M) {
+  unsigned Removed = 0;
+  for (auto &F : M.functions())
+    Removed += runPeephole(*F);
+  return Removed;
+}

@@ -1,0 +1,28 @@
+//===- passes/Peephole.h - Post-allocation peephole ------------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The move-removing peephole the paper runs after both allocators (§3):
+/// self-moves produced by coalescing (`mov $5, $5`) and nops are deleted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_PASSES_PEEPHOLE_H
+#define LSRA_PASSES_PEEPHOLE_H
+
+#include "ir/Module.h"
+
+namespace lsra {
+
+/// Remove self-moves and nops; returns the number of instructions removed.
+unsigned runPeephole(Function &F);
+
+/// Run over every function of \p M.
+unsigned runPeephole(Module &M);
+
+} // namespace lsra
+
+#endif // LSRA_PASSES_PEEPHOLE_H

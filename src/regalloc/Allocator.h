@@ -1,0 +1,95 @@
+//===- regalloc/Allocator.h - Allocator façade -----------------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry points: pick an allocator, run it on a function or
+/// module, and get back the statistics the paper's evaluation reports
+/// (static spill counts by category, spilled temporaries, compile time,
+/// coloring iterations, interference-graph edges).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_REGALLOC_ALLOCATOR_H
+#define LSRA_REGALLOC_ALLOCATOR_H
+
+#include "ir/Module.h"
+#include "target/Target.h"
+
+#include <string>
+
+namespace lsra {
+
+enum class AllocatorKind {
+  SecondChanceBinpack, ///< the paper's contribution (§2)
+  GraphColoring,       ///< George/Appel iterated register coalescing
+  TwoPassBinpack,      ///< GEM-style binpacking without second chance
+  PolettoScan,         ///< Poletto et al. interval linear scan (§4)
+};
+
+const char *allocatorName(AllocatorKind K);
+
+struct AllocOptions {
+  /// §2.5 "early second chance": on a convention eviction, move to a free
+  /// register instead of emitting a store now and a load later.
+  bool EarlySecondChance = true;
+  /// §2.5 move-coalescing check during the scan.
+  bool MoveCoalesce = true;
+  /// §2.4 iterative consistency dataflow vs the §2.6 conservative
+  /// linear-time initialisation.
+  enum class ConsistencyMode { Iterative, Conservative } Consistency =
+      ConsistencyMode::Iterative;
+  /// Run the post-allocation peephole that deletes self-moves (the paper
+  /// always runs it; switchable for ablation).
+  bool RunPeephole = true;
+  /// Insert callee-save prologues/epilogues after allocation.
+  bool CalleeSaves = true;
+  /// The §2.4 follow-on optimisation the paper describes but does not
+  /// implement: meet store/load pairs to the same stack location and
+  /// replace them with register moves (passes/SpillCleanup). Off by
+  /// default to match the paper's configuration.
+  bool SpillCleanup = false;
+};
+
+struct AllocStats {
+  // Static spill-code counts by category.
+  unsigned EvictLoads = 0;
+  unsigned EvictStores = 0;
+  unsigned EvictMoves = 0;
+  unsigned ResolveLoads = 0;
+  unsigned ResolveStores = 0;
+  unsigned ResolveMoves = 0;
+
+  unsigned RegCandidates = 0;  ///< temporaries considered for allocation
+  unsigned SpilledTemps = 0;   ///< temporaries that ever lived in memory
+  unsigned LifetimeSplits = 0; ///< second-chance splits performed
+  unsigned MovesCoalesced = 0;
+  unsigned SplitEdges = 0;
+  unsigned DataflowIterations = 0; ///< consistency dataflow (binpack)
+  unsigned ColoringIterations = 0; ///< build/color rounds (coloring)
+  unsigned InterferenceEdges = 0;  ///< edges in the final graph (coloring)
+  double AllocSeconds = 0;         ///< core allocation wall-clock time
+
+  unsigned staticSpillInstrs() const {
+    return EvictLoads + EvictStores + EvictMoves + ResolveLoads +
+           ResolveStores + ResolveMoves;
+  }
+
+  AllocStats &operator+=(const AllocStats &R);
+};
+
+/// Allocate registers for \p F with allocator \p K. The function must have
+/// its calls lowered. On return the function contains no virtual
+/// registers. Callee-save code is inserted when Opts.CalleeSaves is set.
+AllocStats allocateFunction(Function &F, const TargetDesc &TD,
+                            AllocatorKind K, const AllocOptions &Opts = {});
+
+/// Allocate every function in \p M; returns the summed statistics.
+AllocStats allocateModule(Module &M, const TargetDesc &TD, AllocatorKind K,
+                          const AllocOptions &Opts = {});
+
+} // namespace lsra
+
+#endif // LSRA_REGALLOC_ALLOCATOR_H

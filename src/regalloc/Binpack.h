@@ -1,0 +1,31 @@
+//===- regalloc/Binpack.h - Second-chance binpacking -----------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's register allocator (§2): a single forward linear scan that
+/// simultaneously allocates registers and rewrites the instruction stream,
+/// giving spilled temporaries a second (or third, ...) chance at a register
+/// at each lifetime split, followed by the CFG-edge resolution phase and
+/// its consistency dataflow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_REGALLOC_BINPACK_H
+#define LSRA_REGALLOC_BINPACK_H
+
+#include "regalloc/Allocator.h"
+
+namespace lsra {
+
+/// Run second-chance binpacking on \p F (calls must be lowered). Leaves the
+/// function fully allocated (no virtual registers). Does not run the
+/// peephole or insert callee saves; allocateFunction() wraps those.
+AllocStats runSecondChanceBinpack(Function &F, const TargetDesc &TD,
+                                  const AllocOptions &Opts);
+
+} // namespace lsra
+
+#endif // LSRA_REGALLOC_BINPACK_H

@@ -1,0 +1,33 @@
+//===- regalloc/Coloring.h - George/Appel iterated coalescing -*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison allocator of §3: George & Appel's iterated register
+/// coalescing [TOPLAS 18(3), 1996], a Chaitin/Briggs-style graph coloring
+/// allocator that interleaves conservative coalescing with simplification.
+/// Faithful to the paper's implementation notes:
+///   - the adjacency relation is a lower-triangular bit matrix;
+///   - liveness is computed once, before allocation (spill temporaries are
+///     block-local and cannot change global liveness);
+///   - the two Alpha register files are colored as two separate problems.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_REGALLOC_COLORING_H
+#define LSRA_REGALLOC_COLORING_H
+
+#include "regalloc/Allocator.h"
+
+namespace lsra {
+
+/// Run iterated-register-coalescing graph coloring on \p F (calls must be
+/// lowered). Leaves the function fully allocated.
+AllocStats runGraphColoring(Function &F, const TargetDesc &TD,
+                            const AllocOptions &Opts);
+
+} // namespace lsra
+
+#endif // LSRA_REGALLOC_COLORING_H

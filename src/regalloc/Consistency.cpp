@@ -1,0 +1,48 @@
+//===- regalloc/Consistency.cpp -------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/Consistency.h"
+
+using namespace lsra;
+
+ConsistencyInfo::ConsistencyInfo(unsigned NumBlocks,
+                                 std::vector<unsigned> VRegToDenseIn,
+                                 std::vector<unsigned> DenseToVRegIn)
+    : VRegToDense(std::move(VRegToDenseIn)),
+      DenseToVReg(std::move(DenseToVRegIn)) {
+  unsigned U = universeSize();
+  AreConsistentBottom.assign(NumBlocks, BitVector(U));
+  UsedConsistency.assign(NumBlocks, BitVector(U));
+  WroteTR.assign(NumBlocks, BitVector(U));
+  UsedAtExit.assign(NumBlocks, BitVector(U));
+  UsedCIn.assign(NumBlocks, BitVector(U));
+}
+
+unsigned ConsistencyInfo::solve(const Function &F) {
+  unsigned NumBlocks = F.numBlocks();
+  std::vector<std::vector<unsigned>> Succs(NumBlocks);
+  for (unsigned B = 0; B < NumBlocks; ++B)
+    Succs[B] = F.block(B).successors();
+
+  // Initialise USED_C_in(b) = USED_CONSISTENCY(b).
+  for (unsigned B = 0; B < NumBlocks; ++B)
+    UsedCIn[B] = UsedConsistency[B];
+
+  BitVector Out(universeSize());
+  unsigned Iterations = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++Iterations;
+    for (unsigned B = NumBlocks; B-- > 0;) {
+      Out = UsedAtExit[B];
+      for (unsigned S : Succs[B])
+        Out |= UsedCIn[S];
+      Changed |= UsedCIn[B].unionWithDifference(Out, WroteTR[B]);
+    }
+  }
+  return Iterations;
+}

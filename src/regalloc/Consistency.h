@@ -1,0 +1,82 @@
+//===- regalloc/Consistency.h - Spill-store consistency dataflow -*- C++-*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The correctness dataflow of §2.4: when the allocator inhibits a spill
+/// store because a temporary's register and memory home were consistent, the
+/// assumption must hold along *all* CFG paths, not just the linear one. The
+/// allocator records, per block:
+///   - ARE_CONSISTENT at the block bottom (the working vector's snapshot),
+///   - USED_CONSISTENCY (GEN): consistency used before any local write, and
+///   - WROTE_TR (KILL): the register allocated to t was written in b.
+/// Solving
+///   USED_C_out(b) = U_{s in succ(b)} USED_C_in(s)
+///   USED_C_in(b)  = USED_CONSISTENCY(b) | (USED_C_out(b) - WROTE_TR(b))
+/// yields the temps whose consistency is relied upon at entry to each block;
+/// resolution inserts a store on edge p->s when USED_C_in(s) is set but
+/// ARE_CONSISTENT(p) is clear.
+///
+/// Bit vectors are sized by the temporaries live across block boundaries
+/// only, per the paper's optimisation (§3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_REGALLOC_CONSISTENCY_H
+#define LSRA_REGALLOC_CONSISTENCY_H
+
+#include "ir/Function.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace lsra {
+
+class ConsistencyInfo {
+public:
+  /// Build with the dense universe of cross-block temporaries.
+  ConsistencyInfo(unsigned NumBlocks, std::vector<unsigned> VRegToDense,
+                  std::vector<unsigned> DenseToVReg);
+
+  unsigned denseIndex(unsigned V) const { return VRegToDense[V]; }
+  bool inUniverse(unsigned V) const { return VRegToDense[V] != ~0u; }
+  unsigned universeSize() const {
+    return static_cast<unsigned>(DenseToVReg.size());
+  }
+
+  // Filled by the allocator during the linear scan:
+  std::vector<BitVector> AreConsistentBottom;
+  std::vector<BitVector> UsedConsistency; // GEN
+  std::vector<BitVector> WroteTR;         // KILL
+  /// Additional GEN at the *exit* of each block: the resolver itself relies
+  /// on ARE_CONSISTENT(p) when it suppresses a reg->mem store on an
+  /// outgoing edge of p (§2.4 "but only if inconsistent"). Registering that
+  /// reliance here before solving makes the suppression sound along all
+  /// paths, a detail the paper leaves implicit.
+  std::vector<BitVector> UsedAtExit;
+
+  /// Solve the backward fixpoint; populates UsedCIn. Returns the number of
+  /// iterations (the paper reports 2-3 in practice).
+  unsigned solve(const Function &F);
+
+  std::vector<BitVector> UsedCIn;
+
+  /// Should resolution insert a consistency store for vreg \p V on edge
+  /// \p Pred -> \p Succ? (Callable only after solve().)
+  bool needsEdgeStore(unsigned Pred, unsigned Succ, unsigned V) const {
+    unsigned D = VRegToDense[V];
+    if (D == ~0u)
+      return false;
+    return UsedCIn[Succ].test(D) && !AreConsistentBottom[Pred].test(D);
+  }
+
+private:
+  std::vector<unsigned> VRegToDense;
+  std::vector<unsigned> DenseToVReg;
+};
+
+} // namespace lsra
+
+#endif // LSRA_REGALLOC_CONSISTENCY_H

@@ -1,0 +1,130 @@
+//===- regalloc/Lifetime.h - Lifetimes and lifetime holes -----*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lifetimes with lifetime holes (§2.1 of the paper), computed with a
+/// single reverse pass over the linearly ordered code. A lifetime is a
+/// sorted list of half-open [Start, End) segments over the Numbering
+/// position space; the gaps between segments are the holes. Physical
+/// registers get "fixed" lifetimes built from their explicit occurrences
+/// plus call clobbers — the complement of a fixed lifetime is the
+/// register's own set of holes, which is how the paper models register
+/// usage conventions (§2.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_REGALLOC_LIFETIME_H
+#define LSRA_REGALLOC_LIFETIME_H
+
+#include "analysis/Liveness.h"
+#include "analysis/Loops.h"
+#include "analysis/Order.h"
+#include "ir/Function.h"
+#include "target/Target.h"
+
+#include <array>
+#include <limits>
+#include <vector>
+
+namespace lsra {
+
+constexpr unsigned InfPos = std::numeric_limits<unsigned>::max();
+
+struct Segment {
+  unsigned Start;
+  unsigned End; // exclusive
+  /// True when the segment begins at a block boundary because the value is
+  /// live-in there. The gap *before* such a segment is not a true lifetime
+  /// hole in the paper's sense ("an interval during which no useful value
+  /// is maintained"): the value flows around the gap along a CFG edge, so
+  /// a register holding it through the gap cannot be reused for free.
+  bool LiveInStart = false;
+  bool contains(unsigned Pos) const { return Pos >= Start && Pos < End; }
+};
+
+/// One static reference to a temporary (an operand occurrence).
+struct Reference {
+  unsigned Pos;  ///< usePos for uses, defPos for defs
+  bool IsDef;
+  uint8_t Depth; ///< loop depth of the containing block
+};
+
+class Lifetime {
+public:
+  std::vector<Segment> Segs; ///< sorted, disjoint, non-adjacent
+  std::vector<Reference> Refs; ///< sorted by position
+
+  bool empty() const { return Segs.empty(); }
+  unsigned startPos() const { return Segs.empty() ? InfPos : Segs.front().Start; }
+  unsigned endPos() const { return Segs.empty() ? 0 : Segs.back().End; }
+
+  /// Is the temporary live (holding a useful value) at \p Pos?
+  bool liveAt(unsigned Pos) const;
+
+  /// If \p Pos falls in a hole (or before the first / after the last
+  /// segment), the position where the hole ends: the start of the next
+  /// segment, or InfPos after the lifetime. If \p Pos is live, returns Pos.
+  unsigned holeEndAfter(unsigned Pos) const;
+
+  /// Is the gap at \p Pos a true hole (dead value)? False when the next
+  /// segment is a live-in continuation, i.e. the value survives the gap
+  /// along a CFG edge. Precondition: not live at \p Pos.
+  bool holeIsRealAt(unsigned Pos) const;
+
+  /// A copy of this lifetime with every artifact gap (gap before a live-in
+  /// segment) filled in; whole-lifetime allocators must pack against this.
+  Lifetime withArtifactGapsFilled() const;
+
+  /// First reference at position >= \p Pos, or nullptr.
+  const Reference *nextRefAfter(unsigned Pos) const;
+
+  /// Number of overlapping positions with \p Other (0 = disjoint).
+  bool overlaps(const Lifetime &Other) const;
+
+  /// True if every segment of this lifetime that starts at or after \p From
+  /// fits strictly inside holes of \p Other (used by hole-packing checks).
+  bool fitsInHolesOf(const Lifetime &Other, unsigned From) const;
+
+  // Construction helpers (used by the builder below and by tests).
+  void addSegmentFront(unsigned Start, unsigned End, bool LiveIn = false);
+  void finalize(); ///< reverse + merge after reverse-order construction
+};
+
+/// Lifetimes for every virtual register and fixed lifetimes for every
+/// physical register of one function.
+class LifetimeAnalysis {
+public:
+  LifetimeAnalysis(const Function &F, const Numbering &Num,
+                   const Liveness &LV, const LoopInfo &LI,
+                   const TargetDesc &TD);
+
+  const Lifetime &vreg(unsigned V) const { return VRegLTs[V]; }
+  const Lifetime &pregFixed(unsigned P) const { return PRegLTs[P]; }
+
+  /// Position of the next fixed (convention) occurrence of \p P at or after
+  /// \p Pos; InfPos if none. This is where the register's current hole
+  /// ends.
+  unsigned nextFixedUse(unsigned P, unsigned Pos) const {
+    const Lifetime &LT = PRegLTs[P];
+    if (LT.liveAt(Pos))
+      return Pos;
+    // Not live at Pos: find the next segment start.
+    for (const Segment &S : LT.Segs)
+      if (S.Start >= Pos)
+        return S.Start;
+    return InfPos;
+  }
+
+  unsigned numVRegs() const { return static_cast<unsigned>(VRegLTs.size()); }
+
+private:
+  std::vector<Lifetime> VRegLTs;
+  std::array<Lifetime, NumPRegs> PRegLTs;
+};
+
+} // namespace lsra
+
+#endif // LSRA_REGALLOC_LIFETIME_H

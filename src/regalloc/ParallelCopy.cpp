@@ -1,0 +1,140 @@
+//===- regalloc/ParallelCopy.cpp ------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/ParallelCopy.h"
+
+#include <algorithm>
+
+using namespace lsra;
+
+unsigned ParallelCopy::emit(std::vector<Instr> &Out, SpillSlots &Slots,
+                            Function &F) {
+  (void)F;
+  unsigned Emitted = 0;
+  auto MoveOpcode = [](RegClass RC) {
+    return RC == RegClass::Float ? Opcode::FMov : Opcode::Mov;
+  };
+
+  // 1. Stores read pre-edge register values; nothing has been clobbered yet.
+  for (const MemOp &S : Stores) {
+    Out.push_back(Slots.makeStore(S.Temp, S.Reg, SpillKind::ResolveStore));
+    ++Emitted;
+  }
+
+  // 2. Register moves. Each register is the destination of at most one move
+  // and the source of at most one move (one temp per location), so the move
+  // graph is a partial permutation: chains plus disjoint cycles.
+  std::vector<MoveOp> Pending = Moves;
+  // ScratchLoad[i] marks a move whose source has been saved to the scratch
+  // slot of that class (cycle breaking): emit a load instead.
+  while (!Pending.empty()) {
+    bool Progress = false;
+    for (unsigned I = 0; I < Pending.size();) {
+      unsigned Dst = Pending[I].Dst;
+      bool DstIsSource =
+          std::any_of(Pending.begin(), Pending.end(), [&](const MoveOp &M) {
+            return M.Src == Dst;
+          });
+      if (DstIsSource) {
+        ++I;
+        continue;
+      }
+      RegClass RC = pregClass(Dst);
+      Out.push_back(Instr(MoveOpcode(RC), Operand::preg(Dst),
+                          Operand::preg(Pending[I].Src)));
+      Out.back().Spill = SpillKind::ResolveMove;
+      ++Emitted;
+      Pending.erase(Pending.begin() + I);
+      Progress = true;
+    }
+    if (Pending.empty())
+      break;
+    if (!Progress) {
+      // Every remaining destination is also a source: pure cycles. Break
+      // one cycle by spilling one member through the scratch slot.
+      // Follow the cycle starting at Pending[0].
+      std::vector<MoveOp> Cycle;
+      unsigned Cur = 0;
+      while (true) {
+        Cycle.push_back(Pending[Cur]);
+        unsigned NextSrc = Pending[Cur].Dst;
+        unsigned Next = ~0u;
+        for (unsigned I = 0; I < Pending.size(); ++I)
+          if (Pending[I].Src == NextSrc) {
+            Next = I;
+            break;
+          }
+        assert(Next != ~0u && "broken cycle structure");
+        if (Pending[Next].Src == Cycle.front().Src)
+          break; // back to the start
+        Cur = Next;
+      }
+      // Cycle = r0->r1, r1->r2, ..., r_{k-1}->r0 in order. Save the last
+      // source (r_{k-1}) to scratch, emit the other moves back to front,
+      // then reload r0's value from scratch.
+      const MoveOp &Last = Cycle.back(); // r_{k-1} -> r0? No: see below.
+      // Cycle[i] moves Cycle[i].Src -> Cycle[i].Dst and
+      // Cycle[i].Dst == Cycle[i+1].Src (cyclically).
+      RegClass RC = pregClass(Last.Src);
+      unsigned Scratch = Slots.scratch(RC);
+      // Save the value that the final emitted move would clobber: the
+      // source of the *first* move in the cycle order we emit. We emit
+      // moves in reverse cycle order: Cycle[k-1], Cycle[k-2], ..., so the
+      // first clobbered source is Cycle[k-1].Dst == Cycle[0].Src... save
+      // Cycle.back().Dst's value? Work it through concretely:
+      //   cycle a->b, b->c, c->a. Reverse order: (c->a), (b->c), (a->b).
+      //   Emitting c->a clobbers a, which is the source of the last move.
+      //   So save a = Cycle.front().Src first, and emit the last move as a
+      //   load from scratch.
+      unsigned SavedReg = Cycle.front().Src;
+      RegClass SavedRC = pregClass(SavedReg);
+      unsigned SavedScratch = Slots.scratch(SavedRC);
+      (void)Scratch;
+      {
+        Instr StI(SavedRC == RegClass::Float ? Opcode::FStSlot
+                                             : Opcode::StSlot,
+                  Operand::preg(SavedReg), Operand::slot(SavedScratch));
+        StI.Spill = SpillKind::ResolveStore;
+        Out.push_back(StI);
+        ++Emitted;
+      }
+      for (unsigned I = Cycle.size(); I-- > 1;) {
+        RegClass MRC = pregClass(Cycle[I].Dst);
+        Out.push_back(Instr(MoveOpcode(MRC), Operand::preg(Cycle[I].Dst),
+                            Operand::preg(Cycle[I].Src)));
+        Out.back().Spill = SpillKind::ResolveMove;
+        ++Emitted;
+      }
+      {
+        Instr LdI(SavedRC == RegClass::Float ? Opcode::FLdSlot
+                                             : Opcode::LdSlot,
+                  Operand::preg(Cycle.front().Dst),
+                  Operand::slot(SavedScratch));
+        LdI.Spill = SpillKind::ResolveLoad;
+        Out.push_back(LdI);
+        ++Emitted;
+      }
+      // Remove the cycle's moves from Pending.
+      for (const MoveOp &C : Cycle) {
+        auto It = std::find_if(Pending.begin(), Pending.end(),
+                               [&](const MoveOp &M) {
+                                 return M.Src == C.Src && M.Dst == C.Dst;
+                               });
+        assert(It != Pending.end());
+        Pending.erase(It);
+      }
+    }
+  }
+
+  // 3. Loads: their destinations cannot be pending-move sources any more,
+  // and home slots are never written by this edge's stores for the same
+  // temp (a temp is either stored or loaded on one edge, not both).
+  for (const MemOp &L : Loads) {
+    Out.push_back(Slots.makeLoad(L.Temp, L.Reg, SpillKind::ResolveLoad));
+    ++Emitted;
+  }
+  return Emitted;
+}

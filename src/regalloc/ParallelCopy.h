@@ -1,0 +1,71 @@
+//===- regalloc/ParallelCopy.h - Edge data-movement sequencing -*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sequencing of the loads, stores, and moves that resolve one CFG edge
+/// (§2.4): "we are careful to model the data movement across the edge in a
+/// manner that produces the correct resolution instructions in the
+/// semantically-correct order, even in the case where two (or more)
+/// temporaries swap their allocated registers."
+///
+/// All operations on an edge are conceptually parallel. We emit:
+///   1. stores (they only read registers, so they must see pre-edge values);
+///   2. register-to-register moves, topologically ordered, with cycles
+///      broken through a scratch frame slot;
+///   3. loads from memory homes (their destination registers are never
+///      sources of pending moves once the moves have been emitted).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_REGALLOC_PARALLELCOPY_H
+#define LSRA_REGALLOC_PARALLELCOPY_H
+
+#include "regalloc/SpillSlots.h"
+
+#include <vector>
+
+namespace lsra {
+
+class ParallelCopy {
+public:
+  /// Move temporary \p Temp from \p SrcReg to \p DstReg.
+  void addMove(unsigned Temp, unsigned SrcReg, unsigned DstReg) {
+    if (SrcReg != DstReg)
+      Moves.push_back({Temp, SrcReg, DstReg});
+  }
+  /// Load temporary \p Temp from its memory home into \p DstReg.
+  void addLoad(unsigned Temp, unsigned DstReg) {
+    Loads.push_back({Temp, DstReg});
+  }
+  /// Store temporary \p Temp from \p SrcReg to its memory home.
+  void addStore(unsigned Temp, unsigned SrcReg) {
+    Stores.push_back({Temp, SrcReg});
+  }
+
+  bool empty() const {
+    return Moves.empty() && Loads.empty() && Stores.empty();
+  }
+
+  /// Append the sequenced instructions to \p Out. Inserted instructions are
+  /// tagged with the Resolve* spill kinds. Returns the number of
+  /// instructions emitted.
+  unsigned emit(std::vector<Instr> &Out, SpillSlots &Slots, Function &F);
+
+private:
+  struct MoveOp {
+    unsigned Temp, Src, Dst;
+  };
+  struct MemOp {
+    unsigned Temp, Reg;
+  };
+  std::vector<MoveOp> Moves;
+  std::vector<MemOp> Loads;
+  std::vector<MemOp> Stores;
+};
+
+} // namespace lsra
+
+#endif // LSRA_REGALLOC_PARALLELCOPY_H

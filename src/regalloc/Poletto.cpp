@@ -1,0 +1,225 @@
+//===- regalloc/Poletto.cpp -----------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/Poletto.h"
+
+#include "analysis/Liveness.h"
+#include "analysis/Loops.h"
+#include "analysis/Order.h"
+#include "regalloc/Lifetime.h"
+#include "regalloc/SpillSlots.h"
+
+#include <algorithm>
+
+using namespace lsra;
+
+namespace {
+
+constexpr unsigned NoReg = ~0u;
+
+struct Interval {
+  unsigned VReg;
+  unsigned Start, End;
+  bool CrossesFixed; // overlaps a call site or explicit fixed register use
+  unsigned Reg = NoReg;
+};
+
+class PolettoAllocator {
+public:
+  PolettoAllocator(Function &F, const TargetDesc &TD)
+      : F(F), TD(TD), Num(F), LV(F, TD), LI(F), LT(F, Num, LV, LI, TD),
+        Slots(F) {}
+
+  AllocStats run();
+
+private:
+  Function &F;
+  const TargetDesc &TD;
+  Numbering Num;
+  Liveness LV;
+  LoopInfo LI;
+  LifetimeAnalysis LT;
+  SpillSlots Slots;
+  AllocStats Stats;
+
+  std::vector<unsigned> AssignedReg; // vreg -> preg or NoReg
+  std::array<unsigned, 2> Scratch0{}, Scratch1{};
+
+  void scanClass(RegClass RC, const std::vector<unsigned> &FixedPoints);
+  void rewrite();
+};
+
+AllocStats PolettoAllocator::run() {
+  assert(F.CallsLowered && "lower calls before register allocation");
+  Stats.RegCandidates = F.numVRegs();
+  AssignedReg.assign(F.numVRegs(), NoReg);
+
+  // Positions where caller-saved registers are unusable (call clobbers or
+  // explicit convention uses of any caller-saved register).
+  std::vector<unsigned> FixedPoints;
+  for (unsigned P = 0; P < NumPRegs; ++P) {
+    if (!TD.isCallerSaved(P))
+      continue;
+    for (const Segment &S : LT.pregFixed(P).Segs)
+      FixedPoints.push_back(S.Start);
+  }
+  std::sort(FixedPoints.begin(), FixedPoints.end());
+  FixedPoints.erase(std::unique(FixedPoints.begin(), FixedPoints.end()),
+                    FixedPoints.end());
+
+  scanClass(RegClass::Int, FixedPoints);
+  scanClass(RegClass::Float, FixedPoints);
+  rewrite();
+  return Stats;
+}
+
+void PolettoAllocator::scanClass(RegClass RC,
+                                 const std::vector<unsigned> &FixedPoints) {
+  // Reserve the last two registers of the preference order as spill
+  // scratch, as tcc-style dynamic code generators do.
+  const auto &Order = TD.allocOrder(RC);
+  assert(Order.size() >= 3 && "Poletto scan needs at least 3 registers");
+  unsigned C = RC == RegClass::Float ? 1 : 0;
+  Scratch0[C] = Order[Order.size() - 2];
+  Scratch1[C] = Order[Order.size() - 1];
+  std::vector<unsigned> Avail(Order.begin(), Order.end() - 2);
+
+  // Flat intervals: [startPos, endPos) of the full lifetime, holes ignored.
+  std::vector<Interval> Intervals;
+  for (unsigned V = 0; V < F.numVRegs(); ++V) {
+    if (F.vregClass(V) != RC || LT.vreg(V).empty())
+      continue;
+    Interval I;
+    I.VReg = V;
+    I.Start = LT.vreg(V).startPos();
+    I.End = LT.vreg(V).endPos();
+    auto It = std::lower_bound(FixedPoints.begin(), FixedPoints.end(), I.Start);
+    I.CrossesFixed = It != FixedPoints.end() && *It < I.End;
+    Intervals.push_back(I);
+  }
+  std::sort(Intervals.begin(), Intervals.end(),
+            [](const Interval &A, const Interval &B) {
+              return A.Start < B.Start;
+            });
+
+  // Free register pools: callee-saved (safe across fixed points) and
+  // caller-saved (for intervals that cross nothing).
+  std::vector<unsigned> FreeCalleeSaved, FreeCallerSaved;
+  for (unsigned R : Avail)
+    (TD.isCalleeSaved(R) ? FreeCalleeSaved : FreeCallerSaved).push_back(R);
+
+  std::vector<Interval *> Active; // sorted by increasing End
+  auto Expire = [&](unsigned Pos) {
+    while (!Active.empty() && Active.front()->End <= Pos) {
+      Interval *Done = Active.front();
+      Active.erase(Active.begin());
+      (TD.isCalleeSaved(Done->Reg) ? FreeCalleeSaved : FreeCallerSaved)
+          .push_back(Done->Reg);
+    }
+  };
+  auto AddActive = [&](Interval *I) {
+    auto It = std::lower_bound(Active.begin(), Active.end(), I,
+                               [](const Interval *A, const Interval *B) {
+                                 return A->End < B->End;
+                               });
+    Active.insert(It, I);
+  };
+
+  for (Interval &I : Intervals) {
+    Expire(I.Start);
+    unsigned R = NoReg;
+    if (!I.CrossesFixed && !FreeCallerSaved.empty()) {
+      R = FreeCallerSaved.back();
+      FreeCallerSaved.pop_back();
+    } else if (!FreeCalleeSaved.empty()) {
+      R = FreeCalleeSaved.back();
+      FreeCalleeSaved.pop_back();
+    }
+    if (R != NoReg) {
+      I.Reg = R;
+      AssignedReg[I.VReg] = R;
+      AddActive(&I);
+      continue;
+    }
+    // No register: spill the active interval with the furthest end (the
+    // "longest active lifetime"), unless this interval ends later itself.
+    // Only consider victims whose register this interval may legally use.
+    Interval *Victim = nullptr;
+    for (auto It = Active.rbegin(); It != Active.rend(); ++It) {
+      if (I.CrossesFixed && !TD.isCalleeSaved((*It)->Reg))
+        continue;
+      Victim = *It;
+      break;
+    }
+    if (Victim && Victim->End > I.End) {
+      AssignedReg[Victim->VReg] = NoReg;
+      ++Stats.SpilledTemps;
+      I.Reg = Victim->Reg;
+      AssignedReg[I.VReg] = I.Reg;
+      Active.erase(std::find(Active.begin(), Active.end(), Victim));
+      AddActive(&I);
+    } else {
+      ++Stats.SpilledTemps; // I itself lives in memory
+    }
+  }
+}
+
+void PolettoAllocator::rewrite() {
+  for (auto &B : F.blocks()) {
+    std::vector<Instr> Out;
+    Out.reserve(B->size());
+    for (Instr I : B->instrs()) {
+      const OpcodeInfo &Info = I.info();
+      std::vector<Instr> After;
+      unsigned NextScratch[2] = {0, 0};
+      unsigned LoadedV = ~0u, LoadedR = NoReg;
+      for (unsigned S = Info.NumDefs;
+           S < unsigned(Info.NumDefs) + Info.NumUses; ++S) {
+        Operand &Op = I.op(S);
+        if (!Op.isVReg())
+          continue;
+        unsigned V = Op.vregId();
+        unsigned R = AssignedReg[V];
+        if (R == NoReg) {
+          if (V == LoadedV) {
+            R = LoadedR;
+          } else {
+            unsigned C = F.vregClass(V) == RegClass::Float ? 1 : 0;
+            R = NextScratch[C]++ == 0 ? Scratch0[C] : Scratch1[C];
+            Out.push_back(Slots.makeLoad(V, R, SpillKind::EvictLoad));
+            ++Stats.EvictLoads;
+            LoadedV = V;
+            LoadedR = R;
+          }
+        }
+        Op = Operand::preg(R);
+      }
+      if (Info.NumDefs == 1 && I.op(0).isVReg()) {
+        unsigned V = I.op(0).vregId();
+        unsigned R = AssignedReg[V];
+        if (R == NoReg) {
+          unsigned C = F.vregClass(V) == RegClass::Float ? 1 : 0;
+          R = Scratch0[C];
+          After.push_back(Slots.makeStore(V, R, SpillKind::EvictStore));
+          ++Stats.EvictStores;
+        }
+        I.op(0) = Operand::preg(R);
+      }
+      Out.push_back(I);
+      for (const Instr &A : After)
+        Out.push_back(A);
+    }
+    B->instrs() = std::move(Out);
+  }
+}
+
+} // namespace
+
+AllocStats lsra::runPolettoScan(Function &F, const TargetDesc &TD,
+                                const AllocOptions &Opts) {
+  (void)Opts;
+  return PolettoAllocator(F, TD).run();
+}

@@ -1,0 +1,33 @@
+//===- regalloc/Poletto.h - Interval linear scan ---------------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The original "linear scan" of Poletto, Engler & Kaashoek's `C/tcc
+/// system, as described in §4 of the paper: each temporary is a single
+/// [start, end] interval (no holes, no partial lifetimes); the scan keeps a
+/// list of active intervals and, when the K registers are exhausted, spills
+/// the interval with the furthest end point. Spilled references go through
+/// reserved scratch registers, as a dynamic code generator would do.
+///
+/// Calling-convention adaptation: intervals that overlap a call site are
+/// only given callee-saved registers; caller-saved registers are available
+/// to intervals between calls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_REGALLOC_POLETTO_H
+#define LSRA_REGALLOC_POLETTO_H
+
+#include "regalloc/Allocator.h"
+
+namespace lsra {
+
+AllocStats runPolettoScan(Function &F, const TargetDesc &TD,
+                          const AllocOptions &Opts);
+
+} // namespace lsra
+
+#endif // LSRA_REGALLOC_POLETTO_H

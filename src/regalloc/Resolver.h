@@ -1,0 +1,77 @@
+//===- regalloc/Resolver.h - CFG edge resolution ---------------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resolution phase of §2.4: the linear allocate/rewrite scan models
+/// control flow incompletely, so after the scan we traverse every CFG edge
+/// and reconcile the allocation assumptions recorded at the bottom of the
+/// predecessor with those at the top of the successor, inserting loads,
+/// stores, and moves (with correct parallel-copy ordering). Resolution code
+/// is placed at the top of a single-predecessor successor, at the bottom of
+/// a single-successor predecessor, or on a freshly split critical edge
+/// (footnote 1 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_REGALLOC_RESOLVER_H
+#define LSRA_REGALLOC_RESOLVER_H
+
+#include "analysis/Liveness.h"
+#include "regalloc/Consistency.h"
+#include "regalloc/SpillSlots.h"
+
+#include <vector>
+
+namespace lsra {
+
+/// Encoded location of a temporary at a block boundary:
+/// 0 = nowhere (no value yet on the linear path; treated as memory),
+/// 1 = memory home, 2+P = physical register P.
+using LocCode = uint8_t;
+constexpr LocCode LocNowhere = 0;
+constexpr LocCode LocMem = 1;
+inline LocCode locReg(unsigned P) { return static_cast<LocCode>(2 + P); }
+inline bool isRegLoc(LocCode C) { return C >= 2; }
+inline unsigned regOfLoc(LocCode C) {
+  assert(isRegLoc(C) && "not a register location");
+  return C - 2;
+}
+
+/// Static counts of inserted resolution code.
+struct ResolveCounts {
+  unsigned Loads = 0;
+  unsigned Stores = 0;
+  unsigned Moves = 0;
+  unsigned SplitEdges = 0;
+};
+
+/// Everything the resolver needs from the allocate/rewrite scan.
+struct ResolverInput {
+  const Liveness *LV = nullptr;
+  /// Cross-block dense universe (shared with ConsistencyInfo).
+  const std::vector<unsigned> *VRegToDense = nullptr;
+  const std::vector<unsigned> *DenseToVReg = nullptr;
+  /// Location maps, indexed [block][dense temp], valid for live-in /
+  /// live-out temps respectively.
+  const std::vector<std::vector<LocCode>> *LocTop = nullptr;
+  const std::vector<std::vector<LocCode>> *LocBottom = nullptr;
+  /// Solved consistency dataflow; null when the allocator ran in
+  /// conservative mode (then reg->mem stores are inserted whenever the
+  /// bottom state is inconsistent, and no extra consistency stores are
+  /// needed).
+  const ConsistencyInfo *CI = nullptr;
+  /// Per-(block, dense) consistency at block bottom, used to suppress
+  /// reg->mem stores ("but only if inconsistent"). Always present.
+  const std::vector<BitVector> *ConsistentBottom = nullptr;
+};
+
+/// Run resolution over every CFG edge of \p F.
+ResolveCounts resolveEdges(Function &F, const ResolverInput &In,
+                           SpillSlots &Slots);
+
+} // namespace lsra
+
+#endif // LSRA_REGALLOC_RESOLVER_H

@@ -1,0 +1,14 @@
+//===- regalloc/SpillSlots.cpp --------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/SpillSlots.h"
+
+// SpillSlots is header-only; this file anchors the translation unit.
+namespace lsra {
+namespace detail {
+void anchorSpillSlotsTU() {}
+} // namespace detail
+} // namespace lsra

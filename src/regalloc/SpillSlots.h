@@ -1,0 +1,70 @@
+//===- regalloc/SpillSlots.h - Memory homes for temporaries ---*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lazily assigns each spilled temporary its "memory home" frame slot
+/// (§2.3), plus one scratch slot per register class used to break cycles in
+/// resolution parallel copies (§2.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_REGALLOC_SPILLSLOTS_H
+#define LSRA_REGALLOC_SPILLSLOTS_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace lsra {
+
+class SpillSlots {
+public:
+  explicit SpillSlots(Function &F)
+      : F(F), Home(F.numVRegs(), ~0u) {}
+
+  /// The memory home of temporary \p V, created on first request.
+  unsigned homeOf(unsigned V) {
+    if (Home[V] == ~0u)
+      Home[V] = F.newSlot(F.vregClass(V));
+    return Home[V];
+  }
+
+  bool hasHome(unsigned V) const { return Home[V] != ~0u; }
+
+  /// A scratch slot of class \p RC (for parallel-copy cycle breaking).
+  unsigned scratch(RegClass RC) {
+    unsigned &S = RC == RegClass::Int ? IntScratch : FpScratch;
+    if (S == ~0u)
+      S = F.newSlot(RC);
+    return S;
+  }
+
+  /// Build the spill load/store instruction for \p V's home.
+  Instr makeLoad(unsigned V, unsigned PReg, SpillKind Kind) {
+    Instr I(F.vregClass(V) == RegClass::Float ? Opcode::FLdSlot
+                                              : Opcode::LdSlot,
+            Operand::preg(PReg), Operand::slot(homeOf(V)));
+    I.Spill = Kind;
+    return I;
+  }
+  Instr makeStore(unsigned V, unsigned PReg, SpillKind Kind) {
+    Instr I(F.vregClass(V) == RegClass::Float ? Opcode::FStSlot
+                                              : Opcode::StSlot,
+            Operand::preg(PReg), Operand::slot(homeOf(V)));
+    I.Spill = Kind;
+    return I;
+  }
+
+private:
+  Function &F;
+  std::vector<unsigned> Home;
+  unsigned IntScratch = ~0u;
+  unsigned FpScratch = ~0u;
+};
+
+} // namespace lsra
+
+#endif // LSRA_REGALLOC_SPILLSLOTS_H

@@ -1,0 +1,282 @@
+//===- regalloc/TwoPass.cpp -----------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/TwoPass.h"
+
+#include "analysis/Liveness.h"
+#include "analysis/Loops.h"
+#include "analysis/Order.h"
+#include "regalloc/Lifetime.h"
+#include "regalloc/SpillSlots.h"
+
+#include <algorithm>
+
+using namespace lsra;
+
+namespace {
+
+constexpr unsigned NoReg = ~0u;
+
+/// Per-register booking of busy position ranges (committed whole lifetimes,
+/// point lifetimes of spill references, and the register's own fixed
+/// convention segments). Kept sorted by start.
+class RegBook {
+public:
+  void book(unsigned Start, unsigned End) {
+    Segment S{Start, End};
+    auto It = std::lower_bound(
+        Busy.begin(), Busy.end(), S,
+        [](const Segment &A, const Segment &B) { return A.Start < B.Start; });
+    Busy.insert(It, S);
+  }
+
+  void bookLifetime(const Lifetime &LT) {
+    for (const Segment &S : LT.Segs)
+      book(S.Start, S.End);
+  }
+
+  bool overlaps(unsigned Start, unsigned End) const {
+    for (const Segment &S : Busy) {
+      if (S.Start >= End)
+        break;
+      if (S.End > Start)
+        return true;
+    }
+    return false;
+  }
+
+  bool overlapsLifetime(const Lifetime &LT) const {
+    for (const Segment &S : LT.Segs)
+      if (overlaps(S.Start, S.End))
+        return true;
+    return false;
+  }
+
+  void unbook(const Lifetime &LT) {
+    for (const Segment &S : LT.Segs) {
+      auto It = std::find_if(Busy.begin(), Busy.end(), [&](const Segment &B) {
+        return B.Start == S.Start && B.End == S.End;
+      });
+      if (It != Busy.end())
+        Busy.erase(It);
+    }
+  }
+
+private:
+  std::vector<Segment> Busy;
+};
+
+class TwoPassAllocator {
+public:
+  TwoPassAllocator(Function &F, const TargetDesc &TD)
+      : F(F), TD(TD), Num(F), LV(F, TD), LI(F), LT(F, Num, LV, LI, TD),
+        Slots(F) {}
+
+  AllocStats run();
+
+private:
+  Function &F;
+  const TargetDesc &TD;
+  Numbering Num;
+  Liveness LV;
+  LoopInfo LI;
+  LifetimeAnalysis LT;
+  SpillSlots Slots;
+  AllocStats Stats;
+
+  /// CFG-correct lifetimes: linear-order artifact gaps are filled, since a
+  /// whole-lifetime allocator has no resolution phase to patch a clobbered
+  /// value flowing around a gap.
+  std::vector<Lifetime> Filled;
+  std::vector<unsigned> Assigned; // vreg -> register or NoReg (memory)
+  std::vector<RegBook> Books;     // indexed by physical register
+  std::vector<std::vector<unsigned>> OwnersOf; // reg -> committed vregs
+  /// Per spilled vreg: (reference position, register for that point).
+  std::vector<std::vector<std::pair<unsigned, unsigned>>> PointRegs;
+
+  bool tryAssignWhole(unsigned V);
+  void unassign(unsigned V, std::vector<unsigned> &Requeue);
+  unsigned assignPoint(RegClass RC, unsigned Start, unsigned End,
+                       std::vector<unsigned> &Requeue);
+  void rewrite();
+};
+
+AllocStats TwoPassAllocator::run() {
+  assert(F.CallsLowered && "lower calls before register allocation");
+  unsigned NumV = F.numVRegs();
+  Stats.RegCandidates = NumV;
+  Assigned.assign(NumV, NoReg);
+  Filled.resize(NumV);
+  for (unsigned V = 0; V < NumV; ++V)
+    Filled[V] = LT.vreg(V).withArtifactGapsFilled();
+  Books.resize(NumPRegs);
+  OwnersOf.resize(NumPRegs);
+  for (unsigned P = 0; P < NumPRegs; ++P)
+    Books[P].bookLifetime(LT.pregFixed(P));
+
+  // Pass 1: walk lifetimes in start order, committing whole lifetimes.
+  std::vector<unsigned> ByStart;
+  for (unsigned V = 0; V < NumV; ++V)
+    if (!LT.vreg(V).empty())
+      ByStart.push_back(V);
+  std::sort(ByStart.begin(), ByStart.end(), [&](unsigned A, unsigned B) {
+    return LT.vreg(A).startPos() < LT.vreg(B).startPos();
+  });
+  std::vector<unsigned> Spilled;
+  for (unsigned V : ByStart)
+    if (!tryAssignWhole(V))
+      Spilled.push_back(V);
+
+  // Pass 1b: point lifetimes for every reference of a spilled temporary
+  // ("these point lifetimes are always assigned a register", §2.2). When a
+  // point cannot be placed, committed whole lifetimes are demoted to memory
+  // and their references re-queued.
+  std::vector<unsigned> Queue = Spilled;
+  PointRegs.assign(NumV, {});
+  while (!Queue.empty()) {
+    unsigned V = Queue.back();
+    Queue.pop_back();
+    ++Stats.SpilledTemps;
+    const Lifetime &L = LT.vreg(V);
+    for (const Reference &R : L.Refs) {
+      // A def point extends one past the def position; a use point covers
+      // the read. A use and def of the same temp at one instruction share
+      // the instruction's [usePos, defPos+1) range via separate points.
+      unsigned Start = R.Pos;
+      unsigned End = R.Pos + 1;
+      std::vector<unsigned> Requeue;
+      unsigned Reg = assignPoint(F.vregClass(V), Start, End, Requeue);
+      PointRegs[V].push_back({R.Pos, Reg});
+      for (unsigned RV : Requeue)
+        Queue.push_back(RV);
+    }
+  }
+
+  rewrite();
+  return Stats;
+}
+
+bool TwoPassAllocator::tryAssignWhole(unsigned V) {
+  const Lifetime &L = Filled[V];
+  for (unsigned R : TD.allocOrder(F.vregClass(V))) {
+    if (Books[R].overlapsLifetime(L))
+      continue;
+    Books[R].bookLifetime(L);
+    OwnersOf[R].push_back(V);
+    Assigned[V] = R;
+    return true;
+  }
+  return false;
+}
+
+void TwoPassAllocator::unassign(unsigned V, std::vector<unsigned> &Requeue) {
+  unsigned R = Assigned[V];
+  assert(R != NoReg && "unassigning an unassigned temp");
+  Books[R].unbook(Filled[V]);
+  auto &Owners = OwnersOf[R];
+  Owners.erase(std::find(Owners.begin(), Owners.end(), V));
+  Assigned[V] = NoReg;
+  Requeue.push_back(V);
+}
+
+unsigned TwoPassAllocator::assignPoint(RegClass RC, unsigned Start,
+                                       unsigned End,
+                                       std::vector<unsigned> &Requeue) {
+  for (unsigned R : TD.allocOrder(RC))
+    if (!Books[R].overlaps(Start, End)) {
+      Books[R].book(Start, End);
+      return R;
+    }
+  // Steal: demote the committed whole lifetimes overlapping this point in
+  // the first register where that suffices.
+  for (unsigned R : TD.allocOrder(RC)) {
+    std::vector<unsigned> Victims;
+    for (unsigned V : OwnersOf[R])
+      if (Filled[V].liveAt(Start) || Filled[V].liveAt(End - 1))
+        Victims.push_back(V);
+    if (Victims.empty())
+      continue; // blocked by fixed segments or other points
+    for (unsigned V : Victims)
+      unassign(V, Requeue);
+    if (Books[R].overlaps(Start, End))
+      continue; // still blocked (fixed/point); victims already requeued
+    Books[R].book(Start, End);
+    return R;
+  }
+  assert(false && "two-pass binpacking: no register for a point lifetime");
+  return 0;
+}
+
+void TwoPassAllocator::rewrite() {
+  // Point registers recorded per (vreg, position); consume in order.
+  std::vector<unsigned> Cursor(F.numVRegs(), 0);
+  auto PointRegAt = [&](unsigned V, unsigned Pos) {
+    auto &Points = PointRegs[V];
+    unsigned &C = Cursor[V];
+    while (C < Points.size() && Points[C].first < Pos)
+      ++C;
+    assert(C < Points.size() && Points[C].first == Pos &&
+           "missing point register");
+    return Points[C].second;
+  };
+
+  for (unsigned B = 0; B < F.numBlocks(); ++B) {
+    Block &Blk = F.block(B);
+    std::vector<Instr> Out;
+    Out.reserve(Blk.size());
+    for (unsigned Idx = 0; Idx < Blk.size(); ++Idx) {
+      Instr I = Blk.instrs()[Idx];
+      unsigned G = Num.instrIndex(B, Idx);
+      unsigned UsePos = Numbering::usePos(G);
+      unsigned DefPos = Numbering::defPos(G);
+      const OpcodeInfo &Info = I.info();
+      std::vector<Instr> After;
+      unsigned LoadedV = ~0u;
+      for (unsigned S = Info.NumDefs;
+           S < unsigned(Info.NumDefs) + Info.NumUses; ++S) {
+        Operand &Op = I.op(S);
+        if (!Op.isVReg())
+          continue;
+        unsigned V = Op.vregId();
+        unsigned R = Assigned[V];
+        if (R == NoReg) {
+          R = PointRegAt(V, UsePos);
+          if (V != LoadedV) {
+            Out.push_back(Slots.makeLoad(V, R, SpillKind::EvictLoad));
+            ++Stats.EvictLoads;
+            LoadedV = V;
+          }
+        }
+        Op = Operand::preg(R);
+      }
+      if (Info.NumDefs == 1 && I.op(0).isVReg()) {
+        unsigned V = I.op(0).vregId();
+        unsigned R = Assigned[V];
+        if (R == NoReg) {
+          R = PointRegAt(V, DefPos);
+          After.push_back(Slots.makeStore(V, R, SpillKind::EvictStore));
+          ++Stats.EvictStores;
+        }
+        I.op(0) = Operand::preg(R);
+      }
+      Out.push_back(I);
+      for (const Instr &A : After)
+        Out.push_back(A);
+    }
+    Blk.instrs() = std::move(Out);
+  }
+}
+
+} // namespace
+
+// Out-of-line member storage for PointRegs (declared via the class above).
+// (Defined here to keep the class body compact.)
+
+AllocStats lsra::runTwoPassBinpack(Function &F, const TargetDesc &TD,
+                                   const AllocOptions &Opts) {
+  (void)Opts;
+  return TwoPassAllocator(F, TD).run();
+}

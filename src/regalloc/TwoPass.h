@@ -1,0 +1,30 @@
+//===- regalloc/TwoPass.h - Two-pass binpacking (no 2nd chance) -*- C++-*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The traditional binpacking allocator the paper ablates against in §3.1:
+/// a first pass walks the sorted lifetime list and commits each *whole*
+/// lifetime to either a register or memory (still exploiting lifetime
+/// holes); a second pass rewrites operands, with each reference to a
+/// spilled temporary getting a point lifetime that is always assigned a
+/// register. There is no lifetime splitting, no second chance, and no
+/// resolution phase.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_REGALLOC_TWOPASS_H
+#define LSRA_REGALLOC_TWOPASS_H
+
+#include "regalloc/Allocator.h"
+
+namespace lsra {
+
+AllocStats runTwoPassBinpack(Function &F, const TargetDesc &TD,
+                             const AllocOptions &Opts);
+
+} // namespace lsra
+
+#endif // LSRA_REGALLOC_TWOPASS_H

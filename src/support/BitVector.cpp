@@ -1,0 +1,22 @@
+//===- support/BitVector.cpp ----------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitVector.h"
+
+using namespace lsra;
+
+int BitVector::findNext(unsigned From) const {
+  if (From >= NumBits)
+    return -1;
+  unsigned WordIdx = From / 64;
+  uint64_t Word = Words[WordIdx] >> (From % 64);
+  if (Word)
+    return static_cast<int>(From + __builtin_ctzll(Word));
+  for (unsigned I = WordIdx + 1, E = Words.size(); I != E; ++I)
+    if (Words[I])
+      return static_cast<int>(I * 64 + __builtin_ctzll(Words[I]));
+  return -1;
+}

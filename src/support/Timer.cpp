@@ -1,0 +1,15 @@
+//===- support/Timer.cpp --------------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"
+
+// Timer is header-only; this file anchors the translation unit so the
+// library always has at least one symbol from support/.
+namespace lsra {
+namespace detail {
+void anchorTimerTU() {}
+} // namespace detail
+} // namespace lsra

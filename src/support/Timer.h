@@ -1,0 +1,48 @@
+//===- support/Timer.h - Wall-clock stopwatch -----------------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic wall-clock stopwatch used by the Table 3 compile-time
+/// experiments, mirroring the paper's "record the time of day before and
+/// after allocation" methodology.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_SUPPORT_TIMER_H
+#define LSRA_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace lsra {
+
+/// Accumulating stopwatch. start()/stop() pairs add to the running total so
+/// a single timer can sum the allocation time over all procedures in a
+/// module, as the paper's Table 3 does.
+class Timer {
+public:
+  void start() { Begin = Clock::now(); }
+
+  void stop() {
+    TotalNs += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   Clock::now() - Begin)
+                   .count();
+  }
+
+  void reset() { TotalNs = 0; }
+
+  double seconds() const { return static_cast<double>(TotalNs) * 1e-9; }
+  double milliseconds() const { return static_cast<double>(TotalNs) * 1e-6; }
+  long long nanoseconds() const { return TotalNs; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Begin;
+  long long TotalNs = 0;
+};
+
+} // namespace lsra
+
+#endif // LSRA_SUPPORT_TIMER_H

@@ -1,0 +1,264 @@
+//===- workloads/RandomProgram.cpp ----------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/RandomProgram.h"
+
+#include "ir/Builder.h"
+
+#include <vector>
+
+using namespace lsra;
+
+namespace {
+
+constexpr unsigned ScratchBase = 0;
+constexpr unsigned ScratchWords = 256;
+
+class Gen {
+public:
+  Gen(uint64_t Seed, const RandomProgramOptions &Opts)
+      : Opts(Opts), S(Seed * 2654435761u + 0x9E3779B97F4A7C15ull) {}
+
+  std::unique_ptr<Module> build();
+
+private:
+  RandomProgramOptions Opts;
+  uint64_t S;
+
+  uint64_t next() {
+    S ^= S >> 12;
+    S ^= S << 25;
+    S ^= S >> 27;
+    return S * 0x2545F4914F6CDD1Dull;
+  }
+  unsigned pick(unsigned N) { return static_cast<unsigned>(next() % N); }
+  int64_t smallImm() { return static_cast<int64_t>(next() % 41) - 20; }
+
+  /// Values in scope, guaranteed to dominate the current insertion point.
+  struct Scope {
+    std::vector<unsigned> Ints;
+    std::vector<unsigned> Fps;
+  };
+
+  Module *M = nullptr;
+  std::vector<Function *> Helpers;
+
+  unsigned pickInt(FunctionBuilder &B, Scope &Sc) {
+    if (Sc.Ints.empty() || pick(8) == 0) {
+      unsigned V = B.movi(smallImm());
+      Sc.Ints.push_back(V);
+      return V;
+    }
+    return Sc.Ints[pick(Sc.Ints.size())];
+  }
+  unsigned pickFp(FunctionBuilder &B, Scope &Sc) {
+    if (Sc.Fps.empty() || pick(8) == 0) {
+      unsigned V = B.movf(static_cast<double>(smallImm()) / 4.0);
+      Sc.Fps.push_back(V);
+      return V;
+    }
+    return Sc.Fps[pick(Sc.Fps.size())];
+  }
+
+  void emitStatement(FunctionBuilder &B, Scope &Sc, unsigned Depth);
+  void emitBlockOfStatements(FunctionBuilder &B, Scope &Sc, unsigned Count,
+                             unsigned Depth);
+  void buildHelper(unsigned Idx);
+};
+
+void Gen::emitStatement(FunctionBuilder &B, Scope &Sc, unsigned Depth) {
+  unsigned Kind = pick(12);
+  switch (Kind) {
+  case 0: { // integer binop
+    static const Opcode Ops[] = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                                 Opcode::And, Opcode::Or,  Opcode::Xor,
+                                 Opcode::CmpLt, Opcode::CmpEq};
+    unsigned A = pickInt(B, Sc), C = pickInt(B, Sc);
+    unsigned V = B.binop(Ops[pick(8)], A, C);
+    Sc.Ints.push_back(V);
+    break;
+  }
+  case 1: { // guarded division
+    unsigned A = pickInt(B, Sc), C = pickInt(B, Sc);
+    unsigned Guard = B.ori(C, 1); // never zero... except -1|1; use |1 then +2
+    unsigned Pos = B.andi(Guard, 0xFFFF);
+    unsigned NonZero = B.ori(Pos, 1);
+    unsigned V = pick(2) ? B.div(A, NonZero) : B.rem(A, NonZero);
+    Sc.Ints.push_back(V);
+    break;
+  }
+  case 2: { // fp arithmetic
+    if (!Opts.UseFloat)
+      return;
+    static const Opcode Ops[] = {Opcode::FAdd, Opcode::FSub, Opcode::FMul};
+    unsigned A = pickFp(B, Sc), C = pickFp(B, Sc);
+    unsigned V = B.fbinop(Ops[pick(3)], A, C);
+    Sc.Fps.push_back(V);
+    break;
+  }
+  case 3: { // int <-> fp conversions
+    if (!Opts.UseFloat)
+      return;
+    if (pick(2)) {
+      Sc.Fps.push_back(B.itof(pickInt(B, Sc)));
+    } else {
+      unsigned F = pickFp(B, Sc);
+      // Clamp to avoid UB-ish huge casts: x/(1+x*x) is within [-1,1].
+      unsigned Sq = B.fmul(F, F);
+      unsigned One = B.movf(1.0);
+      unsigned Den = B.fadd(One, Sq);
+      unsigned Clamped = B.fdiv(F, Den);
+      unsigned Scaled = B.fmul(Clamped, B.movf(1000.0));
+      Sc.Ints.push_back(B.ftoi(Scaled));
+    }
+    break;
+  }
+  case 4: { // memory store + load through the scratch region
+    if (!Opts.UseMemory)
+      return;
+    unsigned A = pickInt(B, Sc);
+    unsigned Slot = B.andi(A, ScratchWords - 1);
+    unsigned Base = B.movi(ScratchBase);
+    unsigned Addr = B.add(Base, Slot);
+    B.store(pickInt(B, Sc), Addr, 0);
+    Sc.Ints.push_back(B.load(Addr, 0));
+    break;
+  }
+  case 5: { // mutate an existing value (loop-carried ranges)
+    if (Sc.Ints.empty())
+      return;
+    unsigned V = Sc.Ints[pick(Sc.Ints.size())];
+    B.emit(Instr(Opcode::Add, Operand::vreg(V), Operand::vreg(V),
+                 Operand::imm(smallImm())));
+    break;
+  }
+  case 6: { // observe
+    if (pick(2) || Sc.Fps.empty() || !Opts.UseFloat)
+      B.emitValue(pickInt(B, Sc));
+    else
+      B.femitValue(Sc.Fps[pick(Sc.Fps.size())]);
+    break;
+  }
+  case 7: { // if/else
+    if (Depth >= Opts.MaxDepth)
+      return;
+    unsigned Cond = pickInt(B, Sc);
+    Block &Then = B.newBlock("r.then");
+    Block &Else = B.newBlock("r.else");
+    Block &Join = B.newBlock("r.join");
+    B.cbr(Cond, Then, Else);
+    B.setBlock(Then);
+    {
+      Scope Inner = Sc; // values defined inside do not escape
+      emitBlockOfStatements(B, Inner, 1 + pick(4), Depth + 1);
+      B.br(Join);
+    }
+    B.setBlock(Else);
+    {
+      Scope Inner = Sc;
+      emitBlockOfStatements(B, Inner, 1 + pick(4), Depth + 1);
+      B.br(Join);
+    }
+    B.setBlock(Join);
+    break;
+  }
+  case 8: { // counted loop
+    if (Depth >= Opts.MaxDepth)
+      return;
+    unsigned Counter = B.movi(0);
+    int64_t Trip = 1 + pick(6);
+    Block &Head = B.newBlock("r.head");
+    Block &Body = B.newBlock("r.body");
+    Block &Exit = B.newBlock("r.exit");
+    B.br(Head);
+    B.setBlock(Head);
+    unsigned Cond = B.cmpi(Opcode::CmpLt, Counter, Trip);
+    B.cbr(Cond, Body, Exit);
+    B.setBlock(Body);
+    {
+      Scope Inner = Sc;
+      // Expose a *copy* of the counter: statements may mutate any value in
+      // scope, and mutating the counter itself would unbound the loop.
+      Inner.Ints.push_back(B.mov(Counter));
+      emitBlockOfStatements(B, Inner, 1 + pick(5), Depth + 1);
+    }
+    B.emit(Instr(Opcode::Add, Operand::vreg(Counter), Operand::vreg(Counter),
+                 Operand::imm(1)));
+    B.br(Head);
+    B.setBlock(Exit);
+    break;
+  }
+  case 9: { // call a helper
+    if (!Opts.UseCalls || Helpers.empty())
+      return;
+    Function *Callee = Helpers[pick(Helpers.size())];
+    std::vector<unsigned> Args;
+    for (unsigned I = 0; I < Callee->IntParamVRegs.size(); ++I)
+      Args.push_back(pickInt(B, Sc));
+    unsigned V = B.call(*Callee, Args);
+    if (V != ~0u)
+      Sc.Ints.push_back(V);
+    break;
+  }
+  case 10: { // shift
+    unsigned A = pickInt(B, Sc);
+    unsigned V = pick(2) ? B.shli(A, pick(8)) : B.shri(A, pick(8));
+    Sc.Ints.push_back(V);
+    break;
+  }
+  default: { // unary
+    unsigned A = pickInt(B, Sc);
+    Sc.Ints.push_back(pick(2) ? B.neg(A) : B.notOp(A));
+    break;
+  }
+  }
+}
+
+void Gen::emitBlockOfStatements(FunctionBuilder &B, Scope &Sc, unsigned Count,
+                                unsigned Depth) {
+  for (unsigned I = 0; I < Count; ++I)
+    emitStatement(B, Sc, Depth);
+}
+
+void Gen::buildHelper(unsigned Idx) {
+  unsigned NumParams = 1 + pick(3);
+  FunctionBuilder B(*M, "helper" + std::to_string(Idx), NumParams, 0,
+                    CallRetKind::Int);
+  B.setBlock(B.newBlock("entry"));
+  Scope Sc;
+  for (unsigned I = 0; I < NumParams; ++I)
+    Sc.Ints.push_back(B.intParam(I));
+  RandomProgramOptions Saved = Opts;
+  Opts.UseCalls = false; // helpers are leaves: no recursion
+  emitBlockOfStatements(B, Sc, 3 + pick(6), Opts.MaxDepth - 1);
+  Opts = Saved;
+  B.retVal(Sc.Ints[pick(Sc.Ints.size())]);
+  Helpers.push_back(&B.function());
+}
+
+std::unique_ptr<Module> Gen::build() {
+  auto Mod = std::make_unique<Module>();
+  M = Mod.get();
+  M->reserveMemory(ScratchBase + ScratchWords);
+  if (Opts.UseCalls)
+    for (unsigned I = 0; I < Opts.HelperFuncs; ++I)
+      buildHelper(I);
+  FunctionBuilder B(*M, "main", 0, 0, CallRetKind::Int);
+  B.setBlock(B.newBlock("entry"));
+  Scope Sc;
+  emitBlockOfStatements(B, Sc, Opts.Statements, 0);
+  // Final observation so the run always has output.
+  B.emitValue(pickInt(B, Sc));
+  B.retVal(B.movi(0));
+  return Mod;
+}
+
+} // namespace
+
+std::unique_ptr<Module> lsra::buildRandomProgram(
+    uint64_t Seed, const RandomProgramOptions &Opts) {
+  return Gen(Seed, Opts).build();
+}

@@ -1,0 +1,48 @@
+//===- workloads/RandomProgram.h - Seeded program fuzzer -------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded generator of structured random programs used by the
+/// property-based tests: for any generated program and any allocator at any
+/// register limit, executing the allocated code must produce the same
+/// output trace as executing the virtual-register original.
+///
+/// Generated programs are well-formed by construction: every use is
+/// dominated by a definition (values defined inside a branch arm or loop
+/// body do not escape their scope), loops are counted, divisions are
+/// guarded, and memory accesses stay within a scratch region.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_WORKLOADS_RANDOMPROGRAM_H
+#define LSRA_WORKLOADS_RANDOMPROGRAM_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace lsra {
+
+struct RandomProgramOptions {
+  unsigned Statements = 60;   ///< approximate statement count in main
+  unsigned MaxDepth = 3;      ///< nesting depth of ifs/loops
+  unsigned HelperFuncs = 2;   ///< callable leaf functions
+  bool UseFloat = true;
+  bool UseMemory = true;
+  bool UseCalls = true;
+};
+
+std::unique_ptr<Module> buildRandomProgram(uint64_t Seed,
+                                           const RandomProgramOptions &Opts);
+
+inline std::unique_ptr<Module> buildRandomProgram(uint64_t Seed) {
+  return buildRandomProgram(Seed, RandomProgramOptions());
+}
+
+} // namespace lsra
+
+#endif // LSRA_WORKLOADS_RANDOMPROGRAM_H

@@ -1,0 +1,117 @@
+//===- workloads/SyntheticModule.cpp --------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/SyntheticModule.h"
+
+#include "ir/Builder.h"
+
+#include <string>
+#include <vector>
+
+using namespace lsra;
+
+namespace {
+
+class Mixer {
+public:
+  explicit Mixer(uint64_t Seed) : S(Seed ? Seed : 1) {}
+  unsigned pick(unsigned N) {
+    S ^= S >> 12;
+    S ^= S << 25;
+    S ^= S >> 27;
+    return static_cast<unsigned>((S * 0x2545F4914F6CDD1Dull) % N);
+  }
+
+private:
+  uint64_t S;
+};
+
+/// One procedure in the fpppp style: a loop whose body is a sequence of
+/// large straight-line chunks, each keeping ~LiveWindow fp values alive.
+void buildProc(Module &M, const std::string &Name,
+               const ScaledModuleOptions &Opts, Mixer &Rand) {
+  FunctionBuilder B(M, Name, 0, 0, CallRetKind::Float);
+  B.setBlock(B.newBlock("entry"));
+  unsigned Base = B.movi(0);
+  unsigned Acc = B.movf(0.0);
+
+  // Counted outer loop so the code is executable in reasonable time.
+  unsigned Counter = B.movi(0);
+  Block &Head = B.newBlock("loop.head");
+  Block &Body = B.newBlock("loop.body");
+  Block &Exit = B.newBlock("loop.exit");
+  B.br(Head);
+  B.setBlock(Head);
+  unsigned Cond = B.cmpi(Opcode::CmpLt, Counter, 2);
+  B.cbr(Cond, Body, Exit);
+  B.setBlock(Body);
+
+  unsigned Window = Opts.LiveWindow;
+  unsigned PerBlock =
+      std::max(1u, Opts.CandidatesPerProc / std::max(1u, Opts.BlocksPerProc));
+  std::vector<unsigned> Live;
+  for (unsigned I = 0; I < Window; ++I)
+    Live.push_back(B.fload(Base, static_cast<int64_t>(I % 64)));
+
+  for (unsigned Blk = 0; Blk < Opts.BlocksPerProc; ++Blk) {
+    // Straight-line chunk: each new value combines two random live values,
+    // displacing the older of the two so the live window stays ~constant
+    // and the interference graph stays dense.
+    for (unsigned I = 0; I < PerBlock; ++I) {
+      unsigned A = Rand.pick(Window);
+      unsigned C = Rand.pick(Window);
+      Opcode Op = (I & 1) ? Opcode::FAdd : Opcode::FMul;
+      unsigned V = B.fbinop(Op, Live[A], Live[C]);
+      Live[A] = V;
+    }
+    // Block boundary within the loop body.
+    Block &NextChunk = B.newBlock("chunk" + std::to_string(Blk));
+    B.br(NextChunk);
+    B.setBlock(NextChunk);
+  }
+
+  unsigned Sum = B.movf(0.0);
+  for (unsigned I = 0; I < Window; ++I)
+    B.emit(Instr(Opcode::FAdd, Operand::vreg(Sum), Operand::vreg(Sum),
+                 Operand::vreg(Live[I])));
+  B.emit(Instr(Opcode::FAdd, Operand::vreg(Acc), Operand::vreg(Acc),
+               Operand::vreg(Sum)));
+  B.emit(Instr(Opcode::Add, Operand::vreg(Counter), Operand::vreg(Counter),
+               Operand::imm(1)));
+  B.br(Head);
+  B.setBlock(Exit);
+  B.femitValue(Acc);
+  B.retVal(Acc);
+}
+
+} // namespace
+
+std::unique_ptr<Module> lsra::buildScaledModule(
+    const ScaledModuleOptions &Opts) {
+  auto M = std::make_unique<Module>();
+  Mixer Rand(Opts.Seed);
+  for (unsigned I = 0; I < 64; ++I)
+    M->initDouble(I, 0.001 + static_cast<double>(I) / 64.0);
+
+  std::vector<Function *> Procs;
+  for (unsigned P = 0; P < Opts.NumProcs; ++P) {
+    std::string Name = "proc" + std::to_string(P);
+    buildProc(*M, Name, Opts, Rand);
+    Procs.push_back(M->findFunction(Name));
+  }
+
+  FunctionBuilder B(*M, "main", 0, 0, CallRetKind::Int);
+  B.setBlock(B.newBlock("entry"));
+  unsigned Sum = B.movf(0.0);
+  for (Function *P : Procs) {
+    unsigned V = B.call(*P, {});
+    B.emit(Instr(Opcode::FAdd, Operand::vreg(Sum), Operand::vreg(Sum),
+                 Operand::vreg(V)));
+  }
+  B.femitValue(Sum);
+  B.retVal(B.movi(0));
+  return M;
+}

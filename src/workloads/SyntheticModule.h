@@ -1,0 +1,40 @@
+//===- workloads/SyntheticModule.h - Table 3 scale generator ---*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generator of compile-time stress modules for the Table 3 experiment: the
+/// paper times allocation on modules whose procedures average 245
+/// (espresso's cvrin.c), 6218 (fpppp's twldrv.f), and 6697 (fpppp.f)
+/// register candidates. These builders produce procedures with a requested
+/// candidate count and interference density in the style of fpppp's huge
+/// straight-line floating-point blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_WORKLOADS_SYNTHETICMODULE_H
+#define LSRA_WORKLOADS_SYNTHETICMODULE_H
+
+#include "ir/Module.h"
+
+#include <memory>
+
+namespace lsra {
+
+struct ScaledModuleOptions {
+  unsigned NumProcs = 1;
+  unsigned CandidatesPerProc = 1000; ///< approximate vreg count
+  unsigned LiveWindow = 40;          ///< simultaneously-live values
+  unsigned BlocksPerProc = 8;        ///< straight-line chunks + loop nest
+  uint64_t Seed = 1;
+};
+
+/// Build a compile-time stress module. The generated code is executable
+/// (it emits a checksum), so quality comparisons also work on it.
+std::unique_ptr<Module> buildScaledModule(const ScaledModuleOptions &Opts);
+
+} // namespace lsra
+
+#endif // LSRA_WORKLOADS_SYNTHETICMODULE_H

@@ -1,0 +1,856 @@
+//===- workloads/Workloads.cpp --------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "ir/Builder.h"
+
+#include <cassert>
+
+using namespace lsra;
+
+namespace {
+
+/// Deterministic PRNG for initial-memory images (xorshift64*).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : S(Seed ? Seed : 0x9E3779B97F4A7C15ull) {}
+  uint64_t next() {
+    S ^= S >> 12;
+    S ^= S << 25;
+    S ^= S >> 27;
+    return S * 0x2545F4914F6CDD1Dull;
+  }
+  int64_t range(int64_t N) { return static_cast<int64_t>(next() % N); }
+
+private:
+  uint64_t S;
+};
+
+/// In-place update helpers: redefine an existing vreg (loop-carried values).
+void addAssign(FunctionBuilder &B, unsigned V, Operand Rhs) {
+  B.emit(Instr(Opcode::Add, Operand::vreg(V), Operand::vreg(V), Rhs));
+}
+void faddAssign(FunctionBuilder &B, unsigned Acc, unsigned X) {
+  B.emit(Instr(Opcode::FAdd, Operand::vreg(Acc), Operand::vreg(Acc),
+               Operand::vreg(X)));
+}
+void setAssign(FunctionBuilder &B, unsigned V, Operand Rhs) {
+  B.emit(Instr(Opcode::Mov, Operand::vreg(V), Rhs));
+}
+
+/// A counted loop: `for (i = 0; i < Trip; ++i) body`. beginLoop leaves the
+/// builder positioned in the body; endLoop increments the counter, closes
+/// the back edge, and positions the builder in the exit block.
+struct CountedLoop {
+  Block *Head = nullptr;
+  Block *Body = nullptr;
+  Block *Exit = nullptr;
+  unsigned Counter = 0;
+};
+
+CountedLoop beginLoop(FunctionBuilder &B, int64_t Trip, const char *Tag) {
+  CountedLoop L;
+  L.Counter = B.movi(0);
+  L.Head = &B.newBlock(std::string(Tag) + ".head");
+  L.Body = &B.newBlock(std::string(Tag) + ".body");
+  L.Exit = &B.newBlock(std::string(Tag) + ".exit");
+  B.br(*L.Head);
+  B.setBlock(*L.Head);
+  unsigned Cond = B.cmpi(Opcode::CmpLt, L.Counter, Trip);
+  B.cbr(Cond, *L.Body, *L.Exit);
+  B.setBlock(*L.Body);
+  return L;
+}
+
+void endLoop(FunctionBuilder &B, CountedLoop &L) {
+  addAssign(B, L.Counter, Operand::imm(1));
+  B.br(*L.Head);
+  B.setBlock(*L.Exit);
+}
+
+} // namespace
+
+// --- alvinn: fp neural-net forward pass (low pressure, no spills) ---------
+
+std::unique_ptr<Module> lsra::buildAlvinn() {
+  auto M = std::make_unique<Module>();
+  constexpr unsigned In = 0, Wgt = 64, Hid = 640;
+  Rng R(0xA111);
+  for (unsigned I = 0; I < 32; ++I)
+    M->initDouble(In + I, static_cast<double>(R.range(100)) / 50.0 - 1.0);
+  for (unsigned I = 0; I < 32 * 8; ++I)
+    M->initDouble(Wgt + I, static_cast<double>(R.range(200)) / 100.0 - 1.0);
+
+  FunctionBuilder B(*M, "main", 0, 0, CallRetKind::Int);
+  Block &Entry = B.newBlock("entry");
+  B.setBlock(Entry);
+  unsigned InBase = B.movi(In);
+  unsigned WBase = B.movi(Wgt);
+  unsigned HBase = B.movi(Hid);
+  unsigned One = B.movf(1.0);
+
+  CountedLoop Epoch = beginLoop(B, 40, "epoch");
+  {
+    CountedLoop J = beginLoop(B, 8, "unit");
+    {
+      unsigned Acc = B.movf(0.0);
+      unsigned WRow = B.muli(J.Counter, 32);
+      unsigned WAddr = B.add(WBase, WRow);
+      CountedLoop I = beginLoop(B, 32, "dot");
+      {
+        unsigned InAddr = B.add(InBase, I.Counter);
+        unsigned X = B.fload(InAddr, 0);
+        unsigned WA = B.add(WAddr, I.Counter);
+        unsigned W = B.fload(WA, 0);
+        unsigned P = B.fmul(X, W);
+        faddAssign(B, Acc, P);
+      }
+      endLoop(B, I);
+      // Smooth squashing: acc / (1 + acc*acc).
+      unsigned Sq = B.fmul(Acc, Acc);
+      unsigned Den = B.fadd(One, Sq);
+      unsigned Out = B.fdiv(Acc, Den);
+      unsigned HAddr = B.add(HBase, J.Counter);
+      B.fstore(Out, HAddr, 0);
+    }
+    endLoop(B, J);
+  }
+  endLoop(B, Epoch);
+
+  unsigned Sum = B.movf(0.0);
+  CountedLoop K = beginLoop(B, 8, "sum");
+  {
+    unsigned HAddr = B.add(HBase, K.Counter);
+    unsigned H = B.fload(HAddr, 0);
+    faddAssign(B, Sum, H);
+  }
+  endLoop(B, K);
+  B.femitValue(Sum);
+  unsigned Zero = B.movi(0);
+  B.retVal(Zero);
+  return M;
+}
+
+// --- doduc: branchy fp kernels, moderate-high pressure ---------------------
+
+std::unique_ptr<Module> lsra::buildDoduc() {
+  auto M = std::make_unique<Module>();
+  constexpr unsigned Data = 0;
+  Rng R(0xD0D0);
+  for (unsigned I = 0; I < 64; ++I)
+    M->initDouble(Data + I, 0.25 + static_cast<double>(R.range(100)) / 64.0);
+
+  FunctionBuilder B(*M, "main", 0, 0, CallRetKind::Int);
+  B.setBlock(B.newBlock("entry"));
+  unsigned Base = B.movi(Data);
+  unsigned Acc = B.movf(0.0);
+  unsigned Three = B.movf(3.0);
+
+  CountedLoop Iter = beginLoop(B, 3000, "iter");
+  {
+    unsigned Idx = B.andi(Iter.Counter, 31);
+    unsigned A0 = B.add(Base, Idx);
+    unsigned X = B.fload(A0, 0);
+    unsigned Y = B.fload(A0, 16);
+    // The wide kernel runs on the rarer path (X > 3Y), giving the small
+    // spill fraction the paper reports for doduc (0.46%/0.49%).
+    unsigned Y3 = B.fmul(Y, Three);
+    unsigned C = B.fcmp(Opcode::FCmpLt, Y3, X);
+    // Layout matters to a linear scan: each block inherits the allocation
+    // state of its *linear* predecessor. Laying out hot -> join -> cold
+    // keeps the cold kernel's evictions off the hot path entirely (the
+    // resolution code for the cold edge lands in the cold block).
+    Block &Hot = B.newBlock("narrow");
+    Block &Join = B.newBlock("join");
+    Block &Cold = B.newBlock("wide");
+    B.cbr(C, Cold, Hot);
+
+    B.setBlock(Cold);
+    {
+      // Wide straight-line kernel: ~27 fp values live at the peak, just
+      // above the 25 allocatable fp registers.
+      std::vector<unsigned> Vals;
+      for (unsigned I = 0; I < 27; ++I) {
+        unsigned V = B.fload(A0, static_cast<int64_t>(I));
+        Vals.push_back(V);
+      }
+      unsigned S = B.fmul(Vals[0], Vals[26]);
+      for (unsigned I = 1; I < 13; ++I) {
+        unsigned P = B.fmul(Vals[I], Vals[26 - I]);
+        S = B.fadd(S, P);
+      }
+      faddAssign(B, Acc, S);
+      B.br(Join);
+    }
+    B.setBlock(Hot);
+    {
+      unsigned D = B.fsub(X, Y);
+      unsigned Q = B.fmul(D, D);
+      unsigned E = B.fadd(Q, X);
+      faddAssign(B, Acc, E);
+      B.br(Join);
+    }
+    B.setBlock(Join);
+  }
+  endLoop(B, Iter);
+  B.femitValue(Acc);
+  B.retVal(B.movi(0));
+  return M;
+}
+
+// --- eqntott: tiny hot comparison routine (nearly spill-free) ---------------
+
+std::unique_ptr<Module> lsra::buildEqntott() {
+  auto M = std::make_unique<Module>();
+  constexpr unsigned ArrA = 0, ArrB = 2048, N = 1024;
+  Rng R(0xE9E9);
+  for (unsigned I = 0; I < N; ++I) {
+    int64_t V = R.range(64);
+    M->initWord(ArrA + I, V);
+    M->initWord(ArrB + I, R.range(16) == 0 ? V + 1 : V);
+  }
+
+  // cmppt(pa, pb, n): lexicographic compare of two arrays.
+  FunctionBuilder C(*M, "cmppt", 3, 0, CallRetKind::Int);
+  {
+    Block &Entry = C.newBlock("entry");
+    C.setBlock(Entry);
+    unsigned Pa = C.intParam(0), Pb = C.intParam(1), Len = C.intParam(2);
+    unsigned I = C.movi(0);
+    Block &Head = C.newBlock("head");
+    Block &Body = C.newBlock("body");
+    Block &Diff = C.newBlock("diff");
+    Block &Next = C.newBlock("next");
+    Block &Equal = C.newBlock("equal");
+    C.br(Head);
+    C.setBlock(Head);
+    unsigned InRange = C.cmp(Opcode::CmpLt, I, Len);
+    C.cbr(InRange, Body, Equal);
+    C.setBlock(Body);
+    unsigned Aa = C.add(Pa, I);
+    unsigned Av = C.load(Aa, 0);
+    unsigned Ba = C.add(Pb, I);
+    unsigned Bv = C.load(Ba, 0);
+    unsigned Ne = C.cmp(Opcode::CmpNe, Av, Bv);
+    C.cbr(Ne, Diff, Next);
+    C.setBlock(Diff);
+    unsigned Lt = C.cmp(Opcode::CmpLt, Av, Bv);
+    unsigned Two = C.muli(Lt, 2);
+    unsigned Res = C.subi(Two, 1); // -1 or +1
+    C.retVal(Res);
+    C.setBlock(Next);
+    addAssign(C, I, Operand::imm(1));
+    C.br(Head);
+    C.setBlock(Equal);
+    C.retVal(C.movi(0));
+  }
+  Function &Cmppt = *M->findFunction("cmppt");
+
+  FunctionBuilder B(*M, "main", 0, 0, CallRetKind::Int);
+  B.setBlock(B.newBlock("entry"));
+  // One-shot setup with briefly high integer pressure (the paper reports a
+  // vanishing but non-zero binpack spill fraction).
+  {
+    std::vector<unsigned> Vals;
+    unsigned Base = B.movi(ArrA);
+    for (unsigned I = 0; I < 28; ++I)
+      Vals.push_back(B.load(Base, static_cast<int64_t>(I * 7 % 64)));
+    unsigned S = B.add(Vals[0], Vals[27]);
+    for (unsigned I = 1; I < 14; ++I) {
+      unsigned P = B.xorOp(Vals[I], Vals[27 - I]);
+      S = B.add(S, P);
+    }
+    B.emitValue(S);
+  }
+  unsigned Hits = B.movi(0);
+  CountedLoop Outer = beginLoop(B, 400, "cmploop");
+  {
+    unsigned Off = B.andi(Outer.Counter, 255);
+    unsigned Pa = B.movi(ArrA);
+    unsigned PaO = B.add(Pa, Off);
+    unsigned Pb = B.movi(ArrB);
+    unsigned PbO = B.add(Pb, Off);
+    unsigned Len = B.movi(N - 256);
+    unsigned Res = B.call(Cmppt, {PaO, PbO, Len});
+    addAssign(B, Hits, Operand::vreg(Res));
+  }
+  endLoop(B, Outer);
+  B.emitValue(Hits);
+  B.retVal(B.movi(0));
+  return M;
+}
+
+// --- espresso: integer bit-manipulation loops, moderate pressure ------------
+
+std::unique_ptr<Module> lsra::buildEspresso() {
+  auto M = std::make_unique<Module>();
+  constexpr unsigned Cubes = 0, NCubes = 512;
+  Rng R(0xE5E5);
+  for (unsigned I = 0; I < NCubes * 2; ++I)
+    M->initWord(Cubes + I, static_cast<int64_t>(R.next()));
+
+  FunctionBuilder B(*M, "main", 0, 0, CallRetKind::Int);
+  B.setBlock(B.newBlock("entry"));
+  unsigned Base = B.movi(Cubes);
+  unsigned Count = B.movi(0);
+  unsigned Mask = B.movi(0);
+
+  CountedLoop Sweep = beginLoop(B, 40, "sweep");
+  {
+    CountedLoop I = beginLoop(B, NCubes - 1, "cube");
+    {
+      unsigned A0 = B.add(Base, B.muli(I.Counter, 2));
+      unsigned Lo = B.load(A0, 0);
+      unsigned Hi = B.load(A0, 1);
+      unsigned Lo2 = B.load(A0, 2);
+      unsigned Hi2 = B.load(A0, 3);
+      // Wide combinational cone: ~26 live ints at the peak.
+      std::vector<unsigned> T;
+      T.push_back(B.andOp(Lo, Lo2));
+      T.push_back(B.orOp(Hi, Hi2));
+      T.push_back(B.xorOp(Lo, Hi2));
+      T.push_back(B.xorOp(Hi, Lo2));
+      for (unsigned K = 0; K < 18; ++K) {
+        unsigned X = B.shli(T[T.size() - 4], 1);
+        unsigned Y = B.shri(T[T.size() - 1], 2);
+        T.push_back(B.xorOp(X, Y));
+      }
+      unsigned S = T[4];
+      for (unsigned K = 5; K < T.size(); ++K)
+        S = B.add(S, T[K]);
+      unsigned Nz = B.cmpi(Opcode::CmpNe, S, 0);
+      addAssign(B, Count, Operand::vreg(Nz));
+      B.emit(Instr(Opcode::Xor, Operand::vreg(Mask), Operand::vreg(Mask),
+                   Operand::vreg(S)));
+    }
+    endLoop(B, I);
+  }
+  endLoop(B, Sweep);
+  B.emitValue(Count);
+  B.emitValue(Mask);
+  B.retVal(B.movi(0));
+  return M;
+}
+
+// --- fpppp: enormous straight-line fp blocks, extreme pressure --------------
+
+std::unique_ptr<Module> lsra::buildFpppp() {
+  auto M = std::make_unique<Module>();
+  constexpr unsigned Data = 0, NVals = 96;
+  Rng R(0xF9F9);
+  for (unsigned I = 0; I < NVals; ++I)
+    M->initDouble(Data + I, 0.5 + static_cast<double>(R.range(64)) / 64.0);
+
+  FunctionBuilder B(*M, "main", 0, 0, CallRetKind::Int);
+  B.setBlock(B.newBlock("entry"));
+  unsigned Base = B.movi(Data);
+  unsigned Acc = B.movf(0.0);
+
+  CountedLoop Iter = beginLoop(B, 1500, "iter");
+  {
+    // Load a large working set, then consume it in reverse so everything
+    // stays live simultaneously (~60 fp temps at the peak, well above the
+    // 25 allocatable fp registers).
+    std::vector<unsigned> Vals;
+    for (unsigned I = 0; I < 60; ++I)
+      Vals.push_back(B.fload(Base, static_cast<int64_t>(I)));
+    unsigned S = B.fmul(Vals[59], Vals[0]);
+    for (unsigned I = 1; I < 30; ++I) {
+      unsigned P = B.fmul(Vals[I], Vals[59 - I]);
+      S = B.fadd(S, P);
+    }
+    // Second wave reusing the same loads in a different pattern.
+    unsigned S2 = B.fadd(Vals[10], Vals[50]);
+    for (unsigned I = 0; I < 20; ++I) {
+      unsigned P = B.fsub(Vals[I * 2], Vals[I * 2 + 19]);
+      S2 = B.fadd(S2, P);
+    }
+    unsigned Prod = B.fmul(S, S2);
+    faddAssign(B, Acc, Prod);
+  }
+  endLoop(B, Iter);
+  B.femitValue(Acc);
+  B.retVal(B.movi(0));
+  return M;
+}
+
+// --- li: call-intensive recursive expression evaluator -----------------------
+
+std::unique_ptr<Module> lsra::buildLi() {
+  auto M = std::make_unique<Module>();
+  // Expression tree nodes: [op, left, right, value] quadruples. op 0 = leaf.
+  constexpr unsigned Nodes = 0, NNodes = 255;
+  Rng R(0x11BB);
+  for (unsigned I = 0; I < NNodes; ++I) {
+    unsigned A = Nodes + I * 4;
+    if (I >= NNodes / 2) { // leaves
+      M->initWord(A + 0, 0);
+      M->initWord(A + 3, R.range(100));
+    } else {
+      M->initWord(A + 0, 1 + R.range(3)); // add/sub/mul
+      M->initWord(A + 1, Nodes + (2 * I + 1) * 4);
+      M->initWord(A + 2, Nodes + (2 * I + 2) * 4);
+    }
+  }
+
+  FunctionBuilder E(*M, "eval", 1, 0, CallRetKind::Int);
+  Function &Eval = *M->findFunction("eval");
+  {
+    E.setBlock(E.newBlock("entry"));
+    unsigned Node = E.intParam(0);
+    unsigned Op = E.load(Node, 0);
+    Block &Leaf = E.newBlock("leaf");
+    Block &Inner = E.newBlock("inner");
+    unsigned IsLeaf = E.cmpi(Opcode::CmpEq, Op, 0);
+    E.cbr(IsLeaf, Leaf, Inner);
+    E.setBlock(Leaf);
+    E.retVal(E.load(Node, 3));
+    E.setBlock(Inner);
+    unsigned L = E.load(Node, 1);
+    unsigned Rn = E.load(Node, 2);
+    unsigned Lv = E.call(Eval, {L});
+    unsigned Rv = E.call(Eval, {Rn});
+    Block &IsAdd = E.newBlock("is.add");
+    Block &NotAdd = E.newBlock("not.add");
+    Block &IsSub = E.newBlock("is.sub");
+    Block &IsMul = E.newBlock("is.mul");
+    unsigned AddP = E.cmpi(Opcode::CmpEq, Op, 1);
+    E.cbr(AddP, IsAdd, NotAdd);
+    E.setBlock(IsAdd);
+    E.retVal(E.add(Lv, Rv));
+    E.setBlock(NotAdd);
+    unsigned SubP = E.cmpi(Opcode::CmpEq, Op, 2);
+    E.cbr(SubP, IsSub, IsMul);
+    E.setBlock(IsSub);
+    E.retVal(E.sub(Lv, Rv));
+    E.setBlock(IsMul);
+    unsigned P = E.mul(Lv, Rv);
+    unsigned Clip = E.andi(P, 0xFFFFFF);
+    E.retVal(Clip);
+  }
+
+  FunctionBuilder B(*M, "main", 0, 0, CallRetKind::Int);
+  B.setBlock(B.newBlock("entry"));
+  unsigned Sum = B.movi(0);
+  CountedLoop Reps = beginLoop(B, 1200, "reps");
+  {
+    unsigned Root = B.movi(Nodes);
+    unsigned V = B.call(Eval, {Root});
+    addAssign(B, Sum, Operand::vreg(V));
+  }
+  endLoop(B, Reps);
+  B.emitValue(Sum);
+  B.retVal(B.movi(0));
+  return M;
+}
+
+// --- tomcatv: fp stencil relaxation, low pressure ----------------------------
+
+std::unique_ptr<Module> lsra::buildTomcatv() {
+  auto M = std::make_unique<Module>();
+  constexpr unsigned Grid = 0, Dim = 48;
+  Rng R(0x707C);
+  for (unsigned I = 0; I < Dim * Dim; ++I)
+    M->initDouble(Grid + I, static_cast<double>(R.range(100)) / 25.0);
+
+  FunctionBuilder B(*M, "main", 0, 0, CallRetKind::Int);
+  B.setBlock(B.newBlock("entry"));
+  unsigned Base = B.movi(Grid);
+  unsigned Quarter = B.movf(0.25);
+
+  CountedLoop Sweep = beginLoop(B, 25, "sweep");
+  {
+    CountedLoop I = beginLoop(B, Dim - 2, "row");
+    {
+      unsigned Row = B.addi(I.Counter, 1);
+      unsigned RowOff = B.muli(Row, Dim);
+      unsigned RowBase = B.add(Base, RowOff);
+      CountedLoop J = beginLoop(B, Dim - 2, "col");
+      {
+        unsigned Col = B.addi(J.Counter, 1);
+        unsigned A = B.add(RowBase, Col);
+        unsigned Up = B.fload(A, -static_cast<int64_t>(Dim));
+        unsigned Dn = B.fload(A, static_cast<int64_t>(Dim));
+        unsigned Lf = B.fload(A, -1);
+        unsigned Rt = B.fload(A, 1);
+        unsigned S1 = B.fadd(Up, Dn);
+        unsigned S2 = B.fadd(Lf, Rt);
+        unsigned S = B.fadd(S1, S2);
+        unsigned Nv = B.fmul(S, Quarter);
+        B.fstore(Nv, A, 0);
+      }
+      endLoop(B, J);
+    }
+    endLoop(B, I);
+  }
+  endLoop(B, Sweep);
+
+  // Checksum a diagonal.
+  unsigned Sum = B.movf(0.0);
+  CountedLoop K = beginLoop(B, Dim, "chk");
+  {
+    unsigned Off = B.muli(K.Counter, Dim + 1);
+    unsigned A = B.add(Base, Off);
+    unsigned V = B.fload(A, 0);
+    faddAssign(B, Sum, V);
+  }
+  endLoop(B, K);
+  B.femitValue(Sum);
+  B.retVal(B.movi(0));
+  return M;
+}
+
+// --- compress: integer hash loop, low pressure -------------------------------
+
+std::unique_ptr<Module> lsra::buildCompress() {
+  auto M = std::make_unique<Module>();
+  constexpr unsigned Input = 0, NIn = 8192, Table = 9000, TSize = 1024;
+  Rng R(0xC0C0);
+  for (unsigned I = 0; I < NIn; ++I)
+    M->initWord(Input + I, R.range(256));
+  M->reserveMemory(Table + TSize);
+
+  FunctionBuilder B(*M, "main", 0, 0, CallRetKind::Int);
+  B.setBlock(B.newBlock("entry"));
+  unsigned InBase = B.movi(Input);
+  unsigned TBase = B.movi(Table);
+  unsigned H = B.movi(0);
+  unsigned Emitted = B.movi(0);
+
+  CountedLoop I = beginLoop(B, NIn, "scan");
+  {
+    unsigned A = B.add(InBase, I.Counter);
+    unsigned Byte = B.load(A, 0);
+    unsigned H33 = B.muli(H, 33);
+    unsigned Mix = B.add(H33, Byte);
+    setAssign(B, H, Operand::vreg(B.andi(Mix, 0xFFFF)));
+    unsigned Slot = B.andi(H, TSize - 1);
+    unsigned TA = B.add(TBase, Slot);
+    unsigned Old = B.load(TA, 0);
+    unsigned Match = B.cmp(Opcode::CmpEq, Old, Byte);
+    addAssign(B, Emitted, Operand::vreg(Match));
+    B.store(Byte, TA, 0);
+  }
+  endLoop(B, I);
+  B.emitValue(H);
+  B.emitValue(Emitted);
+  B.retVal(B.movi(0));
+  return M;
+}
+
+// --- m88ksim: instruction-dispatch simulator loop ----------------------------
+
+std::unique_ptr<Module> lsra::buildM88ksim() {
+  auto M = std::make_unique<Module>();
+  constexpr unsigned Prog = 0, NProg = 4096, RegFile = 5000;
+  Rng R(0x8888);
+  for (unsigned I = 0; I < NProg; ++I)
+    M->initWord(Prog + I, static_cast<int64_t>(R.next() & 0xFFFF));
+  for (unsigned I = 0; I < 16; ++I)
+    M->initWord(RegFile + I, R.range(1000));
+
+  FunctionBuilder B(*M, "main", 0, 0, CallRetKind::Int);
+  B.setBlock(B.newBlock("entry"));
+  unsigned PBase = B.movi(Prog);
+  unsigned RBase = B.movi(RegFile);
+  unsigned Cycles = B.movi(0);
+
+  CountedLoop Pass = beginLoop(B, 6, "pass");
+  {
+    CountedLoop Pc = beginLoop(B, NProg, "fetch");
+    {
+      unsigned IA = B.add(PBase, Pc.Counter);
+      unsigned Word = B.load(IA, 0);
+      unsigned Op = B.andi(Word, 3);
+      unsigned Rs1 = B.andi(B.shri(Word, 2), 15);
+      unsigned Rs2 = B.andi(B.shri(Word, 6), 15);
+      unsigned Rd = B.andi(B.shri(Word, 10), 15);
+      unsigned V1 = B.load(B.add(RBase, Rs1), 0);
+      unsigned V2 = B.load(B.add(RBase, Rs2), 0);
+      Block &OpAdd = B.newBlock("op.add");
+      Block &NotAdd = B.newBlock("op.notadd");
+      Block &OpSub = B.newBlock("op.sub");
+      Block &NotSub = B.newBlock("op.notsub");
+      Block &OpXor = B.newBlock("op.xor");
+      Block &OpSh = B.newBlock("op.sh");
+      Block &WB = B.newBlock("wb");
+      unsigned Res = B.movi(0);
+      B.cbr(B.cmpi(Opcode::CmpEq, Op, 0), OpAdd, NotAdd);
+      B.setBlock(OpAdd);
+      setAssign(B, Res, Operand::vreg(B.add(V1, V2)));
+      B.br(WB);
+      B.setBlock(NotAdd);
+      B.cbr(B.cmpi(Opcode::CmpEq, Op, 1), OpSub, NotSub);
+      B.setBlock(OpSub);
+      setAssign(B, Res, Operand::vreg(B.sub(V1, V2)));
+      B.br(WB);
+      B.setBlock(NotSub);
+      B.cbr(B.cmpi(Opcode::CmpEq, Op, 2), OpXor, OpSh);
+      B.setBlock(OpXor);
+      setAssign(B, Res, Operand::vreg(B.xorOp(V1, V2)));
+      B.br(WB);
+      B.setBlock(OpSh);
+      setAssign(B, Res, Operand::vreg(B.add(B.shli(V1, 1), V2)));
+      B.br(WB);
+      B.setBlock(WB);
+      unsigned Clipped = B.andi(Res, 0xFFFFFFFF);
+      B.store(Clipped, B.add(RBase, Rd), 0);
+      addAssign(B, Cycles, Operand::imm(1));
+    }
+    endLoop(B, Pc);
+  }
+  endLoop(B, Pass);
+
+  unsigned Chk = B.movi(0);
+  CountedLoop K = beginLoop(B, 16, "chk");
+  {
+    unsigned V = B.load(B.add(RBase, K.Counter), 0);
+    B.emit(Instr(Opcode::Xor, Operand::vreg(Chk), Operand::vreg(Chk),
+                 Operand::vreg(V)));
+  }
+  endLoop(B, K);
+  B.emitValue(Cycles);
+  B.emitValue(Chk);
+  B.retVal(B.movi(0));
+  return M;
+}
+
+// --- sort: recursive quicksort ------------------------------------------------
+
+std::unique_ptr<Module> lsra::buildSort() {
+  auto M = std::make_unique<Module>();
+  constexpr unsigned Arr = 0, N = 4096;
+  Rng R(0x5047);
+  for (unsigned I = 0; I < N; ++I)
+    M->initWord(Arr + I, R.range(1000000));
+
+  FunctionBuilder Q(*M, "qsort", 2, 0, CallRetKind::None);
+  Function &Qsort = *M->findFunction("qsort");
+  {
+    Q.setBlock(Q.newBlock("entry"));
+    unsigned Lo = Q.intParam(0), Hi = Q.intParam(1);
+    Block &Work = Q.newBlock("work");
+    Block &Done = Q.newBlock("done");
+    unsigned Small = Q.cmp(Opcode::CmpGe, Lo, Hi);
+    Q.cbr(Small, Done, Work);
+    Q.setBlock(Done);
+    Q.retVoid();
+    Q.setBlock(Work);
+    // Lomuto partition with the last element as pivot.
+    unsigned PivA = Q.movi(Arr);
+    unsigned PivAddr = Q.add(PivA, Hi);
+    unsigned Pivot = Q.load(PivAddr, 0);
+    unsigned Store = Q.mov(Lo);
+    unsigned J = Q.mov(Lo);
+    Block &Head = Q.newBlock("part.head");
+    Block &Body = Q.newBlock("part.body");
+    Block &Swap = Q.newBlock("part.swap");
+    Block &Next = Q.newBlock("part.next");
+    Block &After = Q.newBlock("part.after");
+    Q.br(Head);
+    Q.setBlock(Head);
+    unsigned InRange = Q.cmp(Opcode::CmpLt, J, Hi);
+    Q.cbr(InRange, Body, After);
+    Q.setBlock(Body);
+    unsigned JA = Q.add(PivA, J);
+    unsigned JV = Q.load(JA, 0);
+    unsigned LtP = Q.cmp(Opcode::CmpLt, JV, Pivot);
+    Q.cbr(LtP, Swap, Next);
+    Q.setBlock(Swap);
+    unsigned SA = Q.add(PivA, Store);
+    unsigned SV = Q.load(SA, 0);
+    Q.store(JV, SA, 0);
+    Q.store(SV, JA, 0);
+    addAssign(Q, Store, Operand::imm(1));
+    Q.br(Next);
+    Q.setBlock(Next);
+    addAssign(Q, J, Operand::imm(1));
+    Q.br(Head);
+    Q.setBlock(After);
+    // Swap pivot into place.
+    unsigned SA2 = Q.add(PivA, Store);
+    unsigned SV2 = Q.load(SA2, 0);
+    Q.store(Pivot, SA2, 0);
+    Q.store(SV2, PivAddr, 0);
+    // Recurse on both halves.
+    unsigned StoreM1 = Q.subi(Store, 1);
+    Q.call(Qsort, {Lo, StoreM1});
+    unsigned StoreP1 = Q.addi(Store, 1);
+    Q.call(Qsort, {StoreP1, Hi});
+    Q.retVoid();
+  }
+
+  FunctionBuilder B(*M, "main", 0, 0, CallRetKind::Int);
+  B.setBlock(B.newBlock("entry"));
+  unsigned Lo = B.movi(0);
+  unsigned Hi = B.movi(N - 1);
+  B.call(Qsort, {Lo, Hi});
+  // Verify sortedness and checksum.
+  unsigned Base = B.movi(Arr);
+  unsigned Bad = B.movi(0);
+  unsigned Sum = B.movi(0);
+  CountedLoop I = beginLoop(B, N - 1, "verify");
+  {
+    unsigned A = B.add(Base, I.Counter);
+    unsigned V0 = B.load(A, 0);
+    unsigned V1 = B.load(A, 1);
+    unsigned Gt = B.cmp(Opcode::CmpGt, V0, V1);
+    addAssign(B, Bad, Operand::vreg(Gt));
+    unsigned Rot = B.muli(Sum, 3);
+    setAssign(B, Sum, Operand::vreg(B.xorOp(Rot, V0)));
+  }
+  endLoop(B, I);
+  B.emitValue(Bad);
+  B.emitValue(Sum);
+  B.retVal(B.movi(0));
+  return M;
+}
+
+// --- wc: byte loop around a call with many live counters ---------------------
+
+std::unique_ptr<Module> lsra::buildWc() {
+  auto M = std::make_unique<Module>();
+  constexpr unsigned Input = 0, NIn = 12000;
+  Rng R(0x1C1C);
+  for (unsigned I = 0; I < NIn; ++I) {
+    int64_t Roll = R.range(100);
+    int64_t Byte = Roll < 15 ? 32 : (Roll < 18 ? 10 : 33 + R.range(90));
+    M->initWord(Input + I, Byte);
+  }
+
+  // The "I/O routine": returns the next byte; does a little bookkeeping so
+  // it is a real call that clobbers caller-saved registers.
+  FunctionBuilder G(*M, "getbyte", 1, 0, CallRetKind::Int);
+  Function &Getbyte = *M->findFunction("getbyte");
+  {
+    G.setBlock(G.newBlock("entry"));
+    unsigned Pos = G.intParam(0);
+    unsigned Base = G.movi(Input);
+    unsigned A = G.add(Base, Pos);
+    unsigned V = G.load(A, 0);
+    // A touch of real work (kept live by the store) so the callee behaves
+    // like an I/O routine rather than a single load.
+    unsigned T1 = G.muli(V, 7);
+    unsigned T2 = G.xori(T1, 0x55);
+    G.store(T2, Base, NIn); // scratch word just past the input
+    G.retVal(V);
+  }
+
+  FunctionBuilder B(*M, "main", 0, 0, CallRetKind::Int);
+  B.setBlock(B.newBlock("entry"));
+  // Mutable values, defined first so the first-encounter allocation gives
+  // them the six callee-saved registers (they are written every iteration,
+  // so spilling them would cost a store AND a load per trip): the loop
+  // counter plus five word-count state variables.
+  unsigned Counter = B.movi(0);
+  unsigned Lines = B.movi(0);
+  unsigned Words = B.movi(0);
+  unsigned Chars = B.movi(0);
+  unsigned InWord = B.movi(0);
+  unsigned Caps = B.movi(0); // bytes in [ThA, ThZ]
+  // Loop-invariant values live throughout the loop (and thus across the
+  // call): with the callee-saved file full these can only sit in
+  // caller-saved registers, whose lifetime holes end at the call (§2.5).
+  // Each is used twice per iteration, which is exactly where second chance
+  // wins: one reload per iteration instead of one load per use.
+  unsigned ThA = B.movi(65), ThZ = B.movi(90), Th0 = B.movi(48),
+           Th9 = B.movi(57), ThL = B.movi(96), ThSp = B.movi(32),
+           ThNl = B.movi(10);
+  // A warm-up call (stream open / priming read): its evictions give every
+  // threshold its one-time spill store *outside* the loop, so the in-loop
+  // evictions at the hot call find register and memory consistent and emit
+  // no stores — the §3.1 "avoiding unnecessary stores" effect.
+  addAssign(B, Chars, Operand::vreg(B.call(Getbyte, {Counter})));
+  setAssign(B, Chars, Operand::imm(0));
+
+  // Hand-rolled counted loop (the counter must predate the thresholds).
+  CountedLoop I;
+  I.Counter = Counter;
+  I.Head = &B.newBlock("scan.head");
+  I.Body = &B.newBlock("scan.body");
+  I.Exit = &B.newBlock("scan.exit");
+  B.br(*I.Head);
+  B.setBlock(*I.Head);
+  B.cbr(B.cmpi(Opcode::CmpLt, Counter, NIn), *I.Body, *I.Exit);
+  B.setBlock(*I.Body);
+  {
+    unsigned C = B.call(Getbyte, {I.Counter});
+    // Straight-line classification: every threshold is used twice here, so
+    // a second-chance reload after the call serves both uses, while
+    // whole-lifetime allocators pay one load per use.
+    addAssign(B, Chars, Operand::imm(1));
+    unsigned IsNl = B.cmp(Opcode::CmpEq, C, ThNl);
+    addAssign(B, Lines, Operand::vreg(IsNl));
+    unsigned IsSp = B.cmp(Opcode::CmpEq, C, ThSp);
+    unsigned IsWs = B.orOp(IsNl, IsSp);
+    unsigned GeA = B.cmp(Opcode::CmpGe, C, ThA);
+    unsigned LeZ = B.cmp(Opcode::CmpLe, C, ThZ);
+    unsigned IsCap = B.andOp(GeA, LeZ);
+    addAssign(B, Caps, Operand::vreg(IsCap));
+    unsigned Digit = B.andOp(B.cmp(Opcode::CmpGe, C, Th0),
+                             B.cmp(Opcode::CmpLe, C, Th9));
+    unsigned Long1 = B.cmp(Opcode::CmpGt, C, ThL);
+    unsigned NotNlSp = B.andOp(B.cmp(Opcode::CmpNe, C, ThNl),
+                               B.cmp(Opcode::CmpNe, C, ThSp));
+    unsigned Odd = B.andOp(B.orOp(B.cmp(Opcode::CmpLt, C, ThA),
+                                  B.cmp(Opcode::CmpGt, C, ThZ)),
+                           B.orOp(B.cmp(Opcode::CmpLt, C, Th0),
+                                  B.cmp(Opcode::CmpLe, C, ThL)));
+    unsigned Zero = B.andi(B.andOp(B.orOp(Digit, Long1),
+                                   B.andOp(NotNlSp, Odd)),
+                           0);
+    addAssign(B, Chars, Operand::vreg(Zero)); // keeps the cone alive
+    Block &Ws = B.newBlock("ws");
+    Block &NonWs = B.newBlock("nonws");
+    Block &Join = B.newBlock("join");
+    B.cbr(IsWs, Ws, NonWs);
+    B.setBlock(Ws);
+    addAssign(B, Words, Operand::vreg(InWord));
+    setAssign(B, InWord, Operand::imm(0));
+    B.br(Join);
+    B.setBlock(NonWs);
+    setAssign(B, InWord, Operand::imm(1));
+    B.br(Join);
+    B.setBlock(Join);
+  }
+  endLoop(B, I);
+  addAssign(B, Words, Operand::vreg(InWord)); // final word
+  B.emitValue(Lines);
+  B.emitValue(Words);
+  B.emitValue(Chars);
+  B.emitValue(Caps);
+  B.retVal(B.movi(0));
+  return M;
+}
+
+// --- Registry -----------------------------------------------------------------
+
+const std::vector<WorkloadSpec> &lsra::allWorkloads() {
+  static const std::vector<WorkloadSpec> Specs = {
+      {"alvinn", "fp neural-net forward pass (no spills)", &buildAlvinn},
+      {"doduc", "branchy fp kernels (moderate fp pressure)", &buildDoduc},
+      {"eqntott", "tiny hot comparison routine", &buildEqntott},
+      {"espresso", "integer bit-manipulation (moderate pressure)",
+       &buildEspresso},
+      {"fpppp", "huge straight-line fp blocks (heavy spills)", &buildFpppp},
+      {"li", "call-intensive recursive evaluator", &buildLi},
+      {"tomcatv", "fp stencil relaxation", &buildTomcatv},
+      {"compress", "integer hash loop", &buildCompress},
+      {"m88ksim", "instruction-dispatch simulator", &buildM88ksim},
+      {"sort", "recursive quicksort", &buildSort},
+      {"wc", "byte loop around a call with many live counters", &buildWc},
+  };
+  return Specs;
+}
+
+std::unique_ptr<Module> lsra::buildWorkload(const std::string &Name) {
+  for (const WorkloadSpec &S : allWorkloads())
+    if (Name == S.Name)
+      return S.Build();
+  assert(false && "unknown workload name");
+  return nullptr;
+}

@@ -1,0 +1,68 @@
+//===- workloads/Workloads.h - Paper-benchmark analogues -------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic programs standing in for the paper's SPEC92/95 benchmarks and
+/// UNIX utilities (Table 1/2, Figure 3). Each workload reproduces the
+/// register-pressure character the paper attributes to its namesake:
+///
+///   alvinn    fp neural-net forward pass, low pressure (no spills)
+///   doduc     branchy fp kernels, moderate-high fp pressure
+///   eqntott   tiny hot comparison procedure, nearly spill-free
+///   espresso  integer bit-manipulation loops, moderate pressure
+///   fpppp     huge straight-line fp blocks, extreme pressure (spill-heavy)
+///   li        call-intensive recursive evaluator, move-dominated
+///   tomcatv   fp stencil relaxation, low pressure
+///   compress  integer hash loop, low pressure
+///   m88ksim   instruction-dispatch simulator loop, light spilling
+///   sort      recursive quicksort, moderate pressure with calls
+///   wc        byte loop around an I/O call with many live counters —
+///             the §3.1 second-chance showcase
+///
+/// Every program ends by emitting checksums, so two allocations of the same
+/// module can be compared for semantic equality via the VM output trace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_WORKLOADS_WORKLOADS_H
+#define LSRA_WORKLOADS_WORKLOADS_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lsra {
+
+struct WorkloadSpec {
+  const char *Name;          ///< paper benchmark analogue name
+  const char *Description;
+  std::unique_ptr<Module> (*Build)();
+};
+
+/// All eleven Table 1 workloads, in the paper's row order.
+const std::vector<WorkloadSpec> &allWorkloads();
+
+/// Build one workload by name; asserts the name exists.
+std::unique_ptr<Module> buildWorkload(const std::string &Name);
+
+// Individual builders (also usable directly from tests).
+std::unique_ptr<Module> buildAlvinn();
+std::unique_ptr<Module> buildDoduc();
+std::unique_ptr<Module> buildEqntott();
+std::unique_ptr<Module> buildEspresso();
+std::unique_ptr<Module> buildFpppp();
+std::unique_ptr<Module> buildLi();
+std::unique_ptr<Module> buildTomcatv();
+std::unique_ptr<Module> buildCompress();
+std::unique_ptr<Module> buildM88ksim();
+std::unique_ptr<Module> buildSort();
+std::unique_ptr<Module> buildWc();
+
+} // namespace lsra
+
+#endif // LSRA_WORKLOADS_WORKLOADS_H

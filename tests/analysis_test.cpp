@@ -1,0 +1,196 @@
+//===- tests/analysis_test.cpp - Liveness, dominators, loops, order -------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+#include "analysis/Liveness.h"
+#include "analysis/Loops.h"
+#include "analysis/Order.h"
+#include "ir/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace lsra;
+
+namespace {
+
+/// Build the diamond of the paper's Figure 1: B1 -> {B2, B3} -> B4, with
+/// T1 defined in B1, used in B2 and B4; T2 local to B1; T4 redefined in B3
+/// and B4.
+struct DiamondFixture {
+  Module M;
+  Function *F = nullptr;
+  unsigned T1, T2, T3, T4;
+  unsigned B1, B2, B3, B4;
+
+  DiamondFixture() {
+    FunctionBuilder B(M, "fig1", 0, 0, CallRetKind::None);
+    Block &Blk1 = B.newBlock("B1");
+    Block &Blk2 = B.newBlock("B2");
+    Block &Blk3 = B.newBlock("B3");
+    Block &Blk4 = B.newBlock("B4");
+    B1 = Blk1.id();
+    B2 = Blk2.id();
+    B3 = Blk3.id();
+    B4 = Blk4.id();
+
+    B.setBlock(Blk1);
+    T1 = B.movi(1);        // T1 <- ..
+    T2 = B.movi(2);        // T2 <- ..
+    unsigned C = B.cmpi(Opcode::CmpLt, T2, 10); // .. <- T2 (local use)
+    T4 = B.movi(4);        // T4 <- ..
+    B.cbr(C, Blk2, Blk3);
+
+    B.setBlock(Blk2);
+    T3 = B.mov(T1);        // T3 <- T1 (use of T1)
+    B.emitValue(T3);       // .. <- T3
+    B.emitValue(T4);       // .. <- T4
+    B.br(Blk4);
+
+    B.setBlock(Blk3);
+    B.emit(Instr(Opcode::MovI, Operand::vreg(T4), Operand::imm(9))); // T4 <-
+    B.emitValue(T4);
+    B.br(Blk4);
+
+    B.setBlock(Blk4);
+    B.emitValue(T1);       // .. <- T1
+    B.emit(Instr(Opcode::MovI, Operand::vreg(T4), Operand::imm(7))); // T4 <-
+    B.emitValue(T4);
+    B.retVoid();
+    F = &B.function();
+  }
+};
+
+TEST(Liveness, DiamondLiveSets) {
+  DiamondFixture Fx;
+  TargetDesc TD = TargetDesc::alphaLike();
+  Liveness LV(*Fx.F, TD);
+
+  // T1 is live out of B1, through both arms (used in B2 and B4).
+  EXPECT_TRUE(LV.liveOut(Fx.B1).test(Fx.T1));
+  EXPECT_TRUE(LV.liveIn(Fx.B2).test(Fx.T1));
+  EXPECT_TRUE(LV.liveIn(Fx.B3).test(Fx.T1)); // live-through B3
+  EXPECT_TRUE(LV.liveIn(Fx.B4).test(Fx.T1));
+  // T2 is block-local to B1.
+  EXPECT_FALSE(LV.liveOut(Fx.B1).test(Fx.T2));
+  EXPECT_FALSE(LV.isCrossBlock(Fx.T2));
+  EXPECT_TRUE(LV.isCrossBlock(Fx.T1));
+  // T4 is live into B2 (used there) but dead into B3 (redefined there).
+  EXPECT_TRUE(LV.liveIn(Fx.B2).test(Fx.T4));
+  EXPECT_FALSE(LV.liveIn(Fx.B3).test(Fx.T4));
+  // T4 is redefined at the top of B4, so it is not live into B4.
+  EXPECT_FALSE(LV.liveIn(Fx.B4).test(Fx.T4));
+}
+
+TEST(Liveness, LoopCarriedValue) {
+  Module M;
+  FunctionBuilder B(M, "loop", 0, 0, CallRetKind::Int);
+  Block &Entry = B.newBlock("entry");
+  Block &Head = B.newBlock("head");
+  Block &Body = B.newBlock("body");
+  Block &Exit = B.newBlock("exit");
+  B.setBlock(Entry);
+  unsigned Acc = B.movi(0);
+  unsigned I = B.movi(0);
+  B.br(Head);
+  B.setBlock(Head);
+  unsigned C = B.cmpi(Opcode::CmpLt, I, 10);
+  B.cbr(C, Body, Exit);
+  B.setBlock(Body);
+  B.emit(Instr(Opcode::Add, Operand::vreg(Acc), Operand::vreg(Acc),
+               Operand::vreg(I)));
+  B.emit(Instr(Opcode::Add, Operand::vreg(I), Operand::vreg(I),
+               Operand::imm(1)));
+  B.br(Head);
+  B.setBlock(Exit);
+  B.retVal(Acc);
+
+  TargetDesc TD = TargetDesc::alphaLike();
+  Liveness LV(M.function(0), TD);
+  // Acc is live around the back edge.
+  EXPECT_TRUE(LV.liveIn(Head.id()).test(Acc));
+  EXPECT_TRUE(LV.liveOut(Body.id()).test(Acc));
+  EXPECT_TRUE(LV.liveIn(Exit.id()).test(Acc));
+  EXPECT_TRUE(LV.liveOut(Head.id()).test(I));
+  EXPECT_FALSE(LV.liveIn(Exit.id()).test(I));
+}
+
+TEST(Dominators, DiamondAndLoop) {
+  DiamondFixture Fx;
+  Dominators Dom(*Fx.F);
+  EXPECT_EQ(Dom.idom(Fx.B2), Fx.B1);
+  EXPECT_EQ(Dom.idom(Fx.B3), Fx.B1);
+  EXPECT_EQ(Dom.idom(Fx.B4), Fx.B1); // join: idom is the branch block
+  EXPECT_TRUE(Dom.dominates(Fx.B1, Fx.B4));
+  EXPECT_FALSE(Dom.dominates(Fx.B2, Fx.B4));
+  EXPECT_TRUE(Dom.dominates(Fx.B2, Fx.B2));
+}
+
+TEST(Loops, NestedLoopDepths) {
+  Module M;
+  FunctionBuilder B(M, "nest", 0, 0, CallRetKind::None);
+  Block &Entry = B.newBlock("entry");
+  Block &OuterHead = B.newBlock("outer.head");
+  Block &InnerHead = B.newBlock("inner.head");
+  Block &InnerBody = B.newBlock("inner.body");
+  Block &OuterLatch = B.newBlock("outer.latch");
+  Block &Exit = B.newBlock("exit");
+
+  B.setBlock(Entry);
+  unsigned I = B.movi(0);
+  B.br(OuterHead);
+  B.setBlock(OuterHead);
+  unsigned C1 = B.cmpi(Opcode::CmpLt, I, 3);
+  B.cbr(C1, InnerHead, Exit);
+  B.setBlock(InnerHead);
+  unsigned C2 = B.cmpi(Opcode::CmpLt, I, 2);
+  B.cbr(C2, InnerBody, OuterLatch);
+  B.setBlock(InnerBody);
+  B.br(InnerHead);
+  B.setBlock(OuterLatch);
+  B.emit(Instr(Opcode::Add, Operand::vreg(I), Operand::vreg(I),
+               Operand::imm(1)));
+  B.br(OuterHead);
+  B.setBlock(Exit);
+  B.retVoid();
+
+  LoopInfo LI(M.function(0));
+  EXPECT_EQ(LI.depth(Entry.id()), 0u);
+  EXPECT_EQ(LI.depth(Exit.id()), 0u);
+  EXPECT_EQ(LI.depth(OuterHead.id()), 1u);
+  EXPECT_EQ(LI.depth(OuterLatch.id()), 1u);
+  EXPECT_EQ(LI.depth(InnerHead.id()), 2u);
+  EXPECT_EQ(LI.depth(InnerBody.id()), 2u);
+  EXPECT_EQ(LI.loops().size(), 2u);
+  EXPECT_GT(LI.blockWeight(InnerBody.id()), LI.blockWeight(OuterHead.id()));
+}
+
+TEST(Order, NumberingPositions) {
+  DiamondFixture Fx;
+  Numbering Num(*Fx.F);
+  EXPECT_EQ(Num.numInstrs(), Fx.F->numInstrs());
+  EXPECT_EQ(Num.blockStartPos(Fx.B1), 0u);
+  // Positions are 2*index; block ends meet the next block's start.
+  EXPECT_EQ(Num.blockEndPos(Fx.B1), Num.blockStartPos(Fx.B2));
+  EXPECT_EQ(Numbering::usePos(3), 6u);
+  EXPECT_EQ(Numbering::defPos(3), 7u);
+  EXPECT_EQ(Num.blockOfIndex(0), Fx.B1);
+  EXPECT_EQ(Num.blockOfIndex(Num.blockFirstIndex(Fx.B3)), Fx.B3);
+}
+
+TEST(Order, ReversePostOrderStartsAtEntryAndCoversAll) {
+  DiamondFixture Fx;
+  std::vector<unsigned> RPO = reversePostOrder(*Fx.F);
+  ASSERT_EQ(RPO.size(), Fx.F->numBlocks());
+  EXPECT_EQ(RPO.front(), Fx.B1);
+  // B4 comes after both B2 and B3.
+  auto Pos = [&](unsigned B) {
+    return std::find(RPO.begin(), RPO.end(), B) - RPO.begin();
+  };
+  EXPECT_GT(Pos(Fx.B4), Pos(Fx.B2));
+  EXPECT_GT(Pos(Fx.B4), Pos(Fx.B3));
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+//===- tests/bitvector_test.cpp -------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitVector.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace lsra;
+
+TEST(BitVector, BasicSetResetTest) {
+  BitVector BV(130);
+  EXPECT_EQ(BV.size(), 130u);
+  EXPECT_TRUE(BV.none());
+  BV.set(0);
+  BV.set(63);
+  BV.set(64);
+  BV.set(129);
+  EXPECT_TRUE(BV.test(0));
+  EXPECT_TRUE(BV.test(63));
+  EXPECT_TRUE(BV.test(64));
+  EXPECT_TRUE(BV.test(129));
+  EXPECT_FALSE(BV.test(1));
+  EXPECT_EQ(BV.count(), 4u);
+  BV.reset(63);
+  EXPECT_FALSE(BV.test(63));
+  EXPECT_EQ(BV.count(), 3u);
+}
+
+TEST(BitVector, SetAllRespectsSize) {
+  BitVector BV(70);
+  BV.setAll();
+  EXPECT_EQ(BV.count(), 70u);
+}
+
+TEST(BitVector, UnionReportsChange) {
+  BitVector A(100), B(100);
+  B.set(42);
+  EXPECT_TRUE(A |= B);
+  EXPECT_FALSE(A |= B); // no further change
+  EXPECT_TRUE(A.test(42));
+}
+
+TEST(BitVector, IntersectionReportsChange) {
+  BitVector A(100), B(100);
+  A.set(1);
+  A.set(2);
+  B.set(2);
+  EXPECT_TRUE(A &= B);
+  EXPECT_FALSE(A.test(1));
+  EXPECT_TRUE(A.test(2));
+  EXPECT_FALSE(A &= B);
+}
+
+TEST(BitVector, SubtractReportsChange) {
+  BitVector A(100), B(100);
+  A.set(5);
+  A.set(6);
+  B.set(5);
+  EXPECT_TRUE(A.subtract(B));
+  EXPECT_FALSE(A.test(5));
+  EXPECT_TRUE(A.test(6));
+  EXPECT_FALSE(A.subtract(B));
+}
+
+TEST(BitVector, UnionWithDifferenceIsTransferFunction) {
+  BitVector In(64), Out(64), Def(64);
+  Out.set(1);
+  Out.set(2);
+  Def.set(2);
+  EXPECT_TRUE(In.unionWithDifference(Out, Def));
+  EXPECT_TRUE(In.test(1));
+  EXPECT_FALSE(In.test(2));
+}
+
+TEST(BitVector, FindNextScansWordBoundaries) {
+  BitVector BV(200);
+  BV.set(3);
+  BV.set(64);
+  BV.set(199);
+  EXPECT_EQ(BV.findFirst(), 3);
+  EXPECT_EQ(BV.findNext(4), 64);
+  EXPECT_EQ(BV.findNext(65), 199);
+  EXPECT_EQ(BV.findNext(200), -1);
+}
+
+TEST(BitVector, SetBitsIteration) {
+  BitVector BV(150);
+  std::set<unsigned> Expected = {0, 7, 63, 64, 65, 128, 149};
+  for (unsigned I : Expected)
+    BV.set(I);
+  std::set<unsigned> Got;
+  for (unsigned I : BV.setBits())
+    Got.insert(I);
+  EXPECT_EQ(Expected, Got);
+}
+
+TEST(BitVector, EqualityAndResize) {
+  BitVector A(10), B(10);
+  A.set(3);
+  B.set(3);
+  EXPECT_EQ(A, B);
+  B.set(4);
+  EXPECT_NE(A, B);
+  A.resize(20, true);
+  EXPECT_EQ(A.count(), 20u); // resize reinitialises
+}

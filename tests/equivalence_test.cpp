@@ -1,0 +1,139 @@
+//===- tests/equivalence_test.cpp - End-to-end semantic equivalence -------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+// The central correctness property: for every workload, every allocator,
+// and a range of register-file sizes, the allocated program must produce
+// exactly the output trace and return value of the virtual-register
+// reference — with the machine contract enforced (caller-saved registers
+// poisoned around calls, callee-saved registers checked at returns).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace lsra;
+
+namespace {
+
+struct Config {
+  const char *Workload;
+  AllocatorKind Kind;
+  unsigned RegLimit; // 0 = full register file
+};
+
+std::string configName(const testing::TestParamInfo<Config> &Info) {
+  std::string Name = std::string(Info.param.Workload) + "_" +
+                     allocatorName(Info.param.Kind) + "_r" +
+                     std::to_string(Info.param.RegLimit);
+  for (char &C : Name)
+    if (C == '-')
+      C = '_';
+  return Name;
+}
+
+class EquivalenceTest : public testing::TestWithParam<Config> {};
+
+TEST_P(EquivalenceTest, AllocatedMatchesReference) {
+  const Config &C = GetParam();
+  TargetDesc TD = TargetDesc::alphaLike();
+  if (C.RegLimit)
+    TD = TD.withRegLimit(C.RegLimit, C.RegLimit);
+
+  auto RefModule = buildWorkload(C.Workload);
+  RunResult Ref = runReference(*RefModule, TD);
+  ASSERT_TRUE(Ref.Ok) << "reference failed: " << Ref.Error;
+  ASSERT_FALSE(Ref.Output.empty());
+
+  auto Mod = buildWorkload(C.Workload);
+  AllocStats Stats = compileModule(*Mod, TD, C.Kind);
+  (void)Stats;
+  std::string Diag = checkAllocated(*Mod);
+  ASSERT_TRUE(Diag.empty()) << Diag;
+
+  RunResult Got = runAllocated(*Mod, TD);
+  ASSERT_TRUE(Got.Ok) << "allocated run failed: " << Got.Error;
+  EXPECT_EQ(Ref.Output, Got.Output);
+  EXPECT_EQ(Ref.ReturnValue, Got.ReturnValue);
+}
+
+std::vector<Config> allConfigs() {
+  std::vector<Config> Cs;
+  const AllocatorKind Kinds[] = {
+      AllocatorKind::SecondChanceBinpack,
+      AllocatorKind::GraphColoring,
+      AllocatorKind::TwoPassBinpack,
+      AllocatorKind::PolettoScan,
+  };
+  for (const WorkloadSpec &W : allWorkloads())
+    for (AllocatorKind K : Kinds)
+      for (unsigned Limit : {0u, 8u})
+        Cs.push_back({W.Name, K, Limit});
+  return Cs;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, EquivalenceTest,
+                         testing::ValuesIn(allConfigs()), configName);
+
+// Binpack-specific option sweeps on a spill-heavy and a call-heavy
+// workload: every §2.5/§2.6 switch must preserve semantics.
+struct OptConfig {
+  const char *Workload;
+  bool EarlySecondChance;
+  bool MoveCoalesce;
+  AllocOptions::ConsistencyMode Mode;
+  unsigned RegLimit;
+};
+
+class BinpackOptionTest : public testing::TestWithParam<OptConfig> {};
+
+TEST_P(BinpackOptionTest, OptionsPreserveSemantics) {
+  const OptConfig &C = GetParam();
+  TargetDesc TD = TargetDesc::alphaLike();
+  if (C.RegLimit)
+    TD = TD.withRegLimit(C.RegLimit, C.RegLimit);
+
+  auto RefModule = buildWorkload(C.Workload);
+  RunResult Ref = runReference(*RefModule, TD);
+  ASSERT_TRUE(Ref.Ok) << Ref.Error;
+
+  auto Mod = buildWorkload(C.Workload);
+  AllocOptions Opts;
+  Opts.EarlySecondChance = C.EarlySecondChance;
+  Opts.MoveCoalesce = C.MoveCoalesce;
+  Opts.Consistency = C.Mode;
+  compileModule(*Mod, TD, AllocatorKind::SecondChanceBinpack, Opts);
+  ASSERT_TRUE(checkAllocated(*Mod).empty());
+
+  RunResult Got = runAllocated(*Mod, TD);
+  ASSERT_TRUE(Got.Ok) << Got.Error;
+  EXPECT_EQ(Ref.Output, Got.Output);
+}
+
+std::vector<OptConfig> optionConfigs() {
+  std::vector<OptConfig> Cs;
+  for (const char *W : {"fpppp", "wc", "sort", "espresso"})
+    for (bool Esc : {false, true})
+      for (bool Mc : {false, true})
+        for (auto Mode : {AllocOptions::ConsistencyMode::Iterative,
+                          AllocOptions::ConsistencyMode::Conservative})
+          for (unsigned Limit : {0u, 6u})
+            Cs.push_back({W, Esc, Mc, Mode, Limit});
+  return Cs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OptionSweep, BinpackOptionTest, testing::ValuesIn(optionConfigs()),
+    [](const testing::TestParamInfo<OptConfig> &Info) {
+      const OptConfig &C = Info.param;
+      return std::string(C.Workload) + (C.EarlySecondChance ? "_esc" : "") +
+             (C.MoveCoalesce ? "_mc" : "") +
+             (C.Mode == AllocOptions::ConsistencyMode::Iterative ? "_iter"
+                                                                 : "_cons") +
+             "_r" + std::to_string(C.RegLimit);
+    });
+
+} // namespace

@@ -1,0 +1,162 @@
+//===- tests/lowering_test.cpp - LowerCalls and CalleeSave passes ---------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/IRVerifier.h"
+#include "target/CalleeSave.h"
+#include "target/LowerCalls.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+using namespace lsra;
+
+namespace {
+
+TEST(LowerCalls, ArgumentAndResultMoves) {
+  Module M;
+  FunctionBuilder G(M, "g", 2, 1, CallRetKind::Int);
+  G.setBlock(G.newBlock("entry"));
+  unsigned S = G.add(G.intParam(0), G.intParam(1));
+  unsigned FI = G.ftoi(G.fpParam(0));
+  G.retVal(G.add(S, FI));
+
+  FunctionBuilder B(M, "main", 0, 0, CallRetKind::Int);
+  B.setBlock(B.newBlock("entry"));
+  unsigned R = B.call(G.function(), {B.movi(1), B.movi(2)}, {B.movf(3.0)});
+  B.retVal(R);
+  lowerCalls(M);
+
+  VerifyOptions VO;
+  VO.RequireLoweredCalls = true;
+  EXPECT_EQ(verifyModule(M, VO), "");
+
+  // main's block must contain moves into $16, $17, $f16, then the call,
+  // then a move out of $0.
+  const auto &Instrs = M.function(1).entry().instrs();
+  bool SawArg0 = false, SawArg1 = false, SawFArg0 = false, SawRes = false;
+  for (const Instr &I : Instrs) {
+    if (I.opcode() == Opcode::Mov && I.op(0).isPReg()) {
+      SawArg0 |= I.op(0).pregId() == TargetDesc::intArgReg(0);
+      SawArg1 |= I.op(0).pregId() == TargetDesc::intArgReg(1);
+    }
+    if (I.opcode() == Opcode::FMov && I.op(0).isPReg())
+      SawFArg0 |= I.op(0).pregId() == TargetDesc::fpArgReg(0);
+    if (I.opcode() == Opcode::Mov && I.op(1).isPReg() &&
+        I.op(1).pregId() == TargetDesc::intRetReg())
+      SawRes = true;
+  }
+  EXPECT_TRUE(SawArg0 && SawArg1 && SawFArg0 && SawRes);
+
+  // g's entry begins with moves FROM the argument registers (the code
+  // shape §2.5's move optimisation targets).
+  const auto &GInstrs = M.function(0).entry().instrs();
+  ASSERT_GE(GInstrs.size(), 3u);
+  EXPECT_EQ(GInstrs[0].opcode(), Opcode::Mov);
+  EXPECT_EQ(GInstrs[0].op(1).pregId(), TargetDesc::intArgReg(0));
+  EXPECT_EQ(GInstrs[1].op(1).pregId(), TargetDesc::intArgReg(1));
+  EXPECT_EQ(GInstrs[2].opcode(), Opcode::FMov);
+}
+
+TEST(LowerCalls, RetValueGoesThroughConventionRegister) {
+  Module M;
+  FunctionBuilder B(M, "f", 0, 0, CallRetKind::Float);
+  B.setBlock(B.newBlock("entry"));
+  B.retVal(B.movf(1.25));
+  lowerCalls(M);
+  const auto &Instrs = M.function(0).entry().instrs();
+  const Instr &RetI = Instrs.back();
+  ASSERT_EQ(RetI.opcode(), Opcode::Ret);
+  ASSERT_TRUE(RetI.op(0).isPReg());
+  EXPECT_EQ(RetI.op(0).pregId(), TargetDesc::fpRetReg());
+  const Instr &MoveI = Instrs[Instrs.size() - 2];
+  EXPECT_EQ(MoveI.opcode(), Opcode::FMov);
+  EXPECT_EQ(MoveI.op(0).pregId(), TargetDesc::fpRetReg());
+}
+
+TEST(LowerCalls, IsIdempotent) {
+  Module M;
+  FunctionBuilder B(M, "f", 1, 0, CallRetKind::Int);
+  B.setBlock(B.newBlock("entry"));
+  B.retVal(B.intParam(0));
+  lowerCalls(M);
+  unsigned Count = M.function(0).numInstrs();
+  lowerCalls(M);
+  EXPECT_EQ(M.function(0).numInstrs(), Count);
+}
+
+TEST(LowerCalls, SemanticsPreserved) {
+  auto Build = [](Module &M) {
+    FunctionBuilder G(M, "mix", 2, 2, CallRetKind::Float);
+    G.setBlock(G.newBlock("entry"));
+    unsigned A = G.itof(G.add(G.intParam(0), G.intParam(1)));
+    unsigned B2 = G.fmul(G.fpParam(0), G.fpParam(1));
+    G.retVal(G.fadd(A, B2));
+    FunctionBuilder B(M, "main", 0, 0, CallRetKind::Int);
+    B.setBlock(B.newBlock("entry"));
+    unsigned R = B.call(G.function(), {B.movi(2), B.movi(3)},
+                        {B.movf(1.5), B.movf(4.0)});
+    B.femitValue(R);
+    B.retVal(B.movi(0));
+  };
+  TargetDesc TD = TargetDesc::alphaLike();
+  Module M1, M2;
+  Build(M1);
+  Build(M2);
+  lowerCalls(M2);
+  RunResult R1 = VM(M1, TD).run();
+  RunResult R2 = VM(M2, TD).run();
+  ASSERT_TRUE(R1.Ok && R2.Ok);
+  EXPECT_EQ(R1.Output, R2.Output);
+}
+
+TEST(CalleeSave, InsertsPrologueAndEpilogues) {
+  Module M;
+  Function &F = M.addFunction("f");
+  F.CallsLowered = true;
+  Block &E = F.addBlock("entry");
+  Block &A = F.addBlock("a");
+  Block &B2 = F.addBlock("b");
+  E.append(Instr(Opcode::MovI, Operand::preg(intReg(9)), Operand::imm(1)));
+  E.append(Instr(Opcode::MovI, Operand::preg(fpReg(10)), Operand::imm(0)));
+  E.append(Instr(Opcode::CBr, Operand::preg(intReg(9)), Operand::label(1),
+                 Operand::label(2)));
+  A.append(Instr(Opcode::Ret));
+  B2.append(Instr(Opcode::Ret));
+
+  // fpReg(10) defined via MovI is a class mismatch; fix to MovF.
+  E.instrs()[1] = Instr(Opcode::MovF, Operand::preg(fpReg(10)),
+                        Operand::fimm(0.0));
+
+  TargetDesc TD = TargetDesc::alphaLike();
+  unsigned Saved = insertCalleeSaves(F, TD);
+  EXPECT_EQ(Saved, 2u);
+  // Prologue stores first.
+  EXPECT_EQ(E.instrs()[0].opcode(), Opcode::StSlot);
+  EXPECT_EQ(E.instrs()[0].Spill, SpillKind::CalleeSave);
+  EXPECT_EQ(E.instrs()[1].opcode(), Opcode::FStSlot);
+  // Both returns get both restores.
+  for (Block *Blk : {&A, &B2}) {
+    ASSERT_EQ(Blk->size(), 3u);
+    EXPECT_EQ(Blk->instrs()[0].Spill, SpillKind::CalleeRestore);
+    EXPECT_EQ(Blk->instrs()[1].Spill, SpillKind::CalleeRestore);
+    EXPECT_TRUE(Blk->instrs()[2].isTerminator());
+  }
+}
+
+TEST(CalleeSave, NoOpWhenNoCalleeSavedTouched) {
+  Module M;
+  Function &F = M.addFunction("f");
+  F.CallsLowered = true;
+  Block &E = F.addBlock("entry");
+  E.append(Instr(Opcode::MovI, Operand::preg(intReg(1)), Operand::imm(1)));
+  E.append(Instr(Opcode::Ret));
+  TargetDesc TD = TargetDesc::alphaLike();
+  EXPECT_EQ(insertCalleeSaves(F, TD), 0u);
+  EXPECT_EQ(F.numInstrs(), 2u);
+}
+
+} // namespace

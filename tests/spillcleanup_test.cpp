@@ -1,0 +1,251 @@
+//===- tests/spillcleanup_test.cpp - §2.4 follow-on optimisation ----------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "ir/Builder.h"
+#include "passes/SpillCleanup.h"
+#include "workloads/RandomProgram.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace lsra;
+
+namespace {
+
+/// Hand-built allocated function scaffolding.
+struct Allocated {
+  Module M;
+  Function &F;
+  Block &B;
+  unsigned Slot;
+  Allocated()
+      : F(M.addFunction("f")), B(F.addBlock("entry")),
+        Slot(F.newSlot(RegClass::Int)) {
+    F.CallsLowered = true;
+  }
+  void finish() { B.append(Instr(Opcode::Ret)); }
+  Instr store(unsigned R, unsigned S, SpillKind K = SpillKind::EvictStore) {
+    Instr I(Opcode::StSlot, Operand::preg(R), Operand::slot(S));
+    I.Spill = K;
+    return I;
+  }
+  Instr load(unsigned R, unsigned S, SpillKind K = SpillKind::EvictLoad) {
+    Instr I(Opcode::LdSlot, Operand::preg(R), Operand::slot(S));
+    I.Spill = K;
+    return I;
+  }
+};
+
+TEST(SpillCleanup, DeletesReloadIntoSameRegister) {
+  Allocated A;
+  A.B.append(Instr(Opcode::MovI, Operand::preg(intReg(1)), Operand::imm(7)));
+  A.B.append(A.store(intReg(1), A.Slot));
+  A.B.append(A.load(intReg(1), A.Slot)); // value still in $1
+  A.finish();
+  TargetDesc TD = TargetDesc::alphaLike();
+  SpillCleanupStats S = cleanupSpillCode(A.F, TD);
+  EXPECT_EQ(S.LoadsDeleted, 1u);
+  EXPECT_EQ(A.F.numInstrs(), 3u);
+}
+
+TEST(SpillCleanup, TurnsMetPairIntoMove) {
+  Allocated A;
+  A.B.append(Instr(Opcode::MovI, Operand::preg(intReg(1)), Operand::imm(7)));
+  A.B.append(A.store(intReg(1), A.Slot));
+  A.B.append(A.load(intReg(2), A.Slot)); // different register: move
+  A.finish();
+  TargetDesc TD = TargetDesc::alphaLike();
+  SpillCleanupStats S = cleanupSpillCode(A.F, TD);
+  EXPECT_EQ(S.LoadsToMoves, 1u);
+  const Instr &Fwd = A.B.instrs()[2];
+  EXPECT_EQ(Fwd.opcode(), Opcode::Mov);
+  EXPECT_EQ(Fwd.op(1).pregId(), intReg(1));
+  EXPECT_EQ(Fwd.Spill, SpillKind::EvictMove) << "accounting follows the op";
+}
+
+TEST(SpillCleanup, RegisterWriteInvalidatesAvailability) {
+  Allocated A;
+  A.B.append(Instr(Opcode::MovI, Operand::preg(intReg(1)), Operand::imm(7)));
+  A.B.append(A.store(intReg(1), A.Slot));
+  A.B.append(Instr(Opcode::MovI, Operand::preg(intReg(1)), Operand::imm(9)));
+  A.B.append(A.load(intReg(1), A.Slot)); // $1 was overwritten: keep load
+  A.finish();
+  TargetDesc TD = TargetDesc::alphaLike();
+  SpillCleanupStats S = cleanupSpillCode(A.F, TD);
+  EXPECT_EQ(S.total(), 0u);
+  EXPECT_EQ(A.B.instrs()[3].opcode(), Opcode::LdSlot);
+}
+
+TEST(SpillCleanup, CallClobberInvalidatesCallerSaved) {
+  Allocated A;
+  FunctionBuilder G(A.M, "g", 0, 0, CallRetKind::None);
+  G.setBlock(G.newBlock("entry"));
+  G.emit(Instr(Opcode::Ret));
+  G.function().CallsLowered = true;
+
+  A.B.append(Instr(Opcode::MovI, Operand::preg(intReg(1)), Operand::imm(7)));
+  A.B.append(A.store(intReg(1), A.Slot));
+  A.B.append(Instr(Opcode::Call, Operand::func(G.function().id())));
+  A.B.append(A.load(intReg(1), A.Slot)); // $1 clobbered by the call
+  A.finish();
+  TargetDesc TD = TargetDesc::alphaLike();
+  SpillCleanupStats S = cleanupSpillCode(A.F, TD);
+  EXPECT_EQ(S.total(), 0u) << "caller-saved availability dies at calls";
+}
+
+TEST(SpillCleanup, CalleeSavedSurvivesCall) {
+  Allocated A;
+  FunctionBuilder G(A.M, "g", 0, 0, CallRetKind::None);
+  G.setBlock(G.newBlock("entry"));
+  G.emit(Instr(Opcode::Ret));
+  G.function().CallsLowered = true;
+
+  A.B.append(Instr(Opcode::MovI, Operand::preg(intReg(9)), Operand::imm(7)));
+  A.B.append(A.store(intReg(9), A.Slot));
+  A.B.append(Instr(Opcode::Call, Operand::func(G.function().id())));
+  A.B.append(A.load(intReg(9), A.Slot)); // $9 is callee-saved
+  A.finish();
+  TargetDesc TD = TargetDesc::alphaLike();
+  SpillCleanupStats S = cleanupSpillCode(A.F, TD);
+  EXPECT_EQ(S.LoadsDeleted, 1u);
+}
+
+TEST(SpillCleanup, RedundantStoreDeleted) {
+  Allocated A;
+  A.B.append(Instr(Opcode::MovI, Operand::preg(intReg(1)), Operand::imm(7)));
+  A.B.append(A.store(intReg(1), A.Slot));
+  A.B.append(A.store(intReg(1), A.Slot)); // same reg, same slot, no write
+  A.finish();
+  TargetDesc TD = TargetDesc::alphaLike();
+  SpillCleanupStats S = cleanupSpillCode(A.F, TD);
+  EXPECT_EQ(S.StoresDeleted, 1u);
+}
+
+TEST(SpillCleanup, FactsFlowAcrossEdges) {
+  // The analysis is global: a store in the predecessor makes the reload in
+  // the successor redundant.
+  Allocated A;
+  Block &B2 = A.F.addBlock("next");
+  A.B.append(Instr(Opcode::MovI, Operand::preg(intReg(1)), Operand::imm(7)));
+  A.B.append(A.store(intReg(1), A.Slot));
+  A.B.append(Instr(Opcode::Br, Operand::label(B2.id())));
+  B2.append(A.load(intReg(1), A.Slot));
+  B2.append(Instr(Opcode::Ret));
+  TargetDesc TD = TargetDesc::alphaLike();
+  SpillCleanupStats S = cleanupSpillCode(A.F, TD);
+  EXPECT_EQ(S.LoadsDeleted, 1u);
+}
+
+TEST(SpillCleanup, JoinKillsDivergentFacts) {
+  // Two predecessors leave the slot mirrored by different registers: the
+  // meet invalidates the fact and the reload must stay.
+  Allocated A;
+  Block &P2 = A.F.addBlock("p2");
+  Block &Join = A.F.addBlock("join");
+  A.B.append(Instr(Opcode::MovI, Operand::preg(intReg(1)), Operand::imm(7)));
+  A.B.append(A.store(intReg(1), A.Slot)); // slot mirrored by $1
+  A.B.append(Instr(Opcode::CBr, Operand::preg(intReg(1)),
+                   Operand::label(P2.id()), Operand::label(Join.id())));
+  P2.append(Instr(Opcode::MovI, Operand::preg(intReg(2)), Operand::imm(8)));
+  P2.append(A.store(intReg(2), A.Slot)); // now mirrored by $2
+  P2.append(Instr(Opcode::Br, Operand::label(Join.id())));
+  Join.append(A.load(intReg(3), A.Slot)); // must stay a load
+  Join.append(Instr(Opcode::Ret));
+  TargetDesc TD = TargetDesc::alphaLike();
+  SpillCleanupStats S = cleanupSpillCode(A.F, TD);
+  EXPECT_EQ(S.total(), 0u);
+  EXPECT_EQ(Join.instrs()[0].opcode(), Opcode::LdSlot);
+}
+
+TEST(SpillCleanup, LoopFixpointIsSound) {
+  // A loop whose body overwrites the mirroring register: the fact must not
+  // survive the back edge even though the entry edge provides it.
+  Allocated A;
+  Block &Head = A.F.addBlock("head");
+  Block &Body = A.F.addBlock("body");
+  Block &Exit = A.F.addBlock("exit");
+  A.B.append(Instr(Opcode::MovI, Operand::preg(intReg(1)), Operand::imm(7)));
+  A.B.append(A.store(intReg(1), A.Slot));
+  A.B.append(Instr(Opcode::Br, Operand::label(Head.id())));
+  Head.append(A.load(intReg(2), A.Slot)); // must remain a real load
+  Head.append(Instr(Opcode::CBr, Operand::preg(intReg(2)),
+                    Operand::label(Body.id()), Operand::label(Exit.id())));
+  Body.append(Instr(Opcode::MovI, Operand::preg(intReg(1)), Operand::imm(0)));
+  Body.append(Instr(Opcode::MovI, Operand::preg(intReg(2)), Operand::imm(0)));
+  Body.append(Instr(Opcode::Br, Operand::label(Head.id())));
+  Exit.append(Instr(Opcode::Ret));
+  TargetDesc TD = TargetDesc::alphaLike();
+  SpillCleanupStats S = cleanupSpillCode(A.F, TD);
+  EXPECT_EQ(S.LoadsToMoves, 0u);
+  EXPECT_EQ(S.LoadsDeleted, 0u);
+  EXPECT_EQ(Head.instrs()[0].opcode(), Opcode::LdSlot);
+}
+
+TEST(SpillCleanup, MixedClassesTrackedSeparately) {
+  Allocated A;
+  unsigned FSlot = A.F.newSlot(RegClass::Float);
+  A.B.append(Instr(Opcode::MovF, Operand::preg(fpReg(1)),
+                   Operand::fimm(1.0)));
+  Instr FSt(Opcode::FStSlot, Operand::preg(fpReg(1)), Operand::slot(FSlot));
+  FSt.Spill = SpillKind::EvictStore;
+  A.B.append(FSt);
+  Instr FLd(Opcode::FLdSlot, Operand::preg(fpReg(2)), Operand::slot(FSlot));
+  FLd.Spill = SpillKind::ResolveLoad;
+  A.B.append(FLd);
+  A.finish();
+  TargetDesc TD = TargetDesc::alphaLike();
+  SpillCleanupStats S = cleanupSpillCode(A.F, TD);
+  EXPECT_EQ(S.LoadsToMoves, 1u);
+  EXPECT_EQ(A.B.instrs()[2].opcode(), Opcode::FMov);
+  EXPECT_EQ(A.B.instrs()[2].Spill, SpillKind::ResolveMove);
+}
+
+// Property: the cleanup never changes observable behaviour, and never
+// increases the dynamic instruction count.
+TEST(SpillCleanup, PreservesSemanticsOnWorkloads) {
+  TargetDesc TD = TargetDesc::alphaLike();
+  for (const char *Name : {"fpppp", "wc", "doduc", "m88ksim"}) {
+    auto Base = buildWorkload(Name);
+    compileModule(*Base, TD, AllocatorKind::SecondChanceBinpack);
+    RunResult BaseRun = runAllocated(*Base, TD);
+    ASSERT_TRUE(BaseRun.Ok);
+
+    auto Cleaned = buildWorkload(Name);
+    AllocOptions Opts;
+    Opts.SpillCleanup = true;
+    compileModule(*Cleaned, TD, AllocatorKind::SecondChanceBinpack, Opts);
+    ASSERT_TRUE(checkAllocated(*Cleaned).empty());
+    RunResult CleanRun = runAllocated(*Cleaned, TD);
+    ASSERT_TRUE(CleanRun.Ok) << Name << ": " << CleanRun.Error;
+    EXPECT_EQ(BaseRun.Output, CleanRun.Output) << Name;
+    EXPECT_LE(CleanRun.Stats.Total, BaseRun.Stats.Total) << Name;
+  }
+}
+
+TEST(SpillCleanup, PreservesSemanticsOnRandomPrograms) {
+  TargetDesc TD = TargetDesc::alphaLike().withRegLimit(6, 6);
+  for (uint64_t Seed = 50; Seed < 62; ++Seed) {
+    auto RefM = buildRandomProgram(Seed);
+    RunResult Ref = runReference(*RefM, TD);
+    ASSERT_TRUE(Ref.Ok);
+    for (AllocatorKind K : {AllocatorKind::SecondChanceBinpack,
+                            AllocatorKind::GraphColoring,
+                            AllocatorKind::TwoPassBinpack}) {
+      auto M = buildRandomProgram(Seed);
+      AllocOptions Opts;
+      Opts.SpillCleanup = true;
+      compileModule(*M, TD, K, Opts);
+      RunResult Got = runAllocated(*M, TD);
+      ASSERT_TRUE(Got.Ok) << "seed " << Seed << " " << allocatorName(K)
+                          << ": " << Got.Error;
+      EXPECT_EQ(Ref.Output, Got.Output)
+          << "seed " << Seed << " " << allocatorName(K);
+    }
+  }
+}
+
+} // namespace

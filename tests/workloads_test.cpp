@@ -1,0 +1,149 @@
+//===- tests/workloads_test.cpp - Synthetic benchmark sanity --------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+// Checks that every workload is well-formed, runs deterministically, and
+// exhibits the register-pressure character its paper analogue is chosen
+// for (e.g. fpppp must spill heavily; alvinn/tomcatv/compress/li/wc must
+// not spill at all under the full register file — Table 2's "0%" rows).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "ir/IRVerifier.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace lsra;
+
+namespace {
+
+class WorkloadTest : public testing::TestWithParam<const char *> {};
+
+TEST_P(WorkloadTest, WellFormed) {
+  auto M = buildWorkload(GetParam());
+  EXPECT_EQ(verifyModule(*M), "");
+}
+
+TEST_P(WorkloadTest, DeterministicExecution) {
+  TargetDesc TD = TargetDesc::alphaLike();
+  auto M1 = buildWorkload(GetParam());
+  auto M2 = buildWorkload(GetParam());
+  RunResult R1 = runReference(*M1, TD);
+  RunResult R2 = runReference(*M2, TD);
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  EXPECT_EQ(R1.Output, R2.Output);
+  EXPECT_EQ(R1.Stats.Total, R2.Stats.Total);
+  EXPECT_FALSE(R1.Output.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadTest,
+    testing::Values("alvinn", "doduc", "eqntott", "espresso", "fpppp", "li",
+                    "tomcatv", "compress", "m88ksim", "sort", "wc"),
+    [](const testing::TestParamInfo<const char *> &Info) {
+      return std::string(Info.param);
+    });
+
+TEST(Workloads, RegistryIsComplete) {
+  EXPECT_EQ(allWorkloads().size(), 11u);
+  for (const WorkloadSpec &S : allWorkloads()) {
+    auto M = S.Build();
+    EXPECT_NE(M->findFunction("main"), nullptr) << S.Name;
+  }
+}
+
+TEST(Workloads, SpillFreeRowsOfTable2) {
+  // Table 2: alvinn, li, tomcatv, compress have no spill code under either
+  // allocator with the full register file. (The paper also lists wc as
+  // spill-free; our wc analogue deliberately carries more cross-call
+  // pressure so the §3.1 two-pass ablation reproduces — see EXPERIMENTS.md.)
+  TargetDesc TD = TargetDesc::alphaLike();
+  for (const char *Name : {"alvinn", "li", "tomcatv", "compress"}) {
+    for (AllocatorKind K : {AllocatorKind::SecondChanceBinpack,
+                            AllocatorKind::GraphColoring}) {
+      auto M = buildWorkload(Name);
+      AllocStats S = compileModule(*M, TD, K);
+      EXPECT_EQ(S.staticSpillInstrs(), 0u)
+          << Name << " with " << allocatorName(K);
+    }
+  }
+}
+
+TEST(Workloads, FppppSpillsHeavily) {
+  TargetDesc TD = TargetDesc::alphaLike();
+  for (AllocatorKind K : {AllocatorKind::SecondChanceBinpack,
+                          AllocatorKind::GraphColoring}) {
+    auto M = buildWorkload("fpppp");
+    AllocStats S = compileModule(*M, TD, K);
+    EXPECT_GE(S.SpilledTemps, 10u) << allocatorName(K);
+    RunResult R = runAllocated(*M, TD);
+    ASSERT_TRUE(R.Ok);
+    EXPECT_GT(R.Stats.spillPercent(), 5.0) << allocatorName(K);
+  }
+}
+
+TEST(Workloads, WcKeepsManyValuesLiveAcrossTheCall) {
+  // The §3.1 showcase: under two-pass binpacking wc degrades heavily
+  // relative to second chance.
+  TargetDesc TD = TargetDesc::alphaLike();
+  auto MSecond = buildWorkload("wc");
+  compileModule(*MSecond, TD, AllocatorKind::SecondChanceBinpack);
+  RunResult RSecond = runAllocated(*MSecond, TD);
+  ASSERT_TRUE(RSecond.Ok);
+
+  auto MTwo = buildWorkload("wc");
+  compileModule(*MTwo, TD, AllocatorKind::TwoPassBinpack);
+  RunResult RTwo = runAllocated(*MTwo, TD);
+  ASSERT_TRUE(RTwo.Ok);
+
+  EXPECT_EQ(RSecond.Output, RTwo.Output);
+  double Ratio = static_cast<double>(RTwo.Stats.Total) /
+                 static_cast<double>(RSecond.Stats.Total);
+  EXPECT_GT(Ratio, 1.10) << "two-pass binpacking should degrade wc sharply";
+}
+
+TEST(Workloads, EqnTottNearlyIdenticalUnderTwoPass) {
+  // The paper's other §3.1 class: eqntott behaves almost the same under
+  // two-pass and second-chance binpacking.
+  TargetDesc TD = TargetDesc::alphaLike();
+  auto MSecond = buildWorkload("eqntott");
+  compileModule(*MSecond, TD, AllocatorKind::SecondChanceBinpack);
+  RunResult RSecond = runAllocated(*MSecond, TD);
+  ASSERT_TRUE(RSecond.Ok);
+
+  auto MTwo = buildWorkload("eqntott");
+  compileModule(*MTwo, TD, AllocatorKind::TwoPassBinpack);
+  RunResult RTwo = runAllocated(*MTwo, TD);
+  ASSERT_TRUE(RTwo.Ok);
+
+  double Ratio = static_cast<double>(RTwo.Stats.Total) /
+                 static_cast<double>(RSecond.Stats.Total);
+  EXPECT_LT(Ratio, 1.05) << "eqntott's hot loop has no pressure";
+}
+
+TEST(Workloads, SortIsActuallySorted) {
+  TargetDesc TD = TargetDesc::alphaLike();
+  auto M = buildWorkload("sort");
+  RunResult R = runReference(*M, TD);
+  ASSERT_TRUE(R.Ok);
+  ASSERT_GE(R.Output.size(), 2u);
+  EXPECT_EQ(R.Output[0], 0u) << "out-of-order pair count must be zero";
+}
+
+TEST(Workloads, WcCountsPlausible) {
+  TargetDesc TD = TargetDesc::alphaLike();
+  auto M = buildWorkload("wc");
+  RunResult R = runReference(*M, TD);
+  ASSERT_TRUE(R.Ok);
+  ASSERT_EQ(R.Output.size(), 4u);
+  uint64_t Lines = R.Output[0], Words = R.Output[1], Chars = R.Output[2];
+  EXPECT_EQ(Chars, 12000u);
+  EXPECT_GT(Lines, 0u);
+  EXPECT_GT(Words, Lines);
+  EXPECT_LT(Words, Chars);
+}
+
+} // namespace

@@ -1,0 +1,295 @@
+//===- tools/lsra.cpp - Command-line driver --------------------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The command-line face of the library:
+//
+//   lsra list
+//       List the built-in workloads.
+//   lsra print <input>
+//       Dump a program in the textual IR form (parse it back with any
+//       other subcommand).
+//   lsra dot <input> [function]
+//       Emit a Graphviz CFG.
+//   lsra run <input> [--allocator=K] [--regs=N] [--no-alloc] [--cleanup]
+//       Compile with the chosen allocator (default second-chance
+//       binpacking) and execute on the VM; prints outputs and statistics.
+//   lsra compare <input> [--regs=N]
+//       Run the reference and all four allocators; print a comparison.
+//
+// <input> is either a built-in workload name (see `lsra list`) or a path
+// to a textual IR file.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "ir/IRVerifier.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace lsra;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lsra <command> [args]\n"
+               "  list                          list built-in workloads\n"
+               "  print <input>                 dump textual IR\n"
+               "  dot <input> [function]        emit a Graphviz CFG\n"
+               "  run <input> [options]         compile and execute\n"
+               "  compare <input> [--regs=N]    compare all allocators\n"
+               "options for run:\n"
+               "  --allocator=binpack|coloring|twopass|poletto\n"
+               "  --regs=N       restrict the allocatable file to N per class\n"
+               "  --no-alloc     execute with virtual registers (reference)\n"
+               "  --cleanup      enable the spill-cleanup pass\n"
+               "  --emit-ir      print the final IR after allocation\n");
+  return 2;
+}
+
+std::unique_ptr<Module> loadInput(const std::string &Input,
+                                  std::string &Error) {
+  std::ifstream File(Input);
+  if (File.good()) {
+    std::ostringstream SS;
+    SS << File.rdbuf();
+    ParseResult R = parseModule(SS.str());
+    if (!R.ok()) {
+      Error = Input + ": " + R.Error;
+      return nullptr;
+    }
+    std::string Diag = verifyModule(*R.M);
+    if (!Diag.empty()) {
+      Error = Input + ": " + Diag;
+      return nullptr;
+    }
+    return std::move(R.M);
+  }
+  for (const WorkloadSpec &W : allWorkloads())
+    if (Input == W.Name)
+      return W.Build();
+  Error = "no such file or workload: '" + Input + "' (try `lsra list`)";
+  return nullptr;
+}
+
+bool parseAllocator(const std::string &Name, AllocatorKind &Out) {
+  if (Name == "binpack" || Name == "second-chance-binpack")
+    Out = AllocatorKind::SecondChanceBinpack;
+  else if (Name == "coloring" || Name == "graph-coloring")
+    Out = AllocatorKind::GraphColoring;
+  else if (Name == "twopass" || Name == "two-pass-binpack")
+    Out = AllocatorKind::TwoPassBinpack;
+  else if (Name == "poletto" || Name == "poletto-scan")
+    Out = AllocatorKind::PolettoScan;
+  else
+    return false;
+  return true;
+}
+
+void printRun(const RunResult &Run) {
+  if (!Run.Ok) {
+    std::printf("execution FAILED: %s\n", Run.Error.c_str());
+    return;
+  }
+  std::printf("return value: %lld\n", (long long)Run.ReturnValue);
+  std::printf("output trace (%zu values):", Run.Output.size());
+  for (unsigned I = 0; I < Run.Output.size() && I < 16; ++I)
+    std::printf(" %llu", (unsigned long long)Run.Output[I]);
+  if (Run.Output.size() > 16)
+    std::printf(" ...");
+  std::printf("\ndynamic instructions: %llu (cycles %llu)\n",
+              (unsigned long long)Run.Stats.Total,
+              (unsigned long long)Run.Stats.Cycles);
+  std::printf("spill instructions:   %llu (%.3f%%)\n",
+              (unsigned long long)Run.Stats.spillInstrs(),
+              Run.Stats.spillPercent());
+}
+
+int cmdList() {
+  for (const WorkloadSpec &W : allWorkloads())
+    std::printf("%-10s %s\n", W.Name, W.Description);
+  return 0;
+}
+
+int cmdPrint(const std::string &Input) {
+  std::string Error;
+  auto M = loadInput(Input, Error);
+  if (!M) {
+    std::fprintf(stderr, "lsra: %s\n", Error.c_str());
+    return 1;
+  }
+  printModule(std::cout, *M);
+  return 0;
+}
+
+int cmdDot(const std::string &Input, const char *FuncName) {
+  std::string Error;
+  auto M = loadInput(Input, Error);
+  if (!M) {
+    std::fprintf(stderr, "lsra: %s\n", Error.c_str());
+    return 1;
+  }
+  const Function *F = FuncName ? M->findFunction(FuncName)
+                               : M->findFunction("main");
+  if (!F && M->numFunctions() > 0)
+    F = &M->function(0);
+  if (!F) {
+    std::fprintf(stderr, "lsra: no function to plot\n");
+    return 1;
+  }
+  printDotCFG(std::cout, *F, M.get());
+  return 0;
+}
+
+int cmdRun(const std::string &Input, int Argc, char **Argv) {
+  AllocatorKind Kind = AllocatorKind::SecondChanceBinpack;
+  unsigned Regs = 0;
+  bool NoAlloc = false, EmitIR = false;
+  AllocOptions Opts;
+  for (int I = 0; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.rfind("--allocator=", 0) == 0) {
+      if (!parseAllocator(A.substr(12), Kind)) {
+        std::fprintf(stderr, "lsra: unknown allocator '%s'\n",
+                     A.c_str() + 12);
+        return 2;
+      }
+    } else if (A.rfind("--regs=", 0) == 0) {
+      Regs = static_cast<unsigned>(std::strtoul(A.c_str() + 7, nullptr, 10));
+    } else if (A == "--no-alloc") {
+      NoAlloc = true;
+    } else if (A == "--cleanup") {
+      Opts.SpillCleanup = true;
+    } else if (A == "--emit-ir") {
+      EmitIR = true;
+    } else {
+      return usage();
+    }
+  }
+
+  std::string Error;
+  auto M = loadInput(Input, Error);
+  if (!M) {
+    std::fprintf(stderr, "lsra: %s\n", Error.c_str());
+    return 1;
+  }
+  TargetDesc TD = TargetDesc::alphaLike();
+  if (Regs)
+    TD = TD.withRegLimit(Regs, Regs);
+
+  if (NoAlloc) {
+    RunResult Run = runReference(*M, TD);
+    printRun(Run);
+    return Run.Ok ? 0 : 1;
+  }
+
+  AllocStats Stats = compileModule(*M, TD, Kind, Opts);
+  std::string Diag = checkAllocated(*M);
+  if (!Diag.empty()) {
+    std::fprintf(stderr, "lsra: post-allocation verification failed:\n%s\n",
+                 Diag.c_str());
+    return 1;
+  }
+  std::printf("allocator: %s\n", allocatorName(Kind));
+  std::printf("candidates=%u spilled=%u static-spill=%u coalesced=%u "
+              "splits=%u alloc-time=%.4fs\n",
+              Stats.RegCandidates, Stats.SpilledTemps,
+              Stats.staticSpillInstrs(), Stats.MovesCoalesced,
+              Stats.LifetimeSplits, Stats.AllocSeconds);
+  if (EmitIR)
+    printModule(std::cout, *M);
+  RunResult Run = runAllocated(*M, TD);
+  printRun(Run);
+  return Run.Ok ? 0 : 1;
+}
+
+int cmdCompare(const std::string &Input, int Argc, char **Argv) {
+  unsigned Regs = 0;
+  for (int I = 0; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.rfind("--regs=", 0) == 0)
+      Regs = static_cast<unsigned>(std::strtoul(A.c_str() + 7, nullptr, 10));
+    else
+      return usage();
+  }
+  TargetDesc TD = TargetDesc::alphaLike();
+  if (Regs)
+    TD = TD.withRegLimit(Regs, Regs);
+
+  std::string Error;
+  auto Ref = loadInput(Input, Error);
+  if (!Ref) {
+    std::fprintf(stderr, "lsra: %s\n", Error.c_str());
+    return 1;
+  }
+  // Keep the text around so each allocator starts from a fresh module.
+  std::ostringstream SS;
+  printModule(SS, *Ref);
+  std::string Text = SS.str();
+
+  RunResult RefRun = runReference(*Ref, TD);
+  if (!RefRun.Ok) {
+    std::fprintf(stderr, "lsra: reference failed: %s\n", RefRun.Error.c_str());
+    return 1;
+  }
+  std::printf("%-24s %14s %10s %10s %10s\n", "allocator", "dyn instrs",
+              "ratio", "spill %", "alloc s");
+  std::printf("%-24s %14llu %10s %10s %10s\n", "(reference)",
+              (unsigned long long)RefRun.Stats.Total, "1.000", "-", "-");
+  for (AllocatorKind K :
+       {AllocatorKind::SecondChanceBinpack, AllocatorKind::GraphColoring,
+        AllocatorKind::TwoPassBinpack, AllocatorKind::PolettoScan}) {
+    ParseResult P = parseModule(Text);
+    if (!P.ok()) {
+      std::fprintf(stderr, "lsra: internal round-trip failure: %s\n",
+                   P.Error.c_str());
+      return 1;
+    }
+    AllocStats Stats = compileModule(*P.M, TD, K);
+    RunResult Run = runAllocated(*P.M, TD);
+    bool Same = Run.Ok && Run.Output == RefRun.Output &&
+                Run.ReturnValue == RefRun.ReturnValue;
+    std::printf("%-24s %14llu %10.3f %9.2f%% %10.4f %s\n", allocatorName(K),
+                (unsigned long long)Run.Stats.Total,
+                static_cast<double>(Run.Stats.Total) /
+                    static_cast<double>(RefRun.Stats.Total),
+                Run.Stats.spillPercent(), Stats.AllocSeconds,
+                Same ? "" : "OUTPUT MISMATCH!");
+    if (!Same)
+      return 1;
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage();
+  std::string Cmd = argv[1];
+  if (Cmd == "list")
+    return cmdList();
+  if (argc < 3)
+    return usage();
+  std::string Input = argv[2];
+  if (Cmd == "print")
+    return cmdPrint(Input);
+  if (Cmd == "dot")
+    return cmdDot(Input, argc > 3 ? argv[3] : nullptr);
+  if (Cmd == "run")
+    return cmdRun(Input, argc - 3, argv + 3);
+  if (Cmd == "compare")
+    return cmdCompare(Input, argc - 3, argv + 3);
+  return usage();
+}
