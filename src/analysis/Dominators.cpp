@@ -10,12 +10,15 @@
 
 using namespace lsra;
 
-Dominators::Dominators(const Function &F) {
+Dominators::Dominators(const Function &F)
+    : Dominators(F, reversePostOrder(F)) {}
+
+Dominators::Dominators(const Function &F, const std::vector<unsigned> &RPO) {
   unsigned N = F.numBlocks();
+  assert(RPO.size() == N && "stale reverse post-order");
   IDom.assign(N, ~0u);
   RPONumber.assign(N, ~0u);
 
-  std::vector<unsigned> RPO = reversePostOrder(F);
   for (unsigned I = 0; I < RPO.size(); ++I)
     RPONumber[RPO[I]] = I;
 

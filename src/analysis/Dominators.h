@@ -24,6 +24,10 @@ class Dominators {
 public:
   explicit Dominators(const Function &F);
 
+  /// As above, but reusing a precomputed reverse post-order (e.g. the one
+  /// cached in FunctionAnalyses) instead of recomputing it.
+  Dominators(const Function &F, const std::vector<unsigned> &RPO);
+
   /// Immediate dominator of \p B; the entry's idom is itself. ~0u for
   /// unreachable blocks.
   unsigned idom(unsigned B) const { return IDom[B]; }

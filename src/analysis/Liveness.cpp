@@ -8,9 +8,12 @@
 
 #include "analysis/Order.h"
 
+#include <deque>
+
 using namespace lsra;
 
-Liveness::Liveness(const Function &F, const TargetDesc &TD)
+Liveness::Liveness(const Function &F, const TargetDesc &TD,
+                   const std::vector<unsigned> *RPO)
     : NumVRegs(F.numVRegs()) {
   (void)TD;
   unsigned NumBlocks = F.numBlocks();
@@ -36,26 +39,50 @@ Liveness::Liveness(const Function &F, const TargetDesc &TD)
     }
   }
 
-  // Iterate LiveOut(b) = U LiveIn(s); LiveIn(b) = Use(b) | (LiveOut - Def).
-  // Processing blocks in reverse id order approximates post-order for the
-  // layouts our builder produces; the loop iterates to a fixed point either
-  // way.
+  // Solve LiveOut(b) = U LiveIn(s); LiveIn(b) = Use(b) | (LiveOut - Def)
+  // with a worklist seeded in post-order (the reverse of the entry's
+  // reverse post-order). For a backward problem this visits every block
+  // after all its successors on acyclic paths, so only blocks reached by a
+  // back edge are ever re-queued — unlike whole-CFG sweeps, which recompute
+  // every block until an entire pass changes nothing.
   std::vector<std::vector<unsigned>> Succs(NumBlocks);
   for (unsigned B = 0; B < NumBlocks; ++B)
     Succs[B] = F.block(B).successors();
+  std::vector<std::vector<unsigned>> Preds = F.predecessors();
 
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
+  std::vector<unsigned> Order;
+  if (!RPO) {
+    Order = reversePostOrder(F);
+    RPO = &Order;
+  }
+  assert(RPO->size() == NumBlocks && "stale reverse post-order");
+
+  std::deque<unsigned> Worklist;
+  std::vector<uint8_t> InWorklist(NumBlocks, 0);
+  for (unsigned I = NumBlocks; I-- > 0;) {
+    Worklist.push_back((*RPO)[I]);
+    InWorklist[(*RPO)[I]] = 1;
+  }
+
+  while (!Worklist.empty()) {
+    unsigned B = Worklist.front();
+    Worklist.pop_front();
+    InWorklist[B] = 0;
     ++Iterations;
-    for (unsigned B = NumBlocks; B-- > 0;) {
-      BitVector &Out = LiveOut[B];
-      for (unsigned S : Succs[B])
-        Changed |= (Out |= LiveIn[S]);
-      BitVector &In = LiveIn[B];
-      Changed |= In.unionWithDifference(Out, DefSets[B]);
-      Changed |= (In |= UseSets[B]);
-    }
+
+    BitVector &Out = LiveOut[B];
+    for (unsigned S : Succs[B])
+      Out |= LiveIn[S];
+    BitVector &In = LiveIn[B];
+    bool InChanged = In.unionWithDifference(Out, DefSets[B]);
+    InChanged |= (In |= UseSets[B]);
+    if (!InChanged)
+      continue;
+    for (unsigned P : Preds[B])
+      if (!InWorklist[P]) {
+        InWorklist[P] = 1;
+        Worklist.push_back(P);
+      }
   }
 
   for (unsigned B = 0; B < NumBlocks; ++B) {

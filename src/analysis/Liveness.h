@@ -30,8 +30,14 @@ namespace lsra {
 
 class Liveness {
 public:
-  /// Compute liveness for \p F (calls must already be lowered).
-  Liveness(const Function &F, const TargetDesc &TD);
+  /// Compute liveness for \p F (calls must already be lowered). The
+  /// fixpoint is a worklist seeded in post-order (the reverse of \p RPO),
+  /// which converges in one visit per block on acyclic CFGs and one extra
+  /// visit per enclosing back edge otherwise. When \p RPO is null the
+  /// order is computed internally; pass the cached order from
+  /// FunctionAnalyses to share it.
+  Liveness(const Function &F, const TargetDesc &TD,
+           const std::vector<unsigned> *RPO = nullptr);
 
   const BitVector &liveIn(unsigned B) const { return LiveIn[B]; }
   const BitVector &liveOut(unsigned B) const { return LiveOut[B]; }
@@ -45,6 +51,9 @@ public:
   const BitVector &crossBlockSet() const { return CrossBlock; }
 
   unsigned numVRegs() const { return NumVRegs; }
+
+  /// Number of block relaxations the worklist performed (>= numBlocks();
+  /// equal to it for acyclic CFGs).
   unsigned numIterations() const { return Iterations; }
 
 private:

@@ -11,10 +11,11 @@
 
 using namespace lsra;
 
-LoopInfo::LoopInfo(const Function &F) {
+LoopInfo::LoopInfo(const Function &F) : LoopInfo(F, Dominators(F)) {}
+
+LoopInfo::LoopInfo(const Function &F, const Dominators &Dom) {
   unsigned N = F.numBlocks();
   Depth.assign(N, 0);
-  Dominators Dom(F);
   auto Preds = F.predecessors();
 
   // Find back edges T -> H (H dominates T); flood backward from T to H to
@@ -43,8 +44,7 @@ LoopInfo::LoopInfo(const Function &F) {
             Work.push_back(P);
           }
       }
-      for (unsigned B : InLoop.setBits())
-        L.Blocks.push_back(B);
+      InLoop.forEachSetBit([&](unsigned B) { L.Blocks.push_back(B); });
       Loops.push_back(std::move(L));
     }
   }

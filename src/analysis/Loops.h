@@ -26,9 +26,15 @@ struct Loop {
   std::vector<unsigned> Blocks; ///< includes the header
 };
 
+class Dominators;
+
 class LoopInfo {
 public:
   explicit LoopInfo(const Function &F);
+
+  /// As above, but reusing a precomputed dominator tree (e.g. the one
+  /// cached in FunctionAnalyses) instead of building a private one.
+  LoopInfo(const Function &F, const Dominators &Dom);
 
   /// Nesting depth of \p B: 0 outside any loop.
   unsigned depth(unsigned B) const { return Depth[B]; }

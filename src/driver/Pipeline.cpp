@@ -8,15 +8,39 @@
 
 #include "ir/IRVerifier.h"
 #include "passes/DCE.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
 #include "target/LowerCalls.h"
 
 using namespace lsra;
 
 AllocStats lsra::compileModule(Module &M, const TargetDesc &TD,
                                AllocatorKind K, const AllocOptions &Opts) {
-  lowerCalls(M);
-  eliminateDeadCode(M, TD);
-  return allocateModule(M, TD, K, Opts);
+  unsigned N = M.numFunctions();
+  unsigned Threads = resolveThreadCount(Opts.Threads, N);
+  if (Threads <= 1) {
+    lowerCalls(M);
+    eliminateDeadCode(M, TD);
+    return allocateModule(M, TD, K, Opts);
+  }
+  // Parallel path: lowering, DCE, and allocation are all per-function, so
+  // run the whole pipeline for each function on a worker. Stats merge in
+  // function-index order, keeping totals identical to the sequential run.
+  Timer Wall;
+  Wall.start();
+  std::vector<AllocStats> Per(N);
+  parallelFor(N, Threads, [&](unsigned I) {
+    Function &F = M.function(I);
+    lowerCalls(F);
+    eliminateDeadCode(F, TD);
+    Per[I] = allocateFunction(F, TD, K, Opts);
+  });
+  AllocStats Total;
+  for (const AllocStats &S : Per)
+    Total += S;
+  Wall.stop();
+  Total.WallSeconds = Wall.seconds();
+  return Total;
 }
 
 std::string lsra::checkAllocated(const Module &M) {

@@ -51,6 +51,11 @@ struct AllocOptions {
   /// replace them with register moves (passes/SpillCleanup). Off by
   /// default to match the paper's configuration.
   bool SpillCleanup = false;
+  /// Worker threads for allocateModule/compileModule. Functions are
+  /// allocated independently and the per-function statistics are merged in
+  /// function-index order, so results are identical for any thread count.
+  /// 1 = sequential (default); 0 = one worker per hardware thread.
+  unsigned Threads = 1;
 };
 
 struct AllocStats {
@@ -70,7 +75,13 @@ struct AllocStats {
   unsigned DataflowIterations = 0; ///< consistency dataflow (binpack)
   unsigned ColoringIterations = 0; ///< build/color rounds (coloring)
   unsigned InterferenceEdges = 0;  ///< edges in the final graph (coloring)
-  double AllocSeconds = 0;         ///< core allocation wall-clock time
+  /// Core allocation time summed over functions. With Threads > 1 this is
+  /// aggregate CPU seconds (the paper's Table 3 metric, unchanged by
+  /// parallelism); WallSeconds is the elapsed module time.
+  double AllocSeconds = 0;
+  /// Wall-clock seconds for the whole module-level run (set by
+  /// allocateModule/compileModule only; 0 for single-function calls).
+  double WallSeconds = 0;
 
   unsigned staticSpillInstrs() const {
     return EvictLoads + EvictStores + EvictMoves + ResolveLoads +
@@ -86,9 +97,15 @@ struct AllocStats {
 AllocStats allocateFunction(Function &F, const TargetDesc &TD,
                             AllocatorKind K, const AllocOptions &Opts = {});
 
-/// Allocate every function in \p M; returns the summed statistics.
+/// Allocate every function in \p M; returns the statistics merged in
+/// function-index order. With Opts.Threads != 1 functions are farmed out
+/// to a worker pool; results are bit-identical to the sequential run.
 AllocStats allocateModule(Module &M, const TargetDesc &TD, AllocatorKind K,
                           const AllocOptions &Opts = {});
+
+/// Effective worker count for \p Requested threads over \p NumItems
+/// independent work items (0 = hardware concurrency; capped by NumItems).
+unsigned resolveThreadCount(unsigned Requested, unsigned NumItems);
 
 } // namespace lsra
 

@@ -33,6 +33,7 @@
 
 #include "regalloc/Binpack.h"
 
+#include "analysis/AnalysisCache.h"
 #include "analysis/Liveness.h"
 #include "analysis/Loops.h"
 #include "analysis/Order.h"
@@ -59,9 +60,10 @@ double depthWeight(unsigned Depth) {
 
 class BinpackScanner {
 public:
-  BinpackScanner(Function &F, const TargetDesc &TD, const AllocOptions &Opts)
-      : F(F), TD(TD), Opts(Opts), Num(F), LV(F, TD), LI(F),
-        LT(F, Num, LV, LI, TD), Slots(F) {}
+  BinpackScanner(Function &F, const TargetDesc &TD, const AllocOptions &Opts,
+                 FunctionAnalyses &FA)
+      : F(F), TD(TD), Opts(Opts), Num(FA.numbering()), LV(FA.liveness()),
+        LI(FA.loops()), LT(FA.lifetimes()), Slots(F) {}
 
   AllocStats run();
 
@@ -69,10 +71,10 @@ private:
   Function &F;
   const TargetDesc &TD;
   AllocOptions Opts;
-  Numbering Num;
-  Liveness LV;
-  LoopInfo LI;
-  LifetimeAnalysis LT;
+  const Numbering &Num;
+  const Liveness &LV;
+  const LoopInfo &LI;
+  const LifetimeAnalysis &LT;
   SpillSlots Slots;
   AllocStats Stats;
 
@@ -481,22 +483,21 @@ private:
         BitVector Inter = CI->AreConsistentBottom[Preds[B][0]];
         for (unsigned PI = 1; PI < Preds[B].size(); ++PI)
           Inter &= CI->AreConsistentBottom[Preds[B][PI]];
-        for (unsigned D : Inter.setBits())
-          Consistent[DenseToVReg[D]] = 1;
+        Inter.forEachSetBit([&](unsigned D) { Consistent[DenseToVReg[D]] = 1; });
       }
     }
-    for (unsigned V : LV.liveIn(B).setBits()) {
+    LV.liveIn(B).forEachSetBit([&](unsigned V) {
       unsigned D = VRegToDense[V];
       assert(D != ~0u && "live-in temp must be cross-block");
       LocTop[B][D] = isRegLoc(Loc[V]) ? Loc[V] : LocMem;
-    }
+    });
   }
 
   void blockBottom(unsigned B) {
-    for (unsigned V : LV.liveOut(B).setBits()) {
+    LV.liveOut(B).forEachSetBit([&](unsigned V) {
       unsigned D = VRegToDense[V];
       LocBottom[B][D] = isRegLoc(Loc[V]) ? Loc[V] : LocMem;
-    }
+    });
     for (unsigned D = 0; D < DenseToVReg.size(); ++D)
       if (Consistent[DenseToVReg[D]])
         CI->AreConsistentBottom[B].set(D);
@@ -511,10 +512,10 @@ AllocStats BinpackScanner::run() {
 
   // Dense cross-block universe.
   VRegToDense.assign(NumV, ~0u);
-  for (unsigned V : LV.crossBlockSet().setBits()) {
+  LV.crossBlockSet().forEachSetBit([&](unsigned V) {
     VRegToDense[V] = static_cast<unsigned>(DenseToVReg.size());
     DenseToVReg.push_back(V);
-  }
+  });
 
   Occ.fill(NoTemp);
   Loc.assign(NumV, LocNowhere);
@@ -559,14 +560,14 @@ AllocStats BinpackScanner::run() {
   // will suppress a reg->mem store because ARE_CONSISTENT(p) is set.
   for (unsigned B = 0; B < NumBlocks; ++B) {
     for (unsigned S : F.block(B).successors()) {
-      for (unsigned D = 0; D < DenseToVReg.size(); ++D) {
+      // Only temps consistent at B's bottom can have a store suppressed.
+      CI->AreConsistentBottom[B].forEachSetBit([&](unsigned D) {
         unsigned V = DenseToVReg[D];
         if (!LV.liveIn(S).test(V))
-          continue;
-        if (isRegLoc(LocBottom[B][D]) && !isRegLoc(LocTop[S][D]) &&
-            CI->AreConsistentBottom[B].test(D))
+          return;
+        if (isRegLoc(LocBottom[B][D]) && !isRegLoc(LocTop[S][D]))
           CI->UsedAtExit[B].set(D);
-      }
+      });
     }
   }
 
@@ -598,5 +599,13 @@ AllocStats BinpackScanner::run() {
 
 AllocStats lsra::runSecondChanceBinpack(Function &F, const TargetDesc &TD,
                                         const AllocOptions &Opts) {
-  return BinpackScanner(F, TD, Opts).run();
+  FunctionAnalyses FA(F, TD);
+  return runSecondChanceBinpack(F, TD, Opts, FA);
+}
+
+AllocStats lsra::runSecondChanceBinpack(Function &F, const TargetDesc &TD,
+                                        const AllocOptions &Opts,
+                                        FunctionAnalyses &FA) {
+  assert(&FA.function() == &F && "analyses are for a different function");
+  return BinpackScanner(F, TD, Opts, FA).run();
 }

@@ -20,11 +20,20 @@
 
 namespace lsra {
 
+class FunctionAnalyses;
+
 /// Run second-chance binpacking on \p F (calls must be lowered). Leaves the
 /// function fully allocated (no virtual registers). Does not run the
 /// peephole or insert callee saves; allocateFunction() wraps those.
 AllocStats runSecondChanceBinpack(Function &F, const TargetDesc &TD,
                                   const AllocOptions &Opts);
+
+/// As above, consuming the shared analyses in \p FA (numbering, liveness,
+/// loops, lifetimes) instead of rebuilding them. \p FA must describe the
+/// current IR of \p F; it is stale once this returns.
+AllocStats runSecondChanceBinpack(Function &F, const TargetDesc &TD,
+                                  const AllocOptions &Opts,
+                                  FunctionAnalyses &FA);
 
 } // namespace lsra
 

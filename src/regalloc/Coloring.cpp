@@ -15,6 +15,7 @@
 
 #include "regalloc/Coloring.h"
 
+#include "analysis/AnalysisCache.h"
 #include "analysis/Liveness.h"
 #include "analysis/Loops.h"
 #include "regalloc/SpillSlots.h"
@@ -269,8 +270,7 @@ void ColoringProblem::build() {
       auto HandleDef = [&](unsigned N) {
         if (N == NoNode)
           return;
-        for (unsigned L : Live.setBits())
-          addEdge(L, N);
+        Live.forEachSetBit([&](unsigned L) { addEdge(L, N); });
         Live.reset(N);
         if (N >= K)
           SpillCost[N] += W;
@@ -705,12 +705,20 @@ void ColoringProblem::run() {
 
 AllocStats lsra::runGraphColoring(Function &F, const TargetDesc &TD,
                                   const AllocOptions &Opts) {
+  FunctionAnalyses FA(F, TD);
+  return runGraphColoring(F, TD, Opts, FA);
+}
+
+AllocStats lsra::runGraphColoring(Function &F, const TargetDesc &TD,
+                                  const AllocOptions &Opts,
+                                  FunctionAnalyses &FA) {
   (void)Opts;
   assert(F.CallsLowered && "lower calls before register allocation");
+  assert(&FA.function() == &F && "analyses are for a different function");
   AllocStats Stats;
   Stats.RegCandidates = F.numVRegs();
-  Liveness LV(F, TD);
-  LoopInfo LI(F);
+  const Liveness &LV = FA.liveness();
+  const LoopInfo &LI = FA.loops();
   SpillSlots Slots(F);
   // The two register files are two separate coloring problems (§3).
   {

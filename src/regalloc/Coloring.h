@@ -23,10 +23,17 @@
 
 namespace lsra {
 
+class FunctionAnalyses;
+
 /// Run iterated-register-coalescing graph coloring on \p F (calls must be
 /// lowered). Leaves the function fully allocated.
 AllocStats runGraphColoring(Function &F, const TargetDesc &TD,
                             const AllocOptions &Opts);
+
+/// As above, consuming the shared liveness/loop analyses in \p FA instead
+/// of rebuilding them. \p FA is stale once this returns.
+AllocStats runGraphColoring(Function &F, const TargetDesc &TD,
+                            const AllocOptions &Opts, FunctionAnalyses &FA);
 
 } // namespace lsra
 

@@ -136,8 +136,7 @@ LifetimeAnalysis::LifetimeAnalysis(const Function &F, const Numbering &Num,
     uint8_t Depth = static_cast<uint8_t>(std::min(LI.depth(B), 255u));
 
     // Temporaries live out of the block are live through its bottom.
-    for (unsigned V : LV.liveOut(B).setBits())
-      VEnd[V] = BlockEnd;
+    LV.liveOut(B).forEachSetBit([&](unsigned V) { VEnd[V] = BlockEnd; });
     // Physical registers never cross block boundaries in this IR.
 
     for (unsigned Idx = Blk.size(); Idx-- > 0;) {

@@ -6,6 +6,7 @@
 
 #include "regalloc/Poletto.h"
 
+#include "analysis/AnalysisCache.h"
 #include "analysis/Liveness.h"
 #include "analysis/Loops.h"
 #include "analysis/Order.h"
@@ -29,19 +30,16 @@ struct Interval {
 
 class PolettoAllocator {
 public:
-  PolettoAllocator(Function &F, const TargetDesc &TD)
-      : F(F), TD(TD), Num(F), LV(F, TD), LI(F), LT(F, Num, LV, LI, TD),
-        Slots(F) {}
+  PolettoAllocator(Function &F, const TargetDesc &TD, FunctionAnalyses &FA)
+      : F(F), TD(TD), Num(FA.numbering()), LT(FA.lifetimes()), Slots(F) {}
 
   AllocStats run();
 
 private:
   Function &F;
   const TargetDesc &TD;
-  Numbering Num;
-  Liveness LV;
-  LoopInfo LI;
-  LifetimeAnalysis LT;
+  const Numbering &Num;
+  const LifetimeAnalysis &LT;
   SpillSlots Slots;
   AllocStats Stats;
 
@@ -220,6 +218,14 @@ void PolettoAllocator::rewrite() {
 
 AllocStats lsra::runPolettoScan(Function &F, const TargetDesc &TD,
                                 const AllocOptions &Opts) {
+  FunctionAnalyses FA(F, TD);
+  return runPolettoScan(F, TD, Opts, FA);
+}
+
+AllocStats lsra::runPolettoScan(Function &F, const TargetDesc &TD,
+                                const AllocOptions &Opts,
+                                FunctionAnalyses &FA) {
   (void)Opts;
-  return PolettoAllocator(F, TD).run();
+  assert(&FA.function() == &F && "analyses are for a different function");
+  return PolettoAllocator(F, TD, FA).run();
 }

@@ -6,6 +6,7 @@
 
 #include "regalloc/TwoPass.h"
 
+#include "analysis/AnalysisCache.h"
 #include "analysis/Liveness.h"
 #include "analysis/Loops.h"
 #include "analysis/Order.h"
@@ -71,19 +72,16 @@ private:
 
 class TwoPassAllocator {
 public:
-  TwoPassAllocator(Function &F, const TargetDesc &TD)
-      : F(F), TD(TD), Num(F), LV(F, TD), LI(F), LT(F, Num, LV, LI, TD),
-        Slots(F) {}
+  TwoPassAllocator(Function &F, const TargetDesc &TD, FunctionAnalyses &FA)
+      : F(F), TD(TD), Num(FA.numbering()), LT(FA.lifetimes()), Slots(F) {}
 
   AllocStats run();
 
 private:
   Function &F;
   const TargetDesc &TD;
-  Numbering Num;
-  Liveness LV;
-  LoopInfo LI;
-  LifetimeAnalysis LT;
+  const Numbering &Num;
+  const LifetimeAnalysis &LT;
   SpillSlots Slots;
   AllocStats Stats;
 
@@ -277,6 +275,14 @@ void TwoPassAllocator::rewrite() {
 
 AllocStats lsra::runTwoPassBinpack(Function &F, const TargetDesc &TD,
                                    const AllocOptions &Opts) {
+  FunctionAnalyses FA(F, TD);
+  return runTwoPassBinpack(F, TD, Opts, FA);
+}
+
+AllocStats lsra::runTwoPassBinpack(Function &F, const TargetDesc &TD,
+                                   const AllocOptions &Opts,
+                                   FunctionAnalyses &FA) {
   (void)Opts;
-  return TwoPassAllocator(F, TD).run();
+  assert(&FA.function() == &F && "analyses are for a different function");
+  return TwoPassAllocator(F, TD, FA).run();
 }

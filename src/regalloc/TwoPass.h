@@ -22,8 +22,15 @@
 
 namespace lsra {
 
+class FunctionAnalyses;
+
 AllocStats runTwoPassBinpack(Function &F, const TargetDesc &TD,
                              const AllocOptions &Opts);
+
+/// As above, consuming the shared analyses in \p FA instead of rebuilding
+/// them. \p FA is stale once this returns.
+AllocStats runTwoPassBinpack(Function &F, const TargetDesc &TD,
+                             const AllocOptions &Opts, FunctionAnalyses &FA);
 
 } // namespace lsra
 

@@ -146,6 +146,23 @@ public:
   }
   bool operator!=(const BitVector &RHS) const { return !(*this == RHS); }
 
+  /// Invoke \p F(index) for every set bit in ascending order. Word-level
+  /// iteration (count-trailing-zeros per set bit, whole zero words skipped
+  /// in one test), so it is much faster on sparse vectors than per-bit
+  /// test() loops and faster than setBits(), which re-scans from the
+  /// current bit on every ++.
+  template <typename Fn> void forEachSetBit(Fn &&F) const {
+    for (unsigned WI = 0, E = static_cast<unsigned>(Words.size()); WI != E;
+         ++WI) {
+      uint64_t W = Words[WI];
+      while (W) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(W));
+        W &= W - 1;
+        F(WI * 64 + Bit);
+      }
+    }
+  }
+
   /// First set bit at index >= From, or -1 if none.
   int findNext(unsigned From) const;
 

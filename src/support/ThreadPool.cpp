@@ -1,0 +1,101 @@
+//===- support/ThreadPool.cpp ---------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+
+using namespace lsra;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  NumThreads = std::max(NumThreads, 1u);
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Stopping = true;
+  }
+  HasWork.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Queue.push_back(std::move(Task));
+    ++Outstanding;
+  }
+  HasWork.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  AllDone.wait(Lock, [this] { return Outstanding == 0; });
+  if (FirstError) {
+    std::exception_ptr E = FirstError;
+    FirstError = nullptr;
+    std::rethrow_exception(E);
+  }
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  while (true) {
+    HasWork.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+    if (Queue.empty()) // Stopping, and no work left to drain
+      return;
+    std::function<void()> Task = std::move(Queue.front());
+    Queue.pop_front();
+    Lock.unlock();
+    try {
+      Task();
+    } catch (...) {
+      Lock.lock();
+      if (!FirstError)
+        FirstError = std::current_exception();
+      Lock.unlock();
+    }
+    Lock.lock();
+    if (--Outstanding == 0)
+      AllDone.notify_all();
+  }
+}
+
+unsigned ThreadPool::defaultThreadCount() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+void lsra::parallelFor(unsigned N, unsigned Threads,
+                       const std::function<void(unsigned)> &Body) {
+  Threads = std::min(Threads, N);
+  if (Threads <= 1 || N <= 1) {
+    for (unsigned I = 0; I < N; ++I)
+      Body(I);
+    return;
+  }
+
+  std::atomic<unsigned> Next{0};
+  auto Drain = [&] {
+    for (unsigned I = Next.fetch_add(1, std::memory_order_relaxed); I < N;
+         I = Next.fetch_add(1, std::memory_order_relaxed))
+      Body(I);
+  };
+
+  // The calling thread participates, so only Threads - 1 workers are
+  // spawned and "Threads = 1" costs no thread creation at all.
+  ThreadPool Pool(Threads - 1);
+  for (unsigned W = 0; W + 1 < Threads; ++W)
+    Pool.submit(Drain);
+  Drain();
+  Pool.wait();
+}

@@ -1,0 +1,76 @@
+//===- support/ThreadPool.h - Worker pool for parallel compilation -*- C++-*-//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size worker pool plus a chunked parallel-for built on it.
+/// Per-function register allocation is embarrassingly parallel (every
+/// allocator mutates only its own Function), so the module drivers farm
+/// functions out to workers with dynamic self-scheduling: workers pull the
+/// next unclaimed index from a shared atomic counter, which balances the
+/// highly skewed per-function costs (a 6000-candidate procedure next to
+/// ten 50-candidate ones) without any work-size estimation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_SUPPORT_THREADPOOL_H
+#define LSRA_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lsra {
+
+/// Fixed set of worker threads draining a shared task queue. Tasks may be
+/// submitted from any thread; wait() blocks until the queue is drained and
+/// all running tasks finished. The first exception thrown by a task is
+/// captured and rethrown from wait().
+class ThreadPool {
+public:
+  explicit ThreadPool(unsigned NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueue \p Task for execution on some worker.
+  void submit(std::function<void()> Task);
+
+  /// Block until every submitted task has completed, then rethrow the first
+  /// captured task exception, if any.
+  void wait();
+
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Worker count for "use all hardware threads" requests (never 0).
+  static unsigned defaultThreadCount();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mu;
+  std::condition_variable HasWork;
+  std::condition_variable AllDone;
+  std::exception_ptr FirstError;
+  unsigned Outstanding = 0; ///< queued + running tasks
+  bool Stopping = false;
+};
+
+/// Run Body(0..N-1) across up to \p Threads workers with dynamic
+/// self-scheduling (each worker repeatedly claims the next unclaimed
+/// index). Falls back to a plain loop when \p Threads <= 1 or N <= 1.
+/// Body must be safe to invoke concurrently for distinct indices.
+void parallelFor(unsigned N, unsigned Threads,
+                 const std::function<void(unsigned)> &Body);
+
+} // namespace lsra
+
+#endif // LSRA_SUPPORT_THREADPOOL_H

@@ -1,0 +1,67 @@
+//===- target/CalleeSave.cpp ----------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "target/CalleeSave.h"
+
+using namespace lsra;
+
+unsigned lsra::insertCalleeSaves(Function &F, const TargetDesc &TD) {
+  assert(F.CallsLowered && "insert callee saves after lowering");
+
+  // Collect every callee-saved register the function writes, in ascending
+  // register id (integer registers before floating-point).
+  uint64_t Written = 0;
+  for (const auto &BlkPtr : F.blocks())
+    for (const Instr &I : BlkPtr->instrs())
+      forEachDefinedReg(I, [&](const Operand &Op) {
+        if (Op.isPReg() && TD.isCalleeSaved(Op.pregId()))
+          Written |= uint64_t(1) << Op.pregId();
+      });
+  if (!Written)
+    return 0;
+
+  struct Save {
+    unsigned Reg;
+    unsigned Slot;
+    bool IsFloat;
+  };
+  std::vector<Save> Saves;
+  for (uint64_t M = Written; M;) {
+    unsigned P = static_cast<unsigned>(__builtin_ctzll(M));
+    M &= M - 1;
+    bool IsFloat = pregClass(P) == RegClass::Float;
+    Saves.push_back(
+        {P, F.newSlot(IsFloat ? RegClass::Float : RegClass::Int), IsFloat});
+  }
+
+  // Prologue: store each register at the very top of the entry block.
+  std::vector<Instr> Prologue;
+  for (const Save &S : Saves) {
+    Instr St(S.IsFloat ? Opcode::FStSlot : Opcode::StSlot,
+             Operand::preg(S.Reg), Operand::slot(S.Slot));
+    St.Spill = SpillKind::CalleeSave;
+    Prologue.push_back(St);
+  }
+  auto &EntryInstrs = F.entry().instrs();
+  EntryInstrs.insert(EntryInstrs.begin(), Prologue.begin(), Prologue.end());
+
+  // Epilogues: reload each register immediately before every return.
+  for (auto &BlkPtr : F.blocks()) {
+    auto &Instrs = BlkPtr->instrs();
+    if (Instrs.empty() || Instrs.back().opcode() != Opcode::Ret)
+      continue;
+    std::vector<Instr> Restores;
+    for (const Save &S : Saves) {
+      Instr Ld(S.IsFloat ? Opcode::FLdSlot : Opcode::LdSlot,
+               Operand::preg(S.Reg), Operand::slot(S.Slot));
+      Ld.Spill = SpillKind::CalleeRestore;
+      Restores.push_back(Ld);
+    }
+    Instrs.insert(Instrs.end() - 1, Restores.begin(), Restores.end());
+  }
+
+  return static_cast<unsigned>(Saves.size());
+}

@@ -1,0 +1,32 @@
+//===- target/CalleeSave.h - Callee-save insertion -------------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Post-allocation insertion of callee-save spills: every callee-saved
+/// register the function writes is stored to a fresh frame slot in the
+/// prologue and reloaded before each return. Tagged CalleeSave /
+/// CalleeRestore so the VM's dynamic accounting can separate them from the
+/// allocator's own spill code (the paper's Figure 3 counts candidates
+/// only).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_TARGET_CALLEESAVE_H
+#define LSRA_TARGET_CALLEESAVE_H
+
+#include "ir/Function.h"
+#include "target/Target.h"
+
+namespace lsra {
+
+/// Insert callee-save prologue stores and per-return restores for every
+/// callee-saved register \p F defines. Returns the number of registers
+/// saved.
+unsigned insertCalleeSaves(Function &F, const TargetDesc &TD);
+
+} // namespace lsra
+
+#endif // LSRA_TARGET_CALLEESAVE_H

@@ -1,0 +1,88 @@
+//===- target/LowerCalls.cpp ----------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "target/LowerCalls.h"
+
+#include "target/Target.h"
+
+using namespace lsra;
+
+void lsra::lowerCalls(Function &F) {
+  if (F.CallsLowered)
+    return;
+
+  // Bind parameters: the entry block begins with moves out of the argument
+  // registers, integer parameters first, each class in declaration order.
+  std::vector<Instr> Entry;
+  for (unsigned I = 0; I < F.IntParamVRegs.size(); ++I)
+    Entry.push_back(Instr(Opcode::Mov, Operand::vreg(F.IntParamVRegs[I]),
+                          Operand::preg(TargetDesc::intArgReg(I))));
+  for (unsigned I = 0; I < F.FpParamVRegs.size(); ++I)
+    Entry.push_back(Instr(Opcode::FMov, Operand::vreg(F.FpParamVRegs[I]),
+                          Operand::preg(TargetDesc::fpArgReg(I))));
+  if (!Entry.empty() && F.numBlocks() > 0) {
+    auto &Instrs = F.entry().instrs();
+    Instrs.insert(Instrs.begin(), Entry.begin(), Entry.end());
+  }
+
+  for (auto &BlkPtr : F.blocks()) {
+    auto &Instrs = BlkPtr->instrs();
+    std::vector<Instr> Out;
+    Out.reserve(Instrs.size());
+    for (Instr &I : Instrs) {
+      switch (I.opcode()) {
+      case Opcode::CArg: {
+        unsigned Idx = static_cast<unsigned>(I.op(1).immValue());
+        Out.push_back(Instr(Opcode::Mov,
+                            Operand::preg(TargetDesc::intArgReg(Idx)),
+                            I.op(0)));
+        break;
+      }
+      case Opcode::FCArg: {
+        unsigned Idx = static_cast<unsigned>(I.op(1).immValue());
+        Out.push_back(Instr(Opcode::FMov,
+                            Operand::preg(TargetDesc::fpArgReg(Idx)),
+                            I.op(0)));
+        break;
+      }
+      case Opcode::CRes:
+        Out.push_back(Instr(Opcode::Mov, I.op(0),
+                            Operand::preg(TargetDesc::intRetReg())));
+        break;
+      case Opcode::FCRes:
+        Out.push_back(Instr(Opcode::FMov, I.op(0),
+                            Operand::preg(TargetDesc::fpRetReg())));
+        break;
+      case Opcode::Ret: {
+        // Route the return value through the convention register so the
+        // allocator sees a fixed-register move it can coalesce (§2.5).
+        if (I.op(0).isVReg() && F.RetKind != CallRetKind::None) {
+          bool IsFloat = F.RetKind == CallRetKind::Float;
+          unsigned RetR = TargetDesc::retReg(IsFloat ? RegClass::Float
+                                                     : RegClass::Int);
+          Out.push_back(Instr(IsFloat ? Opcode::FMov : Opcode::Mov,
+                              Operand::preg(RetR), I.op(0)));
+          Out.push_back(Instr(Opcode::Ret, Operand::preg(RetR)));
+        } else {
+          Out.push_back(I);
+        }
+        break;
+      }
+      default:
+        Out.push_back(I);
+        break;
+      }
+    }
+    Instrs = std::move(Out);
+  }
+
+  F.CallsLowered = true;
+}
+
+void lsra::lowerCalls(Module &M) {
+  for (auto &F : M.functions())
+    lowerCalls(*F);
+}

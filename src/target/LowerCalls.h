@@ -1,0 +1,33 @@
+//===- target/LowerCalls.h - Calling-convention lowering -------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expands the builder's calling-convention pseudo ops (CArg/FCArg,
+/// CRes/FCRes), parameter bindings, and Ret values into explicit moves
+/// through the Alpha-like argument/return registers. This produces exactly
+/// the code shape the paper's §2.5 move optimisations target: a burst of
+/// convention-register moves around each call and at the procedure entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_TARGET_LOWERCALLS_H
+#define LSRA_TARGET_LOWERCALLS_H
+
+#include "ir/Module.h"
+
+namespace lsra {
+
+/// Lower calling conventions in \p F. Idempotent (guarded by
+/// Function::CallsLowered). Function-local: safe to run on different
+/// functions from different threads.
+void lowerCalls(Function &F);
+
+/// Lower calling conventions in every function of \p M.
+void lowerCalls(Module &M);
+
+} // namespace lsra
+
+#endif // LSRA_TARGET_LOWERCALLS_H

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/AnalysisCache.h"
 #include "analysis/Dominators.h"
 #include "analysis/Liveness.h"
 #include "analysis/Loops.h"
@@ -191,6 +192,58 @@ TEST(Order, ReversePostOrderStartsAtEntryAndCoversAll) {
   };
   EXPECT_GT(Pos(Fx.B4), Pos(Fx.B2));
   EXPECT_GT(Pos(Fx.B4), Pos(Fx.B3));
+}
+
+TEST(Liveness, WorklistConvergesInOnePassOnAcyclicCFG) {
+  // The worklist is seeded in post order, so a backward problem over an
+  // acyclic CFG stabilises after relaxing each block exactly once.
+  DiamondFixture Fx;
+  TargetDesc TD = TargetDesc::alphaLike();
+  Liveness LV(*Fx.F, TD);
+  EXPECT_EQ(LV.numIterations(), Fx.F->numBlocks());
+}
+
+TEST(Liveness, WorklistAcceptsPrecomputedRPO) {
+  DiamondFixture Fx;
+  TargetDesc TD = TargetDesc::alphaLike();
+  std::vector<unsigned> RPO = reversePostOrder(*Fx.F);
+  Liveness Fresh(*Fx.F, TD);
+  Liveness Shared(*Fx.F, TD, &RPO);
+  for (unsigned B = 0; B < Fx.F->numBlocks(); ++B) {
+    EXPECT_EQ(Fresh.liveIn(B), Shared.liveIn(B));
+    EXPECT_EQ(Fresh.liveOut(B), Shared.liveOut(B));
+  }
+  EXPECT_EQ(Fresh.numIterations(), Shared.numIterations());
+}
+
+TEST(AnalysisCache, ReturnsSameInstanceUntilInvalidated) {
+  DiamondFixture Fx;
+  TargetDesc TD = TargetDesc::alphaLike();
+  FunctionAnalyses FA(*Fx.F, TD);
+  const Liveness *LV = &FA.liveness();
+  const Dominators *Dom = &FA.dominators();
+  const LoopInfo *LI = &FA.loops();
+  EXPECT_EQ(LV, &FA.liveness()); // cached, not recomputed
+  EXPECT_EQ(Dom, &FA.dominators());
+  EXPECT_EQ(LI, &FA.loops());
+  FA.invalidate();
+  // After invalidation the analyses are rebuilt and still correct.
+  EXPECT_TRUE(FA.liveness().liveIn(Fx.B4).test(Fx.T1));
+  EXPECT_EQ(FA.dominators().idom(Fx.B4), Fx.B1);
+}
+
+TEST(AnalysisCache, AnalysesMatchStandaloneConstruction) {
+  DiamondFixture Fx;
+  TargetDesc TD = TargetDesc::alphaLike();
+  FunctionAnalyses FA(*Fx.F, TD);
+  Liveness Fresh(*Fx.F, TD);
+  for (unsigned B = 0; B < Fx.F->numBlocks(); ++B) {
+    EXPECT_EQ(Fresh.liveIn(B), FA.liveness().liveIn(B));
+    EXPECT_EQ(Fresh.liveOut(B), FA.liveness().liveOut(B));
+  }
+  Dominators Dom(*Fx.F);
+  for (unsigned B = 0; B < Fx.F->numBlocks(); ++B)
+    EXPECT_EQ(Dom.idom(B), FA.dominators().idom(B));
 }
 
 } // namespace

@@ -99,6 +99,46 @@ TEST(BitVector, SetBitsIteration) {
   EXPECT_EQ(Expected, Got);
 }
 
+TEST(BitVector, ForEachSetBitVisitsInAscendingOrder) {
+  BitVector BV(200);
+  std::vector<unsigned> Expected = {0, 1, 62, 63, 64, 65, 127, 128, 199};
+  for (unsigned I : Expected)
+    BV.set(I);
+  std::vector<unsigned> Got;
+  BV.forEachSetBit([&](unsigned I) { Got.push_back(I); });
+  EXPECT_EQ(Expected, Got); // word boundaries, ascending, each bit once
+}
+
+TEST(BitVector, ForEachSetBitEmpty) {
+  BitVector BV(100);
+  unsigned Calls = 0;
+  BV.forEachSetBit([&](unsigned) { ++Calls; });
+  EXPECT_EQ(Calls, 0u);
+}
+
+TEST(BitVector, ForEachSetBitDense) {
+  BitVector BV(130);
+  BV.setAll();
+  unsigned Calls = 0, Prev = 0;
+  BV.forEachSetBit([&](unsigned I) {
+    EXPECT_EQ(I, Calls == 0 ? 0u : Prev + 1);
+    Prev = I;
+    ++Calls;
+  });
+  EXPECT_EQ(Calls, 130u);
+}
+
+TEST(BitVector, ForEachSetBitAgreesWithSetBits) {
+  BitVector BV(777);
+  for (unsigned I = 0; I < 777; I += 13)
+    BV.set(I);
+  std::vector<unsigned> FromRange, FromForEach;
+  for (unsigned I : BV.setBits())
+    FromRange.push_back(I);
+  BV.forEachSetBit([&](unsigned I) { FromForEach.push_back(I); });
+  EXPECT_EQ(FromRange, FromForEach);
+}
+
 TEST(BitVector, EqualityAndResize) {
   BitVector A(10), B(10);
   A.set(3);

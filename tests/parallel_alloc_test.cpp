@@ -1,0 +1,172 @@
+//===- tests/parallel_alloc_test.cpp --------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+// Parallel allocation must be invisible: running allocateModule or
+// compileModule with Threads=4 must produce byte-identical printed IR and
+// identical statistics (modulo timing) to the sequential Threads=1 run,
+// for every allocator kind.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "ir/Printer.h"
+#include "passes/DCE.h"
+#include "regalloc/Allocator.h"
+#include "support/ThreadPool.h"
+#include "target/LowerCalls.h"
+#include "target/Target.h"
+#include "workloads/SyntheticModule.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+using namespace lsra;
+
+namespace {
+
+std::string printed(const Module &M) {
+  std::ostringstream OS;
+  printModule(OS, M);
+  return OS.str();
+}
+
+std::unique_ptr<Module> makeWorkload() {
+  ScaledModuleOptions SO;
+  SO.NumProcs = 7; // odd count: exercises uneven chunking across 4 threads
+  SO.CandidatesPerProc = 160;
+  SO.LiveWindow = 30;
+  SO.BlocksPerProc = 6;
+  SO.Seed = 42;
+  return buildScaledModule(SO);
+}
+
+// Compare every statistic except the timing fields, which legitimately
+// differ run to run.
+void expectSameStats(const AllocStats &A, const AllocStats &B) {
+  EXPECT_EQ(A.EvictLoads, B.EvictLoads);
+  EXPECT_EQ(A.EvictStores, B.EvictStores);
+  EXPECT_EQ(A.EvictMoves, B.EvictMoves);
+  EXPECT_EQ(A.ResolveLoads, B.ResolveLoads);
+  EXPECT_EQ(A.ResolveStores, B.ResolveStores);
+  EXPECT_EQ(A.ResolveMoves, B.ResolveMoves);
+  EXPECT_EQ(A.RegCandidates, B.RegCandidates);
+  EXPECT_EQ(A.SpilledTemps, B.SpilledTemps);
+  EXPECT_EQ(A.LifetimeSplits, B.LifetimeSplits);
+  EXPECT_EQ(A.MovesCoalesced, B.MovesCoalesced);
+  EXPECT_EQ(A.SplitEdges, B.SplitEdges);
+  EXPECT_EQ(A.DataflowIterations, B.DataflowIterations);
+  EXPECT_EQ(A.ColoringIterations, B.ColoringIterations);
+  EXPECT_EQ(A.InterferenceEdges, B.InterferenceEdges);
+}
+
+class ParallelAllocTest : public ::testing::TestWithParam<AllocatorKind> {};
+
+TEST_P(ParallelAllocTest, AllocateModuleMatchesSequential) {
+  TargetDesc TD = TargetDesc::alphaLike();
+  auto Seq = makeWorkload();
+  auto Par = makeWorkload();
+  ASSERT_EQ(printed(*Seq), printed(*Par)) << "generator must be deterministic";
+
+  for (Module *M : {Seq.get(), Par.get()}) {
+    lowerCalls(*M);
+    eliminateDeadCode(*M, TD);
+  }
+
+  AllocOptions SeqOpts;
+  SeqOpts.Threads = 1;
+  AllocOptions ParOpts;
+  ParOpts.Threads = 4;
+  AllocStats SeqStats = allocateModule(*Seq, TD, GetParam(), SeqOpts);
+  AllocStats ParStats = allocateModule(*Par, TD, GetParam(), ParOpts);
+
+  EXPECT_EQ(printed(*Seq), printed(*Par));
+  expectSameStats(SeqStats, ParStats);
+}
+
+TEST_P(ParallelAllocTest, CompileModuleMatchesSequential) {
+  TargetDesc TD = TargetDesc::alphaLike();
+  auto Seq = makeWorkload();
+  auto Par = makeWorkload();
+
+  AllocOptions SeqOpts;
+  SeqOpts.Threads = 1;
+  AllocOptions ParOpts;
+  ParOpts.Threads = 4;
+  AllocStats SeqStats = compileModule(*Seq, TD, GetParam(), SeqOpts);
+  AllocStats ParStats = compileModule(*Par, TD, GetParam(), ParOpts);
+
+  EXPECT_EQ(printed(*Seq), printed(*Par));
+  expectSameStats(SeqStats, ParStats);
+  EXPECT_TRUE(checkAllocated(*Par).empty()) << checkAllocated(*Par);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ParallelAllocTest,
+                         ::testing::Values(AllocatorKind::SecondChanceBinpack,
+                                           AllocatorKind::GraphColoring,
+                                           AllocatorKind::TwoPassBinpack,
+                                           AllocatorKind::PolettoScan),
+                         [](const auto &Info) {
+                           switch (Info.param) {
+                           case AllocatorKind::SecondChanceBinpack:
+                             return "Binpack";
+                           case AllocatorKind::GraphColoring:
+                             return "Coloring";
+                           case AllocatorKind::TwoPassBinpack:
+                             return "TwoPass";
+                           case AllocatorKind::PolettoScan:
+                             return "Poletto";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  std::atomic<unsigned> Count{0};
+  {
+    ThreadPool Pool(3);
+    for (unsigned I = 0; I < 100; ++I)
+      Pool.submit([&Count] { Count.fetch_add(1, std::memory_order_relaxed); });
+    Pool.wait();
+    EXPECT_EQ(Count.load(), 100u);
+  }
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool Pool(2);
+  std::atomic<unsigned> Count{0};
+  Pool.submit([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 1u);
+  Pool.submit([&Count] { ++Count; });
+  Pool.submit([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 3u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  constexpr unsigned N = 1000;
+  std::vector<std::atomic<unsigned>> Hits(N);
+  parallelFor(N, 4, [&](unsigned I) {
+    Hits[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (unsigned I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1u) << "index " << I;
+}
+
+TEST(ThreadPoolTest, ParallelForSequentialFallback) {
+  unsigned Sum = 0; // non-atomic: Threads=1 must stay on the calling thread
+  parallelFor(10, 1, [&](unsigned I) { Sum += I; });
+  EXPECT_EQ(Sum, 45u);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_EQ(resolveThreadCount(1, 100), 1u);
+  EXPECT_EQ(resolveThreadCount(4, 100), 4u);
+  EXPECT_EQ(resolveThreadCount(8, 3), 3u);   // capped by work items
+  EXPECT_EQ(resolveThreadCount(4, 0), 1u);   // empty module
+  EXPECT_GE(resolveThreadCount(0, 100), 1u); // 0 = hardware default
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+//===- tools/bench_compile_time.cpp - Table 3 JSON runner -------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Machine-readable companion to bench/table3_compiletime: runs the Table 3
+// workloads through every allocator at several thread counts and writes
+// BENCH_compile_time.json (per record: workload, allocator, threads,
+// wall-clock seconds, aggregate CPU seconds, and the allocation statistics).
+//
+// Usage: bench-compile-time [output.json]   (default BENCH_compile_time.json)
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "workloads/SyntheticModule.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace lsra;
+
+namespace {
+
+struct Workload {
+  const char *Name;
+  ScaledModuleOptions Opts;
+};
+
+struct Record {
+  const char *Workload;
+  const char *Allocator;
+  unsigned Threads;
+  double WallSeconds;
+  double AllocCpuSeconds;
+  AllocStats Stats;
+};
+
+Record measure(const Workload &W, AllocatorKind K, unsigned Threads,
+               const TargetDesc &TD) {
+  Record R;
+  R.Workload = W.Name;
+  R.Allocator = allocatorName(K);
+  R.Threads = Threads;
+  R.WallSeconds = 1e9;
+  R.AllocCpuSeconds = 1e9;
+  for (int Rep = 0; Rep < 5; ++Rep) { // best of five, as in the paper
+    auto M = buildScaledModule(W.Opts);
+    AllocOptions AO;
+    AO.Threads = Threads;
+    AllocStats S = compileModule(*M, TD, K, AO);
+    R.WallSeconds = std::min(R.WallSeconds, S.WallSeconds);
+    R.AllocCpuSeconds = std::min(R.AllocCpuSeconds, S.AllocSeconds);
+    R.Stats = S;
+  }
+  return R;
+}
+
+void emit(std::ostream &OS, const Record &R, bool Last) {
+  const AllocStats &S = R.Stats;
+  OS << "  {\"workload\": \"" << R.Workload << "\", \"allocator\": \""
+     << R.Allocator << "\", \"threads\": " << R.Threads
+     << ", \"wall_s\": " << R.WallSeconds
+     << ", \"alloc_cpu_s\": " << R.AllocCpuSeconds
+     << ", \"reg_candidates\": " << S.RegCandidates
+     << ", \"spilled_temps\": " << S.SpilledTemps
+     << ", \"lifetime_splits\": " << S.LifetimeSplits
+     << ", \"dataflow_iterations\": " << S.DataflowIterations
+     << ", \"coloring_iterations\": " << S.ColoringIterations
+     << ", \"interference_edges\": " << S.InterferenceEdges
+     << ", \"evict_loads\": " << S.EvictLoads
+     << ", \"evict_stores\": " << S.EvictStores
+     << ", \"resolve_moves\": " << S.ResolveMoves << "}" << (Last ? "" : ",")
+     << "\n";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string OutPath = argc > 1 ? argv[1] : "BENCH_compile_time.json";
+  TargetDesc TD = TargetDesc::alphaLike();
+
+  Workload Workloads[] = {
+      {"cvrin-like", {4, 245, 8, 6, 11}},
+      {"twldrv-like", {1, 6218, 48, 10, 22}},
+      {"fpppp-like", {2, 3348, 56, 8, 33}},
+      {"many-proc", {16, 500, 24, 6, 44}},
+  };
+  AllocatorKind Kinds[] = {
+      AllocatorKind::SecondChanceBinpack, AllocatorKind::GraphColoring,
+      AllocatorKind::TwoPassBinpack, AllocatorKind::PolettoScan};
+  unsigned ThreadCounts[] = {1, 2, 4};
+
+  std::vector<Record> Records;
+  for (const Workload &W : Workloads)
+    for (AllocatorKind K : Kinds)
+      for (unsigned T : ThreadCounts) {
+        Records.push_back(measure(W, K, T, TD));
+        std::printf("%-12s %-22s T=%u  wall %.4fs  cpu %.4fs\n", W.Name,
+                    allocatorName(K), T, Records.back().WallSeconds,
+                    Records.back().AllocCpuSeconds);
+      }
+
+  std::ofstream OS(OutPath);
+  if (!OS) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n",
+                 OutPath.c_str());
+    return 1;
+  }
+  OS << "[\n";
+  for (size_t I = 0; I < Records.size(); ++I)
+    emit(OS, Records[I], I + 1 == Records.size());
+  OS << "]\n";
+  std::printf("wrote %zu records to %s\n", Records.size(), OutPath.c_str());
+  return 0;
+}
