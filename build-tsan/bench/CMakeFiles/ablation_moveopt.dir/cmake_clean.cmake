@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_moveopt.dir/ablation_moveopt.cpp.o"
+  "CMakeFiles/ablation_moveopt.dir/ablation_moveopt.cpp.o.d"
+  "ablation_moveopt"
+  "ablation_moveopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_moveopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_secondchance.dir/ablation_secondchance.cpp.o"
+  "CMakeFiles/ablation_secondchance.dir/ablation_secondchance.cpp.o.d"
+  "ablation_secondchance"
+  "ablation_secondchance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_secondchance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spillcleanup.dir/ablation_spillcleanup.cpp.o"
+  "CMakeFiles/ablation_spillcleanup.dir/ablation_spillcleanup.cpp.o.d"
+  "ablation_spillcleanup"
+  "ablation_spillcleanup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spillcleanup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_spillcleanup.
+# This may be replaced when dependencies are built.

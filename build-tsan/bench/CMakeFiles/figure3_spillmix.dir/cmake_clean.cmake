@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_spillmix.dir/figure3_spillmix.cpp.o"
+  "CMakeFiles/figure3_spillmix.dir/figure3_spillmix.cpp.o.d"
+  "figure3_spillmix"
+  "figure3_spillmix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_spillmix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

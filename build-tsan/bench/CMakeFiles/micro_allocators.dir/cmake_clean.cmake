@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_allocators.dir/micro_allocators.cpp.o"
+  "CMakeFiles/micro_allocators.dir/micro_allocators.cpp.o.d"
+  "micro_allocators"
+  "micro_allocators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_allocators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

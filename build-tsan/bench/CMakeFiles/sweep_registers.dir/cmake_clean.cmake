@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_registers.dir/sweep_registers.cpp.o"
+  "CMakeFiles/sweep_registers.dir/sweep_registers.cpp.o.d"
+  "sweep_registers"
+  "sweep_registers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

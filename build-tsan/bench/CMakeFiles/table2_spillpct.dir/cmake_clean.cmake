@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_spillpct.dir/table2_spillpct.cpp.o"
+  "CMakeFiles/table2_spillpct.dir/table2_spillpct.cpp.o.d"
+  "table2_spillpct"
+  "table2_spillpct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_spillpct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_compiletime.dir/table3_compiletime.cpp.o"
+  "CMakeFiles/table3_compiletime.dir/table3_compiletime.cpp.o.d"
+  "table3_compiletime"
+  "table3_compiletime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_compiletime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

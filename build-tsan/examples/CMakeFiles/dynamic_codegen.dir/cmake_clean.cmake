@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_codegen.dir/dynamic_codegen.cpp.o"
+  "CMakeFiles/dynamic_codegen.dir/dynamic_codegen.cpp.o.d"
+  "dynamic_codegen"
+  "dynamic_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

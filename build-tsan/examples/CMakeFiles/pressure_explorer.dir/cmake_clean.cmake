@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pressure_explorer.dir/pressure_explorer.cpp.o"
+  "CMakeFiles/pressure_explorer.dir/pressure_explorer.cpp.o.d"
+  "pressure_explorer"
+  "pressure_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pressure_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

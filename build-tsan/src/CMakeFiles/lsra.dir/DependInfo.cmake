@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/AnalysisCache.cpp" "src/CMakeFiles/lsra.dir/analysis/AnalysisCache.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/analysis/AnalysisCache.cpp.o.d"
+  "/root/repo/src/analysis/Dominators.cpp" "src/CMakeFiles/lsra.dir/analysis/Dominators.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/analysis/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/Liveness.cpp" "src/CMakeFiles/lsra.dir/analysis/Liveness.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/analysis/Liveness.cpp.o.d"
+  "/root/repo/src/analysis/Loops.cpp" "src/CMakeFiles/lsra.dir/analysis/Loops.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/analysis/Loops.cpp.o.d"
+  "/root/repo/src/analysis/Order.cpp" "src/CMakeFiles/lsra.dir/analysis/Order.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/analysis/Order.cpp.o.d"
+  "/root/repo/src/driver/Pipeline.cpp" "src/CMakeFiles/lsra.dir/driver/Pipeline.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/driver/Pipeline.cpp.o.d"
+  "/root/repo/src/ir/Block.cpp" "src/CMakeFiles/lsra.dir/ir/Block.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/ir/Block.cpp.o.d"
+  "/root/repo/src/ir/Builder.cpp" "src/CMakeFiles/lsra.dir/ir/Builder.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/ir/Builder.cpp.o.d"
+  "/root/repo/src/ir/Function.cpp" "src/CMakeFiles/lsra.dir/ir/Function.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/ir/Function.cpp.o.d"
+  "/root/repo/src/ir/IRVerifier.cpp" "src/CMakeFiles/lsra.dir/ir/IRVerifier.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/ir/IRVerifier.cpp.o.d"
+  "/root/repo/src/ir/Instr.cpp" "src/CMakeFiles/lsra.dir/ir/Instr.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/ir/Instr.cpp.o.d"
+  "/root/repo/src/ir/Module.cpp" "src/CMakeFiles/lsra.dir/ir/Module.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/ir/Module.cpp.o.d"
+  "/root/repo/src/ir/Parser.cpp" "src/CMakeFiles/lsra.dir/ir/Parser.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/ir/Parser.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/CMakeFiles/lsra.dir/ir/Printer.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/ir/Printer.cpp.o.d"
+  "/root/repo/src/passes/DCE.cpp" "src/CMakeFiles/lsra.dir/passes/DCE.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/passes/DCE.cpp.o.d"
+  "/root/repo/src/passes/Peephole.cpp" "src/CMakeFiles/lsra.dir/passes/Peephole.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/passes/Peephole.cpp.o.d"
+  "/root/repo/src/passes/SpillCleanup.cpp" "src/CMakeFiles/lsra.dir/passes/SpillCleanup.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/passes/SpillCleanup.cpp.o.d"
+  "/root/repo/src/regalloc/Allocator.cpp" "src/CMakeFiles/lsra.dir/regalloc/Allocator.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/regalloc/Allocator.cpp.o.d"
+  "/root/repo/src/regalloc/Binpack.cpp" "src/CMakeFiles/lsra.dir/regalloc/Binpack.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/regalloc/Binpack.cpp.o.d"
+  "/root/repo/src/regalloc/Coloring.cpp" "src/CMakeFiles/lsra.dir/regalloc/Coloring.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/regalloc/Coloring.cpp.o.d"
+  "/root/repo/src/regalloc/Consistency.cpp" "src/CMakeFiles/lsra.dir/regalloc/Consistency.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/regalloc/Consistency.cpp.o.d"
+  "/root/repo/src/regalloc/Lifetime.cpp" "src/CMakeFiles/lsra.dir/regalloc/Lifetime.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/regalloc/Lifetime.cpp.o.d"
+  "/root/repo/src/regalloc/ParallelCopy.cpp" "src/CMakeFiles/lsra.dir/regalloc/ParallelCopy.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/regalloc/ParallelCopy.cpp.o.d"
+  "/root/repo/src/regalloc/Poletto.cpp" "src/CMakeFiles/lsra.dir/regalloc/Poletto.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/regalloc/Poletto.cpp.o.d"
+  "/root/repo/src/regalloc/Resolver.cpp" "src/CMakeFiles/lsra.dir/regalloc/Resolver.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/regalloc/Resolver.cpp.o.d"
+  "/root/repo/src/regalloc/SpillSlots.cpp" "src/CMakeFiles/lsra.dir/regalloc/SpillSlots.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/regalloc/SpillSlots.cpp.o.d"
+  "/root/repo/src/regalloc/TwoPass.cpp" "src/CMakeFiles/lsra.dir/regalloc/TwoPass.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/regalloc/TwoPass.cpp.o.d"
+  "/root/repo/src/support/BitVector.cpp" "src/CMakeFiles/lsra.dir/support/BitVector.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/support/BitVector.cpp.o.d"
+  "/root/repo/src/support/ThreadPool.cpp" "src/CMakeFiles/lsra.dir/support/ThreadPool.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/support/ThreadPool.cpp.o.d"
+  "/root/repo/src/support/Timer.cpp" "src/CMakeFiles/lsra.dir/support/Timer.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/support/Timer.cpp.o.d"
+  "/root/repo/src/target/CalleeSave.cpp" "src/CMakeFiles/lsra.dir/target/CalleeSave.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/target/CalleeSave.cpp.o.d"
+  "/root/repo/src/target/LowerCalls.cpp" "src/CMakeFiles/lsra.dir/target/LowerCalls.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/target/LowerCalls.cpp.o.d"
+  "/root/repo/src/target/Target.cpp" "src/CMakeFiles/lsra.dir/target/Target.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/target/Target.cpp.o.d"
+  "/root/repo/src/vm/VM.cpp" "src/CMakeFiles/lsra.dir/vm/VM.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/vm/VM.cpp.o.d"
+  "/root/repo/src/workloads/RandomProgram.cpp" "src/CMakeFiles/lsra.dir/workloads/RandomProgram.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/workloads/RandomProgram.cpp.o.d"
+  "/root/repo/src/workloads/SyntheticModule.cpp" "src/CMakeFiles/lsra.dir/workloads/SyntheticModule.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/workloads/SyntheticModule.cpp.o.d"
+  "/root/repo/src/workloads/Workloads.cpp" "src/CMakeFiles/lsra.dir/workloads/Workloads.cpp.o" "gcc" "src/CMakeFiles/lsra.dir/workloads/Workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binpack_test.dir/binpack_test.cpp.o"
+  "CMakeFiles/binpack_test.dir/binpack_test.cpp.o.d"
+  "binpack_test"
+  "binpack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binpack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

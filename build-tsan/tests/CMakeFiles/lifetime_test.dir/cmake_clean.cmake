@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifetime_test.dir/lifetime_test.cpp.o"
+  "CMakeFiles/lifetime_test.dir/lifetime_test.cpp.o.d"
+  "lifetime_test"
+  "lifetime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifetime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

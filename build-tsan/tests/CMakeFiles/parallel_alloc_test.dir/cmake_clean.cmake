@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_alloc_test.dir/parallel_alloc_test.cpp.o"
+  "CMakeFiles/parallel_alloc_test.dir/parallel_alloc_test.cpp.o.d"
+  "parallel_alloc_test"
+  "parallel_alloc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_alloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

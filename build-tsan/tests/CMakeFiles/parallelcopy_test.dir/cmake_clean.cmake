@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallelcopy_test.dir/parallelcopy_test.cpp.o"
+  "CMakeFiles/parallelcopy_test.dir/parallelcopy_test.cpp.o.d"
+  "parallelcopy_test"
+  "parallelcopy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallelcopy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_equivalence_test.dir/random_equivalence_test.cpp.o"
+  "CMakeFiles/random_equivalence_test.dir/random_equivalence_test.cpp.o.d"
+  "random_equivalence_test"
+  "random_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spillcleanup_test.dir/spillcleanup_test.cpp.o"
+  "CMakeFiles/spillcleanup_test.dir/spillcleanup_test.cpp.o.d"
+  "spillcleanup_test"
+  "spillcleanup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spillcleanup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

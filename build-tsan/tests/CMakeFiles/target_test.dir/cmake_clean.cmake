@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/target_test.dir/target_test.cpp.o"
+  "CMakeFiles/target_test.dir/target_test.cpp.o.d"
+  "target_test"
+  "target_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/target_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

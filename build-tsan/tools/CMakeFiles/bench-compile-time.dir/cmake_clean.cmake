@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench-compile-time.dir/bench_compile_time.cpp.o"
+  "CMakeFiles/bench-compile-time.dir/bench_compile_time.cpp.o.d"
+  "bench-compile-time"
+  "bench-compile-time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench-compile-time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench-compile-time.
+# This may be replaced when dependencies are built.

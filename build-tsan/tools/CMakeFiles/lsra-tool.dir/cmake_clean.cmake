@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsra-tool.dir/lsra.cpp.o"
+  "CMakeFiles/lsra-tool.dir/lsra.cpp.o.d"
+  "lsra"
+  "lsra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsra-tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

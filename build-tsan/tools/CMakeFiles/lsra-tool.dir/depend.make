@@ -1,0 +1,2 @@
+# Empty dependencies file for lsra-tool.
+# This may be replaced when dependencies are built.
