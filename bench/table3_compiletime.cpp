@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Pipeline.h"
+#include "obs/Trace.h"
 #include "support/ThreadPool.h"
 #include "workloads/SyntheticModule.h"
 
@@ -125,5 +126,33 @@ int main() {
               "threads): the twldrv-like\nmodule is a single procedure and "
               "cannot scale, and a single-core host shows\nonly threading "
               "overhead.\n");
+
+  // Per-phase span breakdown of one representative compile (the fpppp-like
+  // module, both headline allocators), from the observability tracer: the
+  // same "where does the time go" data --trace-out exports for Perfetto.
+  std::printf("\nPer-phase breakdown, fpppp-like module (span tracer)\n\n");
+  std::printf("%-26s %-24s %8s %12s\n", "allocator", "span", "count",
+              "total ms");
+  std::printf("---------------------------------------------------------------"
+              "---------\n");
+  obs::Tracer &Tracer = obs::Tracer::global();
+  for (AllocatorKind K :
+       {AllocatorKind::GraphColoring, AllocatorKind::SecondChanceBinpack}) {
+    Tracer.reset();
+    Tracer.enable();
+    auto M = buildScaledModule(Rows[2].Opts);
+    compileModule(*M, TD(), K, AllocOptions{});
+    Tracer.disable();
+    unsigned Shown = 0;
+    for (const obs::SpanSummary &S : Tracer.summarize()) {
+      if (std::string(S.Cat) == "function")
+        continue; // per-function spans; the named phases below cover them
+      std::printf("%-26s %-24s %8llu %12.3f\n",
+                  Shown == 0 ? allocatorName(K) : "", S.Name.c_str(),
+                  (unsigned long long)S.Count, S.TotalNs / 1e6);
+      ++Shown;
+    }
+  }
+  Tracer.reset();
   return 0;
 }

@@ -7,6 +7,8 @@
 #include "driver/Pipeline.h"
 
 #include "ir/IRVerifier.h"
+#include "obs/Log.h"
+#include "obs/Trace.h"
 #include "passes/DCE.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
@@ -18,26 +20,46 @@ AllocStats lsra::compileModule(Module &M, const TargetDesc &TD,
                                AllocatorKind K, const AllocOptions &Opts) {
   unsigned N = M.numFunctions();
   unsigned Threads = resolveThreadCount(Opts.Threads, N);
-  if (Threads <= 1) {
-    lowerCalls(M);
-    eliminateDeadCode(M, TD);
-    return allocateModule(M, TD, K, Opts);
-  }
-  // Parallel path: lowering, DCE, and allocation are all per-function, so
-  // run the whole pipeline for each function on a worker. Stats merge in
-  // function-index order, keeping totals identical to the sequential run.
+  LSRA_LOG(1, "compileModule: %u functions, allocator=%s, threads=%u", N,
+           allocatorName(K), Threads);
+  // WallSeconds is measured exactly once, here, over the whole pipeline
+  // (lowering + DCE + allocation) in both the sequential and the parallel
+  // path; the alloc-only wall allocateModule records is overwritten, never
+  // added (AllocStats::operator+= deliberately skips WallSeconds).
   Timer Wall;
   Wall.start();
-  std::vector<AllocStats> Per(N);
-  parallelFor(N, Threads, [&](unsigned I) {
-    Function &F = M.function(I);
-    lowerCalls(F);
-    eliminateDeadCode(F, TD);
-    Per[I] = allocateFunction(F, TD, K, Opts);
-  });
   AllocStats Total;
-  for (const AllocStats &S : Per)
-    Total += S;
+  if (Threads <= 1) {
+    {
+      obs::ScopedSpan S("lowerCalls", "pass");
+      lowerCalls(M);
+    }
+    {
+      obs::ScopedSpan S("dce", "pass");
+      eliminateDeadCode(M, TD);
+    }
+    Total = allocateModule(M, TD, K, Opts);
+  } else {
+    // Parallel path: lowering, DCE, and allocation are all per-function, so
+    // run the whole pipeline for each function on a worker. Stats merge in
+    // function-index order, keeping totals identical to the sequential run.
+    std::vector<AllocStats> Per(N);
+    parallelFor(N, Threads, [&](unsigned I) {
+      Function &F = M.function(I);
+      obs::ScopedSpan FnSpan("compile:", F.name(), "function");
+      {
+        obs::ScopedSpan S("lowerCalls", "pass");
+        lowerCalls(F);
+      }
+      {
+        obs::ScopedSpan S("dce", "pass");
+        eliminateDeadCode(F, TD);
+      }
+      Per[I] = allocateFunction(F, TD, K, Opts);
+    });
+    for (const AllocStats &S : Per)
+      Total += S;
+  }
   Wall.stop();
   Total.WallSeconds = Wall.seconds();
   return Total;

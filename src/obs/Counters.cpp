@@ -1,0 +1,187 @@
+//===- obs/Counters.cpp ---------------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Counters.h"
+
+#include "obs/Json.h"
+#include "regalloc/Allocator.h"
+#include "vm/VM.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+using namespace lsra;
+using namespace lsra::obs;
+
+void Distribution::sample(double V) {
+  std::lock_guard<std::mutex> L(Mu);
+  if (Count == 0) {
+    Min = Max = V;
+  } else {
+    Min = std::min(Min, V);
+    Max = std::max(Max, V);
+  }
+  ++Count;
+  Sum += V;
+}
+
+uint64_t Distribution::count() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Count;
+}
+double Distribution::sum() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Sum;
+}
+double Distribution::min() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Min;
+}
+double Distribution::max() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Max;
+}
+double Distribution::mean() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Count ? Sum / static_cast<double>(Count) : 0.0;
+}
+
+struct CounterRegistry::Entry {
+  std::string Name;
+  enum class Kind { Unused, Count, Dist } K = Kind::Unused;
+  Counter C;
+  Distribution D;
+};
+
+CounterRegistry &CounterRegistry::global() {
+  static CounterRegistry R;
+  return R;
+}
+
+CounterRegistry::Entry &CounterRegistry::entry(const std::string &Name) {
+  std::lock_guard<std::mutex> L(Mu);
+  for (auto &E : Entries)
+    if (E->Name == Name)
+      return *E;
+  Entries.push_back(std::make_unique<Entry>());
+  Entries.back()->Name = Name;
+  return *Entries.back();
+}
+
+Counter &CounterRegistry::counter(const std::string &Name) {
+  Entry &E = entry(Name);
+  E.K = Entry::Kind::Count;
+  return E.C;
+}
+
+Distribution &CounterRegistry::distribution(const std::string &Name) {
+  Entry &E = entry(Name);
+  E.K = Entry::Kind::Dist;
+  return E.D;
+}
+
+void CounterRegistry::recordAllocStats(const AllocStats &S) {
+  counter("alloc.evict_loads").add(S.EvictLoads);
+  counter("alloc.evict_stores").add(S.EvictStores);
+  counter("alloc.evict_moves").add(S.EvictMoves);
+  counter("alloc.resolve_loads").add(S.ResolveLoads);
+  counter("alloc.resolve_stores").add(S.ResolveStores);
+  counter("alloc.resolve_moves").add(S.ResolveMoves);
+  counter("alloc.static_spill_instrs").add(S.staticSpillInstrs());
+  counter("alloc.reg_candidates").add(S.RegCandidates);
+  counter("alloc.spilled_temps").add(S.SpilledTemps);
+  counter("alloc.lifetime_splits").add(S.LifetimeSplits);
+  counter("alloc.moves_coalesced").add(S.MovesCoalesced);
+  counter("alloc.split_edges").add(S.SplitEdges);
+  counter("alloc.dataflow_iterations").add(S.DataflowIterations);
+  counter("alloc.coloring_iterations").add(S.ColoringIterations);
+  counter("alloc.interference_edges").add(S.InterferenceEdges);
+  distribution("alloc.time.cpu_s").sample(S.AllocSeconds);
+  distribution("alloc.time.wall_s").sample(S.WallSeconds);
+}
+
+void CounterRegistry::recordRunStats(const RunStats &S) {
+  counter("vm.runs").add(1);
+  counter("vm.dyn.instrs").add(S.Total);
+  counter("vm.dyn.cycles").add(S.Cycles);
+  counter("vm.dyn.spill_loads")
+      .add(S.kind(SpillKind::EvictLoad) + S.kind(SpillKind::ResolveLoad));
+  counter("vm.dyn.spill_stores")
+      .add(S.kind(SpillKind::EvictStore) + S.kind(SpillKind::ResolveStore));
+  counter("vm.dyn.spill_moves")
+      .add(S.kind(SpillKind::EvictMove) + S.kind(SpillKind::ResolveMove));
+  counter("vm.dyn.spill_instrs").add(S.spillInstrs());
+  counter("vm.dyn.callee_save_instrs")
+      .add(S.kind(SpillKind::CalleeSave) + S.kind(SpillKind::CalleeRestore));
+}
+
+namespace {
+
+/// Stable name-sorted view of the registry entries.
+template <typename EntryT>
+std::vector<const EntryT *>
+sortedEntries(const std::vector<std::unique_ptr<EntryT>> &Entries) {
+  std::vector<const EntryT *> Sorted;
+  Sorted.reserve(Entries.size());
+  for (const auto &E : Entries)
+    Sorted.push_back(E.get());
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const EntryT *A, const EntryT *B) { return A->Name < B->Name; });
+  return Sorted;
+}
+
+} // namespace
+
+void CounterRegistry::writeJsonl(std::ostream &OS) const {
+  std::lock_guard<std::mutex> L(Mu);
+  for (const Entry *E : sortedEntries(Entries)) {
+    if (E->K == Entry::Kind::Count) {
+      JsonObject O;
+      O.field("kind", "counter").field("name", E->Name).field("value",
+                                                              E->C.value());
+      OS << O.str() << "\n";
+    } else if (E->K == Entry::Kind::Dist) {
+      JsonObject O;
+      O.field("kind", "dist")
+          .field("name", E->Name)
+          .field("count", E->D.count())
+          .field("sum", E->D.sum())
+          .field("min", E->D.min())
+          .field("max", E->D.max())
+          .field("mean", E->D.mean());
+      OS << O.str() << "\n";
+    }
+  }
+}
+
+bool CounterRegistry::writeJsonl(const std::string &Path) const {
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  writeJsonl(OS);
+  return OS.good();
+}
+
+std::string CounterRegistry::snapshotText() const {
+  std::lock_guard<std::mutex> L(Mu);
+  std::ostringstream OS;
+  for (const Entry *E : sortedEntries(Entries)) {
+    if (E->K == Entry::Kind::Count)
+      OS << "counter " << E->Name << " " << E->C.value() << "\n";
+    else if (E->K == Entry::Kind::Dist)
+      OS << "dist " << E->Name << " " << E->D.count() << " "
+         << jsonNumber(E->D.sum()) << " " << jsonNumber(E->D.min()) << " "
+         << jsonNumber(E->D.max()) << "\n";
+  }
+  return OS.str();
+}
+
+void CounterRegistry::reset() {
+  std::lock_guard<std::mutex> L(Mu);
+  Entries.clear();
+}

@@ -1,0 +1,121 @@
+//===- obs/Counters.h - Named counter / metrics registry -------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide registry of named monotonic counters and value
+/// distributions — the numeric side of the observability layer. The
+/// paper's evaluation quantities (static spill counts, dynamic spill
+/// percentages, allocation time) flow through here: AllocStats and
+/// RunStats are re-exported as registry entries, and instrumented code
+/// adds finer-grained counts (binpack.evictions, lifetime.holes,
+/// vm.dyn.spill_loads, ...).
+///
+/// Counters are relaxed atomics, so concurrent per-function allocation
+/// workers bump them without coordination; because addition commutes, the
+/// totals are deterministic for any thread count. Distributions keep only
+/// order-independent aggregates (count/sum/min/max) for the same reason.
+///
+/// Snapshots are emitted as JSONL (one self-describing JSON object per
+/// line, sorted by name) so experiment output is machine-readable without
+/// hand-rolled JSON at every call site.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_OBS_COUNTERS_H
+#define LSRA_OBS_COUNTERS_H
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lsra {
+
+struct AllocStats;
+struct RunStats;
+
+namespace obs {
+
+/// Monotonically increasing counter. add() is wait-free and commutative,
+/// so totals are identical for any AllocOptions::Threads.
+class Counter {
+public:
+  void add(uint64_t N = 1) { Value.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> Value{0};
+};
+
+/// Value distribution keeping order-independent aggregates only.
+class Distribution {
+public:
+  void sample(double V);
+  uint64_t count() const;
+  double sum() const;
+  double min() const; ///< 0 when empty
+  double max() const; ///< 0 when empty
+  double mean() const;
+
+private:
+  mutable std::mutex Mu;
+  uint64_t Count = 0;
+  double Sum = 0, Min = 0, Max = 0;
+};
+
+class CounterRegistry {
+public:
+  /// The process-wide registry all instrumentation reports to.
+  static CounterRegistry &global();
+
+  /// Instrumented code checks enabled() before computing anything for the
+  /// registry; with it off (the default) the cost is one relaxed load.
+  void enable() { Enabled.store(true, std::memory_order_release); }
+  void disable() { Enabled.store(false, std::memory_order_release); }
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Find-or-create. The returned references stay valid until reset();
+  /// instrumentation looks its counters up per use rather than caching
+  /// references across runs.
+  Counter &counter(const std::string &Name);
+  Distribution &distribution(const std::string &Name);
+
+  /// Re-export every AllocStats field under "alloc.*" (timing fields under
+  /// "alloc.time.*", as distributions).
+  void recordAllocStats(const AllocStats &S);
+  /// Re-export every RunStats field under "vm.dyn.*".
+  void recordRunStats(const RunStats &S);
+
+  /// One JSON object per line, sorted by name:
+  ///   {"kind": "counter", "name": ..., "value": N}
+  ///   {"kind": "dist", "name": ..., "count": N, "sum": X, "min": X,
+  ///    "max": X, "mean": X}
+  void writeJsonl(std::ostream &OS) const;
+  bool writeJsonl(const std::string &Path) const;
+
+  /// Deterministic plain-text snapshot ("counter NAME VALUE" / "dist NAME
+  /// COUNT SUM MIN MAX" lines sorted by name) for tests and debugging.
+  std::string snapshotText() const;
+
+  /// Drop every entry. References obtained before reset() are invalid.
+  void reset();
+
+private:
+  struct Entry;
+  Entry &entry(const std::string &Name);
+
+  std::atomic<bool> Enabled{false};
+  mutable std::mutex Mu; ///< guards Entries (lookup/registration only)
+  std::vector<std::unique_ptr<Entry>> Entries;
+};
+
+} // namespace obs
+} // namespace lsra
+
+#endif // LSRA_OBS_COUNTERS_H

@@ -1,0 +1,121 @@
+//===- obs/DecisionLog.h - Allocation-decision event log -------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An optional sink recording every consequential allocation decision —
+/// evictions, second-chance lifetime splits, early-second-chance moves,
+/// move coalescings, whole-lifetime spills — with the temporary, linear
+/// position, register, and a reason. This is the "why did my value get
+/// spilled here" view the aggregate statistics cannot give: the paper
+/// argues its policies decision by decision (§2.2-§2.5), and the log makes
+/// each one inspectable (`lsra run ... --explain`).
+///
+/// Like the tracer, records go to per-thread buffers. At flush they are
+/// sorted by (function, per-thread sequence); each function is allocated
+/// entirely by one thread, so the flushed log is identical for any
+/// AllocOptions::Threads and replays identically for the same module.
+///
+/// Disabled (the default), a record call is one relaxed atomic load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_OBS_DECISIONLOG_H
+#define LSRA_OBS_DECISIONLOG_H
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lsra {
+
+class Function;
+
+namespace obs {
+
+enum class DecisionKind : uint8_t {
+  EvictStore,       ///< lowest-priority occupant evicted to memory (§2.3)
+  EvictConvention,  ///< a usage convention reclaimed the register (§2.5)
+  EvictMove,        ///< early second chance: moved to a free register (§2.5)
+  EvictDrop,        ///< evicted during a real hole; nothing to save (§2.3)
+  SecondChanceLoad, ///< reload at next use = lifetime split (§2.3)
+  SecondChanceDef,  ///< redefinition of a spilled temp gets a register (§2.3)
+  CoalesceMove,     ///< move coalesced onto the source register (§2.5)
+  SpillWhole,       ///< whole lifetime sent to memory (coloring/scan/GEM)
+};
+
+const char *decisionKindName(DecisionKind K);
+
+/// A second-chance lifetime split, in the paper's sense (the splits
+/// AllocStats::LifetimeSplits counts).
+inline bool isLifetimeSplit(DecisionKind K) {
+  return K == DecisionKind::EvictMove || K == DecisionKind::SecondChanceLoad ||
+         K == DecisionKind::SecondChanceDef;
+}
+
+constexpr unsigned NoValue = ~0u; ///< "not applicable" for Temp/Pos/Reg
+
+struct Decision {
+  std::string Fn;    ///< function being allocated
+  DecisionKind Kind;
+  unsigned Temp;     ///< virtual register id, or NoValue
+  unsigned Pos;      ///< linear-order position, or NoValue
+  unsigned Reg;      ///< physical register involved, or NoValue
+  const char *Why;   ///< static reason text
+  uint64_t Seq;      ///< per-thread sequence (flush ordering)
+};
+
+/// Display name of a physical register ("$3", "$f7", or "mem" for NoValue),
+/// matching the textual IR printer.
+std::string pregDisplayName(unsigned P);
+
+class DecisionLog {
+public:
+  /// The process-wide log the allocators report to.
+  static DecisionLog &global();
+
+  void enable() { Enabled.store(true, std::memory_order_release); }
+  void disable() { Enabled.store(false, std::memory_order_release); }
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Append one decision. Call only when enabled() (the allocators check
+  /// first so the disabled path stays free of string copies).
+  void record(const Function &F, DecisionKind K, unsigned Temp, unsigned Pos,
+              unsigned Reg, const char *Why);
+
+  /// Merged, deterministically ordered view (function name, then record
+  /// order within the function). Requires quiescence, like the tracer.
+  std::vector<Decision> snapshot() const;
+
+  /// Human-readable dump (--explain).
+  void writeText(std::ostream &OS) const;
+  /// One {"kind": "decision", ...} JSON object per line.
+  void writeJsonl(std::ostream &OS) const;
+
+  void reset();
+
+private:
+  struct ThreadBuf {
+    mutable std::mutex Mu;
+    std::vector<Decision> Records;
+    uint64_t NextSeq = 0;
+  };
+
+  ThreadBuf &localBuf();
+
+  std::atomic<bool> Enabled{false};
+  mutable std::mutex Mu; ///< guards Buffers
+  std::vector<std::unique_ptr<ThreadBuf>> Buffers;
+  std::atomic<uint64_t> Generation{0};
+};
+
+} // namespace obs
+} // namespace lsra
+
+#endif // LSRA_OBS_DECISIONLOG_H

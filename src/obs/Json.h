@@ -1,0 +1,123 @@
+//===- obs/Json.h - Minimal JSON emission helpers --------------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small, dependency-free helpers for emitting syntactically valid JSON:
+/// string quoting/escaping, locale-independent number formatting, and an
+/// append-only object builder. Every observability sink (Chrome trace
+/// writer, counter snapshots, decision log, the bench JSON tools) goes
+/// through these instead of hand-rolling quoting and separators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_OBS_JSON_H
+#define LSRA_OBS_JSON_H
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace lsra {
+namespace obs {
+
+/// \p S quoted and escaped as a JSON string literal (including the quotes).
+inline std::string jsonQuote(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  Out.push_back('"');
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  Out.push_back('"');
+  return Out;
+}
+
+/// \p V formatted as a JSON number. Non-finite doubles (which JSON cannot
+/// represent) become null.
+inline std::string jsonNumber(double V) {
+  if (!std::isfinite(V))
+    return "null";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  return Buf;
+}
+
+inline std::string jsonNumber(uint64_t V) { return std::to_string(V); }
+inline std::string jsonNumber(int64_t V) { return std::to_string(V); }
+
+/// Append-only builder for one JSON object; handles separators and quoting
+/// so call sites never concatenate raw punctuation.
+class JsonObject {
+public:
+  JsonObject &field(const char *Key, const std::string &V) {
+    return raw(Key, jsonQuote(V));
+  }
+  JsonObject &field(const char *Key, const char *V) {
+    return raw(Key, jsonQuote(V));
+  }
+  JsonObject &field(const char *Key, uint64_t V) {
+    return raw(Key, jsonNumber(V));
+  }
+  JsonObject &field(const char *Key, unsigned V) {
+    return raw(Key, jsonNumber(static_cast<uint64_t>(V)));
+  }
+  JsonObject &field(const char *Key, int V) {
+    return raw(Key, jsonNumber(static_cast<int64_t>(V)));
+  }
+  JsonObject &field(const char *Key, double V) {
+    return raw(Key, jsonNumber(V));
+  }
+  /// \p Json must already be valid JSON (a nested object/array/number).
+  JsonObject &fieldRaw(const char *Key, const std::string &Json) {
+    return raw(Key, Json);
+  }
+
+  /// The finished object, e.g. {"a": 1, "b": "x"}.
+  std::string str() const { return Buf + "}"; }
+
+private:
+  JsonObject &raw(const char *Key, const std::string &Value) {
+    Buf += First ? "" : ", ";
+    First = false;
+    Buf += jsonQuote(Key);
+    Buf += ": ";
+    Buf += Value;
+    return *this;
+  }
+
+  std::string Buf = "{";
+  bool First = true;
+};
+
+} // namespace obs
+} // namespace lsra
+
+#endif // LSRA_OBS_JSON_H

@@ -1,0 +1,46 @@
+//===- obs/Log.cpp --------------------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Log.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace lsra;
+
+namespace {
+
+unsigned initialLevel() {
+  if (const char *Env = std::getenv("LSRA_LOG_LEVEL"))
+    return static_cast<unsigned>(std::strtoul(Env, nullptr, 10));
+  return 0;
+}
+
+std::atomic<unsigned> &levelVar() {
+  static std::atomic<unsigned> Level{initialLevel()};
+  return Level;
+}
+
+} // namespace
+
+unsigned obs::logLevel() {
+  return levelVar().load(std::memory_order_relaxed);
+}
+
+void obs::setLogLevel(unsigned Level) {
+  levelVar().store(Level, std::memory_order_relaxed);
+}
+
+void obs::logf(unsigned Level, const char *Fmt, ...) {
+  char Buf[1024];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  std::fprintf(stderr, "[lsra:%u] %s\n", Level, Buf);
+}

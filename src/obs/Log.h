@@ -1,0 +1,42 @@
+//===- obs/Log.h - Leveled diagnostic logging ------------------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny leveled logger for diagnostic narration on stderr. Level 0
+/// (default) is silent; 1 = per-module milestones, 2 = per-function, 3 =
+/// per-round/phase internals. Set with --log-level=N on the CLI or the
+/// LSRA_LOG_LEVEL environment variable (picked up once, at first use).
+///
+/// The LSRA_LOG macro evaluates its arguments only when the level is
+/// active, so format expressions in hot paths cost one relaxed load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_OBS_LOG_H
+#define LSRA_OBS_LOG_H
+
+namespace lsra {
+namespace obs {
+
+/// Current log level (reads LSRA_LOG_LEVEL on first call).
+unsigned logLevel();
+void setLogLevel(unsigned Level);
+
+/// printf-style message to stderr with an "[lsra:N]" prefix; emitted as a
+/// single write so concurrent workers do not interleave mid-line.
+void logf(unsigned Level, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace obs
+} // namespace lsra
+
+#define LSRA_LOG(Level, ...)                                                   \
+  do {                                                                         \
+    if (::lsra::obs::logLevel() >= (Level))                                    \
+      ::lsra::obs::logf((Level), __VA_ARGS__);                                 \
+  } while (0)
+
+#endif // LSRA_OBS_LOG_H

@@ -7,6 +7,9 @@
 #include "regalloc/Allocator.h"
 
 #include "analysis/AnalysisCache.h"
+#include "obs/Counters.h"
+#include "obs/Log.h"
+#include "obs/Trace.h"
 #include "passes/Peephole.h"
 #include "passes/SpillCleanup.h"
 #include "regalloc/Binpack.h"
@@ -51,54 +54,107 @@ AllocStats &AllocStats::operator+=(const AllocStats &R) {
   ColoringIterations += R.ColoringIterations;
   InterferenceEdges += R.InterferenceEdges;
   AllocSeconds += R.AllocSeconds;
-  WallSeconds += R.WallSeconds;
+  // WallSeconds is intentionally NOT accumulated: it is elapsed module
+  // time, set exactly once by the module-level driver. Summing it when a
+  // driver merges per-function stats — or when compileModule folds in the
+  // stats of the allocateModule call it wraps — would double-count the
+  // same elapsed interval.
   return *this;
 }
+
+namespace {
+
+/// Total number of lifetime holes (gaps between segments) over every
+/// temporary — the quantity §2.2's hole-packing feeds on.
+unsigned countLifetimeHoles(const LifetimeAnalysis &LT) {
+  unsigned Holes = 0;
+  for (unsigned V = 0; V < LT.numVRegs(); ++V) {
+    size_t Segs = LT.vreg(V).Segs.size();
+    if (Segs > 1)
+      Holes += static_cast<unsigned>(Segs - 1);
+  }
+  return Holes;
+}
+
+} // namespace
 
 AllocStats lsra::allocateFunction(Function &F, const TargetDesc &TD,
                                   AllocatorKind K, const AllocOptions &Opts) {
   assert(F.CallsLowered && "lower calls before register allocation");
+  obs::ScopedSpan FnSpan("alloc:", F.name(), "function");
+  obs::CounterRegistry &CR = obs::CounterRegistry::global();
   // Warm the analysis cache with everything the chosen allocator consumes,
   // then time only the core allocation — the paper likewise reports times
   // "after setup activities common to both allocators".
   FunctionAnalyses FA(F, TD);
   switch (K) {
-  case AllocatorKind::GraphColoring:
-    FA.liveness();
+  case AllocatorKind::GraphColoring: {
+    {
+      obs::ScopedSpan S("liveness", "phase");
+      FA.liveness();
+    }
+    obs::ScopedSpan S("loops", "phase");
     FA.loops();
     break;
-  default: // the three scan allocators all consume lifetimes
+  }
+  default: { // the three scan allocators all consume lifetimes
+    {
+      obs::ScopedSpan S("liveness", "phase");
+      FA.liveness();
+    }
+    obs::ScopedSpan S("lifetimes", "phase");
     FA.lifetimes();
+    if (CR.enabled())
+      CR.counter("lifetime.holes").add(countLifetimeHoles(FA.lifetimes()));
     break;
+  }
   }
   Timer T;
   T.start();
   AllocStats Stats;
-  switch (K) {
-  case AllocatorKind::SecondChanceBinpack:
-    Stats = runSecondChanceBinpack(F, TD, Opts, FA);
-    break;
-  case AllocatorKind::GraphColoring:
-    Stats = runGraphColoring(F, TD, Opts, FA);
-    break;
-  case AllocatorKind::TwoPassBinpack:
-    Stats = runTwoPassBinpack(F, TD, Opts, FA);
-    break;
-  case AllocatorKind::PolettoScan:
-    Stats = runPolettoScan(F, TD, Opts, FA);
-    break;
+  {
+    obs::ScopedSpan Scan("scan", "phase");
+    switch (K) {
+    case AllocatorKind::SecondChanceBinpack:
+      Stats = runSecondChanceBinpack(F, TD, Opts, FA);
+      break;
+    case AllocatorKind::GraphColoring:
+      Stats = runGraphColoring(F, TD, Opts, FA);
+      break;
+    case AllocatorKind::TwoPassBinpack:
+      Stats = runTwoPassBinpack(F, TD, Opts, FA);
+      break;
+    case AllocatorKind::PolettoScan:
+      Stats = runPolettoScan(F, TD, Opts, FA);
+      break;
+    }
   }
   T.stop();
   Stats.AllocSeconds = T.seconds();
   // The allocator rewrote the instruction stream (and resolution may have
   // added blocks); everything cached above is stale.
   FA.invalidate();
-  if (Opts.SpillCleanup)
+  if (Opts.SpillCleanup) {
+    obs::ScopedSpan S("spill-cleanup", "pass");
     cleanupSpillCode(F, TD);
-  if (Opts.RunPeephole)
+  }
+  if (Opts.RunPeephole) {
+    obs::ScopedSpan S("peephole", "pass");
     runPeephole(F);
-  if (Opts.CalleeSaves)
+  }
+  if (Opts.CalleeSaves) {
+    obs::ScopedSpan S("callee-saves", "pass");
     insertCalleeSaves(F, TD);
+  }
+  if (CR.enabled()) {
+    CR.counter("alloc.functions").add(1);
+    CR.distribution("alloc.time.function_s").sample(Stats.AllocSeconds);
+  }
+  LSRA_LOG(2, "alloc %s [%s]: candidates=%u spilled=%u static-spill=%u "
+              "splits=%u",
+           F.name().c_str(), allocatorName(K), Stats.RegCandidates,
+           Stats.SpilledTemps, Stats.staticSpillInstrs(),
+           Stats.LifetimeSplits);
   return Stats;
 }
 

@@ -37,6 +37,9 @@
 #include "analysis/Liveness.h"
 #include "analysis/Loops.h"
 #include "analysis/Order.h"
+#include "obs/Counters.h"
+#include "obs/DecisionLog.h"
+#include "obs/Trace.h"
 #include "regalloc/Consistency.h"
 #include "regalloc/Lifetime.h"
 #include "regalloc/ParallelCopy.h"
@@ -77,6 +80,8 @@ private:
   const LifetimeAnalysis &LT;
   SpillSlots Slots;
   AllocStats Stats;
+  obs::DecisionLog &DL = obs::DecisionLog::global();
+  unsigned Evictions = 0; ///< evictVictim + evictForConvention decisions
 
   // Dense universe of cross-block temporaries (shared by the location maps
   // and the consistency bit vectors, per the paper's §3 optimisation).
@@ -217,6 +222,7 @@ private:
   /// Evict T from R because a usage convention needs the register (§2.5).
   void evictForConvention(unsigned T, unsigned R, unsigned UsePos,
                           unsigned DefPos) {
+    ++Evictions;
     Occ[R] = NoTemp;
     if (!tempLiveAt(T, DefPos) && holeIsReal(T, DefPos)) {
       // Evicted during one of its true lifetime holes (next reference is a
@@ -224,6 +230,9 @@ private:
       // linear-order artifact gap falls through to the store logic — the
       // value still flows to a successor.
       Loc[T] = LocNowhere;
+      if (DL.enabled())
+        DL.record(F, obs::DecisionKind::EvictDrop, T, UsePos, R,
+                  "convention claims register; value dead in hole");
       return;
     }
     bool StoreNeeded = !Consistent[T];
@@ -239,6 +248,9 @@ private:
         Occ[RS] = T;
         Loc[T] = locReg(RS);
         LastReg[T] = RS;
+        if (DL.enabled())
+          DL.record(F, obs::DecisionKind::EvictMove, T, UsePos, RS,
+                    "early second chance: move beats store+load");
         return;
       }
     }
@@ -246,22 +258,35 @@ private:
       Prefix.push_back(Slots.makeStore(T, R, SpillKind::EvictStore));
       ++Stats.EvictStores;
       setConsistent(T, true);
+      if (DL.enabled())
+        DL.record(F, obs::DecisionKind::EvictConvention, T, UsePos, R,
+                  "convention claims register; store to memory home");
     } else {
       recordConsistencyUse(T);
+      if (DL.enabled())
+        DL.record(F, obs::DecisionKind::EvictConvention, T, UsePos, R,
+                  "convention claims register; store suppressed (consistent)");
     }
     Loc[T] = LocMem;
     EverSpilled.set(T);
   }
 
   /// Evict the priority-chosen victim T from R to make room (§2.3).
-  void evictVictim(unsigned T, unsigned R) {
+  void evictVictim(unsigned T, unsigned R, unsigned Pos) {
+    ++Evictions;
     Occ[R] = NoTemp;
     if (!Consistent[T]) {
       Prefix.push_back(Slots.makeStore(T, R, SpillKind::EvictStore));
       ++Stats.EvictStores;
       setConsistent(T, true);
+      if (DL.enabled())
+        DL.record(F, obs::DecisionKind::EvictStore, T, Pos, R,
+                  "lowest priority occupant; store to memory home");
     } else {
       recordConsistencyUse(T);
+      if (DL.enabled())
+        DL.record(F, obs::DecisionKind::EvictStore, T, Pos, R,
+                  "lowest priority occupant; store suppressed (consistent)");
     }
     Loc[T] = LocMem;
     EverSpilled.set(T);
@@ -342,7 +367,7 @@ private:
     }
     assert(BestR != NoReg &&
            "register allocation impossible: too few allocatable registers");
-    evictVictim(Occ[BestR], BestR);
+    evictVictim(Occ[BestR], BestR, Pos);
     return BestR;
   }
 
@@ -373,6 +398,9 @@ private:
         Loc[V] = locReg(R);
         LastReg[V] = R;
         setConsistent(V, true); // a spill load makes reg and memory agree
+        if (DL.enabled())
+          DL.record(F, obs::DecisionKind::SecondChanceLoad, V, UsePos, R,
+                    "reload at next use; optimistically stays registered");
       }
       Op = Operand::preg(R);
     }
@@ -440,6 +468,9 @@ private:
         LastReg[V] = RS;
         Op = Operand::preg(RS);
         ++Stats.MovesCoalesced;
+        if (DL.enabled())
+          DL.record(F, obs::DecisionKind::CoalesceMove, V, DefPos, RS,
+                    "destination fits in hole opening after move source");
         markWrite(V);
         return;
       }
@@ -451,8 +482,12 @@ private:
       assert(Occ[R] == V && "binding invariant violated");
     } else {
       R = allocateReg(F.vregClass(V), V, DefPos, DefPos, /*ForUse=*/false);
-      if (Loc[V] == LocMem)
+      if (Loc[V] == LocMem) {
         ++Stats.LifetimeSplits; // second chance on a write (§2.3)
+        if (DL.enabled())
+          DL.record(F, obs::DecisionKind::SecondChanceDef, V, DefPos, R,
+                    "spilled value redefined; store postponed until eviction");
+      }
       Occ[R] = V;
       Loc[V] = locReg(R);
       LastReg[V] = R;
@@ -534,26 +569,29 @@ AllocStats BinpackScanner::run() {
   Preds = F.predecessors();
 
   // The single allocate/rewrite pass (§2.3).
-  for (unsigned B = 0; B < NumBlocks; ++B) {
-    blockTop(B);
-    Block &Blk = F.block(B);
-    std::vector<Instr> Out;
-    Out.reserve(Blk.size() + 4);
-    for (unsigned Idx = 0; Idx < Blk.size(); ++Idx) {
-      Instr I = Blk.instrs()[Idx];
-      unsigned G = Num.instrIndex(B, Idx);
-      unsigned UsePos = Numbering::usePos(G);
-      unsigned DefPos = Numbering::defPos(G);
-      Prefix.clear();
-      processUses(I, UsePos, DefPos);
-      fixedSweep(UsePos, DefPos);
-      processDefs(I, DefPos);
-      for (const Instr &P : Prefix)
-        Out.push_back(P);
-      Out.push_back(I);
+  {
+    obs::ScopedSpan Span("binpack.scan", "phase");
+    for (unsigned B = 0; B < NumBlocks; ++B) {
+      blockTop(B);
+      Block &Blk = F.block(B);
+      std::vector<Instr> Out;
+      Out.reserve(Blk.size() + 4);
+      for (unsigned Idx = 0; Idx < Blk.size(); ++Idx) {
+        Instr I = Blk.instrs()[Idx];
+        unsigned G = Num.instrIndex(B, Idx);
+        unsigned UsePos = Numbering::usePos(G);
+        unsigned DefPos = Numbering::defPos(G);
+        Prefix.clear();
+        processUses(I, UsePos, DefPos);
+        fixedSweep(UsePos, DefPos);
+        processDefs(I, DefPos);
+        for (const Instr &P : Prefix)
+          Out.push_back(P);
+        Out.push_back(I);
+      }
+      Blk.instrs() = std::move(Out);
+      blockBottom(B);
     }
-    Blk.instrs() = std::move(Out);
-    blockBottom(B);
   }
 
   // Register the resolver's own reliance on exit consistency: edges that
@@ -574,24 +612,37 @@ AllocStats BinpackScanner::run() {
   // §2.4 dataflow (skipped in conservative mode, which is sound without it).
   bool Iterative =
       Opts.Consistency == AllocOptions::ConsistencyMode::Iterative;
-  if (Iterative)
+  if (Iterative) {
+    obs::ScopedSpan Span("binpack.dataflow", "phase");
     Stats.DataflowIterations = CI->solve(F);
+  }
 
   // Resolution (§2.4).
-  ResolverInput In;
-  In.LV = &LV;
-  In.VRegToDense = &VRegToDense;
-  In.DenseToVReg = &DenseToVReg;
-  In.LocTop = &LocTop;
-  In.LocBottom = &LocBottom;
-  In.CI = Iterative ? CI.get() : nullptr;
-  In.ConsistentBottom = &CI->AreConsistentBottom;
-  ResolveCounts RC = resolveEdges(F, In, Slots);
-  Stats.ResolveLoads = RC.Loads;
-  Stats.ResolveStores = RC.Stores;
-  Stats.ResolveMoves = RC.Moves;
-  Stats.SplitEdges = RC.SplitEdges;
+  {
+    obs::ScopedSpan Span("binpack.resolution", "phase");
+    ResolverInput In;
+    In.LV = &LV;
+    In.VRegToDense = &VRegToDense;
+    In.DenseToVReg = &DenseToVReg;
+    In.LocTop = &LocTop;
+    In.LocBottom = &LocBottom;
+    In.CI = Iterative ? CI.get() : nullptr;
+    In.ConsistentBottom = &CI->AreConsistentBottom;
+    ResolveCounts RC = resolveEdges(F, In, Slots);
+    Stats.ResolveLoads = RC.Loads;
+    Stats.ResolveStores = RC.Stores;
+    Stats.ResolveMoves = RC.Moves;
+    Stats.SplitEdges = RC.SplitEdges;
+  }
   Stats.SpilledTemps = EverSpilled.count();
+
+  obs::CounterRegistry &CR = obs::CounterRegistry::global();
+  if (CR.enabled()) {
+    CR.counter("binpack.evictions").add(Evictions);
+    CR.counter("binpack.second_chance_splits").add(Stats.LifetimeSplits);
+    CR.counter("binpack.coalesced_moves").add(Stats.MovesCoalesced);
+    CR.counter("binpack.dataflow_iterations").add(Stats.DataflowIterations);
+  }
   return Stats;
 }
 

@@ -18,14 +18,16 @@
 #include "analysis/AnalysisCache.h"
 #include "analysis/Liveness.h"
 #include "analysis/Loops.h"
+#include "obs/Counters.h"
+#include "obs/DecisionLog.h"
+#include "obs/Log.h"
+#include "obs/Trace.h"
 #include "regalloc/SpillSlots.h"
 #include "support/BitVector.h"
 
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <cstdio>
-#include <cstdlib>
 #include <memory>
 
 using namespace lsra;
@@ -470,6 +472,13 @@ void ColoringProblem::coalesce() {
     combine(U, V);
     addWorkList(U);
     ++Stats.MovesCoalesced;
+    obs::DecisionLog &DL = obs::DecisionLog::global();
+    if (DL.enabled() && V >= K)
+      DL.record(F, obs::DecisionKind::CoalesceMove, NodeToVReg[V - K],
+                obs::NoValue, U < K ? Color[U] : obs::NoValue,
+                State[U] == NodeState::Precolored
+                    ? "George test: safe to merge with precolored node"
+                    : "Briggs test: combined node stays colorable");
   } else {
     Moves[M].State = MoveState::Active;
     ActiveMoves.push_back(M);
@@ -594,11 +603,15 @@ void ColoringProblem::rewriteSpills() {
   // Give each spilled temporary a memory home; loads before uses, stores
   // after defs, a fresh block-local temp per reference.
   BitVector IsSpilled(F.numVRegs());
+  obs::DecisionLog &DL = obs::DecisionLog::global();
   for (unsigned N : SpilledNodes) {
     unsigned V = NodeToVReg[N - K];
     IsSpilled.set(V);
     EverSpilledV.set(V);
     ++Stats.SpilledTemps;
+    if (DL.enabled())
+      DL.record(F, obs::DecisionKind::SpillWhole, V, obs::NoValue,
+                obs::NoValue, "no color available; whole lifetime to memory");
   }
   for (auto &B : F.blocks()) {
     std::vector<Instr> Out;
@@ -676,9 +689,9 @@ void ColoringProblem::run() {
   EverSpilledV.resize(F.numVRegs());
   while (true) {
     ++Stats.ColoringIterations;
-    if (getenv("LSRA_DEBUG_COLORING"))
-      fprintf(stderr, "[coloring] round=%u vregs=%u\n",
-              Stats.ColoringIterations, F.numVRegs());
+    obs::ScopedSpan Round("coloring.round", "phase");
+    LSRA_LOG(3, "coloring round=%u vregs=%u", Stats.ColoringIterations,
+             F.numVRegs());
     initRound();
     build();
     makeWorklist();
@@ -728,6 +741,11 @@ AllocStats lsra::runGraphColoring(Function &F, const TargetDesc &TD,
   {
     ColoringProblem Fps(F, TD, RegClass::Float, LV, LI, Slots, Stats);
     Fps.run();
+  }
+  obs::CounterRegistry &CR = obs::CounterRegistry::global();
+  if (CR.enabled()) {
+    CR.counter("coloring.rounds").add(Stats.ColoringIterations);
+    CR.counter("coloring.interference_edges").add(Stats.InterferenceEdges);
   }
   return Stats;
 }

@@ -10,6 +10,7 @@
 #include "analysis/Liveness.h"
 #include "analysis/Loops.h"
 #include "analysis/Order.h"
+#include "obs/DecisionLog.h"
 #include "regalloc/Lifetime.h"
 #include "regalloc/SpillSlots.h"
 
@@ -152,6 +153,7 @@ void PolettoAllocator::scanClass(RegClass RC,
       Victim = *It;
       break;
     }
+    obs::DecisionLog &DL = obs::DecisionLog::global();
     if (Victim && Victim->End > I.End) {
       AssignedReg[Victim->VReg] = NoReg;
       ++Stats.SpilledTemps;
@@ -159,8 +161,14 @@ void PolettoAllocator::scanClass(RegClass RC,
       AssignedReg[I.VReg] = I.Reg;
       Active.erase(std::find(Active.begin(), Active.end(), Victim));
       AddActive(&I);
+      if (DL.enabled())
+        DL.record(F, obs::DecisionKind::SpillWhole, Victim->VReg, I.Start,
+                  obs::NoValue, "furthest-end active interval loses register");
     } else {
       ++Stats.SpilledTemps; // I itself lives in memory
+      if (DL.enabled())
+        DL.record(F, obs::DecisionKind::SpillWhole, I.VReg, I.Start,
+                  obs::NoValue, "no free register and no later-ending victim");
     }
   }
 }

@@ -10,6 +10,7 @@
 #include "analysis/Liveness.h"
 #include "analysis/Loops.h"
 #include "analysis/Order.h"
+#include "obs/DecisionLog.h"
 #include "regalloc/Lifetime.h"
 #include "regalloc/SpillSlots.h"
 
@@ -134,10 +135,15 @@ AllocStats TwoPassAllocator::run() {
   // and their references re-queued.
   std::vector<unsigned> Queue = Spilled;
   PointRegs.assign(NumV, {});
+  obs::DecisionLog &DL = obs::DecisionLog::global();
   while (!Queue.empty()) {
     unsigned V = Queue.back();
     Queue.pop_back();
     ++Stats.SpilledTemps;
+    if (DL.enabled())
+      DL.record(F, obs::DecisionKind::SpillWhole, V,
+                LT.vreg(V).startPos(), obs::NoValue,
+                "whole lifetime fits no register; point lifetimes only");
     const Lifetime &L = LT.vreg(V);
     for (const Reference &R : L.Refs) {
       // A def point extends one past the def position; a use point covers

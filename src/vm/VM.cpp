@@ -6,6 +6,9 @@
 
 #include "vm/VM.h"
 
+#include "obs/Counters.h"
+#include "obs/Trace.h"
+
 #include <cstring>
 
 using namespace lsra;
@@ -434,7 +437,12 @@ RunResult Interp::run(const std::string &EntryName) {
 } // namespace
 
 RunResult VM::run(const std::string &EntryName) {
-  return Interp(M, TD, Opts).run(EntryName);
+  obs::ScopedSpan Span("vm.run:", EntryName, "vm");
+  RunResult R = Interp(M, TD, Opts).run(EntryName);
+  obs::CounterRegistry &CR = obs::CounterRegistry::global();
+  if (CR.enabled())
+    CR.recordRunStats(R.Stats);
+  return R;
 }
 
 RunResult lsra::runOrDie(const Module &M, const TargetDesc &TD,

@@ -14,6 +14,7 @@
 #include "passes/DCE.h"
 #include "regalloc/Allocator.h"
 #include "support/ThreadPool.h"
+#include "support/Timer.h"
 #include "target/LowerCalls.h"
 #include "target/Target.h"
 #include "workloads/SyntheticModule.h"
@@ -121,6 +122,49 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, ParallelAllocTest,
                            }
                            return "Unknown";
                          });
+
+// WallSeconds is elapsed module time set exactly once by the module-level
+// driver; merging per-function (or nested allocateModule) stats must never
+// sum it, or compileModule would double-count the interval it wraps.
+TEST(WallSecondsTest, OperatorPlusEqualsDoesNotAccumulateWall) {
+  AllocStats A, B;
+  A.WallSeconds = 1.0;
+  A.AllocSeconds = 0.5;
+  B.WallSeconds = 2.0;
+  B.AllocSeconds = 0.25;
+  A += B;
+  EXPECT_EQ(A.WallSeconds, 1.0);   // left operand's wall is preserved
+  EXPECT_EQ(A.AllocSeconds, 0.75); // CPU time still accumulates
+}
+
+TEST(WallSecondsTest, PerFunctionStatsCarryNoWall) {
+  TargetDesc TD = TargetDesc::alphaLike();
+  auto M = makeWorkload();
+  lowerCalls(*M);
+  eliminateDeadCode(*M, TD);
+  AllocStats S = allocateFunction(M->function(0), TD,
+                                  AllocatorKind::SecondChanceBinpack, {});
+  EXPECT_EQ(S.WallSeconds, 0.0);
+  EXPECT_GT(S.AllocSeconds, 0.0);
+}
+
+TEST(WallSecondsTest, CompileModuleMeasuresWallOnce) {
+  TargetDesc TD = TargetDesc::alphaLike();
+  for (unsigned Threads : {1u, 4u}) {
+    auto M = makeWorkload();
+    AllocOptions Opts;
+    Opts.Threads = Threads;
+    Timer Outer;
+    Outer.start();
+    AllocStats S =
+        compileModule(*M, TD, AllocatorKind::SecondChanceBinpack, Opts);
+    Outer.stop();
+    // One elapsed interval, bounded by the timer wrapped around the call;
+    // a double-counted wall would typically exceed it.
+    EXPECT_GT(S.WallSeconds, 0.0) << "Threads=" << Threads;
+    EXPECT_LE(S.WallSeconds, Outer.seconds()) << "Threads=" << Threads;
+  }
+}
 
 TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
   std::atomic<unsigned> Count{0};

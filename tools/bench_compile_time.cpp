@@ -14,6 +14,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Pipeline.h"
+#include "obs/Json.h"
+#include "obs/Trace.h"
 #include "workloads/SyntheticModule.h"
 
 #include <algorithm>
@@ -38,6 +40,9 @@ struct Record {
   double WallSeconds;
   double AllocCpuSeconds;
   AllocStats Stats;
+  /// Per-phase span totals over the five reps (pass/phase spans only; the
+  /// per-function spans would bloat the record without adding a phase view).
+  std::vector<obs::SpanSummary> Phases;
 };
 
 Record measure(const Workload &W, AllocatorKind K, unsigned Threads,
@@ -48,6 +53,9 @@ Record measure(const Workload &W, AllocatorKind K, unsigned Threads,
   R.Threads = Threads;
   R.WallSeconds = 1e9;
   R.AllocCpuSeconds = 1e9;
+  obs::Tracer &Tracer = obs::Tracer::global();
+  Tracer.reset();
+  Tracer.enable();
   for (int Rep = 0; Rep < 5; ++Rep) { // best of five, as in the paper
     auto M = buildScaledModule(W.Opts);
     AllocOptions AO;
@@ -57,25 +65,36 @@ Record measure(const Workload &W, AllocatorKind K, unsigned Threads,
     R.AllocCpuSeconds = std::min(R.AllocCpuSeconds, S.AllocSeconds);
     R.Stats = S;
   }
+  Tracer.disable();
+  for (const obs::SpanSummary &S : Tracer.summarize())
+    if (std::string(S.Cat) != "function")
+      R.Phases.push_back(S);
+  Tracer.reset();
   return R;
 }
 
 void emit(std::ostream &OS, const Record &R, bool Last) {
   const AllocStats &S = R.Stats;
-  OS << "  {\"workload\": \"" << R.Workload << "\", \"allocator\": \""
-     << R.Allocator << "\", \"threads\": " << R.Threads
-     << ", \"wall_s\": " << R.WallSeconds
-     << ", \"alloc_cpu_s\": " << R.AllocCpuSeconds
-     << ", \"reg_candidates\": " << S.RegCandidates
-     << ", \"spilled_temps\": " << S.SpilledTemps
-     << ", \"lifetime_splits\": " << S.LifetimeSplits
-     << ", \"dataflow_iterations\": " << S.DataflowIterations
-     << ", \"coloring_iterations\": " << S.ColoringIterations
-     << ", \"interference_edges\": " << S.InterferenceEdges
-     << ", \"evict_loads\": " << S.EvictLoads
-     << ", \"evict_stores\": " << S.EvictStores
-     << ", \"resolve_moves\": " << S.ResolveMoves << "}" << (Last ? "" : ",")
-     << "\n";
+  obs::JsonObject Phases;
+  for (const obs::SpanSummary &P : R.Phases)
+    Phases.field(P.Name.c_str(), P.TotalNs / 1e9);
+  obs::JsonObject O;
+  O.field("workload", R.Workload)
+      .field("allocator", R.Allocator)
+      .field("threads", R.Threads)
+      .field("wall_s", R.WallSeconds)
+      .field("alloc_cpu_s", R.AllocCpuSeconds)
+      .field("reg_candidates", S.RegCandidates)
+      .field("spilled_temps", S.SpilledTemps)
+      .field("lifetime_splits", S.LifetimeSplits)
+      .field("dataflow_iterations", S.DataflowIterations)
+      .field("coloring_iterations", S.ColoringIterations)
+      .field("interference_edges", S.InterferenceEdges)
+      .field("evict_loads", S.EvictLoads)
+      .field("evict_stores", S.EvictStores)
+      .field("resolve_moves", S.ResolveMoves)
+      .fieldRaw("phases_total_s", Phases.str());
+  OS << "  " << O.str() << (Last ? "" : ",") << "\n";
 }
 
 } // namespace

@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Validate the observability outputs of `lsra run`.
+
+Checks any of the three artifacts, failing (exit 1) on the first schema
+violation:
+
+  --trace t.json       Chrome trace_event document: a JSON object with a
+                       traceEvents array of complete ("ph": "X") events
+                       carrying name/cat/pid/tid and numeric ts/dur, with
+                       spans properly nested per tid.
+  --stats s.jsonl      Counter snapshot: one JSON object per line; an
+                       optional leading {"kind": "meta"} line, then
+                       counter/dist lines sorted by name.
+  --decisions d.jsonl  Decision log: {"kind": "decision"} lines with a
+                       known event name and a 0/1 split flag.
+
+Usage: check_trace.py [--trace FILE] [--stats FILE] [--decisions FILE]
+"""
+
+import argparse
+import json
+import sys
+
+DECISION_EVENTS = {
+    "evict-store",
+    "evict-convention",
+    "evict-move",
+    "evict-drop",
+    "second-chance-load",
+    "second-chance-def",
+    "coalesce-move",
+    "spill-whole",
+}
+
+errors = []
+
+
+def fail(msg):
+    errors.append(msg)
+
+
+def check_trace(path):
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: not valid JSON: {e}")
+            return
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: top level must be an object with a traceEvents array")
+        return
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents must be a non-empty array")
+        return
+    per_tid = {}
+    for i, e in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(e, dict):
+            fail(f"{where}: not an object")
+            continue
+        if e.get("ph") != "X":
+            fail(f"{where}: ph must be 'X', got {e.get('ph')!r}")
+        for key in ("name", "cat"):
+            if not isinstance(e.get(key), str) or not e[key]:
+                fail(f"{where}: missing or empty '{key}'")
+        for key in ("ts", "dur"):
+            if not isinstance(e.get(key), (int, float)):
+                fail(f"{where}: '{key}' must be a number")
+            elif e[key] < 0:
+                fail(f"{where}: '{key}' must be non-negative")
+        for key in ("pid", "tid"):
+            if not isinstance(e.get(key), int):
+                fail(f"{where}: '{key}' must be an integer")
+        if isinstance(e.get("tid"), int):
+            per_tid.setdefault(e["tid"], []).append(e)
+
+    # Per-tid nesting: spans on one thread must form a stack (the format
+    # renders them as stacked slices; overlap without containment is a bug).
+    for tid, spans in per_tid.items():
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []
+        for e in spans:
+            end = e["ts"] + e["dur"]
+            while stack and e["ts"] >= stack[-1]:
+                stack.pop()
+            if stack and end > stack[-1]:
+                fail(
+                    f"{path}: tid {tid}: span '{e['name']}' "
+                    f"[{e['ts']}, {end}) overlaps an enclosing span "
+                    f"without nesting inside it"
+                )
+                continue
+            stack.append(end)
+    print(f"{path}: {len(events)} events on {len(per_tid)} thread(s): OK"
+          if not errors else f"{path}: checked")
+
+
+def check_jsonl_lines(path):
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{lineno}: not valid JSON: {e}")
+                continue
+            if not isinstance(obj, dict):
+                fail(f"{path}:{lineno}: not a JSON object")
+                continue
+            yield lineno, obj
+
+
+def check_stats(path):
+    prev_name = None
+    n = 0
+    for lineno, obj in check_jsonl_lines(path):
+        where = f"{path}:{lineno}"
+        kind = obj.get("kind")
+        if kind == "meta":
+            if lineno != 1:
+                fail(f"{where}: meta line must come first")
+            continue
+        if kind not in ("counter", "dist"):
+            fail(f"{where}: kind must be meta/counter/dist, got {kind!r}")
+            continue
+        name = obj.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"{where}: missing 'name'")
+            continue
+        if prev_name is not None and name < prev_name:
+            fail(f"{where}: names not sorted ({name!r} after {prev_name!r})")
+        prev_name = name
+        if kind == "counter":
+            if not isinstance(obj.get("value"), int):
+                fail(f"{where}: counter 'value' must be an integer")
+        else:
+            for key in ("count", "sum", "min", "max", "mean"):
+                if not isinstance(obj.get(key), (int, float)):
+                    fail(f"{where}: dist '{key}' must be a number")
+        n += 1
+    if n == 0:
+        fail(f"{path}: no counter/dist lines")
+    else:
+        print(f"{path}: {n} counter/dist lines: OK")
+
+
+def check_decisions(path):
+    n = 0
+    for lineno, obj in check_jsonl_lines(path):
+        where = f"{path}:{lineno}"
+        if obj.get("kind") != "decision":
+            fail(f"{where}: kind must be 'decision'")
+            continue
+        if not isinstance(obj.get("fn"), str) or not obj["fn"]:
+            fail(f"{where}: missing 'fn'")
+        event = obj.get("event")
+        if event not in DECISION_EVENTS:
+            fail(f"{where}: unknown event {event!r}")
+        if obj.get("split") not in (0, 1):
+            fail(f"{where}: 'split' must be 0 or 1")
+        if not isinstance(obj.get("why"), str) or not obj["why"]:
+            fail(f"{where}: missing 'why'")
+        n += 1
+    print(f"{path}: {n} decision lines: OK")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace")
+    ap.add_argument("--stats")
+    ap.add_argument("--decisions")
+    args = ap.parse_args()
+    if not (args.trace or args.stats or args.decisions):
+        ap.error("nothing to check: pass --trace/--stats/--decisions")
+    if args.trace:
+        check_trace(args.trace)
+    if args.stats:
+        check_stats(args.stats)
+    if args.decisions:
+        check_decisions(args.decisions)
+    if errors:
+        for e in errors:
+            print(f"error: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,11 @@
 #include "ir/IRVerifier.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
+#include "obs/Counters.h"
+#include "obs/DecisionLog.h"
+#include "obs/Json.h"
+#include "obs/Log.h"
+#include "obs/Trace.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
@@ -52,9 +57,16 @@ int usage() {
                "options for run:\n"
                "  --allocator=binpack|coloring|twopass|poletto\n"
                "  --regs=N       restrict the allocatable file to N per class\n"
+               "  --threads=N    allocate functions on N workers (0 = auto)\n"
                "  --no-alloc     execute with virtual registers (reference)\n"
                "  --cleanup      enable the spill-cleanup pass\n"
-               "  --emit-ir      print the final IR after allocation\n");
+               "  --emit-ir      print the final IR after allocation\n"
+               "observability options for run:\n"
+               "  --trace-out=F  write a Chrome trace_event JSON span trace\n"
+               "  --stats-json=F write a JSONL counter/metrics snapshot\n"
+               "  --explain[=F]  dump the allocation-decision log (stdout,\n"
+               "                 or to F; JSONL when F ends in .jsonl)\n"
+               "  --log-level=N  diagnostic verbosity on stderr (default 0)\n");
   return 2;
 }
 
@@ -152,10 +164,34 @@ int cmdDot(const std::string &Input, const char *FuncName) {
   return 0;
 }
 
+/// Dump the decision log to stdout, or to \p Path (JSONL when the name
+/// ends in ".jsonl", text otherwise).
+bool dumpExplain(const std::string &Path) {
+  obs::DecisionLog &DL = obs::DecisionLog::global();
+  if (Path.empty()) {
+    DL.writeText(std::cout);
+    return true;
+  }
+  std::ofstream OS(Path);
+  if (!OS.good()) {
+    std::fprintf(stderr, "lsra: cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  bool Jsonl = Path.size() >= 6 &&
+               Path.compare(Path.size() - 6, 6, ".jsonl") == 0;
+  if (Jsonl)
+    DL.writeJsonl(OS);
+  else
+    DL.writeText(OS);
+  return OS.good();
+}
+
 int cmdRun(const std::string &Input, int Argc, char **Argv) {
   AllocatorKind Kind = AllocatorKind::SecondChanceBinpack;
   unsigned Regs = 0;
   bool NoAlloc = false, EmitIR = false;
+  bool Explain = false;
+  std::string TraceOut, StatsJson, ExplainOut;
   AllocOptions Opts;
   for (int I = 0; I < Argc; ++I) {
     std::string A = Argv[I];
@@ -167,12 +203,27 @@ int cmdRun(const std::string &Input, int Argc, char **Argv) {
       }
     } else if (A.rfind("--regs=", 0) == 0) {
       Regs = static_cast<unsigned>(std::strtoul(A.c_str() + 7, nullptr, 10));
+    } else if (A.rfind("--threads=", 0) == 0) {
+      Opts.Threads =
+          static_cast<unsigned>(std::strtoul(A.c_str() + 10, nullptr, 10));
     } else if (A == "--no-alloc") {
       NoAlloc = true;
     } else if (A == "--cleanup") {
       Opts.SpillCleanup = true;
     } else if (A == "--emit-ir") {
       EmitIR = true;
+    } else if (A.rfind("--trace-out=", 0) == 0) {
+      TraceOut = A.substr(12);
+    } else if (A.rfind("--stats-json=", 0) == 0) {
+      StatsJson = A.substr(13);
+    } else if (A == "--explain") {
+      Explain = true;
+    } else if (A.rfind("--explain=", 0) == 0) {
+      Explain = true;
+      ExplainOut = A.substr(10);
+    } else if (A.rfind("--log-level=", 0) == 0) {
+      obs::setLogLevel(
+          static_cast<unsigned>(std::strtoul(A.c_str() + 12, nullptr, 10)));
     } else {
       return usage();
     }
@@ -188,9 +239,23 @@ int cmdRun(const std::string &Input, int Argc, char **Argv) {
   if (Regs)
     TD = TD.withRegLimit(Regs, Regs);
 
+  obs::Tracer &Tracer = obs::Tracer::global();
+  obs::CounterRegistry &CR = obs::CounterRegistry::global();
+  obs::DecisionLog &DL = obs::DecisionLog::global();
+  if (!TraceOut.empty())
+    Tracer.enable();
+  if (!StatsJson.empty())
+    CR.enable();
+  if (Explain)
+    DL.enable();
+
   if (NoAlloc) {
     RunResult Run = runReference(*M, TD);
     printRun(Run);
+    if (!TraceOut.empty() && !Tracer.writeChromeJson(TraceOut)) {
+      std::fprintf(stderr, "lsra: cannot write '%s'\n", TraceOut.c_str());
+      return 1;
+    }
     return Run.Ok ? 0 : 1;
   }
 
@@ -209,8 +274,36 @@ int cmdRun(const std::string &Input, int Argc, char **Argv) {
               Stats.LifetimeSplits, Stats.AllocSeconds);
   if (EmitIR)
     printModule(std::cout, *M);
+  if (Explain && !dumpExplain(ExplainOut))
+    return 1;
   RunResult Run = runAllocated(*M, TD);
   printRun(Run);
+
+  if (!StatsJson.empty()) {
+    CR.recordAllocStats(Stats);
+    std::ofstream OS(StatsJson);
+    if (!OS.good()) {
+      std::fprintf(stderr, "lsra: cannot write '%s'\n", StatsJson.c_str());
+      return 1;
+    }
+    obs::JsonObject Meta;
+    Meta.field("kind", "meta");
+    Meta.field("input", Input);
+    Meta.field("allocator", allocatorName(Kind));
+    Meta.field("threads", Opts.Threads);
+    Meta.field("regs", Regs);
+    OS << Meta.str() << "\n";
+    CR.writeJsonl(OS);
+    if (!OS.good()) {
+      std::fprintf(stderr, "lsra: cannot write '%s'\n", StatsJson.c_str());
+      return 1;
+    }
+  }
+  // The trace covers everything including the VM run: write it last.
+  if (!TraceOut.empty() && !Tracer.writeChromeJson(TraceOut)) {
+    std::fprintf(stderr, "lsra: cannot write '%s'\n", TraceOut.c_str());
+    return 1;
+  }
   return Run.Ok ? 0 : 1;
 }
 
