@@ -7,12 +7,16 @@
 #include "driver/Pipeline.h"
 
 #include "ir/IRVerifier.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
 #include "obs/Log.h"
 #include "obs/Trace.h"
 #include "passes/DCE.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 #include "target/LowerCalls.h"
+
+#include <sstream>
 
 using namespace lsra;
 
@@ -63,6 +67,43 @@ AllocStats lsra::compileModule(Module &M, const TargetDesc &TD,
   Wall.stop();
   Total.WallSeconds = Wall.seconds();
   return Total;
+}
+
+TextCompileResult lsra::compileTextModule(const std::string &IRText,
+                                          const TargetDesc &TD,
+                                          AllocatorKind K,
+                                          const AllocOptions &Opts,
+                                          bool RunAfter) {
+  TextCompileResult R;
+  obs::ScopedSpan Span("compileText", "request");
+  ParseResult P = parseModule(IRText);
+  if (!P.ok()) {
+    R.Error = P.Error;
+    R.ErrLine = P.ErrLine;
+    R.ErrCol = P.ErrCol;
+    R.ErrToken = P.ErrToken;
+    return R;
+  }
+  std::string Diag = verifyModule(*P.M);
+  if (!Diag.empty()) {
+    R.Error = "verify: " + Diag;
+    return R;
+  }
+  R.Stats = compileModule(*P.M, TD, K, Opts);
+  Diag = checkAllocated(*P.M);
+  if (!Diag.empty()) {
+    R.Error = "post-allocation verify: " + Diag;
+    return R;
+  }
+  std::ostringstream OS;
+  printModule(OS, *P.M);
+  R.AllocatedText = OS.str();
+  R.Ok = true;
+  if (RunAfter) {
+    R.Run = runAllocated(*P.M, TD);
+    R.Ran = true;
+  }
+  return R;
 }
 
 std::string lsra::checkAllocated(const Module &M) {

@@ -29,6 +29,29 @@ namespace lsra {
 AllocStats compileModule(Module &M, const TargetDesc &TD, AllocatorKind K,
                          const AllocOptions &Opts = AllocOptions());
 
+/// Result of one text-in/text-out compilation (see compileTextModule).
+struct TextCompileResult {
+  bool Ok = false;
+  std::string Error;    ///< parse/verify diagnostic when !Ok
+  unsigned ErrLine = 0; ///< parse-error position (0 = n/a)
+  unsigned ErrCol = 0;
+  std::string ErrToken;
+  std::string AllocatedText; ///< printed module after allocation
+  AllocStats Stats;
+  bool Ran = false; ///< RunAfter was requested and compilation succeeded
+  RunResult Run;    ///< dynamic statistics when Ran
+};
+
+/// The compile service in one call: parse \p IRText, verify, run the full
+/// pipeline, verify the allocation, and print the result; optionally
+/// execute on the VM for dynamic counts. This is what the compile server
+/// runs per request, and `lsra run` on a file is equivalent to it — so
+/// serving and offline compilation cannot drift apart.
+TextCompileResult compileTextModule(const std::string &IRText,
+                                    const TargetDesc &TD, AllocatorKind K,
+                                    const AllocOptions &Opts = {},
+                                    bool RunAfter = false);
+
 /// Post-allocation structural check; returns an empty string when valid.
 std::string checkAllocated(const Module &M);
 

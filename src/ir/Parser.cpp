@@ -25,6 +25,16 @@ struct CallFixup {
   std::string Callee;
 };
 
+/// Parse \p S fully as an unsigned decimal number; false if any trailing
+/// characters remain (so "%1x" or "$f" are rejected, not truncated).
+bool parseFullUInt(const char *S, unsigned &Out) {
+  if (*S < '0' || *S > '9')
+    return false;
+  char *End = nullptr;
+  Out = static_cast<unsigned>(std::strtoul(S, &End, 10));
+  return End != S && *End == '\0';
+}
+
 class Parser {
 public:
   explicit Parser(const std::string &Text) : In(Text) {}
@@ -37,13 +47,38 @@ private:
   unsigned LineNo = 0;
   std::string Line;
   std::string Error;
+  unsigned ErrLine = 0;
+  unsigned ErrCol = 0;
+  std::string ErrToken;
   std::vector<CallFixup> Fixups;
   std::map<std::string, Opcode, std::less<>> OpcodeByName;
   std::map<std::string, SpillKind, std::less<>> SpillByName;
 
   bool fail(const std::string &Msg) {
-    if (Error.empty())
+    if (Error.empty()) {
+      ErrLine = LineNo;
       Error = "line " + std::to_string(LineNo) + ": " + Msg;
+    }
+    return false;
+  }
+
+  /// Failure anchored at \p Tok: records the 1-based column where the token
+  /// occurs on the current line (servers turn this into structured error
+  /// responses; "line N, col C: msg (near 'TOK')").
+  bool failTok(const std::string &Msg, const std::string &Tok) {
+    if (!Error.empty())
+      return false;
+    ErrLine = LineNo;
+    ErrToken = Tok;
+    size_t P = Tok.empty() ? std::string::npos : Line.find(Tok);
+    if (P != std::string::npos)
+      ErrCol = static_cast<unsigned>(P) + 1;
+    Error = "line " + std::to_string(LineNo);
+    if (ErrCol)
+      Error += ", col " + std::to_string(ErrCol);
+    Error += ": " + Msg;
+    if (!Tok.empty())
+      Error += " (near '" + Tok + "')";
     return false;
   }
 
@@ -115,7 +150,7 @@ bool Parser::parseFunctionHeader(const std::string &L, bool Prescan) {
   std::string Ret, VRegs, Slots;
   if (!headerField(L, "ret", Ret) || !headerField(L, "vregs", VRegs) ||
       !headerField(L, "slots", Slots))
-    return fail("func header missing ret=/vregs=/slots=");
+    return failTok("func header missing ret=/vregs=/slots=", "func");
   F->RetKind = Ret == "int"   ? CallRetKind::Int
                : Ret == "fp"  ? CallRetKind::Float
                               : CallRetKind::None;
@@ -136,27 +171,23 @@ bool Parser::parseFunctionHeader(const std::string &L, bool Prescan) {
       std::istringstream SS(Trimmed.substr(Trimmed.find(':') + 1));
       std::string Tok;
       while (SS >> Tok) {
+        unsigned Id = 0;
         if (Trimmed[0] == 'p') { // params
-          if (Tok[0] != '%')
-            return fail("bad params entry");
-          Params.push_back(
-              static_cast<unsigned>(std::strtoul(Tok.c_str() + 1, nullptr, 10)));
+          if (Tok[0] != '%' || !parseFullUInt(Tok.c_str() + 1, Id))
+            return failTok("bad params entry", Tok);
+          Params.push_back(Id);
         } else if (Trimmed.rfind("fpvregs", 0) == 0) {
-          if (Tok[0] != '%')
-            return fail("bad fpvregs entry");
-          unsigned V =
-              static_cast<unsigned>(std::strtoul(Tok.c_str() + 1, nullptr, 10));
-          if (V >= NumV)
-            return fail("fpvregs id out of range");
-          FpVReg[V] = true;
+          if (Tok[0] != '%' || !parseFullUInt(Tok.c_str() + 1, Id))
+            return failTok("bad fpvregs entry", Tok);
+          if (Id >= NumV)
+            return failTok("fpvregs id out of range", Tok);
+          FpVReg[Id] = true;
         } else {
-          if (Tok[0] != 's')
-            return fail("bad fpslots entry");
-          unsigned S =
-              static_cast<unsigned>(std::strtoul(Tok.c_str() + 1, nullptr, 10));
-          if (S >= NumS)
-            return fail("fpslots id out of range");
-          FpSlot[S] = true;
+          if (Tok[0] != 's' || !parseFullUInt(Tok.c_str() + 1, Id))
+            return failTok("bad fpslots entry", Tok);
+          if (Id >= NumS)
+            return failTok("fpslots id out of range", Tok);
+          FpSlot[Id] = true;
         }
       }
       Mark = In.tellg();
@@ -229,7 +260,7 @@ bool Parser::parseInstr(Function &F, Block &B, const std::string &BodyIn) {
     std::string Tag = Body.substr(Body.find("; ", Semi) + 2);
     auto It = SpillByName.find(Tag);
     if (It == SpillByName.end())
-      return fail("unknown spill tag '" + Tag + "'");
+      return failTok("unknown spill tag", Tag);
     Spill = It->second;
     Body = Body.substr(0, Semi);
   }
@@ -254,7 +285,7 @@ bool Parser::parseInstr(Function &F, Block &B, const std::string &BodyIn) {
   std::string OpName = Body.substr(0, Sp);
   auto OpIt = OpcodeByName.find(OpName);
   if (OpIt == OpcodeByName.end())
-    return fail("unknown opcode '" + OpName + "'");
+    return failTok("unknown opcode", OpName);
   Opcode Op = OpIt->second;
 
   Instr I(Op);
@@ -292,48 +323,66 @@ bool Parser::parseInstr(Function &F, Block &B, const std::string &BodyIn) {
 
 bool Parser::parseOperand(const std::string &Tok, Opcode Op, unsigned Slot,
                           Operand &Out, std::string *CalleeName) {
+  unsigned N = 0;
   if (Tok == "_") {
     Out = Operand::none();
     return true;
   }
   if (Tok[0] == '%') {
-    Out = Operand::vreg(
-        static_cast<unsigned>(std::strtoul(Tok.c_str() + 1, nullptr, 10)));
+    if (!parseFullUInt(Tok.c_str() + 1, N))
+      return failTok("bad vreg operand", Tok);
+    Out = Operand::vreg(N);
     return true;
   }
   if (Tok[0] == '$') {
-    if (Tok.size() > 1 && Tok[1] == 'f')
-      Out = Operand::preg(fpReg(
-          static_cast<unsigned>(std::strtoul(Tok.c_str() + 2, nullptr, 10))));
-    else
-      Out = Operand::preg(intReg(
-          static_cast<unsigned>(std::strtoul(Tok.c_str() + 1, nullptr, 10))));
+    if (Tok.size() > 1 && Tok[1] == 'f') {
+      if (!parseFullUInt(Tok.c_str() + 2, N))
+        return failTok("bad preg operand", Tok);
+      Out = Operand::preg(fpReg(N));
+    } else {
+      if (!parseFullUInt(Tok.c_str() + 1, N))
+        return failTok("bad preg operand", Tok);
+      Out = Operand::preg(intReg(N));
+    }
     return true;
   }
   if (Tok[0] == '[') {
-    if (Tok.size() < 4 || Tok[1] != 's' || Tok.back() != ']')
-      return fail("bad slot operand '" + Tok + "'");
-    Out = Operand::slot(
-        static_cast<unsigned>(std::strtoul(Tok.c_str() + 2, nullptr, 10)));
+    std::string Inner = Tok.substr(1, Tok.size() >= 2 && Tok.back() == ']'
+                                          ? Tok.size() - 2
+                                          : std::string::npos);
+    if (Tok.back() != ']' || Inner.size() < 2 || Inner[0] != 's' ||
+        !parseFullUInt(Inner.c_str() + 1, N))
+      return failTok("bad slot operand", Tok);
+    Out = Operand::slot(N);
     return true;
   }
   if (Tok.rfind("bb", 0) == 0 && Tok.size() > 2 && Tok[2] >= '0' &&
       Tok[2] <= '9') {
-    Out = Operand::label(
-        static_cast<unsigned>(std::strtoul(Tok.c_str() + 2, nullptr, 10)));
+    if (!parseFullUInt(Tok.c_str() + 2, N))
+      return failTok("bad label operand", Tok);
+    Out = Operand::label(N);
     return true;
   }
   if (Tok[0] == '@') {
+    if (Tok.size() < 2)
+      return failTok("empty call target", Tok);
     *CalleeName = Tok.substr(1);
     Out = Operand::func(0); // fixed up once all functions are known
     return true;
   }
   // Numeric: a float immediate only in MovF's value slot.
+  char *End = nullptr;
   if (Op == Opcode::MovF && Slot == 1) {
-    Out = Operand::fimm(std::strtod(Tok.c_str(), nullptr));
+    double D = std::strtod(Tok.c_str(), &End);
+    if (End == Tok.c_str() || *End != '\0')
+      return failTok("bad float immediate", Tok);
+    Out = Operand::fimm(D);
     return true;
   }
-  Out = Operand::imm(std::strtoll(Tok.c_str(), nullptr, 10));
+  long long V = std::strtoll(Tok.c_str(), &End, 10);
+  if (End == Tok.c_str() || *End != '\0')
+    return failTok("bad operand", Tok);
+  Out = Operand::imm(V);
   return true;
 }
 
@@ -371,35 +420,49 @@ bool Parser::parseTopLevel(bool Prescan) {
     }
     if (Prescan)
       continue; // bodies are skipped during the prescan
-    return fail("unexpected top-level line: '" + Trimmed + "'");
+    return failTok("unexpected top-level line",
+                   Trimmed.substr(0, Trimmed.find(' ')));
   }
   return true;
 }
 
 ParseResult Parser::run() {
   buildTables();
+  auto MakeError = [this]() {
+    ParseResult R;
+    R.Error = Error;
+    R.ErrLine = ErrLine;
+    R.ErrCol = ErrCol;
+    R.ErrToken = ErrToken;
+    return R;
+  };
   // Pass 1: collect function names so call targets can be resolved.
   if (!parseTopLevel(/*Prescan=*/true))
-    return {nullptr, Error};
+    return MakeError();
   // Pass 2: full parse.
   In.clear();
   In.seekg(0);
   LineNo = 0;
   if (!parseTopLevel(/*Prescan=*/false))
-    return {nullptr, Error};
+    return MakeError();
+  if (M->numFunctions() == 0) {
+    Error = "empty module: no functions";
+    return MakeError();
+  }
 
   // Resolve call targets and their return-kind metadata.
   for (const CallFixup &Fx : Fixups) {
     Function *Callee = M->findFunction(Fx.Callee);
     if (!Callee) {
       Error = "unknown call target '@" + Fx.Callee + "'";
-      return {nullptr, Error};
+      ErrToken = "@" + Fx.Callee;
+      return MakeError();
     }
     Instr &I = Fx.F->block(Fx.Block).instrs()[Fx.InstrIdx];
     I.op(0) = Operand::func(Callee->id());
     I.CallRet = Callee->RetKind;
   }
-  return {std::move(M), ""};
+  return {std::move(M), "", 0, 0, ""};
 }
 
 } // namespace

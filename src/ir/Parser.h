@@ -26,7 +26,12 @@ namespace lsra {
 
 struct ParseResult {
   std::unique_ptr<Module> M; ///< null on failure
-  std::string Error;         ///< "line N: message" on failure
+  /// Human-readable diagnostic on failure: "line N, col C: message
+  /// (near 'TOKEN')"; column and token are omitted when unknown.
+  std::string Error;
+  unsigned ErrLine = 0;  ///< 1-based line of the error (0 = no position)
+  unsigned ErrCol = 0;   ///< 1-based column of the offending token (0 = n/a)
+  std::string ErrToken;  ///< the offending token, when identifiable
   bool ok() const { return M != nullptr; }
 };
 

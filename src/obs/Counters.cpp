@@ -63,26 +63,27 @@ CounterRegistry &CounterRegistry::global() {
   return R;
 }
 
-CounterRegistry::Entry &CounterRegistry::entry(const std::string &Name) {
+CounterRegistry::Entry &CounterRegistry::entry(const std::string &Name,
+                                               int Kind) {
   std::lock_guard<std::mutex> L(Mu);
-  for (auto &E : Entries)
-    if (E->Name == Name)
+  for (auto &E : Entries) {
+    if (E->Name == Name) {
+      E->K = static_cast<Entry::Kind>(Kind);
       return *E;
+    }
+  }
   Entries.push_back(std::make_unique<Entry>());
   Entries.back()->Name = Name;
+  Entries.back()->K = static_cast<Entry::Kind>(Kind);
   return *Entries.back();
 }
 
 Counter &CounterRegistry::counter(const std::string &Name) {
-  Entry &E = entry(Name);
-  E.K = Entry::Kind::Count;
-  return E.C;
+  return entry(Name, static_cast<int>(Entry::Kind::Count)).C;
 }
 
 Distribution &CounterRegistry::distribution(const std::string &Name) {
-  Entry &E = entry(Name);
-  E.K = Entry::Kind::Dist;
-  return E.D;
+  return entry(Name, static_cast<int>(Entry::Kind::Dist)).D;
 }
 
 void CounterRegistry::recordAllocStats(const AllocStats &S) {

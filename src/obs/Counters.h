@@ -108,7 +108,10 @@ public:
 
 private:
   struct Entry;
-  Entry &entry(const std::string &Name);
+  /// Find-or-create under the registry lock. \p Kind tags the entry's
+  /// flavour (counter vs distribution) and must be written under the same
+  /// lock: concurrent bumpers of one name race on the tag otherwise.
+  Entry &entry(const std::string &Name, int Kind);
 
   std::atomic<bool> Enabled{false};
   mutable std::mutex Mu; ///< guards Entries (lookup/registration only)

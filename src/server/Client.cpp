@@ -1,0 +1,71 @@
+//===- server/Client.cpp --------------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+
+using namespace lsra;
+using namespace lsra::server;
+
+Client Client::connectUnix(const std::string &Path, std::string &Err) {
+  Client C;
+  C.Sock = Socket::connectUnix(Path, Err);
+  return C;
+}
+
+Client Client::connectTcp(const std::string &Host, uint16_t Port,
+                          std::string &Err) {
+  Client C;
+  C.Sock = Socket::connectTcp(Host, Port, Err);
+  return C;
+}
+
+bool Client::compile(const CompileRequest &Req, CompileResponse &Out,
+                     std::string &Err, int TimeoutMs) {
+  uint32_t Id = NextId++;
+  std::string Payload = encodeCompileRequest(Req);
+  if (!Sock.sendFrame(Id, FrameType::CompileRequest, Payload, Err))
+    return false;
+  BytesSent += FrameHeaderBytes + Payload.size();
+
+  while (true) {
+    uint32_t GotId = 0;
+    FrameType Type;
+    std::string Resp;
+    Socket::RecvStatus St = Sock.recvFrame(GotId, Type, Resp, TimeoutMs, Err);
+    if (St == Socket::RecvStatus::Timeout) {
+      Err = "timed out waiting for response";
+      return false;
+    }
+    if (St == Socket::RecvStatus::Closed) {
+      Err = "server closed the connection";
+      return false;
+    }
+    if (St == Socket::RecvStatus::Error)
+      return false;
+    BytesReceived += FrameHeaderBytes + Resp.size();
+    if (GotId != Id)
+      continue; // stale response from an abandoned request; skip
+    return decodeCompileResponse(Type, Resp, Out, Err);
+  }
+}
+
+bool Client::ping(std::string &Err, int TimeoutMs) {
+  uint32_t Id = NextId++;
+  if (!Sock.sendFrame(Id, FrameType::Ping, "", Err))
+    return false;
+  BytesSent += FrameHeaderBytes;
+  uint32_t GotId = 0;
+  FrameType Type;
+  std::string Resp;
+  Socket::RecvStatus St = Sock.recvFrame(GotId, Type, Resp, TimeoutMs, Err);
+  if (St != Socket::RecvStatus::Ok) {
+    if (Err.empty())
+      Err = "no pong";
+    return false;
+  }
+  BytesReceived += FrameHeaderBytes + Resp.size();
+  return Type == FrameType::Pong && GotId == Id;
+}

@@ -1,0 +1,63 @@
+//===- server/Client.h - Synchronous compile-service client ----*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Blocking client for the compile server: connect once, then issue
+/// compile() / ping() calls. One outstanding request per Client at a time
+/// (the load generator runs one Client per connection-thread); the
+/// response is matched to the request by the echoed request id.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_SERVER_CLIENT_H
+#define LSRA_SERVER_CLIENT_H
+
+#include "server/Protocol.h"
+#include "server/Socket.h"
+
+#include <cstdint>
+#include <string>
+
+namespace lsra {
+namespace server {
+
+class Client {
+public:
+  Client() = default;
+
+  static Client connectUnix(const std::string &Path, std::string &Err);
+  static Client connectTcp(const std::string &Host, uint16_t Port,
+                           std::string &Err);
+
+  bool valid() const { return Sock.valid(); }
+
+  /// Send \p Req and block for its response. False (with \p Err) on
+  /// transport failure or timeout; a typed error *response* (Rejected,
+  /// DeadlineExceeded, ...) is a successful call with Out.Status set.
+  /// \p TimeoutMs bounds the wait for the response (< 0 = forever).
+  bool compile(const CompileRequest &Req, CompileResponse &Out,
+               std::string &Err, int TimeoutMs = -1);
+
+  /// Liveness probe; false on transport failure or timeout.
+  bool ping(std::string &Err, int TimeoutMs = -1);
+
+  /// Bytes moved over this connection (headers included).
+  uint64_t bytesSent() const { return BytesSent; }
+  uint64_t bytesReceived() const { return BytesReceived; }
+
+  void close() { Sock.close(); }
+
+private:
+  Socket Sock;
+  uint32_t NextId = 1;
+  uint64_t BytesSent = 0;
+  uint64_t BytesReceived = 0;
+};
+
+} // namespace server
+} // namespace lsra
+
+#endif // LSRA_SERVER_CLIENT_H

@@ -1,0 +1,230 @@
+//===- server/LoadGen.cpp -------------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/LoadGen.h"
+
+#include "ir/Printer.h"
+#include "obs/Json.h"
+#include "server/Client.h"
+#include "support/Timer.h"
+#include "workloads/Workloads.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+using namespace lsra;
+using namespace lsra::server;
+
+double lsra::server::latencyPercentile(std::vector<double> SamplesMs,
+                                       double P) {
+  if (SamplesMs.empty())
+    return 0;
+  std::sort(SamplesMs.begin(), SamplesMs.end());
+  double Rank = P / 100.0 * static_cast<double>(SamplesMs.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, SamplesMs.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return SamplesMs[Lo] + Frac * (SamplesMs[Hi] - SamplesMs[Lo]);
+}
+
+namespace {
+
+int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct WorkerResult {
+  std::vector<double> LatenciesMs;
+  uint64_t Ok = 0, Rejected = 0, Deadline = 0, Errors = 0, Transport = 0;
+  uint64_t Sent = 0, BytesSent = 0, BytesReceived = 0;
+};
+
+} // namespace
+
+bool lsra::server::runLoadGen(const LoadGenOptions &Opts, LoadGenReport &Out,
+                              std::string &Err) {
+  if (Opts.Workloads.empty()) {
+    Err = "no workloads given";
+    return false;
+  }
+  // Render each workload to wire text once, up front.
+  std::vector<std::string> Corpus;
+  for (const std::string &Name : Opts.Workloads) {
+    bool Found = false;
+    for (const WorkloadSpec &W : allWorkloads())
+      if (Name == W.Name) {
+        std::ostringstream OS;
+        printModule(OS, *W.Build());
+        Corpus.push_back(OS.str());
+        Found = true;
+        break;
+      }
+    if (!Found) {
+      Err = "no such workload: '" + Name + "'";
+      return false;
+    }
+  }
+
+  unsigned Threads = std::max(1u, Opts.Concurrency);
+  unsigned Total = std::max(1u, Opts.Requests);
+
+  // Probe the server once before spawning the fleet.
+  {
+    Client Probe = Opts.UnixPath.empty()
+                       ? Client::connectTcp(Opts.Host, Opts.Port, Err)
+                       : Client::connectUnix(Opts.UnixPath, Err);
+    if (!Probe.valid() || !Probe.ping(Err, 5000))
+      return false;
+  }
+
+  std::atomic<unsigned> NextReq{0};
+  std::vector<WorkerResult> Results(Threads);
+  std::vector<std::thread> Fleet;
+  int64_t StartNs = nowNs();
+  double IntervalNs = Opts.Qps > 0 ? 1e9 / Opts.Qps : 0;
+
+  for (unsigned T = 0; T < Threads; ++T)
+    Fleet.emplace_back([&, T] {
+      WorkerResult &R = Results[T];
+      std::string CErr;
+      Client C = Opts.UnixPath.empty()
+                     ? Client::connectTcp(Opts.Host, Opts.Port, CErr)
+                     : Client::connectUnix(Opts.UnixPath, CErr);
+      if (!C.valid()) {
+        R.Transport++;
+        return;
+      }
+      while (true) {
+        unsigned K = NextReq.fetch_add(1, std::memory_order_relaxed);
+        if (K >= Total)
+          break;
+        // Open loop: wait for this request's scheduled slot, then charge
+        // latency from the slot, not from the actual send.
+        int64_t ScheduledNs = StartNs;
+        if (IntervalNs > 0) {
+          ScheduledNs =
+              StartNs + static_cast<int64_t>(IntervalNs * double(K));
+          int64_t Wait = ScheduledNs - nowNs();
+          if (Wait > 0)
+            std::this_thread::sleep_for(std::chrono::nanoseconds(Wait));
+        } else {
+          ScheduledNs = nowNs();
+        }
+
+        CompileRequest Req;
+        Req.Allocator = Opts.Allocator;
+        Req.Regs = Opts.Regs;
+        Req.Run = Opts.Run;
+        Req.DeadlineMs = Opts.DeadlineMs;
+        Req.IRText = Corpus[K % Corpus.size()];
+        CompileResponse Resp;
+        R.Sent++;
+        if (!C.compile(Req, Resp, CErr)) {
+          R.Transport++;
+          // Transport loss kills this connection; reconnect for the rest.
+          C = Opts.UnixPath.empty()
+                  ? Client::connectTcp(Opts.Host, Opts.Port, CErr)
+                  : Client::connectUnix(Opts.UnixPath, CErr);
+          if (!C.valid())
+            break;
+          continue;
+        }
+        double LatMs = static_cast<double>(nowNs() - ScheduledNs) / 1e6;
+        R.LatenciesMs.push_back(LatMs);
+        switch (Resp.Status) {
+        case FrameType::CompileOk:
+          R.Ok++;
+          break;
+        case FrameType::Rejected:
+          R.Rejected++;
+          break;
+        case FrameType::DeadlineExceeded:
+          R.Deadline++;
+          break;
+        default:
+          R.Errors++;
+          break;
+        }
+      }
+      R.BytesSent = C.bytesSent();
+      R.BytesReceived = C.bytesReceived();
+    });
+
+  for (std::thread &T : Fleet)
+    T.join();
+  double Wall = static_cast<double>(nowNs() - StartNs) / 1e9;
+
+  Out = LoadGenReport();
+  std::vector<double> All;
+  for (const WorkerResult &R : Results) {
+    Out.Sent += R.Sent;
+    Out.Ok += R.Ok;
+    Out.Rejected += R.Rejected;
+    Out.DeadlineExceeded += R.Deadline;
+    Out.Errors += R.Errors;
+    Out.TransportErrors += R.Transport;
+    Out.BytesSent += R.BytesSent;
+    Out.BytesReceived += R.BytesReceived;
+    All.insert(All.end(), R.LatenciesMs.begin(), R.LatenciesMs.end());
+  }
+  Out.WallSeconds = Wall;
+  uint64_t Answered = All.size();
+  Out.Throughput = Wall > 0 ? static_cast<double>(Answered) / Wall : 0;
+  if (!All.empty()) {
+    double Sum = 0, Max = 0;
+    for (double L : All) {
+      Sum += L;
+      Max = std::max(Max, L);
+    }
+    Out.MeanMs = Sum / static_cast<double>(All.size());
+    Out.MaxMs = Max;
+    Out.P50Ms = latencyPercentile(All, 50);
+    Out.P95Ms = latencyPercentile(All, 95);
+    Out.P99Ms = latencyPercentile(All, 99);
+  }
+  return true;
+}
+
+std::string lsra::server::loadGenReportJson(const LoadGenOptions &Opts,
+                                            const LoadGenReport &R) {
+  std::string Workloads;
+  for (const std::string &W : Opts.Workloads) {
+    if (!Workloads.empty())
+      Workloads += ",";
+    Workloads += W;
+  }
+  obs::JsonObject O;
+  O.field("kind", "loadgen");
+  O.field("workloads", Workloads);
+  O.field("allocator", Opts.Allocator);
+  O.field("concurrency", Opts.Concurrency);
+  O.field("requests", Opts.Requests);
+  O.field("qps", Opts.Qps);
+  O.field("deadline_ms", Opts.DeadlineMs);
+  O.field("sent", R.Sent);
+  O.field("ok", R.Ok);
+  O.field("rejected", R.Rejected);
+  O.field("deadline_exceeded", R.DeadlineExceeded);
+  O.field("errors", R.Errors);
+  O.field("transport_errors", R.TransportErrors);
+  O.field("wall_s", R.WallSeconds);
+  O.field("throughput_rps", R.Throughput);
+  O.field("latency_mean_ms", R.MeanMs);
+  O.field("latency_p50_ms", R.P50Ms);
+  O.field("latency_p95_ms", R.P95Ms);
+  O.field("latency_p99_ms", R.P99Ms);
+  O.field("latency_max_ms", R.MaxMs);
+  O.field("bytes_sent", R.BytesSent);
+  O.field("bytes_received", R.BytesReceived);
+  return O.str();
+}

@@ -1,0 +1,87 @@
+//===- server/LoadGen.h - Compile-service load generator -------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays the src/workloads corpus against a compile server and reports
+/// throughput and latency percentiles. Two load models:
+///
+///   - closed loop (Qps == 0): each of Concurrency connections keeps
+///     exactly one request outstanding — measures capacity;
+///   - open loop (Qps > 0): requests are launched on a global schedule of
+///     one every 1/Qps seconds regardless of completions, and latency is
+///     measured from the *scheduled* send time, so queueing delay under
+///     overload is charged to the server, not hidden by client
+///     self-throttling (the coordinated-omission correction).
+///
+/// Per-request latencies are kept raw and percentiles computed by sorting,
+/// not from a histogram, so p99 on small runs is exact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_SERVER_LOADGEN_H
+#define LSRA_SERVER_LOADGEN_H
+
+#include "server/Protocol.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lsra {
+namespace server {
+
+struct LoadGenOptions {
+  // Where to connect (unix path wins when non-empty).
+  std::string UnixPath;
+  std::string Host = "127.0.0.1";
+  uint16_t Port = 0;
+
+  /// Workload names (see `lsra list`); requests round-robin across them.
+  std::vector<std::string> Workloads;
+
+  unsigned Concurrency = 4; ///< connections = client threads
+  unsigned Requests = 64;   ///< total requests to send
+  double Qps = 0;           ///< open-loop arrival rate (0 = closed loop)
+
+  // Per-request knobs, forwarded verbatim.
+  std::string Allocator = "binpack";
+  unsigned Regs = 0;
+  bool Run = false;
+  uint32_t DeadlineMs = 0;
+};
+
+struct LoadGenReport {
+  uint64_t Sent = 0;
+  uint64_t Ok = 0;
+  uint64_t Rejected = 0;
+  uint64_t DeadlineExceeded = 0;
+  uint64_t Errors = 0;          ///< typed Error responses
+  uint64_t TransportErrors = 0; ///< send/recv failures
+  double WallSeconds = 0;
+  double Throughput = 0; ///< completed responses per wall second
+  // Latency over all answered requests, milliseconds.
+  double MeanMs = 0, P50Ms = 0, P95Ms = 0, P99Ms = 0, MaxMs = 0;
+  uint64_t BytesSent = 0, BytesReceived = 0;
+};
+
+/// Run the load test. False (with \p Err) only for setup failures
+/// (unknown workload, no connection); per-request failures are counted in
+/// the report instead.
+bool runLoadGen(const LoadGenOptions &Opts, LoadGenReport &Out,
+                std::string &Err);
+
+/// One-line JSON encoding of (options, report) for BENCH_serve.json-style
+/// output.
+std::string loadGenReportJson(const LoadGenOptions &Opts,
+                              const LoadGenReport &R);
+
+/// Exact percentile by sorting a copy of \p SamplesMs (0 when empty).
+double latencyPercentile(std::vector<double> SamplesMs, double P);
+
+} // namespace server
+} // namespace lsra
+
+#endif // LSRA_SERVER_LOADGEN_H

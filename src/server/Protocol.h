@@ -1,0 +1,133 @@
+//===- server/Protocol.h - Framed compile-service wire protocol -*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire protocol of the compile server: length-prefixed frames whose
+/// payload reuses the textual IR (ir/Printer emits it, ir/Parser reads it
+/// back) so the wire format is exactly the format every test fixture and
+/// CLI already speaks.
+///
+/// Frame layout (all integers little-endian):
+///
+///   +0  u32  magic       'LSRA' (0x4153524c) — cheap desync/garbage check
+///   +4  u32  payload len  bytes following the 13-byte header
+///   +8  u32  request id   echoed verbatim in the response
+///   +12 u8   type         FrameType
+///   +13 ...  payload
+///
+/// Compile request/response payloads are "key=value" header lines, a blank
+/// line, then a body: the module IR text for CompileRequest/CompileOk, the
+/// error message for the typed error responses. Every request gets exactly
+/// one response frame carrying its request id; error conditions map to
+/// distinct frame types (Rejected = load shed, DeadlineExceeded, Error =
+/// malformed/unparsable payload) so clients never scrape error strings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_SERVER_PROTOCOL_H
+#define LSRA_SERVER_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+
+namespace lsra {
+namespace server {
+
+/// 'LSRA' in little-endian byte order.
+constexpr uint32_t FrameMagic = 0x4153524cu;
+
+/// Frame header size on the wire (magic + len + id + type).
+constexpr uint32_t FrameHeaderBytes = 13;
+
+/// Upper bound on a single frame payload; larger frames indicate a broken
+/// or hostile peer and close the connection.
+constexpr uint32_t MaxFramePayload = 64u << 20;
+
+enum class FrameType : uint8_t {
+  CompileRequest = 1,   ///< client → server: compile this module
+  CompileOk = 2,        ///< allocated IR + statistics
+  Error = 3,            ///< malformed payload / parse / verify failure
+  Rejected = 4,         ///< admission queue full (load shed; retry later)
+  DeadlineExceeded = 5, ///< request expired before a worker got to it
+  ShuttingDown = 6,     ///< server is draining; no new work accepted
+  Ping = 7,             ///< client → server liveness probe
+  Pong = 8,             ///< server → client probe reply
+};
+
+const char *frameTypeName(FrameType T);
+
+/// Everything a client can ask of the compile service. Defaults mirror
+/// `lsra run`: second-chance binpacking on the full register file.
+struct CompileRequest {
+  std::string Allocator = "binpack"; ///< parseAllocator() name
+  unsigned Regs = 0;       ///< per-class register limit (0 = full file)
+  bool Cleanup = false;    ///< run the spill-cleanup pass
+  bool Run = false;        ///< execute on the VM, report dynamic counts
+  uint32_t DeadlineMs = 0; ///< relative deadline (0 = none)
+  uint32_t HoldMs = 0;     ///< worker sleeps this long first (load tests)
+  std::string IRText;      ///< the module, in textual IR form
+};
+
+struct CompileResponse {
+  FrameType Status = FrameType::CompileOk;
+  std::string Message; ///< diagnostic for non-OK responses
+
+  // Parse-error position (Status == Error, when the payload failed to
+  // parse as IR; 0/empty when not applicable).
+  unsigned ErrLine = 0;
+  unsigned ErrCol = 0;
+  std::string ErrToken;
+
+  // Allocation statistics (Status == CompileOk).
+  std::string Allocator;
+  unsigned Candidates = 0;
+  unsigned Spilled = 0;
+  unsigned StaticSpills = 0;
+  unsigned Coalesced = 0;
+  unsigned Splits = 0;
+  double AllocSeconds = 0;
+
+  // Dynamic execution statistics (CompileOk with CompileRequest::Run).
+  bool HasRun = false;
+  uint64_t DynInstrs = 0;
+  uint64_t Cycles = 0;
+  uint64_t DynSpills = 0;
+  int64_t ReturnValue = 0;
+
+  std::string IRText; ///< allocated module (Status == CompileOk)
+
+  bool ok() const { return Status == FrameType::CompileOk; }
+};
+
+/// Serialize \p R as a CompileRequest frame payload.
+std::string encodeCompileRequest(const CompileRequest &R);
+
+/// Parse a CompileRequest payload. Returns false (with \p Err set) on a
+/// malformed header; the embedded IR text is not parsed here.
+bool decodeCompileRequest(const std::string &Payload, CompileRequest &Out,
+                          std::string &Err);
+
+/// Serialize \p R as the payload for a frame of type R.Status.
+std::string encodeCompileResponse(const CompileResponse &R);
+
+/// Parse a response payload of frame type \p T.
+bool decodeCompileResponse(FrameType T, const std::string &Payload,
+                           CompileResponse &Out, std::string &Err);
+
+/// Encode the 13-byte frame header for \p PayloadLen bytes.
+std::string encodeFrameHeader(uint32_t PayloadLen, uint32_t RequestId,
+                              FrameType Type);
+
+/// Decode a 13-byte header. False on bad magic, unknown type, or a
+/// payload length above MaxFramePayload.
+bool decodeFrameHeader(const unsigned char Header[FrameHeaderBytes],
+                       uint32_t &PayloadLen, uint32_t &RequestId,
+                       FrameType &Type, std::string &Err);
+
+} // namespace server
+} // namespace lsra
+
+#endif // LSRA_SERVER_PROTOCOL_H

@@ -1,0 +1,48 @@
+//===- server/RequestQueue.cpp --------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/RequestQueue.h"
+
+using namespace lsra::server;
+
+bool RequestQueue::tryPush(std::function<void()> Task) {
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    if (Closed || Tasks.size() >= Cap)
+      return false;
+    Tasks.push_back(std::move(Task));
+  }
+  HasWork.notify_one();
+  return true;
+}
+
+bool RequestQueue::pop(std::function<void()> &Task) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  HasWork.wait(Lock, [this] { return Closed || !Tasks.empty(); });
+  if (Tasks.empty())
+    return false; // closed and fully drained
+  Task = std::move(Tasks.front());
+  Tasks.pop_front();
+  return true;
+}
+
+void RequestQueue::close() {
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Closed = true;
+  }
+  HasWork.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::unique_lock<std::mutex> Lock(Mu);
+  return Closed;
+}
+
+unsigned RequestQueue::depth() const {
+  std::unique_lock<std::mutex> Lock(Mu);
+  return static_cast<unsigned>(Tasks.size());
+}

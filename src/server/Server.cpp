@@ -1,0 +1,315 @@
+//===- server/Server.cpp --------------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include "driver/Pipeline.h"
+#include "obs/Counters.h"
+#include "obs/Log.h"
+#include "obs/Trace.h"
+
+#include <chrono>
+
+using namespace lsra;
+using namespace lsra::server;
+
+namespace {
+
+/// Poll interval for shutdown checks in accept/reader loops.
+constexpr int TickMs = 50;
+
+bool allocatorKindFromName(const std::string &Name, AllocatorKind &Out) {
+  if (Name == "binpack" || Name == "second-chance-binpack")
+    Out = AllocatorKind::SecondChanceBinpack;
+  else if (Name == "coloring" || Name == "graph-coloring")
+    Out = AllocatorKind::GraphColoring;
+  else if (Name == "twopass" || Name == "two-pass-binpack")
+    Out = AllocatorKind::TwoPassBinpack;
+  else if (Name == "poletto" || Name == "poletto-scan")
+    Out = AllocatorKind::PolettoScan;
+  else
+    return false;
+  return true;
+}
+
+void bumpCounter(const char *Name, uint64_t N = 1) {
+  obs::CounterRegistry &CR = obs::CounterRegistry::global();
+  if (CR.enabled())
+    CR.counter(Name).add(N);
+}
+
+void sampleDist(const char *Name, double V) {
+  obs::CounterRegistry &CR = obs::CounterRegistry::global();
+  if (CR.enabled())
+    CR.distribution(Name).sample(V);
+}
+
+} // namespace
+
+Server::Server(const ServerOptions &O)
+    : Opts(O), Queue(O.QueueCapacity ? O.QueueCapacity : 1) {}
+
+Server::~Server() { shutdown(); }
+
+int64_t Server::nowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool Server::start(std::string &Err) {
+  if (Running.load(std::memory_order_acquire)) {
+    Err = "server already running";
+    return false;
+  }
+  Stopping.store(false, std::memory_order_release);
+  L = Opts.UnixPath.empty() ? Listener::listenTcp(Opts.TcpPort, Err)
+                            : Listener::listenUnix(Opts.UnixPath, Err);
+  if (!L.valid())
+    return false;
+
+  unsigned NumWorkers =
+      Opts.Workers ? Opts.Workers : ThreadPool::defaultThreadCount();
+  Workers = std::make_unique<ThreadPool>(NumWorkers);
+  // Long-running drain tasks: each worker blocks on the admission queue
+  // and exits when the queue is closed and empty (graceful drain).
+  for (unsigned I = 0; I < NumWorkers; ++I)
+    Workers->submit([this] {
+      std::function<void()> Task;
+      while (Queue.pop(Task))
+        Task();
+    });
+
+  Running.store(true, std::memory_order_release);
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  LSRA_LOG(1, "server: listening on %s (workers=%u, queue=%u)",
+           Opts.UnixPath.empty()
+               ? ("tcp 127.0.0.1:" + std::to_string(L.port())).c_str()
+               : Opts.UnixPath.c_str(),
+           NumWorkers, Queue.capacity());
+  return true;
+}
+
+void Server::acceptLoop() {
+  while (!Stopping.load(std::memory_order_acquire)) {
+    Socket S = L.accept(TickMs);
+    if (!S.valid())
+      continue;
+    bumpCounter("server.connections");
+    auto C = std::make_shared<Conn>();
+    C->Sock = std::move(S);
+    std::unique_lock<std::mutex> Lock(ReadersMu);
+    Conns.emplace_back(C);
+    Readers.emplace_back([this, C] { readerLoop(C); });
+  }
+}
+
+void Server::readerLoop(ConnPtr C) {
+  std::string Err;
+  while (true) {
+    bool Draining = Stopping.load(std::memory_order_acquire);
+    uint32_t Id = 0;
+    FrameType Type;
+    std::string Payload;
+    Socket::RecvStatus St =
+        C->Sock.recvFrame(Id, Type, Payload, TickMs, Err);
+    if (St == Socket::RecvStatus::Timeout) {
+      if (Draining)
+        return; // drained: no new requests from this connection
+      continue;
+    }
+    if (St == Socket::RecvStatus::Closed)
+      return;
+    if (St == Socket::RecvStatus::Error) {
+      LSRA_LOG(2, "server: dropping connection: %s", Err.c_str());
+      return;
+    }
+    bumpCounter("server.bytes_in", FrameHeaderBytes + Payload.size());
+    if (Type == FrameType::Ping) {
+      respond(C, Id, FrameType::Pong, "");
+      continue;
+    }
+    if (Type != FrameType::CompileRequest) {
+      CompileResponse R;
+      R.Status = FrameType::Error;
+      R.Message = std::string("unexpected frame type '") +
+                  frameTypeName(Type) + "'";
+      respond(C, Id, R.Status, encodeCompileResponse(R));
+      continue;
+    }
+    bumpCounter("server.requests");
+    if (Draining || Stopping.load(std::memory_order_acquire)) {
+      CompileResponse R;
+      R.Status = FrameType::ShuttingDown;
+      R.Message = "server is draining";
+      bumpCounter("server.shutdown_rejected");
+      respond(C, Id, R.Status, encodeCompileResponse(R));
+      continue;
+    }
+
+    // Admission control: deadline starts at arrival; the queue bound is
+    // the load shed.
+    int64_t ArrivalNs = nowNs();
+    uint32_t DeadlineMs = Opts.DefaultDeadlineMs;
+    // Peek the deadline without a full decode; the worker re-decodes.
+    {
+      CompileRequest Peek;
+      std::string PeekErr;
+      if (decodeCompileRequest(Payload, Peek, PeekErr) && Peek.DeadlineMs)
+        DeadlineMs = Peek.DeadlineMs;
+    }
+    int64_t DeadlineNs =
+        DeadlineMs ? ArrivalNs + int64_t(DeadlineMs) * 1'000'000 : 0;
+    bool Admitted = Queue.tryPush([this, C, Id, P = std::move(Payload),
+                                   DeadlineNs]() mutable {
+      handleCompile(C, Id, std::move(P), DeadlineNs);
+    });
+    sampleDist("server.queue_depth", Queue.depth());
+    if (!Admitted) {
+      CompileResponse R;
+      R.Status = FrameType::Rejected;
+      R.Message = "admission queue full (capacity " +
+                  std::to_string(Queue.capacity()) + ")";
+      bumpCounter("server.rejected");
+      respond(C, Id, R.Status, encodeCompileResponse(R));
+      continue;
+    }
+    bumpCounter("server.accepted");
+  }
+}
+
+void Server::handleCompile(const ConnPtr &C, uint32_t Id,
+                           std::string Payload, int64_t DeadlineNs) {
+  obs::ScopedSpan Span("serve:request", "request");
+  int64_t StartNs = nowNs();
+  CompileResponse R;
+  if (DeadlineNs && StartNs > DeadlineNs) {
+    R.Status = FrameType::DeadlineExceeded;
+    R.Message = "deadline exceeded before dispatch";
+    bumpCounter("server.deadline_exceeded");
+    respond(C, Id, R.Status, encodeCompileResponse(R));
+    return;
+  }
+
+  CompileRequest Req;
+  std::string Err;
+  if (!decodeCompileRequest(Payload, Req, Err)) {
+    R.Status = FrameType::Error;
+    R.Message = "bad request: " + Err;
+    bumpCounter("server.parse_errors");
+    respond(C, Id, R.Status, encodeCompileResponse(R));
+    return;
+  }
+  if (Req.HoldMs) // load-test knob: simulate a slow compilation
+    std::this_thread::sleep_for(std::chrono::milliseconds(Req.HoldMs));
+
+  AllocatorKind Kind;
+  if (!allocatorKindFromName(Req.Allocator, Kind)) {
+    R.Status = FrameType::Error;
+    R.Message = "unknown allocator '" + Req.Allocator + "'";
+    bumpCounter("server.parse_errors");
+    respond(C, Id, R.Status, encodeCompileResponse(R));
+    return;
+  }
+
+  TargetDesc TD = TargetDesc::alphaLike();
+  if (Req.Regs)
+    TD = TD.withRegLimit(Req.Regs, Req.Regs);
+  AllocOptions AO;
+  AO.SpillCleanup = Req.Cleanup;
+  AO.Threads = Opts.ThreadsPerRequest;
+
+  TextCompileResult TC;
+  try {
+    TC = compileTextModule(Req.IRText, TD, Kind, AO, Req.Run);
+  } catch (const std::exception &E) {
+    TC.Ok = false;
+    TC.Error = std::string("internal error: ") + E.what();
+  } catch (...) {
+    TC.Ok = false;
+    TC.Error = "internal error";
+  }
+
+  if (!TC.Ok) {
+    R.Status = FrameType::Error;
+    R.Message = TC.Error;
+    R.ErrLine = TC.ErrLine;
+    R.ErrCol = TC.ErrCol;
+    R.ErrToken = TC.ErrToken;
+    bumpCounter("server.parse_errors");
+    respond(C, Id, R.Status, encodeCompileResponse(R));
+    return;
+  }
+
+  R.Status = FrameType::CompileOk;
+  R.Allocator = Req.Allocator;
+  R.Candidates = TC.Stats.RegCandidates;
+  R.Spilled = TC.Stats.SpilledTemps;
+  R.StaticSpills = TC.Stats.staticSpillInstrs();
+  R.Coalesced = TC.Stats.MovesCoalesced;
+  R.Splits = TC.Stats.LifetimeSplits;
+  R.AllocSeconds = TC.Stats.AllocSeconds;
+  if (TC.Ran && TC.Run.Ok) {
+    R.HasRun = true;
+    R.DynInstrs = TC.Run.Stats.Total;
+    R.Cycles = TC.Run.Stats.Cycles;
+    R.DynSpills = TC.Run.Stats.spillInstrs();
+    R.ReturnValue = TC.Run.ReturnValue;
+  }
+  R.IRText = TC.AllocatedText;
+  bumpCounter("server.completed");
+  sampleDist("server.latency_ms",
+             static_cast<double>(nowNs() - StartNs) / 1e6);
+  respond(C, Id, R.Status, encodeCompileResponse(R));
+}
+
+void Server::respond(const ConnPtr &C, uint32_t Id, FrameType Type,
+                     const std::string &Payload) {
+  std::string Err;
+  std::unique_lock<std::mutex> Lock(C->WriteMu);
+  // Counted before the write so the total is never behind what a client
+  // has already observed on the wire.
+  Served.fetch_add(1, std::memory_order_relaxed);
+  if (!C->Sock.sendFrame(Id, Type, Payload, Err)) {
+    // Client went away; nothing to do but count it.
+    bumpCounter("server.send_errors");
+    LSRA_LOG(2, "server: response send failed: %s", Err.c_str());
+    return;
+  }
+  bumpCounter("server.bytes_out", FrameHeaderBytes + Payload.size());
+}
+
+void Server::shutdown() {
+  if (!Running.exchange(false, std::memory_order_acq_rel))
+    return;
+  // 1. Refuse new connections and new requests.
+  Stopping.store(true, std::memory_order_release);
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  L.close();
+  // 2. Drain: answer everything already admitted, then retire workers.
+  Queue.close();
+  if (Workers) {
+    Workers->wait();
+    Workers.reset();
+  }
+  // 3. Every admitted request has now been answered, so cut the
+  // connections: shutdown(2) wakes readers blocked in recv and makes any
+  // client that keeps sending fail fast instead of waiting for a timeout.
+  std::vector<std::thread> Rs;
+  {
+    std::unique_lock<std::mutex> Lock(ReadersMu);
+    for (const std::weak_ptr<Conn> &W : Conns)
+      if (ConnPtr C = W.lock())
+        C->Sock.shutdownBoth();
+    Conns.clear();
+    Rs.swap(Readers);
+  }
+  for (std::thread &T : Rs)
+    T.join();
+  LSRA_LOG(1, "server: drained, %llu responses served",
+           static_cast<unsigned long long>(Served.load()));
+}

@@ -1,0 +1,143 @@
+//===- server/Server.h - Concurrent compile server -------------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Allocation-as-a-service: a socket server that compiles textual-IR
+/// modules through the standard pipeline (driver/Pipeline.h) and returns
+/// the allocated module plus statistics. The paper's compile-time focus
+/// (Table 3) is what makes this viable — linear-scan allocation is fast
+/// enough to sit on a request path, which is precisely the contrast the
+/// combinatorial-allocation literature draws against solver-based
+/// allocators.
+///
+/// Threading model:
+///   - one accept thread (poll + timeout, so shutdown needs no tricks);
+///   - one reader thread per connection decoding frames and running
+///     admission control;
+///   - a fixed support/ThreadPool of compile workers draining the bounded
+///     server/RequestQueue.
+///
+/// Overload and lifecycle policy, in order of evaluation per request:
+///   - drain in progress        → ShuttingDown frame, no admission;
+///   - admission queue full     → Rejected frame (load shed, 503-style);
+///   - deadline already passed when a worker dequeues the request
+///                              → DeadlineExceeded frame (the request is
+///                                never compiled; deadlines are checked at
+///                                dispatch, not preemptively mid-compile);
+///   - payload fails to decode/parse/verify → Error frame with the parser's
+///                                line/column/token diagnostics;
+///   - otherwise                → CompileOk with allocated IR + stats.
+///
+/// Every request runs under an obs span ("serve:request") and bumps the
+/// server.* counters (accepted, completed, rejected, deadline_exceeded,
+/// parse_errors, bytes_in, bytes_out, plus the server.queue_depth
+/// distribution sampled at every admission), all snapshot-able through the
+/// usual --stats-json JSONL path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_SERVER_SERVER_H
+#define LSRA_SERVER_SERVER_H
+
+#include "server/RequestQueue.h"
+#include "server/Socket.h"
+#include "support/ThreadPool.h"
+#include "target/Target.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace lsra {
+namespace server {
+
+struct ServerOptions {
+  /// Unix-domain socket path; when empty, a loopback TCP listener on
+  /// TcpPort is used instead.
+  std::string UnixPath;
+  uint16_t TcpPort = 0; ///< 0 = ephemeral (read back via Server::port())
+
+  unsigned Workers = 0;       ///< compile workers (0 = hardware threads)
+  unsigned QueueCapacity = 64; ///< admission queue bound (load shed above)
+
+  /// Deadline applied to requests that carry none (0 = unlimited).
+  uint32_t DefaultDeadlineMs = 0;
+
+  /// Threads used *inside* one request's compileModule. Per-request
+  /// parallelism rarely pays once the server itself is saturated, so the
+  /// default is sequential per request, parallel across requests.
+  unsigned ThreadsPerRequest = 1;
+};
+
+class Server {
+public:
+  explicit Server(const ServerOptions &Opts);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Bind, listen, and spawn the accept thread + worker pool. False (with
+  /// \p Err set) if the socket cannot be bound.
+  bool start(std::string &Err);
+
+  /// Graceful drain, idempotent: stop accepting connections and requests,
+  /// answer every admitted request, refuse the rest with typed frames,
+  /// then join every thread. Blocks until the drain completes.
+  void shutdown();
+
+  bool running() const { return Running.load(std::memory_order_acquire); }
+
+  /// Resolved TCP port (after start(), TCP mode only).
+  uint16_t port() const { return L.port(); }
+  const std::string &unixPath() const { return Opts.UnixPath; }
+
+  /// Requests answered since start(), any status. (Monotonic; readable
+  /// while serving.)
+  uint64_t requestsServed() const {
+    return Served.load(std::memory_order_relaxed);
+  }
+
+private:
+  /// One live client connection. Workers for pipelined requests respond
+  /// concurrently, so writes are serialized by WriteMu; the struct is
+  /// kept alive by shared_ptr until the last queued response is sent.
+  struct Conn {
+    Socket Sock;
+    std::mutex WriteMu;
+  };
+  using ConnPtr = std::shared_ptr<Conn>;
+
+  void acceptLoop();
+  void readerLoop(ConnPtr C);
+  void handleCompile(const ConnPtr &C, uint32_t Id, std::string Payload,
+                     int64_t DeadlineNs);
+  void respond(const ConnPtr &C, uint32_t Id, FrameType Type,
+               const std::string &Payload);
+  int64_t nowNs() const;
+
+  ServerOptions Opts;
+  Listener L;
+  RequestQueue Queue;
+  std::unique_ptr<ThreadPool> Workers;
+  std::thread AcceptThread;
+  std::mutex ReadersMu;
+  std::vector<std::thread> Readers;
+  /// Live connections, so shutdown() can unblock readers (and fail fast
+  /// any client that keeps sending) once the drain has answered all
+  /// admitted work. shutdown(2), not close: the fd stays owned by Conn.
+  std::vector<std::weak_ptr<Conn>> Conns;
+  std::atomic<bool> Stopping{false};
+  std::atomic<bool> Running{false};
+  std::atomic<uint64_t> Served{0};
+};
+
+} // namespace server
+} // namespace lsra
+
+#endif // LSRA_SERVER_SERVER_H

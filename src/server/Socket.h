@@ -1,0 +1,109 @@
+//===- server/Socket.h - Frame transport over unix/TCP sockets -*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin RAII layer over POSIX stream sockets plus whole-frame send/recv in
+/// the server/Protocol.h framing. Two transports: unix-domain sockets (the
+/// default — no port allocation, filesystem permissions) and loopback/LAN
+/// TCP. Receives poll() with a timeout before the first header byte so
+/// server threads can interleave blocking reads with shutdown checks; once
+/// a frame has started arriving it is read to completion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_SERVER_SOCKET_H
+#define LSRA_SERVER_SOCKET_H
+
+#include "server/Protocol.h"
+
+#include <cstdint>
+#include <string>
+
+namespace lsra {
+namespace server {
+
+/// Move-only owner of one connected stream-socket fd.
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int Fd) : Fd(Fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  Socket &operator=(Socket &&O) noexcept;
+  Socket(const Socket &) = delete;
+  Socket &operator=(const Socket &) = delete;
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+  static Socket connectUnix(const std::string &Path, std::string &Err);
+  static Socket connectTcp(const std::string &Host, uint16_t Port,
+                           std::string &Err);
+
+  /// Write one complete frame (header + payload). False on any I/O error
+  /// (including a peer that hung up); SIGPIPE is suppressed.
+  bool sendFrame(uint32_t RequestId, FrameType Type,
+                 const std::string &Payload, std::string &Err);
+
+  enum class RecvStatus {
+    Ok,      ///< one frame delivered
+    Timeout, ///< nothing arrived within the timeout
+    Closed,  ///< orderly EOF before a new frame began
+    Error,   ///< protocol or I/O error (Err set)
+  };
+
+  /// Read one complete frame. \p TimeoutMs bounds the wait for the first
+  /// header byte only (< 0 = wait forever).
+  RecvStatus recvFrame(uint32_t &RequestId, FrameType &Type,
+                       std::string &Payload, int TimeoutMs, std::string &Err);
+
+  /// Force-wake any thread blocked on this socket (shutdown(2) RDWR).
+  void shutdownBoth();
+
+  void close();
+
+private:
+  int Fd = -1;
+};
+
+/// Listening socket bound to a unix path or a TCP port.
+class Listener {
+public:
+  Listener() = default;
+  ~Listener() { close(); }
+  Listener(Listener &&O) noexcept;
+  Listener &operator=(Listener &&O) noexcept;
+  Listener(const Listener &) = delete;
+  Listener &operator=(const Listener &) = delete;
+
+  /// Bind + listen on \p Path, replacing a stale socket file if present.
+  static Listener listenUnix(const std::string &Path, std::string &Err);
+
+  /// Bind + listen on 127.0.0.1:\p Port (0 = ephemeral; see port()).
+  static Listener listenTcp(uint16_t Port, std::string &Err);
+
+  bool valid() const { return Fd >= 0; }
+  uint16_t port() const { return Port; }
+  const std::string &unixPath() const { return Path; }
+
+  /// Accept one connection, waiting at most \p TimeoutMs (< 0 = forever).
+  /// Returns an invalid Socket on timeout or close().
+  Socket accept(int TimeoutMs);
+
+  /// Close the listening fd and unlink the unix socket file.
+  void close();
+
+private:
+  int Fd = -1;
+  uint16_t Port = 0;
+  std::string Path;
+};
+
+} // namespace server
+} // namespace lsra
+
+#endif // LSRA_SERVER_SOCKET_H

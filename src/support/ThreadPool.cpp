@@ -47,6 +47,16 @@ void ThreadPool::wait() {
   }
 }
 
+unsigned ThreadPool::queueDepth() const {
+  std::unique_lock<std::mutex> Lock(Mu);
+  return static_cast<unsigned>(Queue.size());
+}
+
+unsigned ThreadPool::outstanding() const {
+  std::unique_lock<std::mutex> Lock(Mu);
+  return Outstanding;
+}
+
 void ThreadPool::workerLoop() {
   std::unique_lock<std::mutex> Lock(Mu);
   while (true) {

@@ -46,6 +46,15 @@ public:
   /// captured task exception, if any.
   void wait();
 
+  /// Tasks submitted but not yet picked up by a worker. Admission control
+  /// (the compile server's load shedding) samples this to bound queueing;
+  /// it is advisory — racing submitters can momentarily overshoot a bound
+  /// checked against it.
+  unsigned queueDepth() const;
+
+  /// Tasks submitted but not yet finished (queued + running).
+  unsigned outstanding() const;
+
   unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
 
   /// Worker count for "use all hardware threads" requests (never 0).
@@ -56,7 +65,7 @@ private:
 
   std::vector<std::thread> Workers;
   std::deque<std::function<void()>> Queue;
-  std::mutex Mu;
+  mutable std::mutex Mu;
   std::condition_variable HasWork;
   std::condition_variable AllDone;
   std::exception_ptr FirstError;

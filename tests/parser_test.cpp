@@ -179,6 +179,74 @@ TEST(Parser, RandomProgramsRoundTrip) {
   }
 }
 
+// Negative inputs: the parser must report the line, column, and offending
+// token of the first error — this is what the compile server forwards to
+// clients in typed Error responses.
+TEST(ParserDiagnostics, UnknownOpcodePosition) {
+  ParseResult R = parseModule(
+      "func f (iparams=0 fparams=0 ret=void vregs=1 slots=0)\n"
+      "bb0 (entry):\n"
+      "  frobnicate %0, 1\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.ErrLine, 3u);
+  EXPECT_EQ(R.ErrCol, 3u); // two-space indent, token starts at column 3
+  EXPECT_EQ(R.ErrToken, "frobnicate");
+  EXPECT_NE(R.Error.find("line 3"), std::string::npos) << R.Error;
+  EXPECT_NE(R.Error.find("col 3"), std::string::npos) << R.Error;
+  EXPECT_NE(R.Error.find("frobnicate"), std::string::npos) << R.Error;
+}
+
+TEST(ParserDiagnostics, BadOperandPosition) {
+  ParseResult R = parseModule(
+      "func f (iparams=0 fparams=0 ret=void vregs=1 slots=0)\n"
+      "bb0 (entry):\n"
+      "  movi %0, notanumber\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.ErrLine, 3u);
+  EXPECT_EQ(R.ErrToken, "notanumber");
+}
+
+TEST(ParserDiagnostics, BadVregOperand) {
+  ParseResult R = parseModule(
+      "func f (iparams=0 fparams=0 ret=void vregs=1 slots=0)\n"
+      "bb0 (entry):\n"
+      "  movi %zzz, 1\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.ErrLine, 3u);
+  EXPECT_EQ(R.ErrToken, "%zzz");
+}
+
+TEST(ParserDiagnostics, BadFunctionHeader) {
+  ParseResult R = parseModule("func f (iparams=banana)\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.ErrLine, 1u);
+  EXPECT_GT(R.ErrCol, 0u);
+}
+
+TEST(ParserDiagnostics, UnexpectedTopLevelLine) {
+  ParseResult R = parseModule("this is not ir\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.ErrLine, 1u);
+  EXPECT_FALSE(R.ErrToken.empty());
+}
+
+TEST(ParserDiagnostics, UnknownCallTargetToken) {
+  ParseResult R = parseModule(
+      "func f (iparams=0 fparams=0 ret=void vregs=1 slots=0)\n"
+      "bb0 (entry):\n"
+      "  carg %0, 0\n"
+      "  call @nosuch  (iargs=1 fargs=0)\n"
+      "  ret\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("unknown call target"), std::string::npos);
+  EXPECT_EQ(R.ErrToken, "@nosuch");
+}
+
+TEST(ParserDiagnostics, EmptyInputIsAnError) {
+  EXPECT_FALSE(parseModule("").ok());
+  EXPECT_FALSE(parseModule("\n\n# only comments\n").ok());
+}
+
 TEST(Printer, DotExportContainsBlocksAndEdges) {
   auto M = buildWorkload("eqntott");
   std::ostringstream OS;

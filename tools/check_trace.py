@@ -13,8 +13,17 @@ violation:
                        counter/dist lines sorted by name.
   --decisions d.jsonl  Decision log: {"kind": "decision"} lines with a
                        known event name and a 0/1 split flag.
+  --server-stats s.jsonl
+                       Stats snapshot written by `lsra serve`: the --stats
+                       schema plus the server.* counter set (connections,
+                       requests, accepted, completed, bytes_in, bytes_out)
+                       and the server.queue_depth / server.latency_ms
+                       distributions, with the cross-counter invariants
+                       (completed <= accepted <= requests, every answered
+                       request accounted by exactly one outcome counter).
 
 Usage: check_trace.py [--trace FILE] [--stats FILE] [--decisions FILE]
+                      [--server-stats FILE]
 """
 
 import argparse
@@ -167,20 +176,89 @@ def check_decisions(path):
     print(f"{path}: {n} decision lines: OK")
 
 
+SERVER_COUNTERS = (
+    "server.connections",
+    "server.requests",
+    "server.accepted",
+    "server.completed",
+    "server.bytes_in",
+    "server.bytes_out",
+)
+SERVER_DISTS = ("server.queue_depth", "server.latency_ms")
+
+
+def check_server_stats(path):
+    """The --stats schema plus the server.* counter contract."""
+    check_stats(path)
+    counters = {}
+    dists = {}
+    for _lineno, obj in check_jsonl_lines(path):
+        if obj.get("kind") == "counter":
+            counters[obj.get("name")] = obj.get("value")
+        elif obj.get("kind") == "dist":
+            dists[obj.get("name")] = obj
+    for name in SERVER_COUNTERS:
+        if name not in counters:
+            fail(f"{path}: missing required counter {name!r}")
+    for name in SERVER_DISTS:
+        if name not in dists:
+            fail(f"{path}: missing required distribution {name!r}")
+    if any(n not in counters for n in SERVER_COUNTERS):
+        return
+
+    requests = counters["server.requests"]
+    accepted = counters["server.accepted"]
+    completed = counters["server.completed"]
+    if not (completed <= accepted <= requests):
+        fail(
+            f"{path}: expected completed <= accepted <= requests, got "
+            f"{completed} / {accepted} / {requests}"
+        )
+    # Every request is answered by exactly one typed outcome: CompileOk,
+    # Error, Rejected, DeadlineExceeded, or ShuttingDown.
+    outcomes = completed + sum(
+        counters.get(f"server.{n}", 0)
+        for n in ("parse_errors", "rejected", "deadline_exceeded",
+                  "shutdown_rejected")
+    )
+    if outcomes != requests:
+        fail(
+            f"{path}: outcome counters sum to {outcomes}, "
+            f"but server.requests is {requests}"
+        )
+    if requests and counters["server.bytes_in"] <= 0:
+        fail(f"{path}: server.bytes_in must be positive when requests > 0")
+    if requests and counters["server.bytes_out"] <= 0:
+        fail(f"{path}: server.bytes_out must be positive when requests > 0")
+    lat = dists.get("server.latency_ms")
+    if lat is not None and lat.get("count") != completed:
+        fail(
+            f"{path}: server.latency_ms count {lat.get('count')} != "
+            f"server.completed {completed}"
+        )
+    if not errors:
+        print(f"{path}: server.* counter contract: OK")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--trace")
     ap.add_argument("--stats")
     ap.add_argument("--decisions")
+    ap.add_argument("--server-stats")
     args = ap.parse_args()
-    if not (args.trace or args.stats or args.decisions):
-        ap.error("nothing to check: pass --trace/--stats/--decisions")
+    if not (args.trace or args.stats or args.decisions or args.server_stats):
+        ap.error(
+            "nothing to check: pass --trace/--stats/--decisions/--server-stats"
+        )
     if args.trace:
         check_trace(args.trace)
     if args.stats:
         check_stats(args.stats)
     if args.decisions:
         check_decisions(args.decisions)
+    if args.server_stats:
+        check_server_stats(args.server_stats)
     if errors:
         for e in errors:
             print(f"error: {e}", file=sys.stderr)

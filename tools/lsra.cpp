@@ -33,14 +33,20 @@
 #include "obs/Json.h"
 #include "obs/Log.h"
 #include "obs/Trace.h"
+#include "server/LoadGen.h"
+#include "server/Server.h"
 #include "workloads/Workloads.h"
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 using namespace lsra;
 
@@ -54,6 +60,29 @@ int usage() {
                "  dot <input> [function]        emit a Graphviz CFG\n"
                "  run <input> [options]         compile and execute\n"
                "  compare <input> [--regs=N]    compare all allocators\n"
+               "  serve [options]               compile server (framed IR "
+               "over a socket)\n"
+               "  loadgen [options]             replay workloads against a "
+               "server\n"
+               "options for serve:\n"
+               "  --socket=PATH  unix-domain socket path (default "
+               "/tmp/lsra.sock)\n"
+               "  --port=N       loopback TCP instead of unix (0 = "
+               "ephemeral)\n"
+               "  --workers=N    compile workers (0 = hardware threads)\n"
+               "  --queue=N      admission-queue bound (reject above; "
+               "default 64)\n"
+               "  --deadline-ms=N default per-request deadline (0 = none)\n"
+               "  --stats-json=F write server.* counters as JSONL on exit\n"
+               "options for loadgen:\n"
+               "  --socket=PATH | --port=N      server address\n"
+               "  --workloads=a,b,c  corpus to replay (default all)\n"
+               "  --concurrency=N    client connections (default 4)\n"
+               "  --requests=N       total requests (default 64)\n"
+               "  --qps=R            open-loop arrival rate (0 = closed "
+               "loop)\n"
+               "  --allocator=K --regs=N --run --deadline-ms=N  per-request\n"
+               "  --json=F           append the report as one JSON line\n"
                "options for run:\n"
                "  --allocator=binpack|coloring|twopass|poletto\n"
                "  --regs=N       restrict the allocatable file to N per class\n"
@@ -365,6 +394,178 @@ int cmdCompare(const std::string &Input, int Argc, char **Argv) {
   return 0;
 }
 
+// --- serve / loadgen -------------------------------------------------------
+
+std::atomic<bool> GStopRequested{false};
+
+void onStopSignal(int) { GStopRequested.store(true); }
+
+int cmdServe(int Argc, char **Argv) {
+  server::ServerOptions SO;
+  SO.UnixPath = "/tmp/lsra.sock";
+  bool UseTcp = false;
+  std::string StatsJson;
+  for (int I = 0; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.rfind("--socket=", 0) == 0) {
+      SO.UnixPath = A.substr(9);
+      UseTcp = false;
+    } else if (A.rfind("--port=", 0) == 0) {
+      SO.TcpPort =
+          static_cast<uint16_t>(std::strtoul(A.c_str() + 7, nullptr, 10));
+      UseTcp = true;
+    } else if (A.rfind("--workers=", 0) == 0) {
+      SO.Workers =
+          static_cast<unsigned>(std::strtoul(A.c_str() + 10, nullptr, 10));
+    } else if (A.rfind("--queue=", 0) == 0) {
+      SO.QueueCapacity =
+          static_cast<unsigned>(std::strtoul(A.c_str() + 8, nullptr, 10));
+    } else if (A.rfind("--deadline-ms=", 0) == 0) {
+      SO.DefaultDeadlineMs =
+          static_cast<uint32_t>(std::strtoul(A.c_str() + 14, nullptr, 10));
+    } else if (A.rfind("--stats-json=", 0) == 0) {
+      StatsJson = A.substr(13);
+    } else if (A.rfind("--log-level=", 0) == 0) {
+      obs::setLogLevel(
+          static_cast<unsigned>(std::strtoul(A.c_str() + 12, nullptr, 10)));
+    } else {
+      return usage();
+    }
+  }
+  if (UseTcp)
+    SO.UnixPath.clear();
+
+  obs::CounterRegistry &CR = obs::CounterRegistry::global();
+  if (!StatsJson.empty())
+    CR.enable();
+
+  server::Server S(SO);
+  std::string Err;
+  if (!S.start(Err)) {
+    std::fprintf(stderr, "lsra serve: %s\n", Err.c_str());
+    return 1;
+  }
+  if (UseTcp)
+    std::printf("lsra serve: listening on 127.0.0.1:%u\n", S.port());
+  else
+    std::printf("lsra serve: listening on %s\n", SO.UnixPath.c_str());
+  std::fflush(stdout);
+
+  // Graceful drain on SIGINT/SIGTERM: the handler only sets a flag; the
+  // drain itself runs on this thread, outside signal context.
+  std::signal(SIGINT, onStopSignal);
+  std::signal(SIGTERM, onStopSignal);
+  while (!GStopRequested.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::printf("lsra serve: draining...\n");
+  S.shutdown();
+  std::printf("lsra serve: drained after %llu responses\n",
+              (unsigned long long)S.requestsServed());
+
+  if (!StatsJson.empty()) {
+    std::ofstream OS(StatsJson);
+    if (!OS.good()) {
+      std::fprintf(stderr, "lsra serve: cannot write '%s'\n",
+                   StatsJson.c_str());
+      return 1;
+    }
+    obs::JsonObject Meta;
+    Meta.field("kind", "meta");
+    Meta.field("mode", "serve");
+    Meta.field("workers", SO.Workers);
+    Meta.field("queue", SO.QueueCapacity);
+    OS << Meta.str() << "\n";
+    CR.writeJsonl(OS);
+    if (!OS.good()) {
+      std::fprintf(stderr, "lsra serve: cannot write '%s'\n",
+                   StatsJson.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmdLoadgen(int Argc, char **Argv) {
+  server::LoadGenOptions LO;
+  std::string JsonOut;
+  for (int I = 0; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.rfind("--socket=", 0) == 0) {
+      LO.UnixPath = A.substr(9);
+    } else if (A.rfind("--port=", 0) == 0) {
+      LO.Port =
+          static_cast<uint16_t>(std::strtoul(A.c_str() + 7, nullptr, 10));
+    } else if (A.rfind("--workloads=", 0) == 0) {
+      std::istringstream SS(A.substr(12));
+      std::string W;
+      while (std::getline(SS, W, ','))
+        if (!W.empty())
+          LO.Workloads.push_back(W);
+    } else if (A.rfind("--concurrency=", 0) == 0) {
+      LO.Concurrency =
+          static_cast<unsigned>(std::strtoul(A.c_str() + 14, nullptr, 10));
+    } else if (A.rfind("--requests=", 0) == 0) {
+      LO.Requests =
+          static_cast<unsigned>(std::strtoul(A.c_str() + 11, nullptr, 10));
+    } else if (A.rfind("--qps=", 0) == 0) {
+      LO.Qps = std::strtod(A.c_str() + 6, nullptr);
+    } else if (A.rfind("--allocator=", 0) == 0) {
+      LO.Allocator = A.substr(12);
+    } else if (A.rfind("--regs=", 0) == 0) {
+      LO.Regs = static_cast<unsigned>(std::strtoul(A.c_str() + 7, nullptr, 10));
+    } else if (A == "--run") {
+      LO.Run = true;
+    } else if (A.rfind("--deadline-ms=", 0) == 0) {
+      LO.DeadlineMs =
+          static_cast<uint32_t>(std::strtoul(A.c_str() + 14, nullptr, 10));
+    } else if (A.rfind("--json=", 0) == 0) {
+      JsonOut = A.substr(7);
+    } else {
+      return usage();
+    }
+  }
+  if (LO.UnixPath.empty() && LO.Port == 0) {
+    std::fprintf(stderr, "lsra loadgen: need --socket=PATH or --port=N\n");
+    return 2;
+  }
+  if (LO.Workloads.empty())
+    for (const WorkloadSpec &W : allWorkloads())
+      LO.Workloads.push_back(W.Name);
+
+  server::LoadGenReport R;
+  std::string Err;
+  if (!server::runLoadGen(LO, R, Err)) {
+    std::fprintf(stderr, "lsra loadgen: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("sent %llu: ok %llu, rejected %llu, deadline %llu, error "
+              "%llu, transport %llu\n",
+              (unsigned long long)R.Sent, (unsigned long long)R.Ok,
+              (unsigned long long)R.Rejected,
+              (unsigned long long)R.DeadlineExceeded,
+              (unsigned long long)R.Errors,
+              (unsigned long long)R.TransportErrors);
+  std::printf("wall %.3fs, throughput %.1f req/s\n", R.WallSeconds,
+              R.Throughput);
+  std::printf("latency ms: mean %.2f p50 %.2f p95 %.2f p99 %.2f max %.2f\n",
+              R.MeanMs, R.P50Ms, R.P95Ms, R.P99Ms, R.MaxMs);
+  std::printf("bytes: sent %llu received %llu\n",
+              (unsigned long long)R.BytesSent,
+              (unsigned long long)R.BytesReceived);
+  if (!JsonOut.empty()) {
+    std::ofstream OS(JsonOut, std::ios::app);
+    if (!OS.good()) {
+      std::fprintf(stderr, "lsra loadgen: cannot write '%s'\n",
+                   JsonOut.c_str());
+      return 1;
+    }
+    OS << server::loadGenReportJson(LO, R) << "\n";
+  }
+  // Any successful responses at all count as success; a fully failed run
+  // (server down mid-test) fails the command.
+  return R.Ok > 0 || R.Rejected > 0 || R.DeadlineExceeded > 0 ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -373,6 +574,10 @@ int main(int argc, char **argv) {
   std::string Cmd = argv[1];
   if (Cmd == "list")
     return cmdList();
+  if (Cmd == "serve")
+    return cmdServe(argc - 2, argv + 2);
+  if (Cmd == "loadgen")
+    return cmdLoadgen(argc - 2, argv + 2);
   if (argc < 3)
     return usage();
   std::string Input = argv[2];

@@ -1,0 +1,53 @@
+# Test driver: end-to-end serving smoke test. Starts `lsra serve` on a
+# unix socket, replays part of the workloads corpus against it with
+# `lsra loadgen` (4 concurrent clients), stops the server with SIGTERM to
+# exercise the graceful drain, and validates the emitted server.* counter
+# snapshot with check_trace.py --server-stats. Invoked by ctest as
+#   cmake -DLSRA_TOOL=... -DPYTHON=... -DCHECKER=... -DOUT_DIR=... -P this
+set(SOCK "${OUT_DIR}/check_serve.sock")
+set(STATS "${OUT_DIR}/check_serve.stats.jsonl")
+
+# Backgrounding and signal delivery need a shell; everything is kept in
+# one script so the server is reliably torn down on any failure.
+execute_process(
+  COMMAND sh -ec "
+    rm -f '${SOCK}' '${STATS}'
+    '${LSRA_TOOL}' serve --socket='${SOCK}' --workers=4 \
+        --stats-json='${STATS}' &
+    pid=\$!
+    trap 'kill \$pid 2>/dev/null' EXIT
+    # Wait for the listener (TSan builds start slowly).
+    i=0
+    while [ ! -S '${SOCK}' ]; do
+      i=\$((i+1))
+      [ \$i -gt 300 ] && { echo 'server never bound socket' >&2; exit 1; }
+      sleep 0.1
+    done
+    '${LSRA_TOOL}' loadgen --socket='${SOCK}' --concurrency=4 \
+        --requests=32 --workloads=eqntott,espresso,sort,wc --run
+    rc=\$?
+    kill -TERM \$pid
+    wait \$pid
+    srv=\$?
+    trap - EXIT
+    [ \$rc -eq 0 ] || { echo \"loadgen failed (rc=\$rc)\" >&2; exit 1; }
+    [ \$srv -eq 0 ] || { echo \"server exit rc=\$srv\" >&2; exit 1; }
+  "
+  RESULT_VARIABLE RUN_RC
+  OUTPUT_VARIABLE RUN_OUT
+  ERROR_VARIABLE RUN_ERR)
+message(STATUS "${RUN_OUT}")
+if(NOT RUN_RC EQUAL 0)
+  message(FATAL_ERROR "serve smoke failed (rc=${RUN_RC}):\n${RUN_OUT}${RUN_ERR}")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${CHECKER}" "--server-stats" "${STATS}"
+  RESULT_VARIABLE CHECK_RC
+  OUTPUT_VARIABLE CHECK_OUT
+  ERROR_VARIABLE CHECK_ERR)
+message(STATUS "${CHECK_OUT}")
+if(NOT CHECK_RC EQUAL 0)
+  message(FATAL_ERROR
+          "check_trace.py --server-stats failed (rc=${CHECK_RC}):\n${CHECK_ERR}")
+endif()
