@@ -1,0 +1,34 @@
+//===- check/Clone.cpp ----------------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Clone.h"
+
+using namespace lsra;
+
+void lsra::cloneFunctionInto(const Function &F, Function &Dst) {
+  assert(Dst.numBlocks() == 0 && Dst.numVRegs() == 0 && Dst.numSlots() == 0 &&
+         "destination function must be empty");
+  for (unsigned V = 0; V < F.numVRegs(); ++V)
+    Dst.newVReg(F.vregClass(V));
+  for (unsigned S = 0; S < F.numSlots(); ++S)
+    Dst.newSlot(F.slotClass(S));
+  for (const auto &B : F.blocks()) {
+    Block &NB = Dst.addBlock(B->name());
+    NB.instrs() = B->instrs();
+  }
+  Dst.IntParamVRegs = F.IntParamVRegs;
+  Dst.FpParamVRegs = F.FpParamVRegs;
+  Dst.RetKind = F.RetKind;
+  Dst.CallsLowered = F.CallsLowered;
+}
+
+std::unique_ptr<Module> lsra::cloneModule(const Module &M) {
+  auto Copy = std::make_unique<Module>();
+  for (const auto &F : M.functions())
+    cloneFunctionInto(*F, Copy->addFunction(F->name()));
+  Copy->InitialMemory = M.InitialMemory;
+  return Copy;
+}

@@ -1,0 +1,34 @@
+//===- check/Clone.h - Deep copy of modules and functions -----*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep copies of IR. The allocation verifier compares an allocated function
+/// against the exact IR the allocator consumed, so the pipeline snapshots a
+/// clone after lowering + DCE and before register assignment. Blocks and
+/// instructions are value types; cloning is a structural copy that preserves
+/// every id space (blocks, vregs, slots, functions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_CHECK_CLONE_H
+#define LSRA_CHECK_CLONE_H
+
+#include "ir/Module.h"
+
+#include <memory>
+
+namespace lsra {
+
+/// Copy \p F into \p Dst (which must be freshly created: no blocks, vregs,
+/// or slots yet). Block, vreg, and slot ids are preserved.
+void cloneFunctionInto(const Function &F, Function &Dst);
+
+/// Deep copy of \p M, preserving function ids and the initial memory image.
+std::unique_ptr<Module> cloneModule(const Module &M);
+
+} // namespace lsra
+
+#endif // LSRA_CHECK_CLONE_H

@@ -1,0 +1,186 @@
+//===- check/Fuzz.cpp -----------------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Fuzz.h"
+
+#include "check/Clone.h"
+#include "check/Reduce.h"
+#include "check/Verifier.h"
+#include "driver/Pipeline.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/IRVerifier.h"
+#include "passes/DCE.h"
+#include "target/LowerCalls.h"
+#include "vm/VM.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+using namespace lsra;
+using namespace lsra::check;
+
+namespace {
+
+TargetDesc targetFor(unsigned RegLimit) {
+  TargetDesc TD = TargetDesc::alphaLike();
+  return RegLimit ? TD.withRegLimit(RegLimit, RegLimit) : TD;
+}
+
+OracleResult fail(const char *Kind, std::string Detail) {
+  OracleResult R;
+  R.St = OracleResult::Fail;
+  R.Kind = Kind;
+  R.Detail = std::move(Detail);
+  return R;
+}
+
+} // namespace
+
+OracleResult lsra::check::runOracle(const std::string &IRText, AllocatorKind K,
+                                    unsigned RegLimit, bool SpillCleanup) {
+  OracleResult R;
+  ParseResult P = parseModule(IRText);
+  if (!P.ok()) {
+    R.St = OracleResult::Malformed;
+    R.Detail = "parse: " + P.Error;
+    return R;
+  }
+  std::string Diag = verifyModule(*P.M);
+  if (!Diag.empty()) {
+    R.St = OracleResult::Malformed;
+    R.Detail = "verify: " + Diag;
+    return R;
+  }
+
+  TargetDesc TD = targetFor(RegLimit);
+  // Lower and DCE in place, leaving P.M as the exact module every allocator
+  // consumes — the verifier's Orig snapshot. The instruction budget is far
+  // above any generated program but low enough that reduction candidates
+  // which break a loop counter reject quickly.
+  lowerCalls(*P.M);
+  eliminateDeadCode(*P.M, TD);
+  VM::Options RefOpts;
+  RefOpts.MaxInstrs = 50'000'000;
+  RunResult Ref = VM(*P.M, TD, RefOpts).run();
+
+  std::unique_ptr<Module> AM = cloneModule(*P.M);
+  AllocOptions AO;
+  AO.SpillCleanup = SpillCleanup;
+  allocateModule(*AM, TD, K, AO);
+
+  Diag = checkAllocated(*AM);
+  if (!Diag.empty())
+    return fail("structural", Diag);
+
+  VerifyAllocResult VR = verifyAllocation(*P.M, *AM, TD);
+  if (!VR.ok())
+    return fail("verifier", VR.str());
+
+  VM::Options GotOpts = RefOpts;
+  GotOpts.PoisonCallerSaved = true;
+  GotOpts.CheckCalleeSaved = true;
+  RunResult Got = VM(*AM, TD, GotOpts).run();
+  if (Ref.Ok != Got.Ok)
+    return fail("vm-error", std::string("reference ") +
+                                (Ref.Ok ? "succeeded" : "failed") +
+                                " but allocated run " +
+                                (Got.Ok ? "succeeded" : "failed: " + Got.Error));
+  if (!Ref.Ok)
+    return R; // both runs failed the same way the program demands; no oracle
+  if (Ref.ReturnValue != Got.ReturnValue)
+    return fail("mismatch", "return value " + std::to_string(Got.ReturnValue) +
+                                " != reference " +
+                                std::to_string(Ref.ReturnValue));
+  if (Ref.Output != Got.Output) {
+    unsigned I = 0;
+    while (I < Ref.Output.size() && I < Got.Output.size() &&
+           Ref.Output[I] == Got.Output[I])
+      ++I;
+    std::ostringstream OS;
+    OS << "output trace diverges at element " << I << " (reference has "
+       << Ref.Output.size() << " elements, allocated " << Got.Output.size()
+       << ")";
+    return fail("mismatch", OS.str());
+  }
+  return R;
+}
+
+FuzzReport lsra::check::runDifferentialFuzz(const FuzzOptions &Opts,
+                                            std::ostream *Progress) {
+  FuzzReport Report;
+  std::vector<bool> Cleanups{false};
+  if (Opts.WithSpillCleanup)
+    Cleanups.push_back(true);
+
+  for (unsigned I = 0; I < Opts.Count; ++I) {
+    uint64_t Seed = Opts.SeedStart + I;
+    std::unique_ptr<Module> M = buildRandomProgram(Seed, Opts.Program);
+    std::ostringstream OS;
+    printModule(OS, *M);
+    std::string Text = OS.str();
+    ++Report.Programs;
+
+    for (unsigned Regs : Opts.RegLimits) {
+      for (AllocatorKind K : Opts.Allocators) {
+        for (bool Cleanup : Cleanups) {
+          ++Report.Runs;
+          OracleResult O = runOracle(Text, K, Regs, Cleanup);
+          if (!O.fail())
+            continue;
+
+          FuzzFinding F;
+          F.Seed = Seed;
+          F.Regs = Regs;
+          F.K = K;
+          F.SpillCleanup = Cleanup;
+          F.Kind = O.Kind;
+          F.Detail = O.Detail;
+          F.Program = Text;
+          F.Reduced = Text;
+          if (Progress)
+            *Progress << "fuzz: FINDING seed=" << Seed << " allocator="
+                      << allocatorName(K) << " regs=" << Regs
+                      << (Cleanup ? " cleanup" : "") << " " << O.Kind << ": "
+                      << O.Detail << "\n";
+          if (Opts.Reduce) {
+            ReduceResult RR = reduceProgram(Text, K, Regs, Cleanup);
+            F.Reduced = RR.Text;
+            if (Progress)
+              *Progress << "fuzz: reduced seed=" << Seed << " from "
+                        << RR.OriginalInstrs << " to " << RR.FinalInstrs
+                        << " instructions\n";
+          }
+          if (!Opts.CorpusDir.empty()) {
+            std::string Name = Opts.CorpusDir + "/seed" + std::to_string(Seed) +
+                               "_" + allocatorName(K) + "_r" +
+                               std::to_string(Regs) +
+                               (Cleanup ? "_cleanup" : "") + ".ir";
+            std::ofstream Out(Name);
+            if (Out) {
+              // Replayable header: corpus_test re-runs the oracle with the
+              // exact configuration that failed.
+              Out << "; oracle: allocator=" << allocatorName(K)
+                  << " regs=" << Regs << " cleanup=" << (Cleanup ? 1 : 0)
+                  << " seed=" << Seed << " kind=" << O.Kind << "\n";
+              Out << F.Reduced;
+              F.CorpusFile = Name;
+            }
+          }
+          Report.Findings.push_back(std::move(F));
+          if (Report.Findings.size() >= Opts.MaxFindings)
+            return Report;
+        }
+      }
+    }
+    if (Progress && (I + 1) % 25 == 0)
+      *Progress << "fuzz: " << (I + 1) << "/" << Opts.Count << " programs, "
+                << Report.Runs << " runs, " << Report.Findings.size()
+                << " findings\n";
+  }
+  return Report;
+}

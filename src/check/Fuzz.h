@@ -1,0 +1,98 @@
+//===- check/Fuzz.h - Differential allocator fuzzing -----------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential fuzzing harness behind `lsra fuzz`: seeded random
+/// programs (workloads/RandomProgram) are compiled with every allocator at
+/// several register limits; each compile must pass the structural IR
+/// verifier and the allocation verifier, and executing the allocated code
+/// (with caller-saved poisoning and callee-saved checking) must reproduce
+/// the virtual-register reference run's output trace and return value.
+/// Any failure is a finding; findings are minimized by check/Reduce and can
+/// be written to a corpus directory for regression replay.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_CHECK_FUZZ_H
+#define LSRA_CHECK_FUZZ_H
+
+#include "regalloc/Allocator.h"
+#include "workloads/RandomProgram.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lsra {
+namespace check {
+
+/// One differential-oracle verdict for (program, allocator, register limit).
+struct OracleResult {
+  enum Status : uint8_t {
+    Pass,      ///< allocation verified and behaviour matched
+    Malformed, ///< the input program itself does not parse/verify
+    Fail,      ///< wrong allocation: Kind/Detail describe the failure
+  };
+  Status St = Pass;
+  std::string Kind;   ///< "structural" | "verifier" | "vm-error" | "mismatch"
+  std::string Detail;
+
+  bool pass() const { return St == Pass; }
+  bool fail() const { return St == Fail; }
+};
+
+/// Run the full differential oracle on one textual module: compile with
+/// allocator \p K at register limit \p RegLimit (0 = full machine), check the
+/// structural verifier + allocation verifier, then compare the allocated
+/// run against the reference run.
+OracleResult runOracle(const std::string &IRText, AllocatorKind K,
+                       unsigned RegLimit, bool SpillCleanup = false);
+
+struct FuzzOptions {
+  uint64_t SeedStart = 1;
+  unsigned Count = 100;
+  /// Register limits to stress (0 = the full 25-per-class machine). Small
+  /// limits force eviction, second chance, and resolution onto every path.
+  std::vector<unsigned> RegLimits = {0, 8, 4};
+  std::vector<AllocatorKind> Allocators = {
+      AllocatorKind::SecondChanceBinpack, AllocatorKind::GraphColoring,
+      AllocatorKind::TwoPassBinpack, AllocatorKind::PolettoScan};
+  /// Also run every configuration with the spill-cleanup pass enabled.
+  bool WithSpillCleanup = true;
+  RandomProgramOptions Program;
+  bool Reduce = true;          ///< minimize findings with check/Reduce
+  std::string CorpusDir;      ///< when set, write failing programs here
+  unsigned MaxFindings = 8;   ///< stop fuzzing after this many findings
+};
+
+struct FuzzFinding {
+  uint64_t Seed = 0;
+  unsigned Regs = 0; ///< register limit (0 = full machine)
+  AllocatorKind K = AllocatorKind::SecondChanceBinpack;
+  bool SpillCleanup = false;
+  std::string Kind;
+  std::string Detail;
+  std::string Program;    ///< the generated program text
+  std::string Reduced;    ///< minimized reproducer (== Program if not reduced)
+  std::string CorpusFile; ///< file written under CorpusDir, if any
+};
+
+struct FuzzReport {
+  unsigned Programs = 0;
+  unsigned Runs = 0;
+  std::vector<FuzzFinding> Findings;
+  bool clean() const { return Findings.empty(); }
+};
+
+/// Run the differential fuzz loop. \p Progress (may be null) receives
+/// one-line progress and finding reports.
+FuzzReport runDifferentialFuzz(const FuzzOptions &Opts,
+                               std::ostream *Progress = nullptr);
+
+} // namespace check
+} // namespace lsra
+
+#endif // LSRA_CHECK_FUZZ_H

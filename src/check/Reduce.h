@@ -1,0 +1,42 @@
+//===- check/Reduce.h - Test-case minimization -----------------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ddmin-style reduction for differential-fuzzing findings (`lsra reduce`):
+/// repeatedly delete chunks of non-terminator instructions and simplify
+/// conditional branches, keeping a candidate only when it still parses,
+/// verifies, and still fails the differential oracle for the same
+/// (allocator, register limit) configuration. The result is the minimized
+/// reproducer checked into tests/corpus/.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_CHECK_REDUCE_H
+#define LSRA_CHECK_REDUCE_H
+
+#include "regalloc/Allocator.h"
+
+#include <string>
+
+namespace lsra {
+namespace check {
+
+struct ReduceResult {
+  std::string Text;            ///< minimized program (== input if irreducible)
+  unsigned OriginalInstrs = 0;
+  unsigned FinalInstrs = 0;
+  unsigned Rounds = 0;
+};
+
+/// Minimize \p IRText while `runOracle(text, K, RegLimit, SpillCleanup)`
+/// keeps failing. Safe on non-failing input (returns it unchanged).
+ReduceResult reduceProgram(const std::string &IRText, AllocatorKind K,
+                           unsigned RegLimit, bool SpillCleanup = false);
+
+} // namespace check
+} // namespace lsra
+
+#endif // LSRA_CHECK_REDUCE_H

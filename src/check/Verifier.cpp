@@ -1,0 +1,720 @@
+//===- check/Verifier.cpp -------------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Two phases per function.
+//
+// Phase 1 (matching): the allocated code must be the original instruction
+// stream in original order, with virtual registers rewritten to physical
+// registers, spill code (SpillKind-tagged) interleaved, and two deletions
+// permitted: Nops, and register moves the peephole removed because source
+// and destination received the same register. Blocks appended beyond the
+// original block count must be resolution blocks created by edge splitting
+// (tagged code plus one unconditional branch), and every branch target must
+// reach the original successor through the split chain.
+//
+// Phase 2 (dataflow): a forward must-analysis over the allocated CFG maps
+// every location (physical register or frame slot) to the set of original
+// values it currently holds. The matching from phase 1 tells the analysis
+// which original value every matched operand demands.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Verifier.h"
+
+#include "analysis/Order.h"
+#include "ir/Module.h"
+#include "obs/DecisionLog.h"
+#include "support/BitVector.h"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <sstream>
+
+using namespace lsra;
+using namespace lsra::check;
+
+const char *lsra::check::allocErrorKindName(AllocErrorKind K) {
+  switch (K) {
+  case AllocErrorKind::Structural:
+    return "structural";
+  case AllocErrorKind::UnresolvedEdge:
+    return "unresolved-edge";
+  case AllocErrorKind::ClobberedAcrossCall:
+    return "clobbered-across-call";
+  case AllocErrorKind::StaleAfterEvict:
+    return "stale-after-evict";
+  case AllocErrorKind::WrongSlot:
+    return "wrong-slot";
+  case AllocErrorKind::LostValue:
+    return "lost-value";
+  }
+  return "?";
+}
+
+std::string AllocError::str() const {
+  std::ostringstream OS;
+  OS << allocErrorKindName(Kind) << " at " << Func;
+  if (Block != NoInfo) {
+    OS << ":b" << Block;
+    if (InstrIdx != NoInfo)
+      OS << "[" << InstrIdx << "]";
+  }
+  OS << ": " << Detail;
+  bool Paren = false;
+  auto Sep = [&] {
+    OS << (Paren ? ", " : " (");
+    Paren = true;
+  };
+  if (VReg != NoInfo) {
+    Sep();
+    OS << "temp=v" << VReg;
+  }
+  if (PReg != NoInfo) {
+    Sep();
+    OS << "reg=" << obs::pregDisplayName(PReg);
+  }
+  if (Pos != NoInfo) {
+    Sep();
+    OS << "pos=" << Pos;
+  }
+  if (Paren)
+    OS << ")";
+  return OS.str();
+}
+
+std::string VerifyAllocResult::str() const {
+  std::ostringstream OS;
+  for (unsigned I = 0; I < Errors.size(); ++I) {
+    if (I)
+      OS << "\n";
+    OS << Errors[I].str();
+  }
+  return OS.str();
+}
+
+namespace {
+
+constexpr unsigned MaxErrorsPerFunction = 32;
+
+/// What last wrote a physical register; used only to classify failures.
+struct Prov {
+  enum Kind : uint8_t {
+    Top,         ///< unvisited (meet identity)
+    Entry,       ///< untouched since function entry
+    Def,         ///< a matched instruction's definition
+    SpillMove,   ///< an allocator-inserted register move
+    LoadSlot,    ///< an allocator-inserted reload from Slot
+    CallClobber, ///< the caller-saved clobber of a call
+    Unknown,     ///< paths disagree
+  };
+  Kind K = Top;
+  unsigned Slot = NoInfo;
+
+  bool meet(const Prov &O) {
+    if (O.K == Top)
+      return false;
+    if (K == Top) {
+      *this = O;
+      return true;
+    }
+    if (K == O.K && Slot == O.Slot)
+      return false;
+    if (K == Prov::Unknown)
+      return false;
+    K = Prov::Unknown;
+    Slot = NoInfo;
+    return true;
+  }
+};
+
+/// Abstract machine state: per location, the set of values it holds.
+/// Locations: [0, NumPRegs) physical registers, NumPRegs + S frame slots.
+/// Values: [0, NumV) original virtual registers, NumV + P the "convention
+/// value" sentinel of physical register P.
+struct State {
+  std::vector<BitVector> Loc;
+  std::array<Prov, NumPRegs> RegProv;
+
+  void init(unsigned NumLocs, unsigned NumVals, bool Top) {
+    Loc.assign(NumLocs, BitVector(NumVals, Top));
+    for (auto &P : RegProv)
+      P = Prov();
+  }
+
+  bool meet(const State &O) {
+    bool Changed = false;
+    for (unsigned I = 0; I < Loc.size(); ++I)
+      Changed |= (Loc[I] &= O.Loc[I]);
+    for (unsigned P = 0; P < NumPRegs; ++P)
+      Changed |= RegProv[P].meet(O.RegProv[P]);
+    return Changed;
+  }
+
+  bool operator==(const State &O) const {
+    for (unsigned I = 0; I < Loc.size(); ++I) {
+      if (!(Loc[I] == O.Loc[I]))
+        return false;
+    }
+    for (unsigned P = 0; P < NumPRegs; ++P)
+      if (RegProv[P].K != O.RegProv[P].K || RegProv[P].Slot != O.RegProv[P].Slot)
+        return false;
+    return true;
+  }
+};
+
+/// One step of the interleaved allocated/original walk of a block.
+struct Event {
+  enum Kind : uint8_t {
+    SpillCode,   ///< allocator-inserted instruction at AllocIdx
+    Matched,     ///< AllocIdx is the allocation of original OrigIdx
+    DeletedMove, ///< original reg move at OrigIdx was coalesced away
+  };
+  Kind K;
+  unsigned AllocIdx = NoInfo;
+  unsigned OrigIdx = NoInfo;
+};
+
+class FunctionVerifier {
+public:
+  FunctionVerifier(const Function &Orig, const Function &Alloc,
+                   const TargetDesc &TD, VerifyAllocResult &R)
+      : Orig(Orig), Alloc(Alloc), TD(TD), R(R), ON(Orig) {}
+
+  void run();
+
+private:
+  const Function &Orig;
+  const Function &Alloc;
+  const TargetDesc &TD;
+  VerifyAllocResult &R;
+  Numbering ON; ///< original linear positions (decision-log cross-reference)
+
+  unsigned NumV = 0, NumVals = 0, NumLocs = 0;
+  std::vector<unsigned> SplitTarget; ///< resolveTarget per allocated block
+  std::vector<std::vector<Event>> Events;
+  bool StructuralFailure = false;
+  unsigned ErrorCount = 0;
+
+  // --- error helpers -----------------------------------------------------
+
+  AllocError &addError(AllocErrorKind K, unsigned B, unsigned I,
+                       std::string Detail) {
+    R.Errors.push_back(AllocError());
+    AllocError &E = R.Errors.back();
+    E.Kind = K;
+    E.Func = Alloc.name();
+    E.Block = B;
+    E.InstrIdx = I;
+    E.Detail = std::move(Detail);
+    ++ErrorCount;
+    return E;
+  }
+
+  bool tooManyErrors() const { return ErrorCount >= MaxErrorsPerFunction; }
+
+  // --- phase 1: structure ------------------------------------------------
+
+  bool computeSplitTargets();
+  void checkSplitBlock(unsigned B);
+  void checkSplitReachability();
+  bool matchBlock(unsigned B);
+  bool operandMatches(const Operand &O, const Operand &A) const;
+  bool instrMatches(const Instr &OI, const Instr &AI) const;
+  static bool isSkippable(const Instr &OI) {
+    return OI.opcode() == Opcode::Nop || OI.isRegMove();
+  }
+
+  // --- phase 2: dataflow -------------------------------------------------
+
+  unsigned valueOf(const Operand &O) const {
+    return O.isVReg() ? O.vregId() : NumV + O.pregId();
+  }
+
+  void entryState(State &S) const {
+    S.init(NumLocs, NumVals, false);
+    for (unsigned P = 0; P < NumPRegs; ++P) {
+      S.Loc[P].set(NumV + P);
+      S.RegProv[P].K = Prov::Entry;
+    }
+  }
+
+  void killValue(State &S, unsigned Val) const {
+    for (auto &L : S.Loc)
+      L.reset(Val);
+  }
+
+  void transferBlock(unsigned B, State &S, bool Report);
+  void transferSpill(const Instr &AI, State &S);
+  void transferDeletedMove(const Instr &OI, State &S, bool Report, unsigned B,
+                           unsigned OrigIdx);
+  void transferMatched(const Instr &OI, const Instr &AI, State &S, bool Report,
+                       unsigned B, unsigned AllocIdx, unsigned OrigIdx);
+  void checkUse(const State &S, unsigned Val, unsigned P, bool Report,
+                unsigned B, unsigned AllocIdx, unsigned Pos);
+  void solve();
+};
+
+bool FunctionVerifier::computeSplitTargets() {
+  unsigned NB = Alloc.numBlocks();
+  unsigned OrigNB = Orig.numBlocks();
+  SplitTarget.assign(NB, NoInfo);
+  bool Ok = true;
+  for (unsigned B = 0; B < NB; ++B) {
+    unsigned Cur = B;
+    unsigned Steps = 0;
+    while (Cur >= OrigNB) {
+      const Block &Blk = Alloc.block(Cur);
+      if (!Blk.hasTerminator() || Blk.terminator().opcode() != Opcode::Br ||
+          ++Steps > NB) {
+        addError(AllocErrorKind::UnresolvedEdge, B, NoInfo,
+                 "resolution block chain from b" + std::to_string(B) +
+                     " does not reach an original block");
+        Cur = NoInfo;
+        Ok = false;
+        break;
+      }
+      Cur = Blk.terminator().op(0).labelBlock();
+    }
+    SplitTarget[B] = Cur;
+  }
+  return Ok;
+}
+
+void FunctionVerifier::checkSplitBlock(unsigned B) {
+  const Block &Blk = Alloc.block(B);
+  for (unsigned I = 0; I < Blk.size(); ++I) {
+    const Instr &AI = Blk.instrs()[I];
+    bool Last = I + 1 == Blk.size();
+    if (Last) {
+      if (AI.opcode() != Opcode::Br || AI.Spill != SpillKind::None)
+        addError(AllocErrorKind::UnresolvedEdge, B, I,
+                 "resolution block must end in a plain unconditional branch");
+      continue;
+    }
+    if (AI.Spill != SpillKind::ResolveLoad &&
+        AI.Spill != SpillKind::ResolveStore &&
+        AI.Spill != SpillKind::ResolveMove)
+      addError(AllocErrorKind::UnresolvedEdge, B, I,
+               "non-resolution code in a split-edge block");
+  }
+}
+
+void FunctionVerifier::checkSplitReachability() {
+  unsigned NB = Alloc.numBlocks();
+  std::vector<bool> Seen(NB, false);
+  std::deque<unsigned> Work{0};
+  Seen[0] = true;
+  while (!Work.empty()) {
+    unsigned B = Work.front();
+    Work.pop_front();
+    const Block &Blk = Alloc.block(B);
+    if (!Blk.hasTerminator())
+      continue;
+    for (unsigned S : Blk.successors())
+      if (S < NB && !Seen[S]) {
+        Seen[S] = true;
+        Work.push_back(S);
+      }
+  }
+  for (unsigned B = Orig.numBlocks(); B < NB; ++B)
+    if (!Seen[B])
+      addError(AllocErrorKind::UnresolvedEdge, B, NoInfo,
+               "resolution block is unreachable (edge split lost its edge)");
+}
+
+bool FunctionVerifier::operandMatches(const Operand &O,
+                                      const Operand &A) const {
+  switch (O.kind()) {
+  case Operand::Kind::VReg:
+    return A.isPReg() && pregClass(A.pregId()) == Orig.vregClass(O.vregId()) &&
+           TD.isAllocatable(A.pregId());
+  case Operand::Kind::Label:
+    return A.isLabel() && A.labelBlock() < SplitTarget.size() &&
+           SplitTarget[A.labelBlock()] == O.labelBlock();
+  default:
+    return O == A;
+  }
+}
+
+bool FunctionVerifier::instrMatches(const Instr &OI, const Instr &AI) const {
+  if (OI.opcode() != AI.opcode() || AI.Spill != SpillKind::None)
+    return false;
+  if (OI.CallIntArgs != AI.CallIntArgs || OI.CallFpArgs != AI.CallFpArgs ||
+      OI.CallRet != AI.CallRet)
+    return false;
+  for (unsigned I = 0; I < 3; ++I)
+    if (!operandMatches(OI.op(I), AI.op(I)))
+      return false;
+  return true;
+}
+
+bool FunctionVerifier::matchBlock(unsigned B) {
+  const Block &OB = Orig.block(B);
+  const Block &AB = Alloc.block(B);
+  std::vector<Event> &Ev = Events[B];
+  unsigned OrigIdx = 0;
+  for (unsigned AIdx = 0; AIdx < AB.size(); ++AIdx) {
+    const Instr &AI = AB.instrs()[AIdx];
+    if (AI.Spill != SpillKind::None) {
+      // Shape-check the spill code here so the dataflow can rely on it.
+      bool Good = false;
+      switch (AI.opcode()) {
+      case Opcode::LdSlot:
+      case Opcode::FLdSlot:
+      case Opcode::StSlot:
+      case Opcode::FStSlot:
+        Good = AI.op(0).isPReg() && AI.op(1).isSlot() &&
+               AI.op(1).slotId() < Alloc.numSlots();
+        break;
+      case Opcode::Mov:
+      case Opcode::FMov:
+        Good = AI.op(0).isPReg() && AI.op(1).isPReg();
+        break;
+      default:
+        break;
+      }
+      if (!Good) {
+        addError(AllocErrorKind::Structural, B, AIdx,
+                 "malformed spill instruction");
+        return false;
+      }
+      Ev.push_back({Event::SpillCode, AIdx, NoInfo});
+      continue;
+    }
+    bool Matched = false;
+    while (OrigIdx < OB.size()) {
+      const Instr &OI = OB.instrs()[OrigIdx];
+      if (instrMatches(OI, AI)) {
+        Ev.push_back({Event::Matched, AIdx, OrigIdx});
+        ++OrigIdx;
+        Matched = true;
+        break;
+      }
+      if (isSkippable(OI)) {
+        if (OI.isRegMove())
+          Ev.push_back({Event::DeletedMove, NoInfo, OrigIdx});
+        ++OrigIdx;
+        continue;
+      }
+      AllocErrorKind K = OI.isTerminator() && AI.isTerminator()
+                             ? AllocErrorKind::UnresolvedEdge
+                             : AllocErrorKind::Structural;
+      addError(K, B, AIdx,
+               std::string("allocated instruction does not correspond to "
+                           "original '") +
+                   opcodeName(OI.opcode()) + "' (original index " +
+                   std::to_string(OrigIdx) + ")");
+      return false;
+    }
+    if (!Matched) {
+      addError(AllocErrorKind::Structural, B, AIdx,
+               "allocated instruction beyond the end of the original block");
+      return false;
+    }
+  }
+  while (OrigIdx < OB.size()) {
+    const Instr &OI = OB.instrs()[OrigIdx];
+    if (!isSkippable(OI)) {
+      addError(AllocErrorKind::Structural, B, AB.size() ? AB.size() - 1 : 0,
+               std::string("original instruction '") +
+                   opcodeName(OI.opcode()) + "' (index " +
+                   std::to_string(OrigIdx) + ") is missing from the "
+                   "allocated block");
+      return false;
+    }
+    if (OI.isRegMove())
+      Ev.push_back({Event::DeletedMove, NoInfo, OrigIdx});
+    ++OrigIdx;
+  }
+  return true;
+}
+
+void FunctionVerifier::checkUse(const State &S, unsigned Val, unsigned P,
+                                bool Report, unsigned B, unsigned AllocIdx,
+                                unsigned Pos) {
+  if (!Report || tooManyErrors())
+    return;
+  if (S.Loc[P].test(Val))
+    return;
+  // Classify: what does P hold instead, and where does the value live?
+  const Prov &PV = S.RegProv[P];
+  bool Elsewhere = false;
+  unsigned HomeSlot = NoInfo;
+  for (unsigned L = 0; L < NumLocs; ++L)
+    if (S.Loc[L].test(Val)) {
+      Elsewhere = true;
+      if (L >= NumPRegs && HomeSlot == NoInfo)
+        HomeSlot = L - NumPRegs;
+    }
+  AllocErrorKind K;
+  std::string Why;
+  if (PV.K == Prov::CallClobber) {
+    K = AllocErrorKind::ClobberedAcrossCall;
+    Why = "value read from a register a call clobbered";
+  } else if (PV.K == Prov::LoadSlot && Elsewhere && HomeSlot != NoInfo &&
+             HomeSlot != PV.Slot) {
+    K = AllocErrorKind::WrongSlot;
+    Why = "register was reloaded from slot " + std::to_string(PV.Slot) +
+          " but the value lives in slot " + std::to_string(HomeSlot);
+  } else if (Elsewhere) {
+    K = AllocErrorKind::StaleAfterEvict;
+    Why = "register no longer holds the value (it lives ";
+    Why += HomeSlot != NoInfo ? "in slot " + std::to_string(HomeSlot)
+                              : "in another register";
+    Why += ")";
+  } else {
+    K = AllocErrorKind::LostValue;
+    Why = "value is in no register or slot on some path";
+  }
+  AllocError &E = addError(K, B, AllocIdx, "use of " +
+                                               (Val < NumV
+                                                    ? "v" + std::to_string(Val)
+                                                    : "the convention value "
+                                                      "of " +
+                                                          obs::pregDisplayName(
+                                                              Val - NumV)) +
+                                               ": " + Why);
+  if (Val < NumV)
+    E.VReg = Val;
+  E.PReg = P;
+  E.Pos = Pos;
+}
+
+void FunctionVerifier::transferSpill(const Instr &AI, State &S) {
+  switch (AI.opcode()) {
+  case Opcode::LdSlot:
+  case Opcode::FLdSlot: {
+    unsigned D = AI.op(0).pregId();
+    unsigned Slot = AI.op(1).slotId();
+    S.Loc[D] = S.Loc[NumPRegs + Slot];
+    S.RegProv[D] = {Prov::LoadSlot, Slot};
+    return;
+  }
+  case Opcode::StSlot:
+  case Opcode::FStSlot:
+    S.Loc[NumPRegs + AI.op(1).slotId()] = S.Loc[AI.op(0).pregId()];
+    return;
+  case Opcode::Mov:
+  case Opcode::FMov: {
+    unsigned D = AI.op(0).pregId();
+    S.Loc[D] = S.Loc[AI.op(1).pregId()];
+    S.RegProv[D] = {Prov::SpillMove, NoInfo};
+    return;
+  }
+  default:
+    return; // flagged structurally already
+  }
+}
+
+void FunctionVerifier::transferDeletedMove(const Instr &OI, State &S,
+                                           bool Report, unsigned B,
+                                           unsigned OrigIdx) {
+  // `dst = src` with no emitted code: legal only because dst and src share a
+  // location. Model it as an aliasing event; if the destination is a fixed
+  // register, the register really must hold the source value already.
+  unsigned SrcVal = valueOf(OI.op(1));
+  const Operand &Dst = OI.op(0);
+  unsigned Pos = Numbering::usePos(ON.instrIndex(B, OrigIdx));
+  if (Dst.isPReg()) {
+    checkUse(S, SrcVal, Dst.pregId(), Report, B, NoInfo, Pos);
+    unsigned DVal = NumV + Dst.pregId();
+    killValue(S, DVal);
+    S.Loc[Dst.pregId()].set(DVal);
+    return;
+  }
+  unsigned DVal = Dst.vregId();
+  killValue(S, DVal);
+  for (unsigned L = 0; L < NumLocs; ++L)
+    if (S.Loc[L].test(SrcVal))
+      S.Loc[L].set(DVal);
+}
+
+void FunctionVerifier::transferMatched(const Instr &OI, const Instr &AI,
+                                       State &S, bool Report, unsigned B,
+                                       unsigned AllocIdx, unsigned OrigIdx) {
+  unsigned Idx = ON.instrIndex(B, OrigIdx);
+  // 1. Uses read the pre-state.
+  unsigned D = OI.numDefSlots();
+  for (unsigned U = 0; U < OI.numUseSlots(); ++U) {
+    const Operand &O = OI.op(D + U);
+    if (!O.isReg())
+      continue;
+    checkUse(S, valueOf(O), AI.op(D + U).pregId(), Report, B, AllocIdx,
+             Numbering::usePos(Idx));
+  }
+  if (OI.isCall()) {
+    for (unsigned A = 0; A < OI.CallIntArgs; ++A) {
+      unsigned P = TargetDesc::intArgReg(A);
+      checkUse(S, NumV + P, P, Report, B, AllocIdx, Numbering::usePos(Idx));
+    }
+    for (unsigned A = 0; A < OI.CallFpArgs; ++A) {
+      unsigned P = TargetDesc::fpArgReg(A);
+      checkUse(S, NumV + P, P, Report, B, AllocIdx, Numbering::usePos(Idx));
+    }
+    // 2. The caller-saved set dies.
+    forEachClobberedReg(AI, TD, [&](unsigned P) {
+      S.Loc[P].clear();
+      S.RegProv[P] = {Prov::CallClobber, NoInfo};
+    });
+    if (OI.CallRet != CallRetKind::None) {
+      unsigned P = TargetDesc::retReg(
+          OI.CallRet == CallRetKind::Int ? RegClass::Int : RegClass::Float);
+      killValue(S, NumV + P);
+      S.Loc[P].clear();
+      S.Loc[P].set(NumV + P);
+      S.RegProv[P] = {Prov::Def, NoInfo};
+    }
+    return;
+  }
+  // Untagged slot stores are program stores to a local frame slot.
+  if (OI.opcode() == Opcode::StSlot || OI.opcode() == Opcode::FStSlot) {
+    S.Loc[NumPRegs + AI.op(1).slotId()] = S.Loc[AI.op(0).pregId()];
+    return;
+  }
+  // 3. The definition: the defined value dies everywhere, then lives in the
+  // destination register. Copies additionally keep everything the source
+  // location held (a move duplicates the value), and slot loads keep the
+  // slot's set.
+  if (D == 1) {
+    unsigned DVal = valueOf(OI.op(0));
+    unsigned DP = AI.op(0).pregId();
+    killValue(S, DVal);
+    if (OI.isRegMove()) {
+      S.Loc[DP] = S.Loc[AI.op(1).pregId()];
+      // A copy duplicates a value: every location holding the source's value
+      // holds the destination's value too. Without this the verdict would
+      // depend on which of several equivalent moves the matcher paired (the
+      // allocator may implement `mov %a, %s` purely as spill traffic while a
+      // neighbouring `mov %b, %s` survives as the register move).
+      unsigned SrcVal = valueOf(OI.op(1));
+      for (unsigned L = 0; L < NumLocs; ++L)
+        if (S.Loc[L].test(SrcVal))
+          S.Loc[L].set(DVal);
+    } else if (OI.opcode() == Opcode::LdSlot || OI.opcode() == Opcode::FLdSlot) {
+      S.Loc[DP] = S.Loc[NumPRegs + AI.op(1).slotId()];
+    } else {
+      S.Loc[DP].clear();
+    }
+    S.Loc[DP].set(DVal);
+    S.RegProv[DP] = {Prov::Def, NoInfo};
+  }
+}
+
+void FunctionVerifier::transferBlock(unsigned B, State &S, bool Report) {
+  if (B >= Orig.numBlocks()) {
+    for (const Instr &AI : Alloc.block(B).instrs())
+      if (AI.Spill != SpillKind::None)
+        transferSpill(AI, S);
+    return;
+  }
+  const Block &AB = Alloc.block(B);
+  const Block &OB = Orig.block(B);
+  for (const Event &E : Events[B]) {
+    switch (E.K) {
+    case Event::SpillCode:
+      transferSpill(AB.instrs()[E.AllocIdx], S);
+      break;
+    case Event::DeletedMove:
+      transferDeletedMove(OB.instrs()[E.OrigIdx], S, Report, B, E.OrigIdx);
+      break;
+    case Event::Matched:
+      transferMatched(OB.instrs()[E.OrigIdx], AB.instrs()[E.AllocIdx], S,
+                      Report, B, E.AllocIdx, E.OrigIdx);
+      break;
+    }
+  }
+}
+
+void FunctionVerifier::solve() {
+  unsigned NB = Alloc.numBlocks();
+  std::vector<State> In(NB), Out(NB);
+  for (unsigned B = 0; B < NB; ++B) {
+    In[B].init(NumLocs, NumVals, true);
+    Out[B].init(NumLocs, NumVals, true);
+  }
+  entryState(In[0]);
+
+  auto Preds = Alloc.predecessors();
+  std::vector<unsigned> RPO = reversePostOrder(Alloc);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned B : RPO) {
+      // The entry block's in-state starts at the machine contract and still
+      // meets its predecessors: a branch back to the entry block must agree
+      // with the entry state on every location it relies on.
+      for (unsigned P : Preds[B])
+        In[B].meet(Out[P]);
+      State S = In[B];
+      transferBlock(B, S, /*Report=*/false);
+      if (!(S == Out[B])) {
+        Out[B] = std::move(S);
+        Changed = true;
+      }
+    }
+  }
+
+  for (unsigned B = 0; B < NB && !tooManyErrors(); ++B) {
+    State S = In[B];
+    transferBlock(B, S, /*Report=*/true);
+  }
+}
+
+void FunctionVerifier::run() {
+  NumV = Orig.numVRegs();
+  NumVals = NumV + NumPRegs;
+  NumLocs = NumPRegs + Alloc.numSlots();
+
+  if (Alloc.numBlocks() < Orig.numBlocks()) {
+    addError(AllocErrorKind::Structural, NoInfo, NoInfo,
+             "allocated function has fewer blocks than the original");
+    return;
+  }
+  if (!computeSplitTargets())
+    return;
+  for (unsigned B = Orig.numBlocks(); B < Alloc.numBlocks(); ++B)
+    checkSplitBlock(B);
+  checkSplitReachability();
+
+  Events.assign(Orig.numBlocks(), {});
+  bool MatchOk = true;
+  for (unsigned B = 0; B < Orig.numBlocks(); ++B)
+    MatchOk &= matchBlock(B);
+  if (!MatchOk || !R.Errors.empty())
+    return; // the dataflow needs a sound matching
+  solve();
+}
+
+} // namespace
+
+VerifyAllocResult lsra::check::verifyAllocation(const Function &Orig,
+                                                const Function &Alloc,
+                                                const TargetDesc &TD) {
+  VerifyAllocResult R;
+  FunctionVerifier(Orig, Alloc, TD, R).run();
+  return R;
+}
+
+VerifyAllocResult lsra::check::verifyAllocation(const Module &Orig,
+                                                const Module &Alloc,
+                                                const TargetDesc &TD) {
+  VerifyAllocResult R;
+  if (Orig.numFunctions() != Alloc.numFunctions()) {
+    AllocError E;
+    E.Kind = AllocErrorKind::Structural;
+    E.Func = "<module>";
+    E.Detail = "function count changed during allocation";
+    R.Errors.push_back(E);
+    return R;
+  }
+  for (unsigned I = 0; I < Orig.numFunctions(); ++I) {
+    VerifyAllocResult FR =
+        verifyAllocation(Orig.function(I), Alloc.function(I), TD);
+    R.Errors.insert(R.Errors.end(), FR.Errors.begin(), FR.Errors.end());
+  }
+  return R;
+}

