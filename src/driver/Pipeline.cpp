@@ -6,6 +6,8 @@
 
 #include "driver/Pipeline.h"
 
+#include "check/Clone.h"
+#include "check/Verifier.h"
 #include "ir/IRVerifier.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
@@ -89,11 +91,28 @@ TextCompileResult lsra::compileTextModule(const std::string &IRText,
     R.Error = "verify: " + Diag;
     return R;
   }
+  // For translation validation we need the exact module the allocator
+  // consumed. Lowering and DCE are idempotent, so running them here first
+  // (compileModule will see already-lowered functions) lets us snapshot it.
+  std::unique_ptr<Module> Snapshot;
+  if (Opts.VerifyAlloc) {
+    lowerCalls(*P.M);
+    eliminateDeadCode(*P.M, TD);
+    Snapshot = cloneModule(*P.M);
+  }
   R.Stats = compileModule(*P.M, TD, K, Opts);
   Diag = checkAllocated(*P.M);
   if (!Diag.empty()) {
     R.Error = "post-allocation verify: " + Diag;
     return R;
+  }
+  if (Snapshot) {
+    obs::ScopedSpan VSpan("verifyAllocation", "pass");
+    check::VerifyAllocResult VR = check::verifyAllocation(*Snapshot, *P.M, TD);
+    if (!VR.ok()) {
+      R.Error = "allocation verify: " + VR.str();
+      return R;
+    }
   }
   std::ostringstream OS;
   printModule(OS, *P.M);

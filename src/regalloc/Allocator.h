@@ -51,6 +51,10 @@ struct AllocOptions {
   /// replace them with register moves (passes/SpillCleanup). Off by
   /// default to match the paper's configuration.
   bool SpillCleanup = false;
+  /// Run the check/Verifier translation validator over the result
+  /// (compileTextModule only: it needs the pre-allocation module to compare
+  /// against). A failed proof is reported as a compile error.
+  bool VerifyAlloc = false;
   /// Worker threads for allocateModule/compileModule. Functions are
   /// allocated independently and the per-function statistics are merged in
   /// function-index order, so results are identical for any thread count.

@@ -221,6 +221,7 @@ void Server::handleCompile(const ConnPtr &C, uint32_t Id,
   AllocOptions AO;
   AO.SpillCleanup = Req.Cleanup;
   AO.Threads = Opts.ThreadsPerRequest;
+  AO.VerifyAlloc = Opts.VerifyAlloc;
 
   TextCompileResult TC;
   try {
@@ -239,7 +240,12 @@ void Server::handleCompile(const ConnPtr &C, uint32_t Id,
     R.ErrLine = TC.ErrLine;
     R.ErrCol = TC.ErrCol;
     R.ErrToken = TC.ErrToken;
-    bumpCounter("server.parse_errors");
+    // Verifier rejections are a distinct failure class from client-side
+    // parse/verify mistakes: they mean the *allocator* produced code the
+    // validator could not prove correct.
+    bumpCounter(TC.Error.rfind("allocation verify:", 0) == 0
+                    ? "server.verify_rejects"
+                    : "server.parse_errors");
     respond(C, Id, R.Status, encodeCompileResponse(R));
     return;
   }

@@ -72,6 +72,11 @@ struct ServerOptions {
   /// parallelism rarely pays once the server itself is saturated, so the
   /// default is sequential per request, parallel across requests.
   unsigned ThreadsPerRequest = 1;
+
+  /// Run the allocation verifier (check/Verifier) on every compile and
+  /// reject unprovable allocations with a typed "allocation verify:" error
+  /// response instead of returning wrong code.
+  bool VerifyAlloc = false;
 };
 
 class Server {

@@ -317,6 +317,31 @@ TEST(Server, ParseErrorGetsTypedResponse) {
   S.shutdown();
 }
 
+TEST(Server, VerifyAllocProvesServedAllocations) {
+  // With --verify-alloc the server runs the translation validator on every
+  // compile; a provable allocation serves normally.
+  ServerOptions SO;
+  SO.UnixPath = uniqueSockPath("verify-alloc");
+  SO.Workers = 1;
+  SO.VerifyAlloc = true;
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+  Client C = Client::connectUnix(SO.UnixPath, Err);
+  ASSERT_TRUE(C.valid()) << Err;
+
+  for (const char *Alloc : {"binpack", "coloring", "twopass", "poletto"}) {
+    CompileRequest Req;
+    Req.IRText = workloadText("sort");
+    Req.Allocator = Alloc;
+    Req.Regs = 8; // force spilling so the verifier has real work
+    CompileResponse Resp;
+    ASSERT_TRUE(C.compile(Req, Resp, Err, 60000)) << Err;
+    EXPECT_TRUE(Resp.ok()) << Alloc << ": " << Resp.Message;
+  }
+  S.shutdown();
+}
+
 TEST(Server, DeadlineExceededTyped) {
   ServerOptions SO;
   SO.UnixPath = uniqueSockPath("deadline");

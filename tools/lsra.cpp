@@ -24,8 +24,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "check/Clone.h"
+#include "check/Fuzz.h"
+#include "check/Reduce.h"
+#include "check/Verifier.h"
 #include "driver/Pipeline.h"
 #include "ir/IRVerifier.h"
+#include "passes/DCE.h"
+#include "target/LowerCalls.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "obs/Counters.h"
@@ -64,6 +70,10 @@ int usage() {
                "over a socket)\n"
                "  loadgen [options]             replay workloads against a "
                "server\n"
+               "  fuzz [options]                differential allocator "
+               "fuzzing\n"
+               "  reduce <file> [options]       minimize a failing program "
+               "(ddmin)\n"
                "options for serve:\n"
                "  --socket=PATH  unix-domain socket path (default "
                "/tmp/lsra.sock)\n"
@@ -89,7 +99,22 @@ int usage() {
                "  --threads=N    allocate functions on N workers (0 = auto)\n"
                "  --no-alloc     execute with virtual registers (reference)\n"
                "  --cleanup      enable the spill-cleanup pass\n"
+               "  --verify-alloc prove the allocation correct (also a serve "
+               "option)\n"
                "  --emit-ir      print the final IR after allocation\n"
+               "options for fuzz:\n"
+               "  --seed=N --count=N            seed range (default 1..100)\n"
+               "  --regs=a,b,c   register limits to stress (default 0,8,4)\n"
+               "  --allocator=K  restrict to one allocator (default all "
+               "four)\n"
+               "  --no-cleanup   skip the spill-cleanup configurations\n"
+               "  --no-reduce    keep findings unminimized\n"
+               "  --corpus=DIR   write minimized reproducers here\n"
+               "  --max-findings=N  stop after N findings (default 8)\n"
+               "  --statements=N    program size knob (default 60)\n"
+               "options for reduce:\n"
+               "  --allocator=K --regs=N --cleanup   failing configuration\n"
+               "  -o FILE        write the minimized program here\n"
                "observability options for run:\n"
                "  --trace-out=F  write a Chrome trace_event JSON span trace\n"
                "  --stats-json=F write a JSONL counter/metrics snapshot\n"
@@ -239,6 +264,8 @@ int cmdRun(const std::string &Input, int Argc, char **Argv) {
       NoAlloc = true;
     } else if (A == "--cleanup") {
       Opts.SpillCleanup = true;
+    } else if (A == "--verify-alloc") {
+      Opts.VerifyAlloc = true;
     } else if (A == "--emit-ir") {
       EmitIR = true;
     } else if (A.rfind("--trace-out=", 0) == 0) {
@@ -288,12 +315,30 @@ int cmdRun(const std::string &Input, int Argc, char **Argv) {
     return Run.Ok ? 0 : 1;
   }
 
+  // --verify-alloc: snapshot the allocator's exact input (lowering and DCE
+  // are idempotent, so compileModule repeats them as no-ops) and prove the
+  // allocated module equivalent to it afterwards.
+  std::unique_ptr<Module> Snapshot;
+  if (Opts.VerifyAlloc) {
+    lowerCalls(*M);
+    eliminateDeadCode(*M, TD);
+    Snapshot = cloneModule(*M);
+  }
   AllocStats Stats = compileModule(*M, TD, Kind, Opts);
   std::string Diag = checkAllocated(*M);
   if (!Diag.empty()) {
     std::fprintf(stderr, "lsra: post-allocation verification failed:\n%s\n",
                  Diag.c_str());
     return 1;
+  }
+  if (Snapshot) {
+    check::VerifyAllocResult VR = check::verifyAllocation(*Snapshot, *M, TD);
+    if (!VR.ok()) {
+      std::fprintf(stderr, "lsra: allocation verification failed:\n%s",
+                   VR.str().c_str());
+      return 1;
+    }
+    std::printf("allocation verified (%u functions)\n", M->numFunctions());
   }
   std::printf("allocator: %s\n", allocatorName(Kind));
   std::printf("candidates=%u spilled=%u static-spill=%u coalesced=%u "
@@ -425,6 +470,8 @@ int cmdServe(int Argc, char **Argv) {
           static_cast<uint32_t>(std::strtoul(A.c_str() + 14, nullptr, 10));
     } else if (A.rfind("--stats-json=", 0) == 0) {
       StatsJson = A.substr(13);
+    } else if (A == "--verify-alloc") {
+      SO.VerifyAlloc = true;
     } else if (A.rfind("--log-level=", 0) == 0) {
       obs::setLogLevel(
           static_cast<unsigned>(std::strtoul(A.c_str() + 12, nullptr, 10)));
@@ -566,6 +613,124 @@ int cmdLoadgen(int Argc, char **Argv) {
   return R.Ok > 0 || R.Rejected > 0 || R.DeadlineExceeded > 0 ? 0 : 1;
 }
 
+// --- fuzz / reduce ---------------------------------------------------------
+
+int cmdFuzz(int Argc, char **Argv) {
+  check::FuzzOptions FO;
+  for (int I = 0; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.rfind("--seed=", 0) == 0) {
+      FO.SeedStart = std::strtoull(A.c_str() + 7, nullptr, 10);
+    } else if (A.rfind("--count=", 0) == 0) {
+      FO.Count =
+          static_cast<unsigned>(std::strtoul(A.c_str() + 8, nullptr, 10));
+    } else if (A.rfind("--regs=", 0) == 0) {
+      FO.RegLimits.clear();
+      std::istringstream SS(A.substr(7));
+      std::string R;
+      while (std::getline(SS, R, ','))
+        if (!R.empty())
+          FO.RegLimits.push_back(
+              static_cast<unsigned>(std::strtoul(R.c_str(), nullptr, 10)));
+    } else if (A.rfind("--allocator=", 0) == 0) {
+      AllocatorKind K;
+      if (!parseAllocator(A.substr(12), K)) {
+        std::fprintf(stderr, "lsra: unknown allocator '%s'\n",
+                     A.c_str() + 12);
+        return 2;
+      }
+      FO.Allocators = {K};
+    } else if (A == "--no-cleanup") {
+      FO.WithSpillCleanup = false;
+    } else if (A == "--no-reduce") {
+      FO.Reduce = false;
+    } else if (A.rfind("--corpus=", 0) == 0) {
+      FO.CorpusDir = A.substr(9);
+    } else if (A.rfind("--max-findings=", 0) == 0) {
+      FO.MaxFindings =
+          static_cast<unsigned>(std::strtoul(A.c_str() + 15, nullptr, 10));
+    } else if (A.rfind("--statements=", 0) == 0) {
+      FO.Program.Statements =
+          static_cast<unsigned>(std::strtoul(A.c_str() + 13, nullptr, 10));
+    } else {
+      return usage();
+    }
+  }
+  if (FO.RegLimits.empty())
+    FO.RegLimits = {0};
+
+  check::FuzzReport Report = check::runDifferentialFuzz(FO, &std::cout);
+  std::printf("fuzz: %u programs, %u differential runs, %zu findings\n",
+              Report.Programs, Report.Runs, Report.Findings.size());
+  for (const check::FuzzFinding &F : Report.Findings) {
+    std::printf("  seed=%llu allocator=%s regs=%u%s %s: %s\n",
+                (unsigned long long)F.Seed, allocatorName(F.K), F.Regs,
+                F.SpillCleanup ? " cleanup" : "", F.Kind.c_str(),
+                F.Detail.c_str());
+    if (!F.CorpusFile.empty())
+      std::printf("    reproducer: %s\n", F.CorpusFile.c_str());
+  }
+  return Report.clean() ? 0 : 1;
+}
+
+int cmdReduce(const std::string &Input, int Argc, char **Argv) {
+  AllocatorKind Kind = AllocatorKind::SecondChanceBinpack;
+  unsigned Regs = 0;
+  bool Cleanup = false;
+  std::string OutFile;
+  for (int I = 0; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.rfind("--allocator=", 0) == 0) {
+      if (!parseAllocator(A.substr(12), Kind)) {
+        std::fprintf(stderr, "lsra: unknown allocator '%s'\n",
+                     A.c_str() + 12);
+        return 2;
+      }
+    } else if (A.rfind("--regs=", 0) == 0) {
+      Regs = static_cast<unsigned>(std::strtoul(A.c_str() + 7, nullptr, 10));
+    } else if (A == "--cleanup") {
+      Cleanup = true;
+    } else if (A == "-o" && I + 1 < Argc) {
+      OutFile = Argv[++I];
+    } else {
+      return usage();
+    }
+  }
+  std::ifstream File(Input);
+  if (!File.good()) {
+    std::fprintf(stderr, "lsra: cannot read '%s'\n", Input.c_str());
+    return 1;
+  }
+  std::ostringstream SS;
+  SS << File.rdbuf();
+  std::string Text = SS.str();
+
+  check::OracleResult O = check::runOracle(Text, Kind, Regs, Cleanup);
+  if (!O.fail()) {
+    std::fprintf(stderr,
+                 "lsra reduce: oracle does not fail on this input "
+                 "(allocator=%s regs=%u%s); nothing to minimize\n",
+                 allocatorName(Kind), Regs, Cleanup ? " cleanup" : "");
+    return 1;
+  }
+  std::fprintf(stderr, "lsra reduce: failing as %s: %s\n", O.Kind.c_str(),
+               O.Detail.c_str());
+  check::ReduceResult RR = check::reduceProgram(Text, Kind, Regs, Cleanup);
+  std::fprintf(stderr, "lsra reduce: %u -> %u instructions in %u rounds\n",
+               RR.OriginalInstrs, RR.FinalInstrs, RR.Rounds);
+  if (OutFile.empty()) {
+    std::fputs(RR.Text.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream Out(OutFile);
+  Out << RR.Text;
+  if (!Out.good()) {
+    std::fprintf(stderr, "lsra: cannot write '%s'\n", OutFile.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -578,6 +743,8 @@ int main(int argc, char **argv) {
     return cmdServe(argc - 2, argv + 2);
   if (Cmd == "loadgen")
     return cmdLoadgen(argc - 2, argv + 2);
+  if (Cmd == "fuzz")
+    return cmdFuzz(argc - 2, argv + 2);
   if (argc < 3)
     return usage();
   std::string Input = argv[2];
@@ -589,5 +756,7 @@ int main(int argc, char **argv) {
     return cmdRun(Input, argc - 3, argv + 3);
   if (Cmd == "compare")
     return cmdCompare(Input, argc - 3, argv + 3);
+  if (Cmd == "reduce")
+    return cmdReduce(Input, argc - 3, argv + 3);
   return usage();
 }
