@@ -139,10 +139,12 @@ ReduceResult lsra::check::reduceProgram(const std::string &IRText,
     }
 
     // Simplify conditional branches to unconditional ones (either arm).
+    // Re-fetch the function/block from Cur on every iteration: accepting a
+    // candidate replaces Cur, which destroys the module any cached
+    // Function&/Block& pointed into.
     for (unsigned F = 0; F < Cur->numFunctions() && Red.budgetLeft(); ++F) {
-      Function &Fn = Cur->function(F);
-      for (unsigned B = 0; B < Fn.numBlocks(); ++B) {
-        Block &Blk = Fn.block(B);
+      for (unsigned B = 0; B < Cur->function(F).numBlocks(); ++B) {
+        const Block &Blk = Cur->function(F).block(B);
         if (!Blk.hasTerminator() ||
             Blk.terminator().opcode() != Opcode::CBr)
           continue;
@@ -154,7 +156,7 @@ ReduceResult lsra::check::reduceProgram(const std::string &IRText,
           if (Red.interesting(*Cand)) {
             Cur = std::move(Cand);
             Changed = true;
-            break;
+            break; // Blk dangles now; the next B iteration re-fetches
           }
         }
       }

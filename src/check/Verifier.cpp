@@ -167,11 +167,23 @@ struct State {
 };
 
 /// One step of the interleaved allocated/original walk of a block.
+///
+/// Register moves are deliberately NOT paired between the two programs:
+/// the allocator may coalesce any original move away, implement it purely
+/// as spill traffic, or leave it as a physical move, and a structural
+/// matcher cannot tell which allocated move implements which original one
+/// (two moves with the same source are indistinguishable). Instead every
+/// allocated untagged move is a machine copy event (its exact semantics),
+/// every original move is a relabel event ("dst's value is now src's
+/// value"), and only non-move instructions anchor the two streams 1:1.
+/// Between anchors, machine events run first, then relabels — so the state
+/// is checked exactly where it matters, at the next real instruction.
 struct Event {
   enum Kind : uint8_t {
-    SpillCode,   ///< allocator-inserted instruction at AllocIdx
-    Matched,     ///< AllocIdx is the allocation of original OrigIdx
-    DeletedMove, ///< original reg move at OrigIdx was coalesced away
+    SpillCode, ///< allocator-tagged spill/resolve instruction at AllocIdx
+    AllocCopy, ///< untagged allocated register move at AllocIdx
+    Matched,   ///< AllocIdx is the allocation of original OrigIdx
+    OrigMove,  ///< original reg move at OrigIdx (relabel; no pairing)
   };
   Kind K;
   unsigned AllocIdx = NoInfo;
@@ -224,9 +236,6 @@ private:
   bool matchBlock(unsigned B);
   bool operandMatches(const Operand &O, const Operand &A) const;
   bool instrMatches(const Instr &OI, const Instr &AI) const;
-  static bool isSkippable(const Instr &OI) {
-    return OI.opcode() == Opcode::Nop || OI.isRegMove();
-  }
 
   // --- phase 2: dataflow -------------------------------------------------
 
@@ -249,8 +258,8 @@ private:
 
   void transferBlock(unsigned B, State &S, bool Report);
   void transferSpill(const Instr &AI, State &S);
-  void transferDeletedMove(const Instr &OI, State &S, bool Report, unsigned B,
-                           unsigned OrigIdx);
+  void transferOrigMove(const Instr &OI, State &S, bool Report, unsigned B,
+                        unsigned OrigIdx);
   void transferMatched(const Instr &OI, const Instr &AI, State &S, bool Report,
                        unsigned B, unsigned AllocIdx, unsigned OrigIdx);
   void checkUse(const State &S, unsigned Val, unsigned P, bool Report,
@@ -356,50 +365,90 @@ bool FunctionVerifier::matchBlock(unsigned B) {
   const Block &OB = Orig.block(B);
   const Block &AB = Alloc.block(B);
   std::vector<Event> &Ev = Events[B];
-  unsigned OrigIdx = 0;
-  for (unsigned AIdx = 0; AIdx < AB.size(); ++AIdx) {
-    const Instr &AI = AB.instrs()[AIdx];
-    if (AI.Spill != SpillKind::None) {
-      // Shape-check the spill code here so the dataflow can rely on it.
-      bool Good = false;
-      switch (AI.opcode()) {
-      case Opcode::LdSlot:
-      case Opcode::FLdSlot:
-      case Opcode::StSlot:
-      case Opcode::FStSlot:
-        Good = AI.op(0).isPReg() && AI.op(1).isSlot() &&
-               AI.op(1).slotId() < Alloc.numSlots();
-        break;
-      case Opcode::Mov:
-      case Opcode::FMov:
-        Good = AI.op(0).isPReg() && AI.op(1).isPReg();
-        break;
-      default:
-        break;
-      }
-      if (!Good) {
-        addError(AllocErrorKind::Structural, B, AIdx,
-                 "malformed spill instruction");
-        return false;
-      }
-      Ev.push_back({Event::SpillCode, AIdx, NoInfo});
-      continue;
-    }
-    bool Matched = false;
-    while (OrigIdx < OB.size()) {
-      const Instr &OI = OB.instrs()[OrigIdx];
-      if (instrMatches(OI, AI)) {
-        Ev.push_back({Event::Matched, AIdx, OrigIdx});
-        ++OrigIdx;
-        Matched = true;
-        break;
-      }
-      if (isSkippable(OI)) {
-        if (OI.isRegMove())
-          Ev.push_back({Event::DeletedMove, NoInfo, OrigIdx});
-        ++OrigIdx;
+
+  // Consume allocated instructions up to (not including) the next anchor
+  // candidate: tagged spill code and untagged register moves become machine
+  // events, Nops disappear.
+  unsigned AIdx = 0;
+  auto consumeAllocGap = [&]() -> bool {
+    for (; AIdx < AB.size(); ++AIdx) {
+      const Instr &AI = AB.instrs()[AIdx];
+      if (AI.Spill != SpillKind::None) {
+        // Shape-check the spill code here so the dataflow can rely on it.
+        bool Good = false;
+        switch (AI.opcode()) {
+        case Opcode::LdSlot:
+        case Opcode::FLdSlot:
+        case Opcode::StSlot:
+        case Opcode::FStSlot:
+          Good = AI.op(0).isPReg() && AI.op(1).isSlot() &&
+                 AI.op(1).slotId() < Alloc.numSlots();
+          break;
+        case Opcode::Mov:
+        case Opcode::FMov:
+          Good = AI.op(0).isPReg() && AI.op(1).isPReg();
+          break;
+        default:
+          break;
+        }
+        if (!Good) {
+          addError(AllocErrorKind::Structural, B, AIdx,
+                   "malformed spill instruction");
+          return false;
+        }
+        Ev.push_back({Event::SpillCode, AIdx, NoInfo});
         continue;
       }
+      if (AI.opcode() == Opcode::Nop)
+        continue;
+      if (AI.isRegMove()) {
+        if (!AI.op(0).isPReg() || !AI.op(1).isPReg()) {
+          addError(AllocErrorKind::Structural, B, AIdx,
+                   "allocated register move still uses a virtual register");
+          return false;
+        }
+        Ev.push_back({Event::AllocCopy, AIdx, NoInfo});
+        continue;
+      }
+      return true; // anchor candidate
+    }
+    return true;
+  };
+
+  for (unsigned OrigIdx = 0; OrigIdx < OB.size(); ++OrigIdx) {
+    const Instr &OI = OB.instrs()[OrigIdx];
+    if (OI.opcode() == Opcode::Nop)
+      continue;
+    if (OI.isRegMove()) {
+      // Relabel events queue in original order; consumeAllocGap emits the
+      // machine events of the same gap before the anchor flushes them.
+      Ev.push_back({Event::OrigMove, NoInfo, OrigIdx});
+      continue;
+    }
+    // Anchor: the next non-move allocated instruction must be this one's
+    // allocation. Within the gap before it, machine events (spill code,
+    // physical moves) are emitted first and the queued relabels after —
+    // the abstract state is then checked exactly at the anchor, which is
+    // the point where the machine contract has to hold.
+    std::vector<Event> Relabels;
+    while (!Ev.empty() && Ev.back().K == Event::OrigMove) {
+      Relabels.push_back(Ev.back());
+      Ev.pop_back();
+    }
+    if (!consumeAllocGap())
+      return false;
+    for (auto It = Relabels.rbegin(); It != Relabels.rend(); ++It)
+      Ev.push_back(*It);
+    if (AIdx >= AB.size()) {
+      addError(AllocErrorKind::Structural, B, AB.size() ? AB.size() - 1 : 0,
+               std::string("original instruction '") +
+                   opcodeName(OI.opcode()) + "' (index " +
+                   std::to_string(OrigIdx) + ") is missing from the "
+                   "allocated block");
+      return false;
+    }
+    const Instr &AI = AB.instrs()[AIdx];
+    if (!instrMatches(OI, AI)) {
       AllocErrorKind K = OI.isTerminator() && AI.isTerminator()
                              ? AllocErrorKind::UnresolvedEdge
                              : AllocErrorKind::Structural;
@@ -410,25 +459,25 @@ bool FunctionVerifier::matchBlock(unsigned B) {
                    std::to_string(OrigIdx) + ")");
       return false;
     }
-    if (!Matched) {
-      addError(AllocErrorKind::Structural, B, AIdx,
-               "allocated instruction beyond the end of the original block");
-      return false;
-    }
+    Ev.push_back({Event::Matched, AIdx, OrigIdx});
+    ++AIdx;
   }
-  while (OrigIdx < OB.size()) {
-    const Instr &OI = OB.instrs()[OrigIdx];
-    if (!isSkippable(OI)) {
-      addError(AllocErrorKind::Structural, B, AB.size() ? AB.size() - 1 : 0,
-               std::string("original instruction '") +
-                   opcodeName(OI.opcode()) + "' (index " +
-                   std::to_string(OrigIdx) + ") is missing from the "
-                   "allocated block");
-      return false;
+  // Trailing relabels stay queued; drain any remaining allocated tail.
+  {
+    std::vector<Event> Relabels;
+    while (!Ev.empty() && Ev.back().K == Event::OrigMove) {
+      Relabels.push_back(Ev.back());
+      Ev.pop_back();
     }
-    if (OI.isRegMove())
-      Ev.push_back({Event::DeletedMove, NoInfo, OrigIdx});
-    ++OrigIdx;
+    if (!consumeAllocGap())
+      return false;
+    for (auto It = Relabels.rbegin(); It != Relabels.rend(); ++It)
+      Ev.push_back(*It);
+  }
+  if (AIdx < AB.size()) {
+    addError(AllocErrorKind::Structural, B, AIdx,
+             "allocated instruction beyond the end of the original block");
+    return false;
   }
   return true;
 }
@@ -510,12 +559,15 @@ void FunctionVerifier::transferSpill(const Instr &AI, State &S) {
   }
 }
 
-void FunctionVerifier::transferDeletedMove(const Instr &OI, State &S,
-                                           bool Report, unsigned B,
-                                           unsigned OrigIdx) {
-  // `dst = src` with no emitted code: legal only because dst and src share a
-  // location. Model it as an aliasing event; if the destination is a fixed
-  // register, the register really must hold the source value already.
+void FunctionVerifier::transferOrigMove(const Instr &OI, State &S,
+                                        bool Report, unsigned B,
+                                        unsigned OrigIdx) {
+  // Original `dst = src` relabel: after the copy, dst's value is src's
+  // value, so every location that holds src's value holds dst's too. The
+  // machine-side implementation (a physical move, spill traffic, or nothing
+  // at all when coalesced) has already been applied as machine events. If
+  // the destination is a fixed register, the register really must hold the
+  // source value by the end of the gap this move sits in.
   unsigned SrcVal = valueOf(OI.op(1));
   const Operand &Dst = OI.op(0);
   unsigned Pos = Numbering::usePos(ON.instrIndex(B, OrigIdx));
@@ -576,25 +628,13 @@ void FunctionVerifier::transferMatched(const Instr &OI, const Instr &AI,
     return;
   }
   // 3. The definition: the defined value dies everywhere, then lives in the
-  // destination register. Copies additionally keep everything the source
-  // location held (a move duplicates the value), and slot loads keep the
-  // slot's set.
+  // destination register. Slot loads additionally keep the slot's set (the
+  // loaded bits equal the slot's bits).
   if (D == 1) {
     unsigned DVal = valueOf(OI.op(0));
     unsigned DP = AI.op(0).pregId();
     killValue(S, DVal);
-    if (OI.isRegMove()) {
-      S.Loc[DP] = S.Loc[AI.op(1).pregId()];
-      // A copy duplicates a value: every location holding the source's value
-      // holds the destination's value too. Without this the verdict would
-      // depend on which of several equivalent moves the matcher paired (the
-      // allocator may implement `mov %a, %s` purely as spill traffic while a
-      // neighbouring `mov %b, %s` survives as the register move).
-      unsigned SrcVal = valueOf(OI.op(1));
-      for (unsigned L = 0; L < NumLocs; ++L)
-        if (S.Loc[L].test(SrcVal))
-          S.Loc[L].set(DVal);
-    } else if (OI.opcode() == Opcode::LdSlot || OI.opcode() == Opcode::FLdSlot) {
+    if (OI.opcode() == Opcode::LdSlot || OI.opcode() == Opcode::FLdSlot) {
       S.Loc[DP] = S.Loc[NumPRegs + AI.op(1).slotId()];
     } else {
       S.Loc[DP].clear();
@@ -616,10 +656,11 @@ void FunctionVerifier::transferBlock(unsigned B, State &S, bool Report) {
   for (const Event &E : Events[B]) {
     switch (E.K) {
     case Event::SpillCode:
+    case Event::AllocCopy: // untagged physical move: same machine semantics
       transferSpill(AB.instrs()[E.AllocIdx], S);
       break;
-    case Event::DeletedMove:
-      transferDeletedMove(OB.instrs()[E.OrigIdx], S, Report, B, E.OrigIdx);
+    case Event::OrigMove:
+      transferOrigMove(OB.instrs()[E.OrigIdx], S, Report, B, E.OrigIdx);
       break;
     case Event::Matched:
       transferMatched(OB.instrs()[E.OrigIdx], AB.instrs()[E.AllocIdx], S,

@@ -70,7 +70,7 @@ private:
 };
 
 void Gen::emitStatement(FunctionBuilder &B, Scope &Sc, unsigned Depth) {
-  unsigned Kind = pick(12);
+  unsigned Kind = pick(17);
   switch (Kind) {
   case 0: { // integer binop
     static const Opcode Ops[] = {Opcode::Add, Opcode::Sub, Opcode::Mul,
@@ -207,6 +207,157 @@ void Gen::emitStatement(FunctionBuilder &B, Scope &Sc, unsigned Depth) {
     unsigned A = pickInt(B, Sc);
     unsigned V = pick(2) ? B.shli(A, pick(8)) : B.shri(A, pick(8));
     Sc.Ints.push_back(V);
+    break;
+  }
+  case 11: { // loop with guarded break and continue: critical edges by
+             // construction (break and continue leave a two-successor block
+             // for a multi-predecessor target)
+    if (Depth >= Opts.MaxDepth)
+      return;
+    unsigned Counter = B.movi(0);
+    int64_t Trip = 2 + pick(5);
+    Block &Head = B.newBlock("c.head");
+    Block &Body = B.newBlock("c.body");
+    Block &Mid = B.newBlock("c.mid");
+    Block &Tail = B.newBlock("c.tail");
+    Block &Exit = B.newBlock("c.exit");
+    B.br(Head);
+    B.setBlock(Head);
+    unsigned Cond = B.cmpi(Opcode::CmpLt, Counter, Trip);
+    B.cbr(Cond, Body, Exit);
+    B.setBlock(Body);
+    // Increment up front so break/continue paths cannot unbound the loop.
+    B.emit(Instr(Opcode::Add, Operand::vreg(Counter), Operand::vreg(Counter),
+                 Operand::imm(1)));
+    {
+      Scope Inner = Sc;
+      Inner.Ints.push_back(B.mov(Counter));
+      emitBlockOfStatements(B, Inner, 1 + pick(3), Depth + 1);
+      unsigned BreakG = B.cmpi(Opcode::CmpEq, B.andi(pickInt(B, Inner), 7),
+                               static_cast<int64_t>(pick(8)));
+      B.cbr(BreakG, Exit, Mid); // break: critical edge into Exit
+      B.setBlock(Mid);
+      unsigned ContG = B.cmpi(Opcode::CmpEq, B.andi(pickInt(B, Inner), 3),
+                              static_cast<int64_t>(pick(4)));
+      B.cbr(ContG, Head, Tail); // continue: critical edge into Head
+      B.setBlock(Tail);
+      emitBlockOfStatements(B, Inner, 1 + pick(2), Depth + 1);
+    }
+    B.br(Head);
+    B.setBlock(Exit);
+    break;
+  }
+  case 12: { // loop-carried accumulators live across a call in the body
+    if (!Opts.UseCalls || Helpers.empty() || Depth >= Opts.MaxDepth)
+      return;
+    Function *Callee = Helpers[pick(Helpers.size())];
+    unsigned Acc = B.movi(smallImm());
+    bool HasF = Opts.UseFloat && pick(2);
+    unsigned FAcc = 0, FStep = 0;
+    if (HasF) {
+      FAcc = B.movf(static_cast<double>(smallImm()));
+      FStep = B.movf(0.25); // live across every call, only read
+    }
+    unsigned Counter = B.movi(0);
+    int64_t Trip = 1 + pick(4);
+    Block &Head = B.newBlock("l.head");
+    Block &Body = B.newBlock("l.body");
+    Block &Exit = B.newBlock("l.exit");
+    B.br(Head);
+    B.setBlock(Head);
+    unsigned Cond = B.cmpi(Opcode::CmpLt, Counter, Trip);
+    B.cbr(Cond, Body, Exit);
+    B.setBlock(Body);
+    {
+      Scope Inner = Sc;
+      Inner.Ints.push_back(B.mov(Counter));
+      std::vector<unsigned> Args;
+      for (unsigned I = 0; I < Callee->IntParamVRegs.size(); ++I)
+        Args.push_back(pickInt(B, Inner));
+      unsigned Ret = B.call(*Callee, Args);
+      B.emit(Instr(Opcode::Add, Operand::vreg(Acc), Operand::vreg(Acc),
+                   Operand::vreg(Ret)));
+      if (HasF)
+        B.emit(Instr(Opcode::FAdd, Operand::vreg(FAcc), Operand::vreg(FAcc),
+                     Operand::vreg(FStep)));
+    }
+    B.emit(Instr(Opcode::Add, Operand::vreg(Counter), Operand::vreg(Counter),
+                 Operand::imm(1)));
+    B.br(Head);
+    B.setBlock(Exit);
+    Sc.Ints.push_back(Acc);
+    if (HasF)
+      Sc.Fps.push_back(FAcc);
+    B.emitValue(Acc);
+    break;
+  }
+  case 13: { // pressure burst: many int and fp values live simultaneously
+    unsigned N = 4 + pick(5);
+    std::vector<unsigned> Is, Fs;
+    for (unsigned I = 0; I < N; ++I)
+      Is.push_back(B.add(pickInt(B, Sc), pickInt(B, Sc)));
+    if (Opts.UseFloat)
+      for (unsigned I = 0; I < N; ++I)
+        Fs.push_back(B.fadd(pickFp(B, Sc), pickFp(B, Sc)));
+    unsigned SumI = Is[0];
+    for (unsigned I = 1; I < Is.size(); ++I)
+      SumI = B.add(SumI, Is[I]);
+    Sc.Ints.push_back(SumI);
+    if (!Fs.empty()) {
+      unsigned SumF = Fs[0];
+      for (unsigned I = 1; I < Fs.size(); ++I)
+        SumF = B.fadd(SumF, Fs[I]);
+      Sc.Fps.push_back(SumF);
+    }
+    break;
+  }
+  case 14: { // two-entry two-block cycle (irreducible-ish), counter-bounded
+    if (Depth >= Opts.MaxDepth)
+      return;
+    unsigned Counter = B.movi(0);
+    int64_t Trip = 3 + pick(5);
+    Block &A = B.newBlock("x.a");
+    Block &Bb = B.newBlock("x.b");
+    Block &Exit = B.newBlock("x.exit");
+    unsigned EntG = B.cmpi(Opcode::CmpEq, B.andi(pickInt(B, Sc), 1), 0);
+    B.cbr(EntG, A, Bb); // the {A,B} cycle has two entries
+    B.setBlock(A);
+    B.emit(Instr(Opcode::Add, Operand::vreg(Counter), Operand::vreg(Counter),
+                 Operand::imm(1)));
+    {
+      Scope Inner = Sc;
+      emitBlockOfStatements(B, Inner, 1 + pick(2), Depth + 1);
+    }
+    B.br(Bb);
+    B.setBlock(Bb);
+    B.emit(Instr(Opcode::Add, Operand::vreg(Counter), Operand::vreg(Counter),
+                 Operand::imm(1)));
+    unsigned G = B.cmpi(Opcode::CmpLt, Counter, Trip);
+    {
+      Scope Inner = Sc;
+      emitBlockOfStatements(B, Inner, 1 + pick(2), Depth + 1);
+    }
+    B.cbr(G, A, Exit); // back-edge into the non-header entry
+    B.setBlock(Exit);
+    break;
+  }
+  case 15: { // rare conditional early return: a zero-successor block
+             // mid-CFG (resolution must not place code after its ret)
+    unsigned X = pickInt(B, Sc);
+    unsigned G = B.cmpi(Opcode::CmpEq, B.andi(X, 63),
+                        static_cast<int64_t>(pick(64)));
+    Block &RetB = B.newBlock("r.ret");
+    Block &Cont = B.newBlock("r.cont");
+    B.cbr(G, RetB, Cont);
+    B.setBlock(RetB);
+    {
+      // Pick from a scope copy: pickInt may *create* a value, and anything
+      // defined in this returning block must not leak to later statements.
+      Scope Inner = Sc;
+      B.emitValue(pickInt(B, Inner));
+    }
+    B.retVal(B.movi(9));
+    B.setBlock(Cont);
     break;
   }
   default: { // unary

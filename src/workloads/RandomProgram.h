@@ -15,6 +15,14 @@
 /// body do not escape their scope), loops are counted, divisions are
 /// guarded, and memory accesses stay within a scratch region.
 ///
+/// Beyond straight-line arithmetic, ifs, and counted loops, the generator
+/// deliberately produces the control-flow shapes that stress a register
+/// allocator's edge cases: loops with guarded break/continue (critical
+/// edges), loop-carried accumulators live across calls, simultaneous
+/// int/fp pressure bursts, counter-bounded two-entry cycles (irreducible
+/// control flow), and rare conditional early returns (zero-successor
+/// blocks mid-CFG).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LSRA_WORKLOADS_RANDOMPROGRAM_H
