@@ -105,8 +105,11 @@ ResolveCounts lsra::resolveEdges(Function &F, const ResolverInput &In,
     // Placement (§2.4 footnote 1). Placing at the bottom of the predecessor
     // is only safe when its terminator reads no registers (an unconditional
     // branch); a CBr's condition register could otherwise be clobbered by
-    // the inserted code.
-    if (PredCount[E.Succ] == 1) {
+    // the inserted code. The entry block is never a valid top-of-successor
+    // target even with a single explicit predecessor: it has an implicit
+    // second predecessor (function entry), and back-edge resolution code
+    // placed there would also run before the first iteration.
+    if (PredCount[E.Succ] == 1 && E.Succ != 0) {
       Block &S = F.block(E.Succ);
       S.instrs().insert(S.instrs().begin(), Seq.begin(), Seq.end());
     } else if (SuccCount[E.Pred] == 1 &&

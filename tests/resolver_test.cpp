@@ -176,6 +176,61 @@ TEST(Resolver, CriticalEdgeIsSplit) {
   EXPECT_TRUE(std::find(Succs.begin(), Succs.end(), 3u) == Succs.end());
 }
 
+TEST(Resolver, BackEdgeIntoEntryNeverInsertsAtEntryTop) {
+  // A back edge into the entry block: the entry's single *explicit*
+  // predecessor is the latch (here, itself), but function entry is an
+  // implicit second predecessor, so back-edge resolution code placed at
+  // the entry's top would also execute before the first iteration.
+  // The resolver must split the edge instead.
+  Module M;
+  FunctionBuilder B(M, "f", 0, 0, CallRetKind::None);
+  Block &B0 = B.newBlock("b0");
+  Block &B1 = B.newBlock("b1");
+  B.setBlock(B1);
+  unsigned T = B.movi(7); // definition only in the exit: %T's use in the
+  B.retVoid();            // entry is upward-exposed (loop-carried shape)
+  B.setBlock(B0);
+  B.emitValue(T);
+  unsigned C = B.movi(1);
+  B.cbr(C, B0, B1);
+  Function &F = B.function();
+  lowerCalls(F);
+  TargetDesc TD = TargetDesc::alphaLike();
+  Liveness LV(F, TD);
+  ASSERT_TRUE(LV.liveIn(0).test(T)) << "test needs %T live into the entry";
+  std::vector<unsigned> V2D(F.numVRegs(), ~0u), D2V = {T};
+  V2D[T] = 0;
+  std::vector<std::vector<LocCode>> Top(2, std::vector<LocCode>(1, LocMem));
+  std::vector<std::vector<LocCode>> Bot(2, std::vector<LocCode>(1, LocMem));
+  Bot[0][0] = locReg(intReg(3));
+  Top[0][0] = locReg(intReg(4)); // mismatch on the back edge 0->0
+  ConsistencyInfo CI(2, V2D, D2V);
+  SpillSlots Slots(F);
+  ResolverInput In;
+  In.LV = &LV;
+  In.VRegToDense = &V2D;
+  In.DenseToVReg = &D2V;
+  In.LocTop = &Top;
+  In.LocBottom = &Bot;
+  In.CI = nullptr;
+  In.ConsistentBottom = &CI.AreConsistentBottom;
+  unsigned BlocksBefore = F.numBlocks();
+  ResolveCounts Counts = resolveEdges(F, In, Slots);
+  EXPECT_EQ(Counts.Moves, 1u);
+  // The move must not be at the top of the entry block.
+  EXPECT_NE(F.block(0).instrs().front().Spill, SpillKind::ResolveMove);
+  // It lands on a split edge whose block branches back to the entry.
+  ASSERT_EQ(Counts.SplitEdges, 1u);
+  ASSERT_EQ(F.numBlocks(), BlocksBefore + 1);
+  const Block &NewB = F.block(BlocksBefore);
+  ASSERT_GE(NewB.size(), 2u);
+  EXPECT_EQ(NewB.instrs().front().Spill, SpillKind::ResolveMove);
+  EXPECT_EQ(NewB.successors(), std::vector<unsigned>{0u});
+  auto Succs = F.block(0).successors();
+  EXPECT_TRUE(std::find(Succs.begin(), Succs.end(), NewB.id()) != Succs.end());
+  EXPECT_TRUE(std::find(Succs.begin(), Succs.end(), 0u) == Succs.end());
+}
+
 TEST(Resolver, SwapUsesScratchSlotCycleBreak) {
   // Two temps swapping registers across one edge. Use a second temp.
   Module M;

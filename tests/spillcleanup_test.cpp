@@ -185,6 +185,65 @@ TEST(SpillCleanup, LoopFixpointIsSound) {
   EXPECT_EQ(Head.instrs()[0].opcode(), Opcode::LdSlot);
 }
 
+TEST(SpillCleanup, RetargetedRegisterDropsOldSlotMirror) {
+  // $1 mirrors slot s0, then is re-loaded from slot s1. A later reload of
+  // s0 must stay a real load: forwarding $1 would hand it s1's value
+  // (the "wrong-slot" failure class).
+  Allocated A;
+  unsigned S1 = A.F.newSlot(RegClass::Int);
+  A.B.append(Instr(Opcode::MovI, Operand::preg(intReg(1)), Operand::imm(7)));
+  A.B.append(A.store(intReg(1), A.Slot));
+  A.B.append(A.load(intReg(1), S1)); // $1 now mirrors s1, not s0
+  A.B.append(A.load(intReg(2), A.Slot));
+  A.finish();
+  TargetDesc TD = TargetDesc::alphaLike();
+  SpillCleanupStats S = cleanupSpillCode(A.F, TD);
+  EXPECT_EQ(S.LoadsDeleted, 0u);
+  EXPECT_EQ(S.LoadsToMoves, 0u);
+  EXPECT_EQ(A.B.instrs()[3].opcode(), Opcode::LdSlot);
+  EXPECT_EQ(A.B.instrs()[3].op(1).slotId(), A.Slot);
+}
+
+TEST(SpillCleanup, ScratchSlotReuseForwardsTheRightValue) {
+  // The resolver reuses one scratch slot for every cycle break. Two
+  // back-to-back store/load pairs through the same slot must each forward
+  // from their own store's source register.
+  Allocated A;
+  A.B.append(Instr(Opcode::MovI, Operand::preg(intReg(1)), Operand::imm(7)));
+  A.B.append(Instr(Opcode::MovI, Operand::preg(intReg(3)), Operand::imm(9)));
+  A.B.append(A.store(intReg(1), A.Slot, SpillKind::ResolveStore));
+  A.B.append(A.load(intReg(2), A.Slot, SpillKind::ResolveLoad));
+  A.B.append(A.store(intReg(3), A.Slot, SpillKind::ResolveStore));
+  A.B.append(A.load(intReg(4), A.Slot, SpillKind::ResolveLoad));
+  A.finish();
+  TargetDesc TD = TargetDesc::alphaLike();
+  SpillCleanupStats S = cleanupSpillCode(A.F, TD);
+  EXPECT_EQ(S.LoadsToMoves, 2u);
+  // Second forwarded move reads $3 (the second store's source), never $1.
+  const Instr &Second = A.B.instrs()[5];
+  ASSERT_EQ(Second.opcode(), Opcode::Mov);
+  EXPECT_EQ(Second.op(0).pregId(), intReg(4));
+  EXPECT_EQ(Second.op(1).pregId(), intReg(3));
+}
+
+TEST(SpillCleanup, BackEdgeFactsDoNotReachFunctionEntry) {
+  // The entry block has an implicit predecessor (function entry) where no
+  // slot is mirrored by anything, so a fact established on a back edge
+  // into the entry must not justify rewriting the entry's reload.
+  Allocated A;
+  Block &Exit = A.F.addBlock("exit");
+  A.B.append(A.load(intReg(2), A.Slot)); // garbage-on-entry if forwarded
+  A.B.append(Instr(Opcode::MovI, Operand::preg(intReg(1)), Operand::imm(7)));
+  A.B.append(A.store(intReg(1), A.Slot));
+  A.B.append(Instr(Opcode::CBr, Operand::preg(intReg(2)),
+                   Operand::label(A.B.id()), Operand::label(Exit.id())));
+  Exit.append(Instr(Opcode::Ret));
+  TargetDesc TD = TargetDesc::alphaLike();
+  SpillCleanupStats S = cleanupSpillCode(A.F, TD);
+  EXPECT_EQ(S.total(), 0u);
+  EXPECT_EQ(A.B.instrs()[0].opcode(), Opcode::LdSlot);
+}
+
 TEST(SpillCleanup, MixedClassesTrackedSeparately) {
   Allocated A;
   unsigned FSlot = A.F.newSlot(RegClass::Float);
