@@ -233,11 +233,16 @@ void Gen::emitStatement(FunctionBuilder &B, Scope &Sc, unsigned Depth) {
       Scope Inner = Sc;
       Inner.Ints.push_back(B.mov(Counter));
       emitBlockOfStatements(B, Inner, 1 + pick(3), Depth + 1);
-      unsigned BreakG = B.cmpi(Opcode::CmpEq, B.andi(pickInt(B, Inner), 7),
+      // Sequence every RNG-consuming expression into its own statement:
+      // argument evaluation order is unspecified, and letting the compiler
+      // choose it would make the generated program depend on the build.
+      unsigned BreakV = B.andi(pickInt(B, Inner), 7);
+      unsigned BreakG = B.cmpi(Opcode::CmpEq, BreakV,
                                static_cast<int64_t>(pick(8)));
       B.cbr(BreakG, Exit, Mid); // break: critical edge into Exit
       B.setBlock(Mid);
-      unsigned ContG = B.cmpi(Opcode::CmpEq, B.andi(pickInt(B, Inner), 3),
+      unsigned ContV = B.andi(pickInt(B, Inner), 3);
+      unsigned ContG = B.cmpi(Opcode::CmpEq, ContV,
                               static_cast<int64_t>(pick(4)));
       B.cbr(ContG, Head, Tail); // continue: critical edge into Head
       B.setBlock(Tail);
@@ -294,11 +299,17 @@ void Gen::emitStatement(FunctionBuilder &B, Scope &Sc, unsigned Depth) {
   case 13: { // pressure burst: many int and fp values live simultaneously
     unsigned N = 4 + pick(5);
     std::vector<unsigned> Is, Fs;
-    for (unsigned I = 0; I < N; ++I)
-      Is.push_back(B.add(pickInt(B, Sc), pickInt(B, Sc)));
+    for (unsigned I = 0; I < N; ++I) {
+      // Sequenced picks: B.add(pickInt(..), pickInt(..)) would leave the RNG
+      // consumption order up to the compiler's argument evaluation order.
+      unsigned A = pickInt(B, Sc), C = pickInt(B, Sc);
+      Is.push_back(B.add(A, C));
+    }
     if (Opts.UseFloat)
-      for (unsigned I = 0; I < N; ++I)
-        Fs.push_back(B.fadd(pickFp(B, Sc), pickFp(B, Sc)));
+      for (unsigned I = 0; I < N; ++I) {
+        unsigned A = pickFp(B, Sc), C = pickFp(B, Sc);
+        Fs.push_back(B.fadd(A, C));
+      }
     unsigned SumI = Is[0];
     for (unsigned I = 1; I < Is.size(); ++I)
       SumI = B.add(SumI, Is[I]);
@@ -319,7 +330,8 @@ void Gen::emitStatement(FunctionBuilder &B, Scope &Sc, unsigned Depth) {
     Block &A = B.newBlock("x.a");
     Block &Bb = B.newBlock("x.b");
     Block &Exit = B.newBlock("x.exit");
-    unsigned EntG = B.cmpi(Opcode::CmpEq, B.andi(pickInt(B, Sc), 1), 0);
+    unsigned EntV = B.andi(pickInt(B, Sc), 1);
+    unsigned EntG = B.cmpi(Opcode::CmpEq, EntV, 0);
     B.cbr(EntG, A, Bb); // the {A,B} cycle has two entries
     B.setBlock(A);
     B.emit(Instr(Opcode::Add, Operand::vreg(Counter), Operand::vreg(Counter),
@@ -343,9 +355,8 @@ void Gen::emitStatement(FunctionBuilder &B, Scope &Sc, unsigned Depth) {
   }
   case 15: { // rare conditional early return: a zero-successor block
              // mid-CFG (resolution must not place code after its ret)
-    unsigned X = pickInt(B, Sc);
-    unsigned G = B.cmpi(Opcode::CmpEq, B.andi(X, 63),
-                        static_cast<int64_t>(pick(64)));
+    unsigned X = B.andi(pickInt(B, Sc), 63);
+    unsigned G = B.cmpi(Opcode::CmpEq, X, static_cast<int64_t>(pick(64)));
     Block &RetB = B.newBlock("r.ret");
     Block &Cont = B.newBlock("r.cont");
     B.cbr(G, RetB, Cont);
