@@ -101,4 +101,248 @@ TEST(VerifierAcceptance, RandomProgramsUnderPressure) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Mutation half: hand-built (orig, alloc) pairs that verify cleanly, then a
+// single deliberate corruption. Each must be rejected with the exact error
+// class and pinpointed location.
+//===----------------------------------------------------------------------===//
+
+/// Parallel hand-built original/allocated functions.
+struct HandPair {
+  Module OM, AM;
+  Function &OF, &AF;
+  HandPair() : OF(OM.addFunction("f")), AF(AM.addFunction("f")) {
+    OF.CallsLowered = AF.CallsLowered = true;
+  }
+  Block &oblock(const char *N) { return OF.addBlock(N); }
+  Block &ablock(const char *N) { return AF.addBlock(N); }
+  unsigned vreg() { return OF.newVReg(RegClass::Int); }
+  static Instr movi(Operand Dst, int64_t V) {
+    return Instr(Opcode::MovI, Dst, Operand::imm(V));
+  }
+  static Instr spill(Opcode Op, unsigned R, unsigned S, SpillKind K) {
+    Instr I(Op, Operand::preg(R), Operand::slot(S));
+    I.Spill = K;
+    return I;
+  }
+  VerifyAllocResult verify() {
+    return verifyAllocation(OF, AF, TargetDesc::alphaLike());
+  }
+};
+
+TEST(VerifierMutation, SwappedUseRegisterIsStaleAfterEvict) {
+  HandPair H;
+  unsigned V0 = H.vreg(), V1 = H.vreg();
+  Block &OB = H.oblock("entry");
+  OB.append(H.movi(Operand::vreg(V0), 7));
+  OB.append(H.movi(Operand::vreg(V1), 9));
+  OB.append(Instr(Opcode::Emit, Operand::vreg(V0)));
+  OB.append(Instr(Opcode::Ret));
+  Block &AB = H.ablock("entry");
+  AB.append(H.movi(Operand::preg(intReg(1)), 7));
+  AB.append(H.movi(Operand::preg(intReg(2)), 9));
+  AB.append(Instr(Opcode::Emit, Operand::preg(intReg(1))));
+  AB.append(Instr(Opcode::Ret));
+  ASSERT_TRUE(H.verify().ok());
+
+  AB.instrs()[2].op(0) = Operand::preg(intReg(2)); // reads %1's register
+  VerifyAllocResult R = H.verify();
+  ASSERT_FALSE(R.ok());
+  const AllocError &E = R.Errors[0];
+  EXPECT_EQ(E.Kind, AllocErrorKind::StaleAfterEvict) << R.str();
+  EXPECT_EQ(E.Block, 0u);
+  EXPECT_EQ(E.InstrIdx, 2u);
+  EXPECT_EQ(E.VReg, V0);
+  EXPECT_EQ(E.PReg, intReg(2));
+}
+
+TEST(VerifierMutation, OverlappingDefRegisterIsLostValue) {
+  HandPair H;
+  unsigned V0 = H.vreg(), V1 = H.vreg();
+  Block &OB = H.oblock("entry");
+  OB.append(H.movi(Operand::vreg(V0), 7));
+  OB.append(H.movi(Operand::vreg(V1), 9));
+  OB.append(Instr(Opcode::Emit, Operand::vreg(V0)));
+  OB.append(Instr(Opcode::Ret));
+  Block &AB = H.ablock("entry");
+  AB.append(H.movi(Operand::preg(intReg(1)), 7));
+  AB.append(H.movi(Operand::preg(intReg(2)), 9));
+  AB.append(Instr(Opcode::Emit, Operand::preg(intReg(1))));
+  AB.append(Instr(Opcode::Ret));
+  ASSERT_TRUE(H.verify().ok());
+
+  // The classic interference bug: %1 assigned the register still holding
+  // the live %0, wiping %0 from the machine entirely.
+  AB.instrs()[1].op(0) = Operand::preg(intReg(1));
+  VerifyAllocResult R = H.verify();
+  ASSERT_FALSE(R.ok());
+  const AllocError &E = R.Errors[0];
+  EXPECT_EQ(E.Kind, AllocErrorKind::LostValue) << R.str();
+  EXPECT_EQ(E.Block, 0u);
+  EXPECT_EQ(E.InstrIdx, 2u);
+  EXPECT_EQ(E.VReg, V0);
+  EXPECT_EQ(E.PReg, intReg(1));
+}
+
+TEST(VerifierMutation, DroppedReloadIsStaleAfterEvict) {
+  HandPair H;
+  unsigned V0 = H.vreg(), V1 = H.vreg();
+  Block &OB = H.oblock("entry");
+  OB.append(H.movi(Operand::vreg(V0), 7));
+  OB.append(H.movi(Operand::vreg(V1), 9));
+  OB.append(Instr(Opcode::Emit, Operand::vreg(V0)));
+  OB.append(Instr(Opcode::Ret));
+  unsigned S0 = H.AF.newSlot(RegClass::Int);
+  Block &AB = H.ablock("entry");
+  AB.append(H.movi(Operand::preg(intReg(1)), 7));
+  AB.append(H.spill(Opcode::StSlot, intReg(1), S0, SpillKind::EvictStore));
+  AB.append(H.movi(Operand::preg(intReg(1)), 9)); // evicts %0 into its home
+  AB.append(H.spill(Opcode::LdSlot, intReg(2), S0, SpillKind::EvictLoad));
+  AB.append(Instr(Opcode::Emit, Operand::preg(intReg(2))));
+  AB.append(Instr(Opcode::Ret));
+  ASSERT_TRUE(H.verify().ok());
+
+  AB.instrs().erase(AB.instrs().begin() + 3); // drop the reload
+  VerifyAllocResult R = H.verify();
+  ASSERT_FALSE(R.ok());
+  const AllocError &E = R.Errors[0];
+  EXPECT_EQ(E.Kind, AllocErrorKind::StaleAfterEvict) << R.str();
+  EXPECT_EQ(E.Block, 0u);
+  EXPECT_EQ(E.InstrIdx, 3u); // the Emit, after the erase
+  EXPECT_EQ(E.VReg, V0);
+  EXPECT_EQ(E.PReg, intReg(2));
+}
+
+TEST(VerifierMutation, ReloadFromWrongSlot) {
+  HandPair H;
+  unsigned V0 = H.vreg(), V1 = H.vreg(), V2 = H.vreg();
+  Block &OB = H.oblock("entry");
+  OB.append(H.movi(Operand::vreg(V0), 7));
+  OB.append(H.movi(Operand::vreg(V1), 9));
+  OB.append(H.movi(Operand::vreg(V2), 1));
+  OB.append(Instr(Opcode::Emit, Operand::vreg(V0)));
+  OB.append(Instr(Opcode::Ret));
+  unsigned S0 = H.AF.newSlot(RegClass::Int);
+  unsigned S1 = H.AF.newSlot(RegClass::Int);
+  Block &AB = H.ablock("entry");
+  AB.append(H.movi(Operand::preg(intReg(1)), 7));
+  AB.append(H.spill(Opcode::StSlot, intReg(1), S0, SpillKind::EvictStore));
+  AB.append(H.movi(Operand::preg(intReg(1)), 9));
+  AB.append(H.spill(Opcode::StSlot, intReg(1), S1, SpillKind::EvictStore));
+  AB.append(H.movi(Operand::preg(intReg(1)), 1));
+  AB.append(H.spill(Opcode::LdSlot, intReg(2), S0, SpillKind::EvictLoad));
+  AB.append(Instr(Opcode::Emit, Operand::preg(intReg(2))));
+  AB.append(Instr(Opcode::Ret));
+  ASSERT_TRUE(H.verify().ok());
+
+  AB.instrs()[5].op(1) = Operand::slot(S1); // reload %1's home, not %0's
+  VerifyAllocResult R = H.verify();
+  ASSERT_FALSE(R.ok());
+  const AllocError &E = R.Errors[0];
+  EXPECT_EQ(E.Kind, AllocErrorKind::WrongSlot) << R.str();
+  EXPECT_EQ(E.Block, 0u);
+  EXPECT_EQ(E.InstrIdx, 6u);
+  EXPECT_EQ(E.VReg, V0);
+  EXPECT_EQ(E.PReg, intReg(2));
+}
+
+TEST(VerifierMutation, RetargetedResolutionMove) {
+  HandPair H;
+  unsigned V0 = H.vreg();
+  Block &OB0 = H.oblock("b0");
+  Block &OB1 = H.oblock("b1");
+  OB0.append(H.movi(Operand::vreg(V0), 7));
+  OB0.append(Instr(Opcode::Br, Operand::label(OB1.id())));
+  OB1.append(Instr(Opcode::Emit, Operand::vreg(V0)));
+  OB1.append(Instr(Opcode::Ret));
+  Block &AB0 = H.ablock("b0");
+  Block &AB1 = H.ablock("b1");
+  AB0.append(H.movi(Operand::preg(intReg(1)), 7));
+  AB0.append(Instr(Opcode::Br, Operand::label(AB1.id())));
+  Instr RMove(Opcode::Mov, Operand::preg(intReg(3)), Operand::preg(intReg(1)));
+  RMove.Spill = SpillKind::ResolveMove;
+  AB1.append(RMove);
+  AB1.append(Instr(Opcode::Emit, Operand::preg(intReg(3))));
+  AB1.append(Instr(Opcode::Ret));
+  ASSERT_TRUE(H.verify().ok());
+
+  AB1.instrs()[0].op(1) = Operand::preg(intReg(2)); // copies the wrong reg
+  VerifyAllocResult R = H.verify();
+  ASSERT_FALSE(R.ok());
+  const AllocError &E = R.Errors[0];
+  EXPECT_EQ(E.Kind, AllocErrorKind::StaleAfterEvict) << R.str();
+  EXPECT_EQ(E.Block, 1u);
+  EXPECT_EQ(E.InstrIdx, 1u);
+  EXPECT_EQ(E.VReg, V0);
+  EXPECT_EQ(E.PReg, intReg(3));
+}
+
+TEST(VerifierMutation, CallerSavedAcrossCall) {
+  HandPair H;
+  // A leaf callee with the same id in both modules.
+  Function &OG = H.OM.addFunction("g");
+  OG.addBlock("entry").append(Instr(Opcode::Ret));
+  OG.CallsLowered = true;
+  Function &AG = H.AM.addFunction("g");
+  AG.addBlock("entry").append(Instr(Opcode::Ret));
+  AG.CallsLowered = true;
+
+  unsigned V0 = H.vreg();
+  Block &OB = H.oblock("entry");
+  OB.append(H.movi(Operand::vreg(V0), 7));
+  OB.append(Instr(Opcode::Call, Operand::func(OG.id())));
+  OB.append(Instr(Opcode::Emit, Operand::vreg(V0)));
+  OB.append(Instr(Opcode::Ret));
+  Block &AB = H.ablock("entry");
+  AB.append(H.movi(Operand::preg(intReg(9)), 7)); // callee-saved: correct
+  AB.append(Instr(Opcode::Call, Operand::func(AG.id())));
+  AB.append(Instr(Opcode::Emit, Operand::preg(intReg(9))));
+  AB.append(Instr(Opcode::Ret));
+  ASSERT_TRUE(H.verify().ok());
+
+  AB.instrs()[0].op(0) = Operand::preg(intReg(1)); // caller-saved instead
+  AB.instrs()[2].op(0) = Operand::preg(intReg(1));
+  VerifyAllocResult R = H.verify();
+  ASSERT_FALSE(R.ok());
+  const AllocError &E = R.Errors[0];
+  EXPECT_EQ(E.Kind, AllocErrorKind::ClobberedAcrossCall) << R.str();
+  EXPECT_EQ(E.Block, 0u);
+  EXPECT_EQ(E.InstrIdx, 2u);
+  EXPECT_EQ(E.VReg, V0);
+  EXPECT_EQ(E.PReg, intReg(1));
+}
+
+TEST(VerifierMutation, RetargetedBranchIsUnresolvedEdge) {
+  HandPair H;
+  unsigned V0 = H.vreg();
+  Block &OB0 = H.oblock("b0");
+  Block &OB1 = H.oblock("b1");
+  Block &OB2 = H.oblock("b2");
+  OB0.append(H.movi(Operand::vreg(V0), 1));
+  OB0.append(Instr(Opcode::CBr, Operand::vreg(V0), Operand::label(OB1.id()),
+                   Operand::label(OB2.id())));
+  OB1.append(Instr(Opcode::Emit, Operand::vreg(V0)));
+  OB1.append(Instr(Opcode::Ret));
+  OB2.append(Instr(Opcode::Ret));
+  Block &AB0 = H.ablock("b0");
+  Block &AB1 = H.ablock("b1");
+  Block &AB2 = H.ablock("b2");
+  AB0.append(H.movi(Operand::preg(intReg(1)), 1));
+  AB0.append(Instr(Opcode::CBr, Operand::preg(intReg(1)),
+                   Operand::label(AB1.id()), Operand::label(AB2.id())));
+  AB1.append(Instr(Opcode::Emit, Operand::preg(intReg(1))));
+  AB1.append(Instr(Opcode::Ret));
+  AB2.append(Instr(Opcode::Ret));
+  ASSERT_TRUE(H.verify().ok());
+
+  // Swap the branch arms: the taken edges no longer mirror the original.
+  AB0.instrs()[1].op(1) = Operand::label(AB2.id());
+  AB0.instrs()[1].op(2) = Operand::label(AB1.id());
+  VerifyAllocResult R = H.verify();
+  ASSERT_FALSE(R.ok());
+  const AllocError &E = R.Errors[0];
+  EXPECT_EQ(E.Kind, AllocErrorKind::UnresolvedEdge) << R.str();
+  EXPECT_EQ(E.Block, 0u);
+}
+
 } // namespace
