@@ -42,8 +42,7 @@ double bestOfFive(const Row &R, AllocatorKind K, AllocStats &LastStats) {
     auto M = buildScaledModule(R.Opts);
     // Setup (lowering, DCE) happens outside the timed region, like the
     // paper's "after setup activities common to both allocators".
-    AllocOptions AO;
-    AllocStats S = compileModule(*M, TD(), K, AO);
+    AllocStats S = compileModule(*M, TD(), K);
     Best = std::min(Best, S.AllocSeconds);
     LastStats = S;
   }
@@ -56,9 +55,9 @@ double bestWallOfFive(const Row &R, AllocatorKind K, unsigned Threads) {
   double Best = 1e9;
   for (int Rep = 0; Rep < 5; ++Rep) {
     auto M = buildScaledModule(R.Opts);
-    AllocOptions AO;
-    AO.Threads = Threads;
-    AllocStats S = compileModule(*M, TD(), K, AO);
+    ExecOptions EO;
+    EO.Threads = Threads;
+    AllocStats S = compileModule(*M, TD(), K, {}, EO);
     Best = std::min(Best, S.WallSeconds);
   }
   return Best;

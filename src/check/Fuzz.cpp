@@ -6,6 +6,7 @@
 
 #include "check/Fuzz.h"
 
+#include "cache/CompileCache.h"
 #include "check/Clone.h"
 #include "check/Reduce.h"
 #include "check/Verifier.h"
@@ -37,6 +38,37 @@ OracleResult fail(const char *Kind, std::string Detail) {
   R.Kind = Kind;
   R.Detail = std::move(Detail);
   return R;
+}
+
+/// Cache-differential oracle: compile \p Text twice against the shared
+/// \p Cache — cold (populating it, with the allocation verifier on) and
+/// warm — and demand that the warm compile is a hit whose allocated text
+/// and statistics are byte-identical to the cold result. Any divergence
+/// means the cache key is too coarse (two distinct compiles collided) or
+/// the hit path corrupted the stored module. Empty string = pass.
+std::string runCacheDifferential(const std::string &Text, AllocatorKind K,
+                                 unsigned RegLimit,
+                                 cache::CompileCache &Cache) {
+  TargetDesc TD = targetFor(RegLimit);
+  ExecOptions EO;
+  EO.VerifyAlloc = true;
+  EO.Cache = &Cache;
+  TextCompileResult Cold = compileTextModule(Text, TD, K, {}, EO);
+  if (!Cold.Ok)
+    return "cold compile failed: " + Cold.Error;
+  TextCompileResult Warm = compileTextModule(Text, TD, K, {}, EO);
+  if (!Warm.Ok)
+    return "warm compile failed: " + Warm.Error;
+  if (!Warm.CacheHit)
+    return "second compile of identical text missed the cache";
+  if (Warm.AllocatedText != Cold.AllocatedText)
+    return "cached allocated text differs from the cold compile";
+  if (Warm.Stats.SpilledTemps != Cold.Stats.SpilledTemps ||
+      Warm.Stats.RegCandidates != Cold.Stats.RegCandidates ||
+      Warm.Stats.MovesCoalesced != Cold.Stats.MovesCoalesced ||
+      Warm.Stats.LifetimeSplits != Cold.Stats.LifetimeSplits)
+    return "cached statistics differ from the cold compile";
+  return "";
 }
 
 } // namespace
@@ -117,6 +149,12 @@ FuzzReport lsra::check::runDifferentialFuzz(const FuzzOptions &Opts,
   if (Opts.WithSpillCleanup)
     Cleanups.push_back(true);
 
+  // One cache for the whole run, so cross-program (and cross-allocator)
+  // collisions are part of what the differential tests.
+  std::unique_ptr<cache::CompileCache> DiffCache;
+  if (Opts.WithCache)
+    DiffCache = std::make_unique<cache::CompileCache>();
+
   for (unsigned I = 0; I < Opts.Count; ++I) {
     uint64_t Seed = Opts.SeedStart + I;
     std::unique_ptr<Module> M = buildRandomProgram(Seed, Opts.Program);
@@ -177,6 +215,33 @@ FuzzReport lsra::check::runDifferentialFuzz(const FuzzOptions &Opts,
         }
       }
     }
+    // Cache-differential pass: one configuration per allocator (the first
+    // register limit), since the point is the cache key, not the allocator.
+    if (DiffCache) {
+      unsigned Regs = Opts.RegLimits.empty() ? 0 : Opts.RegLimits.front();
+      for (AllocatorKind K : Opts.Allocators) {
+        ++Report.Runs;
+        std::string Detail = runCacheDifferential(Text, K, Regs, *DiffCache);
+        if (Detail.empty())
+          continue;
+        FuzzFinding F;
+        F.Seed = Seed;
+        F.Regs = Regs;
+        F.K = K;
+        F.Kind = "cache-differential";
+        F.Detail = Detail;
+        F.Program = Text;
+        F.Reduced = Text;
+        if (Progress)
+          *Progress << "fuzz: FINDING seed=" << Seed << " allocator="
+                    << allocatorName(K) << " regs=" << Regs
+                    << " cache-differential: " << Detail << "\n";
+        Report.Findings.push_back(std::move(F));
+        if (Report.Findings.size() >= Opts.MaxFindings)
+          return Report;
+      }
+    }
+
     if (Progress && (I + 1) % 25 == 0)
       *Progress << "fuzz: " << (I + 1) << "/" << Opts.Count << " programs, "
                 << Report.Runs << " runs, " << Report.Findings.size()

@@ -66,6 +66,12 @@ struct FuzzOptions {
   bool Reduce = true;          ///< minimize findings with check/Reduce
   std::string CorpusDir;      ///< when set, write failing programs here
   unsigned MaxFindings = 8;   ///< stop fuzzing after this many findings
+  /// Cache-differential mode: additionally compile each (program,
+  /// allocator) pair through compileTextModule twice against one shared
+  /// compile cache — cold, then warm — and require the warm (cached)
+  /// result to be byte-identical to the cold one and to pass the
+  /// allocation verifier. Catches any cache key that is too coarse.
+  bool WithCache = true;
 };
 
 struct FuzzFinding {

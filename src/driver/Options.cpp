@@ -1,0 +1,94 @@
+//===- driver/Options.cpp -------------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Options.h"
+
+#include <cstdlib>
+
+using namespace lsra;
+
+bool lsra::parseCompileFlag(const std::string &Arg, CompileFlags &F,
+                            std::string &Err) {
+  Err.clear();
+  auto Value = [&Arg](size_t PrefixLen) { return Arg.substr(PrefixLen); };
+  if (Arg.rfind("--allocator=", 0) == 0) {
+    if (!parseAllocatorName(Value(12), F.Kind))
+      Err = "unknown allocator '" + Value(12) + "'";
+    return true;
+  }
+  if (Arg.rfind("--regs=", 0) == 0) {
+    F.Regs = static_cast<unsigned>(std::strtoul(Arg.c_str() + 7, nullptr, 10));
+    return true;
+  }
+  if (Arg.rfind("--threads=", 0) == 0) {
+    F.Exec.Threads =
+        static_cast<unsigned>(std::strtoul(Arg.c_str() + 10, nullptr, 10));
+    return true;
+  }
+  if (Arg == "--cleanup") {
+    F.Alloc.SpillCleanup = true;
+    return true;
+  }
+  if (Arg == "--verify-alloc") {
+    F.Exec.VerifyAlloc = true;
+    return true;
+  }
+  if (Arg.rfind("--consistency=", 0) == 0) {
+    std::string V = Value(14);
+    if (V == "iterative")
+      F.Alloc.Consistency = AllocOptions::ConsistencyMode::Iterative;
+    else if (V == "conservative")
+      F.Alloc.Consistency = AllocOptions::ConsistencyMode::Conservative;
+    else
+      Err = "unknown consistency mode '" + V + "'";
+    return true;
+  }
+  if (Arg == "--no-second-chance") {
+    F.Alloc.EarlySecondChance = false;
+    return true;
+  }
+  if (Arg == "--no-coalesce") {
+    F.Alloc.MoveCoalesce = false;
+    return true;
+  }
+  if (Arg.rfind("--cache-mb=", 0) == 0) {
+    F.CacheMb = std::strtoul(Arg.c_str() + 11, nullptr, 10);
+    return true;
+  }
+  if (Arg == "--no-cache") {
+    F.NoCache = true;
+    return true;
+  }
+  return false;
+}
+
+const char *lsra::compileFlagsHelp() {
+  return "  --allocator=binpack|coloring|twopass|poletto\n"
+         "  --regs=N       restrict the allocatable file to N per class\n"
+         "  --threads=N    allocate functions on N workers (0 = auto)\n"
+         "  --cleanup      enable the spill-cleanup pass\n"
+         "  --verify-alloc prove the allocation correct\n"
+         "  --consistency=iterative|conservative  §2.4 vs §2.6 dataflow\n"
+         "  --no-second-chance --no-coalesce      §2.5 ablations\n"
+         "  --cache-mb=N   compile-cache budget in MiB (default 64)\n"
+         "  --no-cache     disable the compile cache\n";
+}
+
+TargetDesc lsra::targetForFlags(const CompileFlags &F) {
+  TargetDesc TD = TargetDesc::alphaLike();
+  if (F.Regs)
+    TD = TD.withRegLimit(F.Regs, F.Regs);
+  return TD;
+}
+
+std::unique_ptr<cache::CompileCache>
+lsra::makeCompileCache(const CompileFlags &F) {
+  if (F.NoCache || F.CacheMb == 0)
+    return nullptr;
+  cache::CacheConfig C;
+  C.MaxBytes = F.CacheMb << 20;
+  return std::make_unique<cache::CompileCache>(C);
+}

@@ -6,6 +6,7 @@
 
 #include "driver/Pipeline.h"
 
+#include "cache/CompileCache.h"
 #include "check/Clone.h"
 #include "check/Verifier.h"
 #include "ir/IRVerifier.h"
@@ -23,9 +24,10 @@
 using namespace lsra;
 
 AllocStats lsra::compileModule(Module &M, const TargetDesc &TD,
-                               AllocatorKind K, const AllocOptions &Opts) {
+                               AllocatorKind K, const AllocOptions &AO,
+                               const ExecOptions &EO) {
   unsigned N = M.numFunctions();
-  unsigned Threads = resolveThreadCount(Opts.Threads, N);
+  unsigned Threads = resolveThreadCount(EO.Threads, N);
   LSRA_LOG(1, "compileModule: %u functions, allocator=%s, threads=%u", N,
            allocatorName(K), Threads);
   // WallSeconds is measured exactly once, here, over the whole pipeline
@@ -44,12 +46,11 @@ AllocStats lsra::compileModule(Module &M, const TargetDesc &TD,
       obs::ScopedSpan S("dce", "pass");
       eliminateDeadCode(M, TD);
     }
-    Total = allocateModule(M, TD, K, Opts);
+    Total = allocateModule(M, TD, K, AO, EO);
   } else {
-    // Parallel path: lowering, DCE, and allocation are all per-function, so
-    // run the whole pipeline for each function on a worker. Stats merge in
-    // function-index order, keeping totals identical to the sequential run.
-    std::vector<AllocStats> Per(N);
+    // Parallel path: lowering and DCE are per-function, so run them on the
+    // workers, then let allocateModule (which handles cache hits safely
+    // across threads) do the allocation fan-out itself.
     parallelFor(N, Threads, [&](unsigned I) {
       Function &F = M.function(I);
       obs::ScopedSpan FnSpan("compile:", F.name(), "function");
@@ -61,10 +62,8 @@ AllocStats lsra::compileModule(Module &M, const TargetDesc &TD,
         obs::ScopedSpan S("dce", "pass");
         eliminateDeadCode(F, TD);
       }
-      Per[I] = allocateFunction(F, TD, K, Opts);
     });
-    for (const AllocStats &S : Per)
-      Total += S;
+    Total = allocateModule(M, TD, K, AO, EO);
   }
   Wall.stop();
   Total.WallSeconds = Wall.seconds();
@@ -74,10 +73,34 @@ AllocStats lsra::compileModule(Module &M, const TargetDesc &TD,
 TextCompileResult lsra::compileTextModule(const std::string &IRText,
                                           const TargetDesc &TD,
                                           AllocatorKind K,
-                                          const AllocOptions &Opts,
+                                          const AllocOptions &AO,
+                                          const ExecOptions &EO,
                                           bool RunAfter) {
   TextCompileResult R;
   obs::ScopedSpan Span("compileText", "request");
+  // Module-level cache: the raw request text is the content address, so a
+  // hit costs one hash + one lookup and skips parsing entirely.
+  cache::CacheKey ModKey;
+  if (EO.Cache) {
+    ModKey = cache::makeModuleKey(IRText, AO.fingerprint(), K,
+                                  TD.fingerprint());
+    if (auto Hit = EO.Cache->lookup(ModKey)) {
+      R.AllocatedText = Hit->AllocatedText;
+      R.Stats = Hit->Stats;
+      R.CacheHit = true;
+      R.Ok = true;
+      if (RunAfter) {
+        // Dynamic counts need the module back; the allocated text
+        // round-trips (including the initial memory image).
+        ParseResult P = parseModule(R.AllocatedText);
+        if (P.ok()) {
+          R.Run = runAllocated(*P.M, TD);
+          R.Ran = true;
+        }
+      }
+      return R;
+    }
+  }
   ParseResult P = parseModule(IRText);
   if (!P.ok()) {
     R.Error = P.Error;
@@ -95,12 +118,12 @@ TextCompileResult lsra::compileTextModule(const std::string &IRText,
   // consumed. Lowering and DCE are idempotent, so running them here first
   // (compileModule will see already-lowered functions) lets us snapshot it.
   std::unique_ptr<Module> Snapshot;
-  if (Opts.VerifyAlloc) {
+  if (EO.VerifyAlloc) {
     lowerCalls(*P.M);
     eliminateDeadCode(*P.M, TD);
     Snapshot = cloneModule(*P.M);
   }
-  R.Stats = compileModule(*P.M, TD, K, Opts);
+  R.Stats = compileModule(*P.M, TD, K, AO, EO);
   Diag = checkAllocated(*P.M);
   if (!Diag.empty()) {
     R.Error = "post-allocation verify: " + Diag;
@@ -118,6 +141,14 @@ TextCompileResult lsra::compileTextModule(const std::string &IRText,
   printModule(OS, *P.M);
   R.AllocatedText = OS.str();
   R.Ok = true;
+  if (EO.Cache) {
+    auto Entry = std::make_shared<cache::CachedCompile>();
+    Entry->AllocatedText = R.AllocatedText;
+    Entry->Stats = R.Stats;
+    Entry->Bytes = IRText.size() + R.AllocatedText.size() +
+                   sizeof(cache::CachedCompile);
+    EO.Cache->insert(ModKey, std::move(Entry));
+  }
   if (RunAfter) {
     R.Run = runAllocated(*P.M, TD);
     R.Ran = true;

@@ -25,9 +25,11 @@ namespace lsra {
 
 /// Run the full pipeline over \p M. On return every function is fully
 /// allocated (no virtual registers). Returns the summed allocator
-/// statistics.
+/// statistics. With EO.Cache set, each lowered function is looked up by
+/// its canonical printed text before being allocated.
 AllocStats compileModule(Module &M, const TargetDesc &TD, AllocatorKind K,
-                         const AllocOptions &Opts = AllocOptions());
+                         const AllocOptions &AO = {},
+                         const ExecOptions &EO = {});
 
 /// Result of one text-in/text-out compilation (see compileTextModule).
 struct TextCompileResult {
@@ -38,6 +40,7 @@ struct TextCompileResult {
   std::string ErrToken;
   std::string AllocatedText; ///< printed module after allocation
   AllocStats Stats;
+  bool CacheHit = false; ///< served whole from the module-level cache
   bool Ran = false; ///< RunAfter was requested and compilation succeeded
   RunResult Run;    ///< dynamic statistics when Ran
 };
@@ -47,9 +50,16 @@ struct TextCompileResult {
 /// execute on the VM for dynamic counts. This is what the compile server
 /// runs per request, and `lsra run` on a file is equivalent to it — so
 /// serving and offline compilation cannot drift apart.
+///
+/// With EO.Cache set, the raw \p IRText is first looked up as a whole
+/// module (a hit skips even parsing and returns the stored allocated text
+/// and statistics, with CacheHit set); on a miss the per-function cache of
+/// compileModule still applies, and the successful result is inserted at
+/// module level.
 TextCompileResult compileTextModule(const std::string &IRText,
                                     const TargetDesc &TD, AllocatorKind K,
-                                    const AllocOptions &Opts = {},
+                                    const AllocOptions &AO = {},
+                                    const ExecOptions &EO = {},
                                     bool RunAfter = false);
 
 /// Post-allocation structural check; returns an empty string when valid.

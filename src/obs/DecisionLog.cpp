@@ -33,6 +33,8 @@ const char *lsra::obs::decisionKindName(DecisionKind K) {
     return "coalesce-move";
   case DecisionKind::SpillWhole:
     return "spill-whole";
+  case DecisionKind::CacheHit:
+    return "cache-hit";
   }
   return "unknown";
 }

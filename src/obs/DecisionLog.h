@@ -48,6 +48,7 @@ enum class DecisionKind : uint8_t {
   SecondChanceDef,  ///< redefinition of a spilled temp gets a register (§2.3)
   CoalesceMove,     ///< move coalesced onto the source register (§2.5)
   SpillWhole,       ///< whole lifetime sent to memory (coloring/scan/GEM)
+  CacheHit,         ///< compile cache supplied the allocated body
 };
 
 const char *decisionKindName(DecisionKind K);

@@ -7,7 +7,11 @@
 #include "regalloc/Allocator.h"
 
 #include "analysis/AnalysisCache.h"
+#include "cache/CompileCache.h"
+#include "check/Clone.h"
+#include "ir/Printer.h"
 #include "obs/Counters.h"
+#include "obs/DecisionLog.h"
 #include "obs/Log.h"
 #include "obs/Trace.h"
 #include "passes/Peephole.h"
@@ -21,6 +25,7 @@
 #include "target/CalleeSave.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 using namespace lsra;
 
@@ -36,6 +41,22 @@ const char *lsra::allocatorName(AllocatorKind K) {
     return "poletto-scan";
   }
   return "unknown";
+}
+
+bool lsra::parseAllocatorName(const std::string &Name, AllocatorKind &Out) {
+  if (Name == "binpack" || Name == "second-chance" ||
+      Name == "second-chance-binpack")
+    Out = AllocatorKind::SecondChanceBinpack;
+  else if (Name == "coloring" || Name == "graph-coloring")
+    Out = AllocatorKind::GraphColoring;
+  else if (Name == "twopass" || Name == "two-pass" ||
+           Name == "two-pass-binpack")
+    Out = AllocatorKind::TwoPassBinpack;
+  else if (Name == "poletto" || Name == "poletto-scan")
+    Out = AllocatorKind::PolettoScan;
+  else
+    return false;
+  return true;
 }
 
 AllocStats &AllocStats::operator+=(const AllocStats &R) {
@@ -163,24 +184,125 @@ unsigned lsra::resolveThreadCount(unsigned Requested, unsigned NumItems) {
   return std::max(1u, std::min(T, std::max(NumItems, 1u)));
 }
 
+namespace {
+
+/// Build a cache entry from the allocated function \p F of \p M: a clone of
+/// the body plus the callee-name table needed to remap module-relative
+/// func-ref operands when the entry hits in a different module.
+std::shared_ptr<const cache::CachedCompile>
+snapshotAllocatedFunction(const Module &M, const Function &F,
+                          const AllocStats &Stats) {
+  auto Entry = std::make_shared<cache::CachedCompile>();
+  auto Clone = std::make_unique<Function>(F.id(), F.name());
+  cloneFunctionInto(F, *Clone);
+  for (const auto &B : Clone->blocks())
+    for (const Instr &I : B->instrs())
+      for (unsigned O = 0; O < 3; ++O)
+        if (I.op(O).isFunc()) {
+          unsigned Id = I.op(O).funcId();
+          Entry->Callees.emplace_back(Id, M.function(Id).name());
+        }
+  Entry->Fn = std::move(Clone);
+  Entry->Stats = Stats;
+  Entry->Bytes = cache::estimateFunctionBytes(*Entry->Fn) +
+                 sizeof(cache::CachedCompile);
+  return Entry;
+}
+
+/// Materialise the cached body \p E as a fresh function carrying id \p Idx,
+/// remapping the entry's module-relative func-ref operands into \p M by
+/// callee name. Returns nullptr when a callee cannot be resolved — the
+/// caller then falls back to a fresh allocation.
+std::unique_ptr<Function> materialiseCachedFunction(Module &M, unsigned Idx,
+                                                    const cache::CachedCompile &E) {
+  std::unordered_map<unsigned, unsigned> Remap;
+  for (const auto &C : E.Callees) {
+    Function *Callee = M.findFunction(C.second);
+    if (!Callee)
+      return nullptr;
+    Remap.emplace(C.first, Callee->id());
+  }
+  auto Fresh = std::make_unique<Function>(Idx, E.Fn->name());
+  cloneFunctionInto(*E.Fn, *Fresh);
+  for (const auto &B : Fresh->blocks())
+    for (Instr &I : B->instrs())
+      for (unsigned O = 0; O < 3; ++O)
+        if (I.op(O).isFunc())
+          I.op(O) = Operand::func(Remap.at(I.op(O).funcId()));
+  return Fresh;
+}
+
+/// The shared hit/miss path. With \p Deferred null a hit replaces the
+/// module's function immediately; with it non-null the replacement body is
+/// parked there instead, so parallel workers never mutate the module's
+/// function table while siblings read it (allocateModule swaps the bodies
+/// in after the join).
+AllocStats allocateFunctionCached(Module &M, unsigned Idx,
+                                  const TargetDesc &TD, AllocatorKind K,
+                                  const AllocOptions &AO,
+                                  const ExecOptions &EO,
+                                  std::unique_ptr<Function> *Deferred) {
+  Function &F = M.function(Idx);
+  if (!EO.Cache)
+    return allocateFunction(F, TD, K, AO);
+  std::string Canonical = toString(F, &M);
+  cache::CacheKey Key = cache::makeFunctionKey(Canonical, AO.fingerprint(),
+                                               K, TD.fingerprint());
+  if (auto Hit = EO.Cache->lookup(Key)) {
+    if (std::unique_ptr<Function> Body =
+            materialiseCachedFunction(M, Idx, *Hit)) {
+      obs::DecisionLog &DL = obs::DecisionLog::global();
+      if (DL.enabled())
+        DL.record(*Body, obs::DecisionKind::CacheHit, obs::NoValue,
+                  obs::NoValue, obs::NoValue,
+                  "allocated body served from the compile cache");
+      if (Deferred)
+        *Deferred = std::move(Body);
+      else
+        M.replaceFunction(Idx, std::move(Body));
+      return Hit->Stats;
+    }
+  }
+  AllocStats Stats = allocateFunction(F, TD, K, AO);
+  EO.Cache->insert(Key, snapshotAllocatedFunction(M, F, Stats));
+  return Stats;
+}
+
+} // namespace
+
+AllocStats lsra::allocateFunctionInModule(Module &M, unsigned Idx,
+                                          const TargetDesc &TD,
+                                          AllocatorKind K,
+                                          const AllocOptions &AO,
+                                          const ExecOptions &EO) {
+  return allocateFunctionCached(M, Idx, TD, K, AO, EO, nullptr);
+}
+
 AllocStats lsra::allocateModule(Module &M, const TargetDesc &TD,
-                                AllocatorKind K, const AllocOptions &Opts) {
+                                AllocatorKind K, const AllocOptions &AO,
+                                const ExecOptions &EO) {
   Timer Wall;
   Wall.start();
   AllocStats Total;
   unsigned N = M.numFunctions();
-  unsigned Threads = resolveThreadCount(Opts.Threads, N);
+  unsigned Threads = resolveThreadCount(EO.Threads, N);
   if (Threads <= 1) {
-    for (auto &F : M.functions())
-      Total += allocateFunction(*F, TD, K, Opts);
+    for (unsigned I = 0; I < N; ++I)
+      Total += allocateFunctionInModule(M, I, TD, K, AO, EO);
   } else {
     // Functions are independent (each allocator mutates only its own
     // Function); merge the per-function statistics in index order so the
-    // totals match the sequential run exactly.
+    // totals match the sequential run exactly. Cache hits are parked and
+    // swapped in after the join: replaceFunction would race with sibling
+    // workers resolving callee names through the function table.
     std::vector<AllocStats> Per(N);
+    std::vector<std::unique_ptr<Function>> Hit(N);
     parallelFor(N, Threads, [&](unsigned I) {
-      Per[I] = allocateFunction(M.function(I), TD, K, Opts);
+      Per[I] = allocateFunctionCached(M, I, TD, K, AO, EO, &Hit[I]);
     });
+    for (unsigned I = 0; I < N; ++I)
+      if (Hit[I])
+        M.replaceFunction(I, std::move(Hit[I]));
     for (const AllocStats &S : Per)
       Total += S;
   }

@@ -18,9 +18,14 @@
 #include "ir/Module.h"
 #include "target/Target.h"
 
+#include <cstdint>
 #include <string>
 
 namespace lsra {
+
+namespace cache {
+class CompileCache;
+} // namespace cache
 
 enum class AllocatorKind {
   SecondChanceBinpack, ///< the paper's contribution (§2)
@@ -31,6 +36,23 @@ enum class AllocatorKind {
 
 const char *allocatorName(AllocatorKind K);
 
+/// Inverse of allocatorName, also accepting the short CLI aliases
+/// ("binpack", "coloring", "twopass", "poletto"). The one parser shared by
+/// the CLI, the bench tools, and the server's wire-protocol decoding.
+bool parseAllocatorName(const std::string &Name, AllocatorKind &Out);
+
+/// The semantic allocation knobs: everything here changes the allocated
+/// code, so the set doubles as the compile cache's options key (see
+/// fingerprint()). Execution-shaping settings that cannot change the
+/// output — thread counts, verification, caching itself — live in
+/// ExecOptions and are deliberately excluded.
+///
+/// Every public entry point (allocateFunction / allocateModule /
+/// compileModule / compileTextModule) takes an explicit
+/// (AllocOptions, ExecOptions) pair with the same one default: `{}`,
+/// meaning the paper's configuration (second chance + coalescing +
+/// iterative consistency + peephole + callee saves, no spill cleanup),
+/// run sequentially with no cache and no verification.
 struct AllocOptions {
   /// §2.5 "early second chance": on a convention eviction, move to a free
   /// register instead of emitting a store now and a load later.
@@ -51,15 +73,41 @@ struct AllocOptions {
   /// replace them with register moves (passes/SpillCleanup). Off by
   /// default to match the paper's configuration.
   bool SpillCleanup = false;
-  /// Run the check/Verifier translation validator over the result
-  /// (compileTextModule only: it needs the pre-allocation module to compare
-  /// against). A failed proof is reported as a compile error.
-  bool VerifyAlloc = false;
+
+  bool operator==(const AllocOptions &R) const {
+    return EarlySecondChance == R.EarlySecondChance &&
+           MoveCoalesce == R.MoveCoalesce && Consistency == R.Consistency &&
+           RunPeephole == R.RunPeephole && CalleeSaves == R.CalleeSaves &&
+           SpillCleanup == R.SpillCleanup;
+  }
+  bool operator!=(const AllocOptions &R) const { return !(*this == R); }
+
+  /// Stable 64-bit fingerprint over every semantic knob, salted with a
+  /// schema version so adding a knob invalidates old cache entries rather
+  /// than aliasing them. Equal options ⇔ equal fingerprints.
+  uint64_t fingerprint() const;
+};
+
+/// How a compilation runs, not what it produces. Nothing in here may
+/// influence the allocated code — that invariant is what makes it safe to
+/// exclude ExecOptions from the compile-cache key (and it is enforced by
+/// tests/cache_test.cpp and the fuzzer's cache-differential mode).
+struct ExecOptions {
   /// Worker threads for allocateModule/compileModule. Functions are
   /// allocated independently and the per-function statistics are merged in
   /// function-index order, so results are identical for any thread count.
   /// 1 = sequential (default); 0 = one worker per hardware thread.
   unsigned Threads = 1;
+  /// Run the check/Verifier translation validator over the result
+  /// (compileTextModule only: it needs the pre-allocation module to compare
+  /// against). A failed proof is reported as a compile error.
+  bool VerifyAlloc = false;
+  /// Content-addressed compile cache consulted by the module-level entry
+  /// points (borrowed, not owned; nullptr = no caching). compileTextModule
+  /// keys whole modules on the raw request text; allocateModule /
+  /// compileModule additionally key each function on its canonical printed
+  /// form, so repeated functions hit across modules.
+  cache::CompileCache *Cache = nullptr;
 };
 
 struct AllocStats {
@@ -97,15 +145,26 @@ struct AllocStats {
 
 /// Allocate registers for \p F with allocator \p K. The function must have
 /// its calls lowered. On return the function contains no virtual
-/// registers. Callee-save code is inserted when Opts.CalleeSaves is set.
+/// registers. Callee-save code is inserted when AO.CalleeSaves is set.
 AllocStats allocateFunction(Function &F, const TargetDesc &TD,
-                            AllocatorKind K, const AllocOptions &Opts = {});
+                            AllocatorKind K, const AllocOptions &AO = {});
+
+/// Allocate the function at index \p Idx of \p M, consulting EO.Cache (if
+/// any) keyed on the function's canonical printed text. On a hit the cached
+/// allocated body replaces the function and the cached statistics are
+/// returned; on a miss the function is allocated and the result inserted.
+/// With EO.Cache == nullptr this is exactly allocateFunction.
+AllocStats allocateFunctionInModule(Module &M, unsigned Idx,
+                                    const TargetDesc &TD, AllocatorKind K,
+                                    const AllocOptions &AO = {},
+                                    const ExecOptions &EO = {});
 
 /// Allocate every function in \p M; returns the statistics merged in
-/// function-index order. With Opts.Threads != 1 functions are farmed out
+/// function-index order. With EO.Threads != 1 functions are farmed out
 /// to a worker pool; results are bit-identical to the sequential run.
 AllocStats allocateModule(Module &M, const TargetDesc &TD, AllocatorKind K,
-                          const AllocOptions &Opts = {});
+                          const AllocOptions &AO = {},
+                          const ExecOptions &EO = {});
 
 /// Effective worker count for \p Requested threads over \p NumItems
 /// independent work items (0 = hardware concurrency; capped by NumItems).

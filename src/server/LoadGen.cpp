@@ -10,6 +10,7 @@
 #include "obs/Json.h"
 #include "server/Client.h"
 #include "support/Timer.h"
+#include "workloads/RandomProgram.h"
 #include "workloads/Workloads.h"
 
 #include <algorithm>
@@ -46,32 +47,42 @@ int64_t nowNs() {
 struct WorkerResult {
   std::vector<double> LatenciesMs;
   uint64_t Ok = 0, Rejected = 0, Deadline = 0, Errors = 0, Transport = 0;
-  uint64_t Sent = 0, BytesSent = 0, BytesReceived = 0;
+  uint64_t Sent = 0, BytesSent = 0, BytesReceived = 0, Cached = 0;
 };
 
 } // namespace
 
 bool lsra::server::runLoadGen(const LoadGenOptions &Opts, LoadGenReport &Out,
                               std::string &Err) {
-  if (Opts.Workloads.empty()) {
-    Err = "no workloads given";
-    return false;
-  }
-  // Render each workload to wire text once, up front.
   std::vector<std::string> Corpus;
-  for (const std::string &Name : Opts.Workloads) {
-    bool Found = false;
-    for (const WorkloadSpec &W : allWorkloads())
-      if (Name == W.Name) {
-        std::ostringstream OS;
-        printModule(OS, *W.Build());
-        Corpus.push_back(OS.str());
-        Found = true;
-        break;
-      }
-    if (!Found) {
-      Err = "no such workload: '" + Name + "'";
+  if (Opts.UniquePrograms) {
+    // Repeated-mix mode: K seeded random programs, cycled below, so the
+    // expected server cache hit rate is (Requests - K) / Requests.
+    for (unsigned I = 0; I < Opts.UniquePrograms; ++I) {
+      std::ostringstream OS;
+      printModule(OS, *buildRandomProgram(Opts.MixSeed + I));
+      Corpus.push_back(OS.str());
+    }
+  } else {
+    if (Opts.Workloads.empty()) {
+      Err = "no workloads given";
       return false;
+    }
+    // Render each workload to wire text once, up front.
+    for (const std::string &Name : Opts.Workloads) {
+      bool Found = false;
+      for (const WorkloadSpec &W : allWorkloads())
+        if (Name == W.Name) {
+          std::ostringstream OS;
+          printModule(OS, *W.Build());
+          Corpus.push_back(OS.str());
+          Found = true;
+          break;
+        }
+      if (!Found) {
+        Err = "no such workload: '" + Name + "'";
+        return false;
+      }
     }
   }
 
@@ -126,6 +137,7 @@ bool lsra::server::runLoadGen(const LoadGenOptions &Opts, LoadGenReport &Out,
         Req.Regs = Opts.Regs;
         Req.Run = Opts.Run;
         Req.DeadlineMs = Opts.DeadlineMs;
+        Req.NoCache = Opts.NoCache;
         Req.IRText = Corpus[K % Corpus.size()];
         CompileResponse Resp;
         R.Sent++;
@@ -144,6 +156,8 @@ bool lsra::server::runLoadGen(const LoadGenOptions &Opts, LoadGenReport &Out,
         switch (Resp.Status) {
         case FrameType::CompileOk:
           R.Ok++;
+          if (Resp.Cached)
+            R.Cached++;
           break;
         case FrameType::Rejected:
           R.Rejected++;
@@ -175,6 +189,7 @@ bool lsra::server::runLoadGen(const LoadGenOptions &Opts, LoadGenReport &Out,
     Out.TransportErrors += R.Transport;
     Out.BytesSent += R.BytesSent;
     Out.BytesReceived += R.BytesReceived;
+    Out.CachedResponses += R.Cached;
     All.insert(All.end(), R.LatenciesMs.begin(), R.LatenciesMs.end());
   }
   Out.WallSeconds = Wall;
@@ -209,6 +224,9 @@ std::string lsra::server::loadGenReportJson(const LoadGenOptions &Opts,
   O.field("allocator", Opts.Allocator);
   O.field("concurrency", Opts.Concurrency);
   O.field("requests", Opts.Requests);
+  O.field("unique_programs", Opts.UniquePrograms);
+  O.field("no_cache", Opts.NoCache ? 1 : 0);
+  O.field("cached_responses", R.CachedResponses);
   O.field("qps", Opts.Qps);
   O.field("deadline_ms", Opts.DeadlineMs);
   O.field("sent", R.Sent);

@@ -42,6 +42,13 @@ struct LoadGenOptions {
   /// Workload names (see `lsra list`); requests round-robin across them.
   std::vector<std::string> Workloads;
 
+  /// Repeated-mix mode: when non-zero, the corpus is replaced by
+  /// UniquePrograms distinct seeded random programs and requests cycle
+  /// through them, so a server cache should converge on a hit rate of
+  /// (Requests - UniquePrograms) / Requests. 0 = replay Workloads.
+  unsigned UniquePrograms = 0;
+  uint64_t MixSeed = 1; ///< base seed for the repeated-mix programs
+
   unsigned Concurrency = 4; ///< connections = client threads
   unsigned Requests = 64;   ///< total requests to send
   double Qps = 0;           ///< open-loop arrival rate (0 = closed loop)
@@ -51,6 +58,7 @@ struct LoadGenOptions {
   unsigned Regs = 0;
   bool Run = false;
   uint32_t DeadlineMs = 0;
+  bool NoCache = false; ///< ask the server to bypass its compile cache
 };
 
 struct LoadGenReport {
@@ -65,6 +73,7 @@ struct LoadGenReport {
   // Latency over all answered requests, milliseconds.
   double MeanMs = 0, P50Ms = 0, P95Ms = 0, P99Ms = 0, MaxMs = 0;
   uint64_t BytesSent = 0, BytesReceived = 0;
+  uint64_t CachedResponses = 0; ///< CompileOk frames carrying cached=1
 };
 
 /// Run the load test. False (with \p Err) only for setup failures

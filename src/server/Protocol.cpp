@@ -96,6 +96,7 @@ std::string lsra::server::encodeFrameHeader(uint32_t PayloadLen,
   std::string H;
   H.reserve(FrameHeaderBytes);
   putU32(H, FrameMagic);
+  H.push_back(static_cast<char>(ProtocolVersion));
   putU32(H, PayloadLen);
   putU32(H, RequestId);
   H.push_back(static_cast<char>(Type));
@@ -109,9 +110,18 @@ bool lsra::server::decodeFrameHeader(
     Err = "bad frame magic";
     return false;
   }
-  PayloadLen = getU32(Header + 4);
-  RequestId = getU32(Header + 8);
-  uint8_t T = Header[12];
+  // Parse the remaining fields before the version check: a mismatched
+  // frame's request id is what lets the server send a typed Error reply.
+  uint8_t Version = Header[4];
+  PayloadLen = getU32(Header + 5);
+  RequestId = getU32(Header + 9);
+  uint8_t T = Header[13];
+  if (Version != ProtocolVersion) {
+    Err = std::string(VersionMismatchPrefix) + ": got " +
+          std::to_string(Version) + ", want " +
+          std::to_string(ProtocolVersion);
+    return false;
+  }
   if (T < static_cast<uint8_t>(FrameType::CompileRequest) ||
       T > static_cast<uint8_t>(FrameType::Pong)) {
     Err = "unknown frame type " + std::to_string(T);
@@ -138,6 +148,8 @@ std::string lsra::server::encodeCompileRequest(const CompileRequest &R) {
     OS << "deadline_ms=" << R.DeadlineMs << "\n";
   if (R.HoldMs)
     OS << "hold_ms=" << R.HoldMs << "\n";
+  if (R.NoCache)
+    OS << "no_cache=1\n";
   OS << "\n" << R.IRText;
   return OS.str();
 }
@@ -161,6 +173,8 @@ bool lsra::server::decodeCompileRequest(const std::string &Payload,
       Out.DeadlineMs = static_cast<uint32_t>(toU64(V));
     else if (K == "hold_ms")
       Out.HoldMs = static_cast<uint32_t>(toU64(V));
+    else if (K == "no_cache")
+      Out.NoCache = V == "1";
     else {
       Err = "unknown request field '" + K + "'";
       return false;
@@ -181,6 +195,8 @@ std::string lsra::server::encodeCompileResponse(const CompileResponse &R) {
     char Buf[32];
     std::snprintf(Buf, sizeof(Buf), "%.6f", R.AllocSeconds);
     OS << "alloc_s=" << Buf << "\n";
+    if (R.Cached)
+      OS << "cached=1\n";
     if (R.HasRun)
       OS << "dyn_instrs=" << R.DynInstrs << "\n"
          << "cycles=" << R.Cycles << "\n"
@@ -237,6 +253,8 @@ bool lsra::server::decodeCompileResponse(FrameType T,
       Out.Splits = static_cast<unsigned>(toU64(V));
     else if (K == "alloc_s")
       Out.AllocSeconds = std::strtod(V.c_str(), nullptr);
+    else if (K == "cached")
+      Out.Cached = V == "1";
     else if (K == "dyn_instrs") {
       Out.HasRun = true;
       Out.DynInstrs = toU64(V);

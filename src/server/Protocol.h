@@ -13,10 +13,16 @@
 /// Frame layout (all integers little-endian):
 ///
 ///   +0  u32  magic       'LSRA' (0x4153524c) — cheap desync/garbage check
-///   +4  u32  payload len  bytes following the 13-byte header
-///   +8  u32  request id   echoed verbatim in the response
-///   +12 u8   type         FrameType
-///   +13 ...  payload
+///   +4  u8   version     ProtocolVersion — reject mismatches explicitly
+///   +5  u32  payload len  bytes following the 14-byte header
+///   +9  u32  request id   echoed verbatim in the response
+///   +13 u8   type         FrameType
+///   +14 ...  payload
+///
+/// The version byte exists so header/payload fields (like the cache
+/// controls) can change shape without silently corrupting old peers: a
+/// server answers a version-mismatched frame with a typed Error frame
+/// (the id is still readable) and closes; bad magic just closes.
 ///
 /// Compile request/response payloads are "key=value" header lines, a blank
 /// line, then a body: the module IR text for CompileRequest/CompileOk, the
@@ -39,8 +45,17 @@ namespace server {
 /// 'LSRA' in little-endian byte order.
 constexpr uint32_t FrameMagic = 0x4153524cu;
 
-/// Frame header size on the wire (magic + len + id + type).
-constexpr uint32_t FrameHeaderBytes = 13;
+/// Wire-protocol version. Bump when the header or the defined payload
+/// fields change incompatibly.
+constexpr uint8_t ProtocolVersion = 1;
+
+/// Frame header size on the wire (magic + version + len + id + type).
+constexpr uint32_t FrameHeaderBytes = 14;
+
+/// Error-string prefix decodeFrameHeader uses for a version mismatch; the
+/// server matches it to reply with a typed Error frame instead of just
+/// dropping the connection.
+constexpr const char *VersionMismatchPrefix = "protocol version mismatch";
 
 /// Upper bound on a single frame payload; larger frames indicate a broken
 /// or hostile peer and close the connection.
@@ -68,6 +83,7 @@ struct CompileRequest {
   bool Run = false;        ///< execute on the VM, report dynamic counts
   uint32_t DeadlineMs = 0; ///< relative deadline (0 = none)
   uint32_t HoldMs = 0;     ///< worker sleeps this long first (load tests)
+  bool NoCache = false;    ///< bypass the server's compile cache
   std::string IRText;      ///< the module, in textual IR form
 };
 
@@ -89,6 +105,7 @@ struct CompileResponse {
   unsigned Coalesced = 0;
   unsigned Splits = 0;
   double AllocSeconds = 0;
+  bool Cached = false; ///< served from the server's compile cache
 
   // Dynamic execution statistics (CompileOk with CompileRequest::Run).
   bool HasRun = false;
@@ -117,12 +134,15 @@ std::string encodeCompileResponse(const CompileResponse &R);
 bool decodeCompileResponse(FrameType T, const std::string &Payload,
                            CompileResponse &Out, std::string &Err);
 
-/// Encode the 13-byte frame header for \p PayloadLen bytes.
+/// Encode the 14-byte frame header for \p PayloadLen bytes (at the current
+/// ProtocolVersion).
 std::string encodeFrameHeader(uint32_t PayloadLen, uint32_t RequestId,
                               FrameType Type);
 
-/// Decode a 13-byte header. False on bad magic, unknown type, or a
-/// payload length above MaxFramePayload.
+/// Decode a 14-byte header. False on bad magic, version mismatch, unknown
+/// type, or a payload length above MaxFramePayload. On a version mismatch
+/// \p Err starts with VersionMismatchPrefix and \p RequestId is still
+/// filled in, so the caller can send a typed Error reply.
 bool decodeFrameHeader(const unsigned char Header[FrameHeaderBytes],
                        uint32_t &PayloadLen, uint32_t &RequestId,
                        FrameType &Type, std::string &Err);

@@ -21,20 +21,6 @@ namespace {
 /// Poll interval for shutdown checks in accept/reader loops.
 constexpr int TickMs = 50;
 
-bool allocatorKindFromName(const std::string &Name, AllocatorKind &Out) {
-  if (Name == "binpack" || Name == "second-chance-binpack")
-    Out = AllocatorKind::SecondChanceBinpack;
-  else if (Name == "coloring" || Name == "graph-coloring")
-    Out = AllocatorKind::GraphColoring;
-  else if (Name == "twopass" || Name == "two-pass-binpack")
-    Out = AllocatorKind::TwoPassBinpack;
-  else if (Name == "poletto" || Name == "poletto-scan")
-    Out = AllocatorKind::PolettoScan;
-  else
-    return false;
-  return true;
-}
-
 void bumpCounter(const char *Name, uint64_t N = 1) {
   obs::CounterRegistry &CR = obs::CounterRegistry::global();
   if (CR.enabled())
@@ -70,6 +56,12 @@ bool Server::start(std::string &Err) {
                             : Listener::listenUnix(Opts.UnixPath, Err);
   if (!L.valid())
     return false;
+
+  if (Opts.CacheBytes) {
+    cache::CacheConfig CC;
+    CC.MaxBytes = Opts.CacheBytes;
+    Cache = std::make_unique<cache::CompileCache>(CC);
+  }
 
   unsigned NumWorkers =
       Opts.Workers ? Opts.Workers : ThreadPool::defaultThreadCount();
@@ -124,6 +116,16 @@ void Server::readerLoop(ConnPtr C) {
     if (St == Socket::RecvStatus::Closed)
       return;
     if (St == Socket::RecvStatus::Error) {
+      // A version-mismatched frame still yields its request id, so the
+      // client gets a typed Error telling it why before the close; any
+      // other header damage (bad magic, torn frame) is just dropped.
+      if (Err.rfind(VersionMismatchPrefix, 0) == 0) {
+        CompileResponse R;
+        R.Status = FrameType::Error;
+        R.Message = Err;
+        bumpCounter("server.version_mismatch");
+        respond(C, Id, R.Status, encodeCompileResponse(R));
+      }
       LSRA_LOG(2, "server: dropping connection: %s", Err.c_str());
       return;
     }
@@ -207,7 +209,7 @@ void Server::handleCompile(const ConnPtr &C, uint32_t Id,
     std::this_thread::sleep_for(std::chrono::milliseconds(Req.HoldMs));
 
   AllocatorKind Kind;
-  if (!allocatorKindFromName(Req.Allocator, Kind)) {
+  if (!parseAllocatorName(Req.Allocator, Kind)) {
     R.Status = FrameType::Error;
     R.Message = "unknown allocator '" + Req.Allocator + "'";
     bumpCounter("server.parse_errors");
@@ -220,12 +222,14 @@ void Server::handleCompile(const ConnPtr &C, uint32_t Id,
     TD = TD.withRegLimit(Req.Regs, Req.Regs);
   AllocOptions AO;
   AO.SpillCleanup = Req.Cleanup;
-  AO.Threads = Opts.ThreadsPerRequest;
-  AO.VerifyAlloc = Opts.VerifyAlloc;
+  ExecOptions EO;
+  EO.Threads = Opts.ThreadsPerRequest;
+  EO.VerifyAlloc = Opts.VerifyAlloc;
+  EO.Cache = Req.NoCache ? nullptr : Cache.get();
 
   TextCompileResult TC;
   try {
-    TC = compileTextModule(Req.IRText, TD, Kind, AO, Req.Run);
+    TC = compileTextModule(Req.IRText, TD, Kind, AO, EO, Req.Run);
   } catch (const std::exception &E) {
     TC.Ok = false;
     TC.Error = std::string("internal error: ") + E.what();
@@ -258,6 +262,9 @@ void Server::handleCompile(const ConnPtr &C, uint32_t Id,
   R.Coalesced = TC.Stats.MovesCoalesced;
   R.Splits = TC.Stats.LifetimeSplits;
   R.AllocSeconds = TC.Stats.AllocSeconds;
+  R.Cached = TC.CacheHit;
+  if (TC.CacheHit)
+    bumpCounter("server.cache_hits");
   if (TC.Ran && TC.Run.Ok) {
     R.HasRun = true;
     R.DynInstrs = TC.Run.Stats.Total;

@@ -42,6 +42,7 @@
 #ifndef LSRA_SERVER_SERVER_H
 #define LSRA_SERVER_SERVER_H
 
+#include "cache/CompileCache.h"
 #include "server/RequestQueue.h"
 #include "server/Socket.h"
 #include "support/ThreadPool.h"
@@ -77,6 +78,11 @@ struct ServerOptions {
   /// reject unprovable allocations with a typed "allocation verify:" error
   /// response instead of returning wrong code.
   bool VerifyAlloc = false;
+
+  /// Budget of the server's content-addressed compile cache, in bytes
+  /// (0 = caching off). Requests can opt out individually with the wire
+  /// field no_cache=1.
+  size_t CacheBytes = 64u << 20;
 };
 
 class Server {
@@ -108,6 +114,9 @@ public:
     return Served.load(std::memory_order_relaxed);
   }
 
+  /// The server's compile cache (null when Opts.CacheBytes == 0).
+  cache::CompileCache *compileCache() { return Cache.get(); }
+
 private:
   /// One live client connection. Workers for pipelined requests respond
   /// concurrently, so writes are serialized by WriteMu; the struct is
@@ -129,6 +138,7 @@ private:
   ServerOptions Opts;
   Listener L;
   RequestQueue Queue;
+  std::unique_ptr<cache::CompileCache> Cache;
   std::unique_ptr<ThreadPool> Workers;
   std::thread AcceptThread;
   std::mutex ReadersMu;

@@ -68,6 +68,12 @@ public:
   /// Bit mask of the callee-saved registers.
   uint64_t calleeSavedMask() const { return CalleeSavedBits; }
 
+  /// Stable 64-bit fingerprint over everything that can change allocation:
+  /// both allocation orders and the three register-set masks. Targets with
+  /// different register limits fingerprint differently, so they never share
+  /// compile-cache entries.
+  uint64_t fingerprint() const;
+
   // --- Calling convention (fixed, independent of register limits) ---------
 
   static constexpr unsigned NumArgRegs = 6;

@@ -1,0 +1,395 @@
+//===- tests/cache_test.cpp - Compile-cache correctness tests -------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The compile cache is only sound if a hit is indistinguishable from a
+// fresh compile. These tests pin that down: byte-identical allocated text
+// and statistics across every workload × allocator, key sensitivity
+// (semantic options and target changes miss, execution options hit),
+// LRU eviction under a tiny budget, and a concurrent hit/miss storm
+// (designed to run under LSRA_SANITIZE=thread).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/CompileCache.h"
+#include "driver/Options.h"
+#include "driver/Pipeline.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "workloads/RandomProgram.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace lsra;
+
+namespace {
+
+std::string workloadText(const char *Name) {
+  std::ostringstream OS;
+  printModule(OS, *buildWorkload(Name));
+  return OS.str();
+}
+
+constexpr AllocatorKind AllKinds[] = {
+    AllocatorKind::SecondChanceBinpack, AllocatorKind::GraphColoring,
+    AllocatorKind::TwoPassBinpack, AllocatorKind::PolettoScan};
+
+/// Every deterministic AllocStats field; timing (AllocSeconds/WallSeconds)
+/// is machine noise and, on a hit, deliberately the *cold* run's value.
+void expectSameStats(const AllocStats &A, const AllocStats &B,
+                     const std::string &Ctx) {
+  EXPECT_EQ(A.RegCandidates, B.RegCandidates) << Ctx;
+  EXPECT_EQ(A.SpilledTemps, B.SpilledTemps) << Ctx;
+  EXPECT_EQ(A.LifetimeSplits, B.LifetimeSplits) << Ctx;
+  EXPECT_EQ(A.MovesCoalesced, B.MovesCoalesced) << Ctx;
+  EXPECT_EQ(A.SplitEdges, B.SplitEdges) << Ctx;
+  EXPECT_EQ(A.EvictLoads, B.EvictLoads) << Ctx;
+  EXPECT_EQ(A.EvictStores, B.EvictStores) << Ctx;
+  EXPECT_EQ(A.EvictMoves, B.EvictMoves) << Ctx;
+  EXPECT_EQ(A.ResolveLoads, B.ResolveLoads) << Ctx;
+  EXPECT_EQ(A.ResolveStores, B.ResolveStores) << Ctx;
+  EXPECT_EQ(A.ResolveMoves, B.ResolveMoves) << Ctx;
+  EXPECT_EQ(A.DataflowIterations, B.DataflowIterations) << Ctx;
+  EXPECT_EQ(A.ColoringIterations, B.ColoringIterations) << Ctx;
+  EXPECT_EQ(A.InterferenceEdges, B.InterferenceEdges) << Ctx;
+}
+
+} // namespace
+
+// The acceptance criterion: for every workload and every allocator, the
+// cache-off compile, the cache-cold compile, and the cache-warm (hit)
+// compile all produce byte-identical allocated text and equal statistics.
+TEST(CompileCache, ByteIdenticalAcrossWorkloadsAndAllocators) {
+  TargetDesc TD = TargetDesc::alphaLike();
+  for (const WorkloadSpec &W : allWorkloads()) {
+    std::string Text = workloadText(W.Name);
+    for (AllocatorKind K : AllKinds) {
+      std::string Ctx =
+          std::string(W.Name) + "/" + allocatorName(K);
+
+      TextCompileResult Off = compileTextModule(Text, TD, K);
+      ASSERT_TRUE(Off.Ok) << Ctx << ": " << Off.Error;
+      EXPECT_FALSE(Off.CacheHit) << Ctx;
+
+      cache::CompileCache Cache;
+      ExecOptions EO;
+      EO.Cache = &Cache;
+      TextCompileResult Cold = compileTextModule(Text, TD, K, {}, EO);
+      ASSERT_TRUE(Cold.Ok) << Ctx << ": " << Cold.Error;
+      EXPECT_FALSE(Cold.CacheHit) << Ctx;
+      EXPECT_EQ(Cold.AllocatedText, Off.AllocatedText) << Ctx;
+      expectSameStats(Cold.Stats, Off.Stats, Ctx);
+
+      TextCompileResult Warm = compileTextModule(Text, TD, K, {}, EO);
+      ASSERT_TRUE(Warm.Ok) << Ctx << ": " << Warm.Error;
+      EXPECT_TRUE(Warm.CacheHit) << Ctx;
+      EXPECT_EQ(Warm.AllocatedText, Off.AllocatedText) << Ctx;
+      expectSameStats(Warm.Stats, Off.Stats, Ctx);
+
+      cache::CacheStats CS = Cache.stats();
+      EXPECT_EQ(CS.Hits, 1u) << Ctx;
+      EXPECT_GE(CS.Insertions, 1u) << Ctx;
+    }
+  }
+}
+
+// Function-level entries (compileModule's fan-out) must hit when the same
+// module is compiled again, and the result must match an uncached compile.
+TEST(CompileCache, FunctionLevelHitsAcrossFreshModules) {
+  TargetDesc TD = TargetDesc::alphaLike();
+  std::string Text = workloadText("li"); // call-heavy: func-ref operands
+  for (AllocatorKind K : AllKinds) {
+    auto Baseline = parseModule(Text);
+    ASSERT_TRUE(Baseline.ok());
+    compileModule(*Baseline.M, TD, K);
+    std::ostringstream B;
+    printModule(B, *Baseline.M);
+
+    cache::CompileCache Cache;
+    ExecOptions EO;
+    EO.Cache = &Cache;
+    auto First = parseModule(Text);
+    ASSERT_TRUE(First.ok());
+    compileModule(*First.M, TD, K, {}, EO);
+    std::ostringstream F;
+    printModule(F, *First.M);
+    EXPECT_EQ(F.str(), B.str()) << allocatorName(K);
+
+    // A fresh parse of the same text: every function must be served from
+    // the cache and the printed module must still be byte-identical.
+    auto Second = parseModule(Text);
+    ASSERT_TRUE(Second.ok());
+    compileModule(*Second.M, TD, K, {}, EO);
+    std::ostringstream S;
+    printModule(S, *Second.M);
+    EXPECT_EQ(S.str(), B.str()) << allocatorName(K);
+    cache::CacheStats CS = Cache.stats();
+    EXPECT_GE(CS.Hits, Second.M->numFunctions()) << allocatorName(K);
+  }
+}
+
+// Function-level hits also fire under the parallel allocation path, where
+// materialised bodies are deferred and swapped in after the join.
+TEST(CompileCache, FunctionLevelHitsUnderParallelCompile) {
+  TargetDesc TD = TargetDesc::alphaLike();
+  std::string Text = workloadText("li");
+  auto Baseline = parseModule(Text);
+  ASSERT_TRUE(Baseline.ok());
+  compileModule(*Baseline.M, TD, AllocatorKind::SecondChanceBinpack);
+  std::ostringstream B;
+  printModule(B, *Baseline.M);
+
+  cache::CompileCache Cache;
+  ExecOptions EO;
+  EO.Cache = &Cache;
+  EO.Threads = 4;
+  auto First = parseModule(Text);
+  ASSERT_TRUE(First.ok());
+  compileModule(*First.M, TD, AllocatorKind::SecondChanceBinpack, {}, EO);
+  auto Second = parseModule(Text);
+  ASSERT_TRUE(Second.ok());
+  compileModule(*Second.M, TD, AllocatorKind::SecondChanceBinpack, {}, EO);
+  std::ostringstream S;
+  printModule(S, *Second.M);
+  EXPECT_EQ(S.str(), B.str());
+  EXPECT_GE(Cache.stats().Hits, Second.M->numFunctions());
+}
+
+// The key must be exactly (text, semantic options, allocator, target):
+// changing any semantic input misses; changing execution options hits.
+TEST(CompileCache, FingerprintSensitivity) {
+  TargetDesc TD = TargetDesc::alphaLike();
+  std::string Text = workloadText("espresso");
+  cache::CompileCache Cache;
+  ExecOptions EO;
+  EO.Cache = &Cache;
+
+  TextCompileResult Cold = compileTextModule(
+      Text, TD, AllocatorKind::SecondChanceBinpack, {}, EO);
+  ASSERT_TRUE(Cold.Ok) << Cold.Error;
+
+  // Same everything → hit.
+  EXPECT_TRUE(compileTextModule(Text, TD, AllocatorKind::SecondChanceBinpack,
+                                {}, EO)
+                  .CacheHit);
+
+  // A semantic knob (spill cleanup changes the emitted code) → miss.
+  AllocOptions Cleanup;
+  Cleanup.SpillCleanup = true;
+  EXPECT_FALSE(compileTextModule(Text, TD,
+                                 AllocatorKind::SecondChanceBinpack, Cleanup,
+                                 EO)
+                   .CacheHit);
+
+  // A different allocator → miss.
+  EXPECT_FALSE(
+      compileTextModule(Text, TD, AllocatorKind::GraphColoring, {}, EO)
+          .CacheHit);
+
+  // A different target (register limit) → miss.
+  TargetDesc Tight = TD.withRegLimit(8, 8);
+  EXPECT_FALSE(compileTextModule(Text, Tight,
+                                 AllocatorKind::SecondChanceBinpack, {}, EO)
+                   .CacheHit);
+
+  // Execution options must NOT key the cache: thread count and the
+  // verifier flag change how we compile, never what we produce.
+  ExecOptions Threaded = EO;
+  Threaded.Threads = 4;
+  EXPECT_TRUE(compileTextModule(Text, TD, AllocatorKind::SecondChanceBinpack,
+                                {}, Threaded)
+                  .CacheHit);
+  ExecOptions Verified = EO;
+  Verified.VerifyAlloc = true;
+  EXPECT_TRUE(compileTextModule(Text, TD, AllocatorKind::SecondChanceBinpack,
+                                {}, Verified)
+                  .CacheHit);
+}
+
+// AllocOptions::fingerprint() must separate exactly what operator==
+// separates.
+TEST(CompileCache, OptionsFingerprintMatchesEquality) {
+  AllocOptions A, B;
+  EXPECT_TRUE(A == B);
+  EXPECT_EQ(A.fingerprint(), B.fingerprint());
+  B.SpillCleanup = true;
+  EXPECT_TRUE(A != B);
+  EXPECT_NE(A.fingerprint(), B.fingerprint());
+  B = A;
+  B.Consistency = AllocOptions::ConsistencyMode::Conservative;
+  EXPECT_NE(A.fingerprint(), B.fingerprint());
+  B = A;
+  B.EarlySecondChance = false;
+  EXPECT_NE(A.fingerprint(), B.fingerprint());
+  B = A;
+  B.MoveCoalesce = false;
+  EXPECT_NE(A.fingerprint(), B.fingerprint());
+}
+
+// LRU eviction under a tiny budget: the shard sheds oldest entries, stays
+// within budget, and never evicts below one resident entry.
+TEST(CompileCache, EvictsLruUnderTinyBudget) {
+  cache::CacheConfig CC;
+  CC.MaxBytes = 4096;
+  CC.Shards = 1;
+  cache::CompileCache Cache(CC);
+
+  auto KeyFor = [](unsigned I) {
+    return cache::makeModuleKey("module " + std::to_string(I), 0,
+                                AllocatorKind::SecondChanceBinpack, 0);
+  };
+  for (unsigned I = 0; I < 64; ++I) {
+    auto E = std::make_shared<cache::CachedCompile>();
+    E->AllocatedText = "entry " + std::to_string(I);
+    E->Bytes = 1024;
+    Cache.insert(KeyFor(I), std::move(E));
+  }
+  cache::CacheStats CS = Cache.stats();
+  EXPECT_LE(CS.Bytes, CC.MaxBytes);
+  EXPECT_GE(CS.Entries, 1u);
+  EXPECT_GT(CS.Evictions, 0u);
+  EXPECT_EQ(CS.Insertions, 64u);
+  // The most recent entry survived; the oldest was evicted.
+  EXPECT_NE(Cache.lookup(KeyFor(63)), nullptr);
+  EXPECT_EQ(Cache.lookup(KeyFor(0)), nullptr);
+
+  // An entry larger than the whole budget is refused outright.
+  auto Big = std::make_shared<cache::CachedCompile>();
+  Big->Bytes = CC.MaxBytes * 2;
+  Cache.insert(KeyFor(100), std::move(Big));
+  EXPECT_EQ(Cache.lookup(KeyFor(100)), nullptr);
+
+  Cache.clear();
+  CS = Cache.stats();
+  EXPECT_EQ(CS.Entries, 0u);
+  EXPECT_EQ(CS.Bytes, 0u);
+}
+
+// A lookup must refresh recency: touch the oldest entry, insert one more
+// over budget, and the *second*-oldest is the one shed.
+TEST(CompileCache, LookupRefreshesLruOrder) {
+  cache::CacheConfig CC;
+  CC.MaxBytes = 3072; // room for exactly three 1 KiB entries
+  CC.Shards = 1;
+  cache::CompileCache Cache(CC);
+  auto KeyFor = [](unsigned I) {
+    return cache::makeModuleKey("m" + std::to_string(I), 0,
+                                AllocatorKind::SecondChanceBinpack, 0);
+  };
+  for (unsigned I = 0; I < 3; ++I) {
+    auto E = std::make_shared<cache::CachedCompile>();
+    E->Bytes = 1024;
+    Cache.insert(KeyFor(I), std::move(E));
+  }
+  ASSERT_NE(Cache.lookup(KeyFor(0)), nullptr); // 0 is now most recent
+  auto E = std::make_shared<cache::CachedCompile>();
+  E->Bytes = 1024;
+  Cache.insert(KeyFor(3), std::move(E));
+  EXPECT_NE(Cache.lookup(KeyFor(0)), nullptr);
+  EXPECT_EQ(Cache.lookup(KeyFor(1)), nullptr);
+}
+
+// RunAfter on a module-level hit: dynamic results come from re-parsing the
+// cached allocated text, and must match the cold run exactly.
+TEST(CompileCache, RunAfterOnHitMatchesColdRun) {
+  TargetDesc TD = TargetDesc::alphaLike();
+  std::string Text = workloadText("sort");
+  cache::CompileCache Cache;
+  ExecOptions EO;
+  EO.Cache = &Cache;
+  TextCompileResult Cold = compileTextModule(
+      Text, TD, AllocatorKind::SecondChanceBinpack, {}, EO,
+      /*RunAfter=*/true);
+  ASSERT_TRUE(Cold.Ok) << Cold.Error;
+  ASSERT_TRUE(Cold.Ran && Cold.Run.Ok) << Cold.Run.Error;
+  TextCompileResult Warm = compileTextModule(
+      Text, TD, AllocatorKind::SecondChanceBinpack, {}, EO,
+      /*RunAfter=*/true);
+  ASSERT_TRUE(Warm.Ok) << Warm.Error;
+  EXPECT_TRUE(Warm.CacheHit);
+  ASSERT_TRUE(Warm.Ran && Warm.Run.Ok) << Warm.Run.Error;
+  EXPECT_EQ(Warm.Run.ReturnValue, Cold.Run.ReturnValue);
+  EXPECT_EQ(Warm.Run.Output, Cold.Run.Output);
+  EXPECT_EQ(Warm.Run.Stats.Total, Cold.Run.Stats.Total);
+}
+
+// Concurrent hit/miss storm: many threads compiling a mix of repeated and
+// unique programs against one cache under a small budget (so eviction,
+// insertion, and hits race). Every result must still be byte-identical to
+// its uncached baseline. Run under LSRA_SANITIZE=thread in CI.
+TEST(CompileCache, ConcurrentHitMissStorm) {
+  TargetDesc TD = TargetDesc::alphaLike();
+  const char *Repeated[] = {"wc", "sort", "eqntott", "compress"};
+  std::vector<std::string> Texts;
+  std::vector<std::string> Expected;
+  for (const char *W : Repeated) {
+    Texts.push_back(workloadText(W));
+    TextCompileResult R = compileTextModule(
+        Texts.back(), TD, AllocatorKind::SecondChanceBinpack);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    Expected.push_back(R.AllocatedText);
+  }
+
+  cache::CacheConfig CC;
+  CC.MaxBytes = 256u << 10; // small enough to force eviction traffic
+  cache::CompileCache Cache(CC);
+  std::atomic<unsigned> Mismatches{0};
+  constexpr unsigned NumThreads = 8, PerThread = 24;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      ExecOptions EO;
+      EO.Cache = &Cache;
+      for (unsigned I = 0; I < PerThread; ++I) {
+        if (I % 3 == 2) {
+          // Unique program: always a miss, churns the budget.
+          std::ostringstream OS;
+          printModule(OS, *buildRandomProgram(1000 + T * PerThread + I));
+          TextCompileResult R = compileTextModule(
+              OS.str(), TD, AllocatorKind::SecondChanceBinpack, {}, EO);
+          if (!R.Ok)
+            Mismatches.fetch_add(1);
+          continue;
+        }
+        unsigned W = (T + I) % Texts.size();
+        TextCompileResult R = compileTextModule(
+            Texts[W], TD, AllocatorKind::SecondChanceBinpack, {}, EO);
+        if (!R.Ok || R.AllocatedText != Expected[W])
+          Mismatches.fetch_add(1);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Mismatches.load(), 0u);
+  cache::CacheStats CS = Cache.stats();
+  EXPECT_GT(CS.Hits, 0u);
+  EXPECT_GT(CS.Misses, 0u);
+  // Module-level lookups alone account for one probe per request; the
+  // per-function probes of each miss add more on top.
+  EXPECT_GE(CS.Hits + CS.Misses,
+            static_cast<uint64_t>(NumThreads) * PerThread);
+}
+
+// The makeCompileCache helper honours --no-cache and --cache-mb.
+TEST(CompileCache, MakeCompileCacheHonoursFlags) {
+  CompileFlags F;
+  std::string Err;
+  ASSERT_TRUE(parseCompileFlag("--cache-mb=2", F, Err));
+  EXPECT_TRUE(Err.empty());
+  auto C = makeCompileCache(F);
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->maxBytes(), 2u << 20);
+  ASSERT_TRUE(parseCompileFlag("--no-cache", F, Err));
+  EXPECT_EQ(makeCompileCache(F), nullptr);
+  CompileFlags Zero;
+  Zero.CacheMb = 0;
+  EXPECT_EQ(makeCompileCache(Zero), nullptr);
+}

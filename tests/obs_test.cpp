@@ -228,9 +228,9 @@ TargetDesc tightTarget() {
 AllocStats compileWith(unsigned Threads, const TargetDesc &TD,
                        AllocatorKind K = AllocatorKind::SecondChanceBinpack) {
   auto M = makeWorkload();
-  AllocOptions Opts;
-  Opts.Threads = Threads;
-  return compileModule(*M, TD, K, Opts);
+  ExecOptions Exec;
+  Exec.Threads = Threads;
+  return compileModule(*M, TD, K, {}, Exec);
 }
 
 /// Reset all three global sinks to a pristine, disabled state.

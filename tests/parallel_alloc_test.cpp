@@ -76,12 +76,12 @@ TEST_P(ParallelAllocTest, AllocateModuleMatchesSequential) {
     eliminateDeadCode(*M, TD);
   }
 
-  AllocOptions SeqOpts;
-  SeqOpts.Threads = 1;
-  AllocOptions ParOpts;
-  ParOpts.Threads = 4;
-  AllocStats SeqStats = allocateModule(*Seq, TD, GetParam(), SeqOpts);
-  AllocStats ParStats = allocateModule(*Par, TD, GetParam(), ParOpts);
+  ExecOptions SeqExec;
+  SeqExec.Threads = 1;
+  ExecOptions ParExec;
+  ParExec.Threads = 4;
+  AllocStats SeqStats = allocateModule(*Seq, TD, GetParam(), {}, SeqExec);
+  AllocStats ParStats = allocateModule(*Par, TD, GetParam(), {}, ParExec);
 
   EXPECT_EQ(printed(*Seq), printed(*Par));
   expectSameStats(SeqStats, ParStats);
@@ -92,12 +92,12 @@ TEST_P(ParallelAllocTest, CompileModuleMatchesSequential) {
   auto Seq = makeWorkload();
   auto Par = makeWorkload();
 
-  AllocOptions SeqOpts;
-  SeqOpts.Threads = 1;
-  AllocOptions ParOpts;
-  ParOpts.Threads = 4;
-  AllocStats SeqStats = compileModule(*Seq, TD, GetParam(), SeqOpts);
-  AllocStats ParStats = compileModule(*Par, TD, GetParam(), ParOpts);
+  ExecOptions SeqExec;
+  SeqExec.Threads = 1;
+  ExecOptions ParExec;
+  ParExec.Threads = 4;
+  AllocStats SeqStats = compileModule(*Seq, TD, GetParam(), {}, SeqExec);
+  AllocStats ParStats = compileModule(*Par, TD, GetParam(), {}, ParExec);
 
   EXPECT_EQ(printed(*Seq), printed(*Par));
   expectSameStats(SeqStats, ParStats);
@@ -152,12 +152,12 @@ TEST(WallSecondsTest, CompileModuleMeasuresWallOnce) {
   TargetDesc TD = TargetDesc::alphaLike();
   for (unsigned Threads : {1u, 4u}) {
     auto M = makeWorkload();
-    AllocOptions Opts;
-    Opts.Threads = Threads;
+    ExecOptions Exec;
+    Exec.Threads = Threads;
     Timer Outer;
     Outer.start();
     AllocStats S =
-        compileModule(*M, TD, AllocatorKind::SecondChanceBinpack, Opts);
+        compileModule(*M, TD, AllocatorKind::SecondChanceBinpack, {}, Exec);
     Outer.stop();
     // One elapsed interval, bounded by the timer wrapped around the call;
     // a double-counted wall would typically exceed it.

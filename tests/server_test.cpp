@@ -28,6 +28,7 @@
 #include <atomic>
 #include <chrono>
 #include <sstream>
+#include <sys/socket.h>
 #include <thread>
 #include <unistd.h>
 
@@ -67,24 +68,46 @@ TEST(Protocol, FrameHeaderRoundTrip) {
 
 TEST(Protocol, FrameHeaderRejectsGarbage) {
   std::string H = encodeFrameHeader(10, 1, FrameType::Ping);
+  ASSERT_EQ(H.size(), static_cast<size_t>(FrameHeaderBytes));
   std::string Err;
   uint32_t Len, Id;
   FrameType T;
-  // Corrupt the magic.
+  // Corrupt the magic (a pre-framing or non-lsra client).
   std::string Bad = H;
   Bad[0] = 'X';
   EXPECT_FALSE(decodeFrameHeader(
       reinterpret_cast<const unsigned char *>(Bad.data()), Len, Id, T, Err));
-  // Unknown frame type.
+  EXPECT_EQ(Err, "bad frame magic");
+  // Unknown frame type (byte 13 in the v1 layout).
   Bad = H;
-  Bad[12] = 99;
+  Bad[13] = 99;
   EXPECT_FALSE(decodeFrameHeader(
       reinterpret_cast<const unsigned char *>(Bad.data()), Len, Id, T, Err));
-  // Oversized payload length.
+  // Oversized payload length (bytes 5..8).
   Bad = H;
-  Bad[4] = Bad[5] = Bad[6] = Bad[7] = static_cast<char>(0xff);
+  Bad[5] = Bad[6] = Bad[7] = Bad[8] = static_cast<char>(0xff);
   EXPECT_FALSE(decodeFrameHeader(
       reinterpret_cast<const unsigned char *>(Bad.data()), Len, Id, T, Err));
+}
+
+TEST(Protocol, FrameHeaderRejectsWrongVersion) {
+  std::string H = encodeFrameHeader(0, 42, FrameType::Ping);
+  std::string Err;
+  uint32_t Len, Id = 0;
+  FrameType T;
+  std::string Bad = H;
+  Bad[4] = static_cast<char>(ProtocolVersion + 1);
+  EXPECT_FALSE(decodeFrameHeader(
+      reinterpret_cast<const unsigned char *>(Bad.data()), Len, Id, T, Err));
+  // The mismatch error is typed (the server matches on this prefix) and the
+  // request id is still decoded, so a typed Error frame can answer it.
+  EXPECT_EQ(Err.rfind(VersionMismatchPrefix, 0), 0u) << Err;
+  EXPECT_EQ(Id, 42u);
+  // Version 0 (the pre-versioning layout) is rejected the same way.
+  Bad[4] = 0;
+  EXPECT_FALSE(decodeFrameHeader(
+      reinterpret_cast<const unsigned char *>(Bad.data()), Len, Id, T, Err));
+  EXPECT_EQ(Err.rfind(VersionMismatchPrefix, 0), 0u) << Err;
 }
 
 TEST(Protocol, CompileRequestRoundTrip) {
@@ -200,6 +223,70 @@ TEST(Server, PingPong) {
   S.shutdown();
 }
 
+// A client speaking the wrong protocol version gets a typed Error frame
+// (carrying its request id) before the server drops the connection — not a
+// silent hangup it cannot distinguish from a crash.
+TEST(Server, WrongVersionFrameGetsTypedError) {
+  ServerOptions SO;
+  SO.UnixPath = uniqueSockPath("version");
+  SO.Workers = 1;
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  Socket Raw = Socket::connectUnix(SO.UnixPath, Err);
+  ASSERT_TRUE(Raw.valid()) << Err;
+  // A well-formed v1 header with the version byte bumped.
+  std::string Payload = "\nping-ish";
+  std::string Frame =
+      encodeFrameHeader(static_cast<uint32_t>(Payload.size()), 7,
+                        FrameType::CompileRequest) +
+      Payload;
+  Frame[4] = static_cast<char>(ProtocolVersion + 1);
+  ASSERT_EQ(::send(Raw.fd(), Frame.data(), Frame.size(), 0),
+            static_cast<ssize_t>(Frame.size()));
+
+  uint32_t Id = 0;
+  FrameType T;
+  std::string Reply;
+  ASSERT_EQ(Raw.recvFrame(Id, T, Reply, 5000, Err), Socket::RecvStatus::Ok)
+      << Err;
+  EXPECT_EQ(Id, 7u);
+  EXPECT_EQ(T, FrameType::Error);
+  CompileResponse R;
+  ASSERT_TRUE(decodeCompileResponse(T, Reply, R, Err)) << Err;
+  EXPECT_EQ(R.Message.rfind(VersionMismatchPrefix, 0), 0u) << R.Message;
+  S.shutdown();
+}
+
+// Bytes that never were an lsra frame (an HTTP client, say) are dropped
+// without a reply: there is no trustworthy request id to answer.
+TEST(Server, OldMagicConnectionDropped) {
+  ServerOptions SO;
+  SO.UnixPath = uniqueSockPath("magic");
+  SO.Workers = 1;
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  Socket Raw = Socket::connectUnix(SO.UnixPath, Err);
+  ASSERT_TRUE(Raw.valid()) << Err;
+  std::string Junk = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(::send(Raw.fd(), Junk.data(), Junk.size(), 0),
+            static_cast<ssize_t>(Junk.size()));
+
+  uint32_t Id = 0;
+  FrameType T;
+  std::string Reply;
+  Socket::RecvStatus St = Raw.recvFrame(Id, T, Reply, 5000, Err);
+  // EOF or a reset (the server may close with our junk bytes unread) —
+  // anything but a frame.
+  EXPECT_TRUE(St == Socket::RecvStatus::Closed ||
+              St == Socket::RecvStatus::Error)
+      << static_cast<int>(St);
+  S.shutdown();
+}
+
 TEST(Server, TcpTransport) {
   ServerOptions SO; // empty UnixPath → ephemeral loopback TCP port
   SO.Workers = 1;
@@ -217,6 +304,44 @@ TEST(Server, TcpTransport) {
   S.shutdown();
 }
 
+// Repeating a request must be answered from the compile cache (cached=1 on
+// the wire) with byte-identical allocated text; no_cache=1 opts out.
+TEST(Server, RepeatedRequestServedFromCache) {
+  ServerOptions SO;
+  SO.UnixPath = uniqueSockPath("cache");
+  SO.Workers = 1;
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+  Client C = Client::connectUnix(SO.UnixPath, Err);
+  ASSERT_TRUE(C.valid()) << Err;
+
+  CompileRequest Req;
+  Req.IRText = workloadText("wc");
+  CompileResponse Cold, Warm, Bypass;
+  ASSERT_TRUE(C.compile(Req, Cold, Err, 30000)) << Err;
+  ASSERT_TRUE(Cold.ok()) << Cold.Message;
+  EXPECT_FALSE(Cold.Cached);
+  ASSERT_TRUE(C.compile(Req, Warm, Err, 30000)) << Err;
+  ASSERT_TRUE(Warm.ok()) << Warm.Message;
+  EXPECT_TRUE(Warm.Cached);
+  EXPECT_EQ(Warm.IRText, Cold.IRText);
+  EXPECT_EQ(Warm.Spilled, Cold.Spilled);
+  EXPECT_EQ(Warm.Candidates, Cold.Candidates);
+
+  Req.NoCache = true;
+  ASSERT_TRUE(C.compile(Req, Bypass, Err, 30000)) << Err;
+  ASSERT_TRUE(Bypass.ok()) << Bypass.Message;
+  EXPECT_FALSE(Bypass.Cached);
+  EXPECT_EQ(Bypass.IRText, Cold.IRText);
+
+  ASSERT_NE(S.compileCache(), nullptr);
+  cache::CacheStats CS = S.compileCache()->stats();
+  EXPECT_GE(CS.Hits, 1u);
+  EXPECT_GE(CS.Insertions, 1u);
+  S.shutdown();
+}
+
 // The acceptance-criteria smoke test: ≥4 concurrent clients, every served
 // module byte-identical (IR text and statistics) to offline compilation.
 TEST(Server, ConcurrentClientsMatchOffline) {
@@ -230,7 +355,8 @@ TEST(Server, ConcurrentClientsMatchOffline) {
     RequestText.push_back(workloadText(W));
     TextCompileResult TC = compileTextModule(
         RequestText.back(), TargetDesc::alphaLike(),
-        AllocatorKind::SecondChanceBinpack, AllocOptions(), /*RunAfter=*/true);
+        AllocatorKind::SecondChanceBinpack, AllocOptions(), ExecOptions(),
+        /*RunAfter=*/true);
     ASSERT_TRUE(TC.Ok) << TC.Error;
     OfflineText.push_back(TC.AllocatedText);
     OfflineStats.push_back(TC.Stats);

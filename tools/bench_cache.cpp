@@ -1,0 +1,150 @@
+//===- tools/bench_cache.cpp - Compile-cache benchmark --------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures what the content-addressed compile cache buys on the serving
+// path: for every built-in workload and allocator, the cold end-to-end
+// compileTextModule time (parse + lower + DCE + allocate + print) against
+// the warm cache-hit time for the identical request, asserting along the
+// way that the warm result is byte-identical to both the cold result and
+// an uncached compile. Writes BENCH_cache.json (per record: workload,
+// allocator, cold/warm best-of-N seconds, speedup, identical flag) plus a
+// trailing summary record with the aggregate cache statistics.
+//
+// Usage: bench-cache [output.json]   (default BENCH_cache.json)
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/CompileCache.h"
+#include "driver/Pipeline.h"
+#include "ir/Printer.h"
+#include "obs/Json.h"
+#include "support/Timer.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace lsra;
+
+namespace {
+
+struct Record {
+  std::string Workload;
+  const char *Allocator;
+  double ColdSeconds;
+  double WarmSeconds;
+  bool Identical;
+
+  double speedup() const {
+    return WarmSeconds > 0 ? ColdSeconds / WarmSeconds : 0;
+  }
+};
+
+constexpr AllocatorKind Kinds[] = {
+    AllocatorKind::SecondChanceBinpack, AllocatorKind::GraphColoring,
+    AllocatorKind::TwoPassBinpack, AllocatorKind::PolettoScan};
+
+Record measure(const WorkloadSpec &W, AllocatorKind K,
+               cache::CompileCache &Cache) {
+  Record R;
+  R.Workload = W.Name;
+  R.Allocator = allocatorName(K);
+  TargetDesc TD = TargetDesc::alphaLike();
+  std::ostringstream OS;
+  printModule(OS, *W.Build());
+  std::string Text = OS.str();
+
+  // Uncached reference, and cold best-of-five (each rep does the full
+  // pipeline; the cache is only consulted afterwards).
+  TextCompileResult Ref = compileTextModule(Text, TD, K);
+  R.ColdSeconds = 1e9;
+  ExecOptions Cacheless;
+  for (int Rep = 0; Rep < 5; ++Rep) {
+    Timer T;
+    T.start();
+    TextCompileResult C = compileTextModule(Text, TD, K, {}, Cacheless);
+    T.stop();
+    R.ColdSeconds = std::min(R.ColdSeconds, T.seconds());
+    if (!C.Ok || C.AllocatedText != Ref.AllocatedText)
+      R.Identical = false;
+  }
+
+  // Populate, then warm best-of-twenty.
+  ExecOptions EO;
+  EO.Cache = &Cache;
+  TextCompileResult Fill = compileTextModule(Text, TD, K, {}, EO);
+  R.Identical = Fill.Ok && !Fill.CacheHit &&
+                Fill.AllocatedText == Ref.AllocatedText;
+  R.WarmSeconds = 1e9;
+  for (int Rep = 0; Rep < 20; ++Rep) {
+    Timer T;
+    T.start();
+    TextCompileResult Hit = compileTextModule(Text, TD, K, {}, EO);
+    T.stop();
+    R.WarmSeconds = std::min(R.WarmSeconds, T.seconds());
+    R.Identical = R.Identical && Hit.Ok && Hit.CacheHit &&
+                  Hit.AllocatedText == Ref.AllocatedText;
+  }
+  return R;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string OutPath = argc > 1 ? argv[1] : "BENCH_cache.json";
+  cache::CompileCache Cache; // one cache across the whole run, like a server
+
+  std::vector<Record> Records;
+  bool AllIdentical = true;
+  double MinSpeedup = 1e9;
+  for (const WorkloadSpec &W : allWorkloads())
+    for (AllocatorKind K : Kinds) {
+      Record R = measure(W, K, Cache);
+      AllIdentical = AllIdentical && R.Identical;
+      MinSpeedup = std::min(MinSpeedup, R.speedup());
+      std::printf("%-10s %-22s cold %8.5fs warm %9.6fs speedup %8.1fx %s\n",
+                  R.Workload.c_str(), R.Allocator, R.ColdSeconds,
+                  R.WarmSeconds, R.speedup(),
+                  R.Identical ? "" : "OUTPUT MISMATCH!");
+      Records.push_back(std::move(R));
+    }
+
+  cache::CacheStats CS = Cache.stats();
+  std::ofstream OS(OutPath);
+  if (!OS.good()) {
+    std::fprintf(stderr, "bench-cache: cannot write '%s'\n", OutPath.c_str());
+    return 1;
+  }
+  OS << "[\n";
+  for (const Record &R : Records) {
+    obs::JsonObject O;
+    O.field("workload", R.Workload)
+        .field("allocator", R.Allocator)
+        .field("cold_s", R.ColdSeconds)
+        .field("warm_s", R.WarmSeconds)
+        .field("speedup", R.speedup())
+        .field("identical", R.Identical ? 1 : 0);
+    OS << "  " << O.str() << ",\n";
+  }
+  obs::JsonObject Sum;
+  Sum.field("kind", "summary")
+      .field("min_speedup", MinSpeedup)
+      .field("all_identical", AllIdentical ? 1 : 0)
+      .field("cache_hits", CS.Hits)
+      .field("cache_misses", CS.Misses)
+      .field("cache_insertions", CS.Insertions)
+      .field("cache_evictions", CS.Evictions)
+      .field("cache_bytes", static_cast<uint64_t>(CS.Bytes))
+      .field("cache_entries", static_cast<uint64_t>(CS.Entries));
+  OS << "  " << Sum.str() << "\n]\n";
+  std::printf("bench-cache: min speedup %.1fx, %s; wrote %s\n", MinSpeedup,
+              AllIdentical ? "all outputs identical" : "OUTPUT MISMATCHES",
+              OutPath.c_str());
+  return AllIdentical ? 0 : 1;
+}

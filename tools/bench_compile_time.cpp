@@ -58,9 +58,9 @@ Record measure(const Workload &W, AllocatorKind K, unsigned Threads,
   Tracer.enable();
   for (int Rep = 0; Rep < 5; ++Rep) { // best of five, as in the paper
     auto M = buildScaledModule(W.Opts);
-    AllocOptions AO;
-    AO.Threads = Threads;
-    AllocStats S = compileModule(*M, TD, K, AO);
+    ExecOptions EO;
+    EO.Threads = Threads;
+    AllocStats S = compileModule(*M, TD, K, {}, EO);
     R.WallSeconds = std::min(R.WallSeconds, S.WallSeconds);
     R.AllocCpuSeconds = std::min(R.AllocCpuSeconds, S.AllocSeconds);
     R.Stats = S;

@@ -21,9 +21,15 @@ violation:
                        distributions, with the cross-counter invariants
                        (completed <= accepted <= requests, every answered
                        request accounted by exactly one outcome counter).
+  --cache-stats s.jsonl
+                       Stats snapshot from a cache-enabled run: the --stats
+                       schema plus the cache.* counters (hits, misses,
+                       insertions, evictions) and the cache.bytes
+                       distribution, with the lifetime invariants
+                       evictions <= insertions <= misses.
 
 Usage: check_trace.py [--trace FILE] [--stats FILE] [--decisions FILE]
-                      [--server-stats FILE]
+                      [--server-stats FILE] [--cache-stats FILE]
 """
 
 import argparse
@@ -39,6 +45,7 @@ DECISION_EVENTS = {
     "second-chance-def",
     "coalesce-move",
     "spill-whole",
+    "cache-hit",
 }
 
 errors = []
@@ -240,16 +247,61 @@ def check_server_stats(path):
         print(f"{path}: server.* counter contract: OK")
 
 
+CACHE_COUNTERS = (
+    "cache.hits",
+    "cache.misses",
+    "cache.insertions",
+    "cache.evictions",
+)
+
+
+def check_cache_stats(path):
+    """The --stats schema plus the cache.* counter contract."""
+    check_stats(path)
+    counters = {}
+    dists = {}
+    for _lineno, obj in check_jsonl_lines(path):
+        if obj.get("kind") == "counter":
+            counters[obj.get("name")] = obj.get("value")
+        elif obj.get("kind") == "dist":
+            dists[obj.get("name")] = obj
+    # Counters register on their first bump, so a cold run has only
+    # cache.misses; hits/insertions/evictions appear once one happened.
+    if "cache.misses" not in counters:
+        fail(f"{path}: missing required counter 'cache.misses'")
+        return
+    hits = counters.get("cache.hits", 0)
+    misses = counters["cache.misses"]
+    insertions = counters.get("cache.insertions", 0)
+    evictions = counters.get("cache.evictions", 0)
+    if hits + misses <= 0:
+        fail(f"{path}: cache was never consulted (hits + misses == 0)")
+    # Lifetime invariants: every insertion follows a miss, every eviction
+    # follows an insertion.
+    if not (evictions <= insertions <= misses):
+        fail(
+            f"{path}: expected evictions <= insertions <= misses, got "
+            f"{evictions} / {insertions} / {misses}"
+        )
+    if insertions and "cache.bytes" not in dists:
+        fail(f"{path}: missing cache.bytes distribution despite insertions")
+    if not errors:
+        print(f"{path}: cache.* counter contract: OK")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--trace")
     ap.add_argument("--stats")
     ap.add_argument("--decisions")
     ap.add_argument("--server-stats")
+    ap.add_argument("--cache-stats")
     args = ap.parse_args()
-    if not (args.trace or args.stats or args.decisions or args.server_stats):
+    if not (args.trace or args.stats or args.decisions or args.server_stats
+            or args.cache_stats):
         ap.error(
-            "nothing to check: pass --trace/--stats/--decisions/--server-stats"
+            "nothing to check: pass --trace/--stats/--decisions/"
+            "--server-stats/--cache-stats"
         )
     if args.trace:
         check_trace(args.trace)
@@ -259,6 +311,8 @@ def main():
         check_decisions(args.decisions)
     if args.server_stats:
         check_server_stats(args.server_stats)
+    if args.cache_stats:
+        check_cache_stats(args.cache_stats)
     if errors:
         for e in errors:
             print(f"error: {e}", file=sys.stderr)

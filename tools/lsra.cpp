@@ -24,10 +24,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cache/CompileCache.h"
 #include "check/Clone.h"
 #include "check/Fuzz.h"
 #include "check/Reduce.h"
 #include "check/Verifier.h"
+#include "driver/Options.h"
 #include "driver/Pipeline.h"
 #include "ir/IRVerifier.h"
 #include "passes/DCE.h"
@@ -93,21 +95,23 @@ int usage() {
                "loop)\n"
                "  --allocator=K --regs=N --run --deadline-ms=N  per-request\n"
                "  --json=F           append the report as one JSON line\n"
+               "shared compile flags (run, serve, loadgen, reduce):\n"
+               "%s"
                "options for run:\n"
-               "  --allocator=binpack|coloring|twopass|poletto\n"
-               "  --regs=N       restrict the allocatable file to N per class\n"
-               "  --threads=N    allocate functions on N workers (0 = auto)\n"
                "  --no-alloc     execute with virtual registers (reference)\n"
-               "  --cleanup      enable the spill-cleanup pass\n"
-               "  --verify-alloc prove the allocation correct (also a serve "
-               "option)\n"
                "  --emit-ir      print the final IR after allocation\n"
+               "options for loadgen (repeated-mix):\n"
+               "  --unique=K     cycle K seeded random programs instead of\n"
+               "                 the workload corpus (cache hit-rate tests)\n"
+               "  --mix-seed=N   base seed for --unique programs\n"
+               "  --no-cache     ask the server to bypass its cache\n"
                "options for fuzz:\n"
                "  --seed=N --count=N            seed range (default 1..100)\n"
                "  --regs=a,b,c   register limits to stress (default 0,8,4)\n"
                "  --allocator=K  restrict to one allocator (default all "
                "four)\n"
                "  --no-cleanup   skip the spill-cleanup configurations\n"
+               "  --no-cache-diff  skip the cold/warm compile-cache oracle\n"
                "  --no-reduce    keep findings unminimized\n"
                "  --corpus=DIR   write minimized reproducers here\n"
                "  --max-findings=N  stop after N findings (default 8)\n"
@@ -120,7 +124,8 @@ int usage() {
                "  --stats-json=F write a JSONL counter/metrics snapshot\n"
                "  --explain[=F]  dump the allocation-decision log (stdout,\n"
                "                 or to F; JSONL when F ends in .jsonl)\n"
-               "  --log-level=N  diagnostic verbosity on stderr (default 0)\n");
+               "  --log-level=N  diagnostic verbosity on stderr (default 0)\n",
+               compileFlagsHelp());
   return 2;
 }
 
@@ -147,20 +152,6 @@ std::unique_ptr<Module> loadInput(const std::string &Input,
       return W.Build();
   Error = "no such file or workload: '" + Input + "' (try `lsra list`)";
   return nullptr;
-}
-
-bool parseAllocator(const std::string &Name, AllocatorKind &Out) {
-  if (Name == "binpack" || Name == "second-chance-binpack")
-    Out = AllocatorKind::SecondChanceBinpack;
-  else if (Name == "coloring" || Name == "graph-coloring")
-    Out = AllocatorKind::GraphColoring;
-  else if (Name == "twopass" || Name == "two-pass-binpack")
-    Out = AllocatorKind::TwoPassBinpack;
-  else if (Name == "poletto" || Name == "poletto-scan")
-    Out = AllocatorKind::PolettoScan;
-  else
-    return false;
-  return true;
 }
 
 void printRun(const RunResult &Run) {
@@ -241,31 +232,20 @@ bool dumpExplain(const std::string &Path) {
 }
 
 int cmdRun(const std::string &Input, int Argc, char **Argv) {
-  AllocatorKind Kind = AllocatorKind::SecondChanceBinpack;
-  unsigned Regs = 0;
+  CompileFlags F;
   bool NoAlloc = false, EmitIR = false;
   bool Explain = false;
   std::string TraceOut, StatsJson, ExplainOut;
-  AllocOptions Opts;
   for (int I = 0; I < Argc; ++I) {
     std::string A = Argv[I];
-    if (A.rfind("--allocator=", 0) == 0) {
-      if (!parseAllocator(A.substr(12), Kind)) {
-        std::fprintf(stderr, "lsra: unknown allocator '%s'\n",
-                     A.c_str() + 12);
+    std::string FlagErr;
+    if (parseCompileFlag(A, F, FlagErr)) {
+      if (!FlagErr.empty()) {
+        std::fprintf(stderr, "lsra: %s\n", FlagErr.c_str());
         return 2;
       }
-    } else if (A.rfind("--regs=", 0) == 0) {
-      Regs = static_cast<unsigned>(std::strtoul(A.c_str() + 7, nullptr, 10));
-    } else if (A.rfind("--threads=", 0) == 0) {
-      Opts.Threads =
-          static_cast<unsigned>(std::strtoul(A.c_str() + 10, nullptr, 10));
     } else if (A == "--no-alloc") {
       NoAlloc = true;
-    } else if (A == "--cleanup") {
-      Opts.SpillCleanup = true;
-    } else if (A == "--verify-alloc") {
-      Opts.VerifyAlloc = true;
     } else if (A == "--emit-ir") {
       EmitIR = true;
     } else if (A.rfind("--trace-out=", 0) == 0) {
@@ -291,9 +271,7 @@ int cmdRun(const std::string &Input, int Argc, char **Argv) {
     std::fprintf(stderr, "lsra: %s\n", Error.c_str());
     return 1;
   }
-  TargetDesc TD = TargetDesc::alphaLike();
-  if (Regs)
-    TD = TD.withRegLimit(Regs, Regs);
+  TargetDesc TD = targetForFlags(F);
 
   obs::Tracer &Tracer = obs::Tracer::global();
   obs::CounterRegistry &CR = obs::CounterRegistry::global();
@@ -319,12 +297,14 @@ int cmdRun(const std::string &Input, int Argc, char **Argv) {
   // are idempotent, so compileModule repeats them as no-ops) and prove the
   // allocated module equivalent to it afterwards.
   std::unique_ptr<Module> Snapshot;
-  if (Opts.VerifyAlloc) {
+  if (F.Exec.VerifyAlloc) {
     lowerCalls(*M);
     eliminateDeadCode(*M, TD);
     Snapshot = cloneModule(*M);
   }
-  AllocStats Stats = compileModule(*M, TD, Kind, Opts);
+  std::unique_ptr<cache::CompileCache> Cache = makeCompileCache(F);
+  F.Exec.Cache = Cache.get();
+  AllocStats Stats = compileModule(*M, TD, F.Kind, F.Alloc, F.Exec);
   std::string Diag = checkAllocated(*M);
   if (!Diag.empty()) {
     std::fprintf(stderr, "lsra: post-allocation verification failed:\n%s\n",
@@ -340,7 +320,7 @@ int cmdRun(const std::string &Input, int Argc, char **Argv) {
     }
     std::printf("allocation verified (%u functions)\n", M->numFunctions());
   }
-  std::printf("allocator: %s\n", allocatorName(Kind));
+  std::printf("allocator: %s\n", allocatorName(F.Kind));
   std::printf("candidates=%u spilled=%u static-spill=%u coalesced=%u "
               "splits=%u alloc-time=%.4fs\n",
               Stats.RegCandidates, Stats.SpilledTemps,
@@ -363,9 +343,9 @@ int cmdRun(const std::string &Input, int Argc, char **Argv) {
     obs::JsonObject Meta;
     Meta.field("kind", "meta");
     Meta.field("input", Input);
-    Meta.field("allocator", allocatorName(Kind));
-    Meta.field("threads", Opts.Threads);
-    Meta.field("regs", Regs);
+    Meta.field("allocator", allocatorName(F.Kind));
+    Meta.field("threads", F.Exec.Threads);
+    Meta.field("regs", F.Regs);
     OS << Meta.str() << "\n";
     CR.writeJsonl(OS);
     if (!OS.good()) {
@@ -472,6 +452,12 @@ int cmdServe(int Argc, char **Argv) {
       StatsJson = A.substr(13);
     } else if (A == "--verify-alloc") {
       SO.VerifyAlloc = true;
+    } else if (A.rfind("--cache-mb=", 0) == 0) {
+      SO.CacheBytes =
+          static_cast<size_t>(std::strtoul(A.c_str() + 11, nullptr, 10))
+          << 20;
+    } else if (A == "--no-cache") {
+      SO.CacheBytes = 0;
     } else if (A.rfind("--log-level=", 0) == 0) {
       obs::setLogLevel(
           static_cast<unsigned>(std::strtoul(A.c_str() + 12, nullptr, 10)));
@@ -565,6 +551,13 @@ int cmdLoadgen(int Argc, char **Argv) {
     } else if (A.rfind("--deadline-ms=", 0) == 0) {
       LO.DeadlineMs =
           static_cast<uint32_t>(std::strtoul(A.c_str() + 14, nullptr, 10));
+    } else if (A.rfind("--unique=", 0) == 0) {
+      LO.UniquePrograms =
+          static_cast<unsigned>(std::strtoul(A.c_str() + 9, nullptr, 10));
+    } else if (A.rfind("--mix-seed=", 0) == 0) {
+      LO.MixSeed = std::strtoull(A.c_str() + 11, nullptr, 10);
+    } else if (A == "--no-cache") {
+      LO.NoCache = true;
     } else if (A.rfind("--json=", 0) == 0) {
       JsonOut = A.substr(7);
     } else {
@@ -585,9 +578,10 @@ int cmdLoadgen(int Argc, char **Argv) {
     std::fprintf(stderr, "lsra loadgen: %s\n", Err.c_str());
     return 1;
   }
-  std::printf("sent %llu: ok %llu, rejected %llu, deadline %llu, error "
-              "%llu, transport %llu\n",
+  std::printf("sent %llu: ok %llu (cached %llu), rejected %llu, deadline "
+              "%llu, error %llu, transport %llu\n",
               (unsigned long long)R.Sent, (unsigned long long)R.Ok,
+              (unsigned long long)R.CachedResponses,
               (unsigned long long)R.Rejected,
               (unsigned long long)R.DeadlineExceeded,
               (unsigned long long)R.Errors,
@@ -634,7 +628,7 @@ int cmdFuzz(int Argc, char **Argv) {
               static_cast<unsigned>(std::strtoul(R.c_str(), nullptr, 10)));
     } else if (A.rfind("--allocator=", 0) == 0) {
       AllocatorKind K;
-      if (!parseAllocator(A.substr(12), K)) {
+      if (!parseAllocatorName(A.substr(12), K)) {
         std::fprintf(stderr, "lsra: unknown allocator '%s'\n",
                      A.c_str() + 12);
         return 2;
@@ -642,6 +636,8 @@ int cmdFuzz(int Argc, char **Argv) {
       FO.Allocators = {K};
     } else if (A == "--no-cleanup") {
       FO.WithSpillCleanup = false;
+    } else if (A == "--no-cache-diff") {
+      FO.WithCache = false;
     } else if (A == "--no-reduce") {
       FO.Reduce = false;
     } else if (A.rfind("--corpus=", 0) == 0) {
@@ -681,7 +677,7 @@ int cmdReduce(const std::string &Input, int Argc, char **Argv) {
   for (int I = 0; I < Argc; ++I) {
     std::string A = Argv[I];
     if (A.rfind("--allocator=", 0) == 0) {
-      if (!parseAllocator(A.substr(12), Kind)) {
+      if (!parseAllocatorName(A.substr(12), Kind)) {
         std::fprintf(stderr, "lsra: unknown allocator '%s'\n",
                      A.c_str() + 12);
         return 2;

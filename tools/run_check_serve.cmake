@@ -26,6 +26,16 @@ execute_process(
     '${LSRA_TOOL}' loadgen --socket='${SOCK}' --concurrency=4 \
         --requests=32 --workloads=eqntott,espresso,sort,wc --run
     rc=\$?
+    # Repeated-mix leg: 4 unique programs cycled over 32 requests should be
+    # served mostly from the compile cache (28 hits minus first-wave races).
+    out=\$('${LSRA_TOOL}' loadgen --socket='${SOCK}' --concurrency=4 \
+        --requests=32 --unique=4 --mix-seed=7)
+    mixrc=\$?
+    echo \"\$out\"
+    cached=\$(printf '%s' \"\$out\" | grep -o 'cached [0-9]*' | cut -d' ' -f2)
+    [ \$mixrc -eq 0 ] || { echo \"mix loadgen failed (rc=\$mixrc)\" >&2; exit 1; }
+    [ \"\${cached:-0}\" -ge 20 ] || {
+      echo \"repeated-mix hit rate too low: \$cached/32 cached\" >&2; exit 1; }
     kill -TERM \$pid
     wait \$pid
     srv=\$?
@@ -43,6 +53,7 @@ endif()
 
 execute_process(
   COMMAND "${PYTHON}" "${CHECKER}" "--server-stats" "${STATS}"
+          "--cache-stats" "${STATS}"
   RESULT_VARIABLE CHECK_RC
   OUTPUT_VARIABLE CHECK_OUT
   ERROR_VARIABLE CHECK_ERR)

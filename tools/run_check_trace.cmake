@@ -16,9 +16,11 @@ if(NOT RUN_RC EQUAL 0)
   message(FATAL_ERROR "lsra run failed (rc=${RUN_RC}):\n${RUN_OUT}${RUN_ERR}")
 endif()
 
+# The run above compiles through the default-on compile cache, so the same
+# stats snapshot must also satisfy the cache.* counter contract.
 execute_process(
   COMMAND "${PYTHON}" "${CHECKER}" "--trace" "${TRACE}" "--stats" "${STATS}"
-          "--decisions" "${DECISIONS}"
+          "--decisions" "${DECISIONS}" "--cache-stats" "${STATS}"
   RESULT_VARIABLE CHECK_RC
   OUTPUT_VARIABLE CHECK_OUT
   ERROR_VARIABLE CHECK_ERR)
