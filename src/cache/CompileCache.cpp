@@ -93,9 +93,9 @@ CacheKey lsra::cache::makeFunctionKey(const std::string &CanonicalText,
 
 size_t lsra::cache::estimateFunctionBytes(const Function &F) {
   size_t Bytes = sizeof(Function) + F.name().size();
-  for (const auto &B : F.blocks()) {
-    Bytes += sizeof(Block) + B->name().size();
-    Bytes += B->instrs().size() * sizeof(Instr);
+  for (const Block &B : F.blocks()) {
+    Bytes += sizeof(Block) + B.name().size();
+    Bytes += B.instrs().size() * sizeof(Instr);
   }
   return Bytes;
 }

@@ -15,9 +15,10 @@ void lsra::cloneFunctionInto(const Function &F, Function &Dst) {
     Dst.newVReg(F.vregClass(V));
   for (unsigned S = 0; S < F.numSlots(); ++S)
     Dst.newSlot(F.slotClass(S));
-  for (const auto &B : F.blocks()) {
-    Block &NB = Dst.addBlock(B->name());
-    NB.instrs() = B->instrs();
+  for (const Block &B : F.blocks()) {
+    Block &NB = Dst.addBlock(B.name());
+    for (const Instr &I : B.instrs())
+      NB.append(I);
   }
   Dst.IntParamVRegs = F.IntParamVRegs;
   Dst.FpParamVRegs = F.FpParamVRegs;

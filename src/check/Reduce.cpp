@@ -57,10 +57,8 @@ std::unique_ptr<Module> withRemoved(const Module &M,
   std::sort(Del.begin(), Del.end(), [](const Site &A, const Site &B) {
     return std::tie(A.F, A.B, B.I) < std::tie(B.F, B.B, A.I);
   });
-  for (const Site &S : Del) {
-    auto &Instrs = C->function(S.F).block(S.B).instrs();
-    Instrs.erase(Instrs.begin() + S.I);
-  }
+  for (const Site &S : Del)
+    C->function(S.F).block(S.B).eraseInstr(S.I);
   return C;
 }
 

@@ -19,6 +19,8 @@
 #include "support/Timer.h"
 #include "target/LowerCalls.h"
 
+#include <condition_variable>
+#include <mutex>
 #include <sstream>
 
 using namespace lsra;
@@ -65,6 +67,88 @@ AllocStats lsra::compileModule(Module &M, const TargetDesc &TD,
     });
     Total = allocateModule(M, TD, K, AO, EO);
   }
+  Wall.stop();
+  Total.WallSeconds = Wall.seconds();
+  return Total;
+}
+
+AllocStats lsra::compileModuleStreaming(
+    Module &M, const TargetDesc &TD, AllocatorKind K,
+    const std::function<void(Module &, unsigned)> &BuildBody,
+    const std::function<void(unsigned, const Function &)> &Emit,
+    const AllocOptions &AO, const ExecOptions &EO, const StreamOptions &SO) {
+  unsigned N = M.numFunctions();
+  unsigned Threads = resolveThreadCount(EO.Threads, N);
+  LSRA_LOG(1, "compileModuleStreaming: %u functions, allocator=%s, threads=%u",
+           N, allocatorName(K), Threads);
+  Timer Wall;
+  Wall.start();
+
+  // Merged in index order at the end, so statistics are bit-identical for
+  // any thread count (same guarantee allocateModule gives).
+  std::vector<AllocStats> PerFn(N);
+
+  auto CompileOne = [&](unsigned I) {
+    Function &F = M.function(I);
+    if (BuildBody)
+      BuildBody(M, I);
+    lowerCalls(F);
+    eliminateDeadCode(F, TD);
+    PerFn[I] = allocateFunctionInModule(M, I, TD, K, AO, EO);
+  };
+  auto EmitAndRelease = [&](unsigned I) {
+    Function &F = M.function(I);
+    if (Emit)
+      Emit(I, F);
+    F.releaseBody();
+  };
+
+  if (Threads <= 1) {
+    for (unsigned I = 0; I < N; ++I) {
+      CompileOne(I);
+      EmitAndRelease(I);
+    }
+  } else {
+    unsigned ChunkSize = std::max(SO.ChunkSize, 1u);
+    // The window must cover at least one chunk so the worker holding the
+    // emit frontier's chunk can always finish it (chunks are claimed in
+    // increasing order, so that chunk is claimed before any later one).
+    unsigned Window =
+        std::max(Threads * ChunkSize * std::max(SO.WindowChunks, 1u),
+                 ChunkSize);
+    std::mutex Mu;
+    std::condition_variable Cv;
+    unsigned NextEmit = 0; // next function index to emit, under Mu
+    std::vector<uint8_t> Compiled(N, 0);
+
+    parallelForChunked(N, Threads, ChunkSize, [&](unsigned I) {
+      {
+        // Throttle: keep the set of retained (compiled or in-progress,
+        // not yet emitted) bodies within the window.
+        std::unique_lock<std::mutex> Lock(Mu);
+        Cv.wait(Lock, [&] { return I < NextEmit + Window; });
+      }
+      CompileOne(I);
+      {
+        std::unique_lock<std::mutex> Lock(Mu);
+        Compiled[I] = 1;
+        if (I != NextEmit)
+          return;
+        // Drain the contiguous run of compiled functions at the frontier.
+        // Emission is serialised under the lock; it is cheap relative to
+        // compilation and must be ordered anyway.
+        while (NextEmit < N && Compiled[NextEmit]) {
+          EmitAndRelease(NextEmit);
+          ++NextEmit;
+        }
+        Cv.notify_all();
+      }
+    });
+  }
+
+  AllocStats Total;
+  for (const AllocStats &S : PerFn)
+    Total += S;
   Wall.stop();
   Total.WallSeconds = Wall.seconds();
   return Total;

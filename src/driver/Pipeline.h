@@ -21,6 +21,8 @@
 #include "regalloc/Allocator.h"
 #include "vm/VM.h"
 
+#include <functional>
+
 namespace lsra {
 
 /// Run the full pipeline over \p M. On return every function is fully
@@ -30,6 +32,38 @@ namespace lsra {
 AllocStats compileModule(Module &M, const TargetDesc &TD, AllocatorKind K,
                          const AllocOptions &AO = {},
                          const ExecOptions &EO = {});
+
+/// Tuning for compileModuleStreaming.
+struct StreamOptions {
+  /// Functions per worker grab (chunked dynamic self-scheduling).
+  unsigned ChunkSize = 8;
+  /// In-flight window, in chunks per worker: a worker may not start
+  /// function I until I < emitted + Threads * ChunkSize * WindowChunks.
+  /// Must be >= 1; larger windows tolerate more cost skew between
+  /// functions before workers stall, at the price of more retained bodies.
+  unsigned WindowChunks = 4;
+};
+
+/// Function-at-a-time pipeline over a module whose bodies are produced on
+/// demand. For each function index in [0, M.numFunctions()):
+///   1. \p BuildBody materialises the body of M.function(I) (no-op callback
+///      if the bodies already exist);
+///   2. the standard per-function pipeline runs (lowerCalls, DCE,
+///      allocation with \p K);
+///   3. \p Emit observes the allocated function — calls arrive in strict
+///      index order regardless of EO.Threads;
+///   4. the body is released (Function::releaseBody), returning its arena.
+///
+/// Peak memory is therefore bounded by the module shell plus the in-flight
+/// window of function bodies (at most EO.Threads * SO.ChunkSize *
+/// SO.WindowChunks), not by the whole module. Statistics are merged in
+/// function-index order, so they are bit-identical for any thread count.
+AllocStats compileModuleStreaming(
+    Module &M, const TargetDesc &TD, AllocatorKind K,
+    const std::function<void(Module &, unsigned)> &BuildBody,
+    const std::function<void(unsigned, const Function &)> &Emit,
+    const AllocOptions &AO = {}, const ExecOptions &EO = {},
+    const StreamOptions &SO = {});
 
 /// Result of one text-in/text-out compilation (see compileTextModule).
 struct TextCompileResult {

@@ -10,9 +10,9 @@ using namespace lsra;
 
 std::vector<unsigned> Block::successors() const {
   std::vector<unsigned> Succs;
-  if (Instrs.empty())
+  if (Ids.empty())
     return Succs;
-  const Instr &T = Instrs.back();
+  const Instr &T = Pool->get(Ids.back());
   switch (T.opcode()) {
   case Opcode::Br:
     Succs.push_back(T.op(0).labelBlock());
@@ -32,7 +32,7 @@ std::vector<unsigned> Block::successors() const {
 
 void Block::replaceSuccessor(unsigned OldId, unsigned NewId) {
   assert(hasTerminator() && "block has no terminator");
-  Instr &T = Instrs.back();
+  Instr &T = Pool->get(Ids.back());
   for (unsigned I = 0; I < 3; ++I)
     if (T.op(I).isLabel() && T.op(I).labelBlock() == OldId)
       T.op(I) = Operand::label(NewId);

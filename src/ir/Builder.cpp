@@ -11,10 +11,19 @@ using namespace lsra;
 FunctionBuilder::FunctionBuilder(Module &M, std::string Name,
                                  unsigned IntParams, unsigned FpParams,
                                  CallRetKind Ret)
-    : M(M), F(M.addFunction(std::move(Name))) {
+    : FunctionBuilder(M, M.addFunction(std::move(Name)), IntParams, FpParams,
+                      Ret) {}
+
+FunctionBuilder::FunctionBuilder(Module &M, Function &F, unsigned IntParams,
+                                 unsigned FpParams, CallRetKind Ret)
+    : M(M), F(F) {
   assert(IntParams <= 6 && FpParams <= 6 &&
          "at most 6 register parameters per class");
+  assert(F.numBlocks() == 0 && F.numVRegs() == 0 &&
+         "builder needs an empty function");
   F.RetKind = Ret;
+  F.IntParamVRegs.clear();
+  F.FpParamVRegs.clear();
   for (unsigned I = 0; I < IntParams; ++I)
     F.IntParamVRegs.push_back(F.newVReg(RegClass::Int));
   for (unsigned I = 0; I < FpParams; ++I)

@@ -37,6 +37,13 @@ public:
   FunctionBuilder(Module &M, std::string Name, unsigned IntParams,
                   unsigned FpParams, CallRetKind Ret);
 
+  /// Build into an existing (empty) function — used by the streaming
+  /// pipeline, which declares every function up front and materialises
+  /// bodies one at a time. Sets the signature exactly as the creating
+  /// constructor would.
+  FunctionBuilder(Module &M, Function &F, unsigned IntParams,
+                  unsigned FpParams, CallRetKind Ret);
+
   Module &module() { return M; }
   Function &function() { return F; }
 

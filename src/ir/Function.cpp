@@ -10,15 +10,28 @@ using namespace lsra;
 
 std::vector<std::vector<unsigned>> Function::predecessors() const {
   std::vector<std::vector<unsigned>> Preds(Blocks.size());
-  for (const auto &B : Blocks)
-    for (unsigned S : B->successors())
-      Preds[S].push_back(B->id());
+  for (const Block &B : Blocks)
+    for (unsigned S : B.successors())
+      Preds[S].push_back(B.id());
   return Preds;
 }
 
 unsigned Function::numInstrs() const {
   unsigned N = 0;
-  for (const auto &B : Blocks)
-    N += B->size();
+  for (const Block &B : Blocks)
+    N += B.size();
   return N;
+}
+
+void Function::releaseBody() {
+  // Block id vectors point into the arena; drop the blocks before the
+  // arena backing them.
+  Blocks.clear();
+  Pool.clear();
+  Arena.reset();
+  VRegClasses.clear();
+  VRegClasses.shrink_to_fit();
+  SlotClasses.clear();
+  SlotClasses.shrink_to_fit();
+  CallsLowered = false;
 }

@@ -5,10 +5,16 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A procedure: an entry block plus a vector of basic blocks, a dense space
-/// of virtual registers (the paper's "temporaries": both program variables
-/// and compiler-generated values), and a dense space of frame slots used for
-/// locals, spill homes, and callee-save storage.
+/// A procedure: an entry block plus basic blocks in layout order, a dense
+/// space of virtual registers (the paper's "temporaries": both program
+/// variables and compiler-generated values), and a dense space of frame
+/// slots used for locals, spill homes, and callee-save storage.
+///
+/// Storage model: the function owns one bump arena (block id vectors), one
+/// InstrPool (all instruction records, stable 32-bit ids), and the blocks
+/// themselves in a deque (stable `Block &` across addBlock). The entire
+/// body is released in O(#chunks) by releaseBody(), which is what keeps the
+/// streaming module pipeline's resident set bounded by the working set.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,7 +23,7 @@
 
 #include "ir/Block.h"
 
-#include <memory>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -26,6 +32,8 @@ namespace lsra {
 class Function {
 public:
   Function(unsigned Id, std::string Name) : Id(Id), Name(std::move(Name)) {}
+  Function(const Function &) = delete;
+  Function &operator=(const Function &) = delete;
 
   unsigned id() const { return Id; }
   const std::string &name() const { return Name; }
@@ -58,37 +66,50 @@ public:
 
   Block &addBlock(std::string BlockName) {
     unsigned BId = static_cast<unsigned>(Blocks.size());
-    Blocks.push_back(std::make_unique<Block>(BId, std::move(BlockName)));
-    return *Blocks.back();
+    Blocks.emplace_back(Pool, Arena, BId, std::move(BlockName));
+    return Blocks.back();
   }
   unsigned numBlocks() const { return static_cast<unsigned>(Blocks.size()); }
   Block &block(unsigned BId) {
     assert(BId < Blocks.size() && "bad block id");
-    return *Blocks[BId];
+    return Blocks[BId];
   }
   const Block &block(unsigned BId) const {
     assert(BId < Blocks.size() && "bad block id");
-    return *Blocks[BId];
+    return Blocks[BId];
   }
   Block &entry() {
     assert(!Blocks.empty() && "function has no blocks");
-    return *Blocks.front();
+    return Blocks.front();
   }
   const Block &entry() const {
     assert(!Blocks.empty() && "function has no blocks");
-    return *Blocks.front();
+    return Blocks.front();
   }
 
   /// Iterate blocks in id (layout) order. Block ids are stable; this is
   /// also the static linear order the binpacking scan uses.
-  std::vector<std::unique_ptr<Block>> &blocks() { return Blocks; }
-  const std::vector<std::unique_ptr<Block>> &blocks() const { return Blocks; }
+  std::deque<Block> &blocks() { return Blocks; }
+  const std::deque<Block> &blocks() const { return Blocks; }
 
   /// Predecessor lists, indexed by block id, computed on demand.
   std::vector<std::vector<unsigned>> predecessors() const;
 
   /// Total instruction count across all blocks.
   unsigned numInstrs() const;
+
+  // --- Storage ------------------------------------------------------------
+
+  InstrPool &instrPool() { return Pool; }
+  const InstrPool &instrPool() const { return Pool; }
+  BumpArena &arena() { return Arena; }
+
+  /// Drop the body wholesale: blocks, instruction pool, arena, vreg and
+  /// slot spaces. The signature survives — name, id, RetKind and the
+  /// parameter vreg lists (callers consult only their sizes) — so the
+  /// function can still be called, and a FunctionBuilder can rebuild it.
+  /// The streaming pipeline calls this after emitting each function.
+  void releaseBody();
 
   // --- Signature ----------------------------------------------------------
 
@@ -108,7 +129,9 @@ private:
   std::string Name;
   std::vector<RegClass> VRegClasses;
   std::vector<RegClass> SlotClasses;
-  std::vector<std::unique_ptr<Block>> Blocks;
+  BumpArena Arena;
+  InstrPool Pool;
+  std::deque<Block> Blocks;
 };
 
 } // namespace lsra

@@ -24,8 +24,8 @@ public:
       error() << "function has no blocks";
       return OS.str();
     }
-    for (const auto &B : F.blocks())
-      checkBlock(*B);
+    for (const Block &B : F.blocks())
+      checkBlock(B);
     return OS.str();
   }
 

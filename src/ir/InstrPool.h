@@ -1,0 +1,70 @@
+//===- ir/InstrPool.h - Chunked instruction storage -----------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-function instruction storage: fixed-size chunks of densely packed
+/// Instr records addressed by stable 32-bit ids. Growing the pool never
+/// moves an existing instruction, so `Instr &` references and ids stay
+/// valid across appends; id -> reference is two array indexes. Operands are
+/// the three fixed slots embedded in each Instr, so the chunks double as
+/// the flat operand pool — there is no per-operand heap node anywhere.
+///
+/// Ids are only retired wholesale: erasing an instruction from a block
+/// leaves its pool slot in place (dead) until the function body is
+/// released. That keeps every outstanding id meaningful for the lifetime
+/// of the body, which the rebuild-style passes rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_IR_INSTRPOOL_H
+#define LSRA_IR_INSTRPOOL_H
+
+#include "ir/Instr.h"
+
+#include <memory>
+#include <vector>
+
+namespace lsra {
+
+class InstrPool {
+public:
+  static constexpr unsigned ChunkShift = 9; // 512 instructions per chunk
+  static constexpr uint32_t ChunkSize = 1u << ChunkShift;
+  static constexpr uint32_t ChunkMask = ChunkSize - 1;
+
+  uint32_t add(const Instr &I) {
+    uint32_t Id = Count++;
+    if ((Id >> ChunkShift) == Chunks.size())
+      Chunks.push_back(std::make_unique<Instr[]>(ChunkSize));
+    Chunks[Id >> ChunkShift][Id & ChunkMask] = I;
+    return Id;
+  }
+
+  Instr &get(uint32_t Id) {
+    assert(Id < Count && "bad instruction id");
+    return Chunks[Id >> ChunkShift][Id & ChunkMask];
+  }
+  const Instr &get(uint32_t Id) const {
+    assert(Id < Count && "bad instruction id");
+    return Chunks[Id >> ChunkShift][Id & ChunkMask];
+  }
+
+  /// Ids handed out so far (including slots no block references anymore).
+  uint32_t size() const { return Count; }
+
+  void clear() {
+    Chunks.clear();
+    Count = 0;
+  }
+
+private:
+  std::vector<std::unique_ptr<Instr[]>> Chunks;
+  uint32_t Count = 0;
+};
+
+} // namespace lsra
+
+#endif // LSRA_IR_INSTRPOOL_H

@@ -129,9 +129,9 @@ void lsra::printFunction(std::ostream &OS, const Function &F,
       OS << " %" << V;
     OS << "\n";
   }
-  for (const auto &B : F.blocks()) {
-    OS << "bb" << B->id() << " (" << B->name() << "):\n";
-    for (const Instr &I : B->instrs()) {
+  for (const Block &B : F.blocks()) {
+    OS << "bb" << B.id() << " (" << B.name() << "):\n";
+    for (const Instr &I : B.instrs()) {
       OS << "  ";
       printInstr(OS, I, F, M);
       OS << "\n";
@@ -172,10 +172,10 @@ std::string lsra::toString(const Instr &I, const Function &F,
 void lsra::printDotCFG(std::ostream &OS, const Function &F, const Module *M) {
   OS << "digraph \"" << F.name() << "\" {\n";
   OS << "  node [shape=box fontname=\"monospace\"];\n";
-  for (const auto &B : F.blocks()) {
-    OS << "  bb" << B->id() << " [label=\"bb" << B->id() << " (" << B->name()
+  for (const Block &B : F.blocks()) {
+    OS << "  bb" << B.id() << " [label=\"bb" << B.id() << " (" << B.name()
        << ")\\l";
-    for (const Instr &I : B->instrs()) {
+    for (const Instr &I : B.instrs()) {
       std::ostringstream Tmp;
       printInstr(Tmp, I, F, M);
       std::string S = Tmp.str();
@@ -189,8 +189,8 @@ void lsra::printDotCFG(std::ostream &OS, const Function &F, const Module *M) {
       OS << "  " << Esc << "\\l";
     }
     OS << "\"];\n";
-    for (unsigned S : B->successors())
-      OS << "  bb" << B->id() << " -> bb" << S << ";\n";
+    for (unsigned S : B.successors())
+      OS << "  bb" << B.id() << " -> bb" << S << ";\n";
   }
   OS << "}\n";
 }

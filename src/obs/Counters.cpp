@@ -8,6 +8,7 @@
 
 #include "obs/Json.h"
 #include "regalloc/Allocator.h"
+#include "support/AllocProfile.h"
 #include "vm/VM.h"
 
 #include <algorithm>
@@ -104,6 +105,12 @@ void CounterRegistry::recordAllocStats(const AllocStats &S) {
   counter("alloc.interference_edges").add(S.InterferenceEdges);
   distribution("alloc.time.cpu_s").sample(S.AllocSeconds);
   distribution("alloc.time.wall_s").sample(S.WallSeconds);
+}
+
+void CounterRegistry::recordAllocProfile() {
+  AllocSnapshot S = allocSnapshot();
+  counter("alloc.count").add(S.Count);
+  counter("alloc.bytes").add(S.Bytes);
 }
 
 void CounterRegistry::recordRunStats(const RunStats &S) {

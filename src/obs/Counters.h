@@ -89,6 +89,11 @@ public:
   /// Re-export every AllocStats field under "alloc.*" (timing fields under
   /// "alloc.time.*", as distributions).
   void recordAllocStats(const AllocStats &S);
+  /// Export the process heap-allocation totals (support/AllocProfile) as
+  /// the "alloc.count" / "alloc.bytes" counters. Call once, immediately
+  /// before writing a snapshot: the totals are cumulative, so the counters
+  /// would double-count if recorded twice into one registry generation.
+  void recordAllocProfile();
   /// Re-export every RunStats field under "vm.dyn.*".
   void recordRunStats(const RunStats &S);
 

@@ -40,9 +40,9 @@ unsigned lsra::eliminateDeadCode(Function &F, const TargetDesc &TD) {
     for (unsigned B = 0; B < F.numBlocks(); ++B) {
       Block &Blk = F.block(B);
       BitVector Live = LV.liveOut(B);
-      std::vector<Instr> Kept;
+      std::vector<uint32_t> Kept;
       Kept.reserve(Blk.size());
-      // Backward scan; collect survivors in reverse.
+      // Backward scan; collect survivor ids in reverse.
       for (unsigned Idx = Blk.size(); Idx-- > 0;) {
         const Instr &I = Blk.instrs()[Idx];
         bool Dead = isRemovableWhenDead(I) && !Live.test(I.op(0).vregId());
@@ -59,11 +59,11 @@ unsigned lsra::eliminateDeadCode(Function &F, const TargetDesc &TD) {
           if (Op.isVReg())
             Live.set(Op.vregId());
         });
-        Kept.push_back(I);
+        Kept.push_back(Blk.instrId(Idx));
       }
       if (Kept.size() != Blk.size()) {
-        std::vector<Instr> Fwd(Kept.rbegin(), Kept.rend());
-        Blk.instrs() = std::move(Fwd);
+        std::vector<uint32_t> Fwd(Kept.rbegin(), Kept.rend());
+        Blk.setInstrIds(Fwd);
       }
     }
   }

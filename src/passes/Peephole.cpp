@@ -10,10 +10,11 @@ using namespace lsra;
 
 unsigned lsra::runPeephole(Function &F) {
   unsigned Removed = 0;
-  for (auto &B : F.blocks()) {
-    std::vector<Instr> Kept;
-    Kept.reserve(B->size());
-    for (const Instr &I : B->instrs()) {
+  for (Block &B : F.blocks()) {
+    std::vector<uint32_t> Kept;
+    Kept.reserve(B.size());
+    for (unsigned Idx = 0; Idx < B.size(); ++Idx) {
+      const Instr &I = B.instrs()[Idx];
       bool IsSelfMove =
           (I.opcode() == Opcode::Mov || I.opcode() == Opcode::FMov) &&
           I.op(0).isReg() && I.op(1).isReg() && I.op(0) == I.op(1);
@@ -21,10 +22,10 @@ unsigned lsra::runPeephole(Function &F) {
         ++Removed;
         continue;
       }
-      Kept.push_back(I);
+      Kept.push_back(B.instrId(Idx));
     }
-    if (Kept.size() != B->size())
-      B->instrs() = std::move(Kept);
+    if (Kept.size() != B.size())
+      B.setInstrIds(Kept);
   }
   return Removed;
 }

@@ -195,8 +195,8 @@ snapshotAllocatedFunction(const Module &M, const Function &F,
   auto Entry = std::make_shared<cache::CachedCompile>();
   auto Clone = std::make_unique<Function>(F.id(), F.name());
   cloneFunctionInto(F, *Clone);
-  for (const auto &B : Clone->blocks())
-    for (const Instr &I : B->instrs())
+  for (const Block &B : Clone->blocks())
+    for (const Instr &I : B.instrs())
       for (unsigned O = 0; O < 3; ++O)
         if (I.op(O).isFunc()) {
           unsigned Id = I.op(O).funcId();
@@ -224,8 +224,8 @@ std::unique_ptr<Function> materialiseCachedFunction(Module &M, unsigned Idx,
   }
   auto Fresh = std::make_unique<Function>(Idx, E.Fn->name());
   cloneFunctionInto(*E.Fn, *Fresh);
-  for (const auto &B : Fresh->blocks())
-    for (Instr &I : B->instrs())
+  for (Block &B : Fresh->blocks())
+    for (Instr &I : B.instrs())
       for (unsigned O = 0; O < 3; ++O)
         if (I.op(O).isFunc())
           I.op(O) = Operand::func(Remap.at(I.op(O).funcId()));

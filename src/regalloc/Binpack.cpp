@@ -574,8 +574,9 @@ AllocStats BinpackScanner::run() {
     for (unsigned B = 0; B < NumBlocks; ++B) {
       blockTop(B);
       Block &Blk = F.block(B);
-      std::vector<Instr> Out;
+      std::vector<uint32_t> Out;
       Out.reserve(Blk.size() + 4);
+      bool Inserted = false;
       for (unsigned Idx = 0; Idx < Blk.size(); ++Idx) {
         Instr I = Blk.instrs()[Idx];
         unsigned G = Num.instrIndex(B, Idx);
@@ -585,11 +586,15 @@ AllocStats BinpackScanner::run() {
         processUses(I, UsePos, DefPos);
         fixedSweep(UsePos, DefPos);
         processDefs(I, DefPos);
-        for (const Instr &P : Prefix)
-          Out.push_back(P);
-        Out.push_back(I);
+        for (const Instr &P : Prefix) {
+          Out.push_back(Blk.makeInstr(P));
+          Inserted = true;
+        }
+        Blk.instrs()[Idx] = I; // rewritten in place: id preserved
+        Out.push_back(Blk.instrId(Idx));
       }
-      Blk.instrs() = std::move(Out);
+      if (Inserted)
+        Blk.setInstrIds(Out);
       blockBottom(B);
     }
   }

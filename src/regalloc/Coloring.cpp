@@ -243,7 +243,7 @@ void ColoringProblem::build() {
       if (Out.test(V) && VRegToNode[V] != NoNode && !EverSpilledV.test(V))
         Live.set(VRegToNode[V]);
 
-    auto &Instrs = F.block(B).instrs();
+    auto Instrs = F.block(B).instrs();
     double W = LI.blockWeight(B);
     for (unsigned Idx = Instrs.size(); Idx-- > 0;) {
       const Instr &I = Instrs[Idx];
@@ -613,10 +613,12 @@ void ColoringProblem::rewriteSpills() {
       DL.record(F, obs::DecisionKind::SpillWhole, V, obs::NoValue,
                 obs::NoValue, "no color available; whole lifetime to memory");
   }
-  for (auto &B : F.blocks()) {
-    std::vector<Instr> Out;
-    Out.reserve(B->size());
-    for (Instr I : B->instrs()) {
+  for (Block &B : F.blocks()) {
+    std::vector<uint32_t> Out;
+    Out.reserve(B.size());
+    bool Inserted = false;
+    for (unsigned Idx = 0; Idx < B.size(); ++Idx) {
+      Instr I = B.instrs()[Idx];
       const OpcodeInfo &Info = I.info();
       // One fresh temp per instruction per spilled vreg (shared between a
       // use and a def of the same vreg in the same instruction).
@@ -638,8 +640,10 @@ void ColoringProblem::rewriteSpills() {
             F.vregClass(Op.vregId()) != RC)
           continue;
         unsigned T = FreshTemp(Op.vregId());
-        Out.push_back(Slots.makeLoad(Op.vregId(), 0, SpillKind::EvictLoad));
-        Out.back().op(0) = Operand::vreg(T);
+        Instr Ld = Slots.makeLoad(Op.vregId(), 0, SpillKind::EvictLoad);
+        Ld.op(0) = Operand::vreg(T);
+        Out.push_back(B.makeInstr(Ld));
+        Inserted = true;
         ++Stats.EvictLoads;
         Op = Operand::vreg(T);
       }
@@ -651,14 +655,18 @@ void ColoringProblem::rewriteSpills() {
         I.op(0) = Operand::vreg(DefTemp);
         DefSpilled = true;
       }
-      Out.push_back(I);
+      B.instrs()[Idx] = I; // rewritten in place: id preserved
+      Out.push_back(B.instrId(Idx));
       if (DefSpilled) {
-        Out.push_back(Slots.makeStore(DefV, 0, SpillKind::EvictStore));
-        Out.back().op(0) = Operand::vreg(DefTemp);
+        Instr St = Slots.makeStore(DefV, 0, SpillKind::EvictStore);
+        St.op(0) = Operand::vreg(DefTemp);
+        Out.push_back(B.makeInstr(St));
+        Inserted = true;
         ++Stats.EvictStores;
       }
     }
-    B->instrs() = std::move(Out);
+    if (Inserted)
+      B.setInstrIds(Out);
   }
   // Mark all newly created temps as unspillable.
   BitVector NewST(F.numVRegs());
@@ -671,8 +679,8 @@ void ColoringProblem::rewriteSpills() {
 }
 
 void ColoringProblem::rewriteOperands() {
-  for (auto &B : F.blocks())
-    for (Instr &I : B->instrs())
+  for (Block &B : F.blocks())
+    for (Instr &I : B.instrs())
       for (unsigned S = 0; S < 3; ++S) {
         Operand &Op = I.op(S);
         if (!Op.isVReg() || F.vregClass(Op.vregId()) != RC)

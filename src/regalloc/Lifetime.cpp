@@ -42,7 +42,9 @@ bool Lifetime::holeIsRealAt(unsigned Pos) const {
 }
 
 Lifetime Lifetime::withArtifactGapsFilled() const {
-  Lifetime Out;
+  // The copy lives in the same arena as the source (heap when standalone),
+  // so whole-lifetime allocators building a filled table stay malloc-free.
+  Lifetime Out(Segs.get_allocator().arena());
   Out.Refs = Refs;
   for (const Segment &S : Segs) {
     if (!Out.Segs.empty() && S.LiveInStart) {
@@ -121,7 +123,11 @@ LifetimeAnalysis::LifetimeAnalysis(const Function &F, const Numbering &Num,
                                    const Liveness &LV, const LoopInfo &LI,
                                    const TargetDesc &TD) {
   unsigned NumV = F.numVRegs();
-  VRegLTs.resize(NumV);
+  VRegLTs.reserve(NumV);
+  for (unsigned V = 0; V < NumV; ++V)
+    VRegLTs.emplace_back(&Arena);
+  for (Lifetime &LT : PRegLTs)
+    LT = Lifetime(&Arena);
 
   // Per-register state during the reverse scan: the end position of the
   // segment currently being built (0 when the register is not live).

@@ -23,6 +23,7 @@
 #include "analysis/Loops.h"
 #include "analysis/Order.h"
 #include "ir/Function.h"
+#include "support/Arena.h"
 #include "target/Target.h"
 
 #include <array>
@@ -54,8 +55,19 @@ struct Reference {
 
 class Lifetime {
 public:
-  std::vector<Segment> Segs; ///< sorted, disjoint, non-adjacent
-  std::vector<Reference> Refs; ///< sorted by position
+  /// Segment/Reference storage is arena-aware: LifetimeAnalysis places the
+  /// per-vreg vectors of a whole function in one bump arena (two orders of
+  /// magnitude fewer mallocs on large functions), while default-constructed
+  /// lifetimes (tests, standalone use) fall back to the global heap.
+  using SegVec = std::vector<Segment, ArenaAllocator<Segment>>;
+  using RefVec = std::vector<Reference, ArenaAllocator<Reference>>;
+
+  Lifetime() = default;
+  explicit Lifetime(BumpArena *A)
+      : Segs(ArenaAllocator<Segment>(A)), Refs(ArenaAllocator<Reference>(A)) {}
+
+  SegVec Segs; ///< sorted, disjoint, non-adjacent
+  RefVec Refs; ///< sorted by position
 
   bool empty() const { return Segs.empty(); }
   unsigned startPos() const { return Segs.empty() ? InfPos : Segs.front().Start; }
@@ -121,6 +133,9 @@ public:
   unsigned numVRegs() const { return static_cast<unsigned>(VRegLTs.size()); }
 
 private:
+  /// Owns every Segs/Refs vector below; must be declared first so it is
+  /// destroyed last.
+  BumpArena Arena;
   std::vector<Lifetime> VRegLTs;
   std::array<Lifetime, NumPRegs> PRegLTs;
 };

@@ -174,12 +174,13 @@ void PolettoAllocator::scanClass(RegClass RC,
 }
 
 void PolettoAllocator::rewrite() {
-  for (auto &B : F.blocks()) {
-    std::vector<Instr> Out;
-    Out.reserve(B->size());
-    for (Instr I : B->instrs()) {
+  for (Block &B : F.blocks()) {
+    std::vector<uint32_t> Out;
+    Out.reserve(B.size());
+    bool Inserted = false;
+    for (unsigned Idx = 0; Idx < B.size(); ++Idx) {
+      Instr I = B.instrs()[Idx];
       const OpcodeInfo &Info = I.info();
-      std::vector<Instr> After;
       unsigned NextScratch[2] = {0, 0};
       unsigned LoadedV = ~0u, LoadedR = NoReg;
       for (unsigned S = Info.NumDefs;
@@ -195,30 +196,36 @@ void PolettoAllocator::rewrite() {
           } else {
             unsigned C = F.vregClass(V) == RegClass::Float ? 1 : 0;
             R = NextScratch[C]++ == 0 ? Scratch0[C] : Scratch1[C];
-            Out.push_back(Slots.makeLoad(V, R, SpillKind::EvictLoad));
+            Out.push_back(
+                B.makeInstr(Slots.makeLoad(V, R, SpillKind::EvictLoad)));
             ++Stats.EvictLoads;
+            Inserted = true;
             LoadedV = V;
             LoadedR = R;
           }
         }
         Op = Operand::preg(R);
       }
+      uint32_t StoreId = ~0u;
       if (Info.NumDefs == 1 && I.op(0).isVReg()) {
         unsigned V = I.op(0).vregId();
         unsigned R = AssignedReg[V];
         if (R == NoReg) {
           unsigned C = F.vregClass(V) == RegClass::Float ? 1 : 0;
           R = Scratch0[C];
-          After.push_back(Slots.makeStore(V, R, SpillKind::EvictStore));
+          StoreId = B.makeInstr(Slots.makeStore(V, R, SpillKind::EvictStore));
           ++Stats.EvictStores;
+          Inserted = true;
         }
         I.op(0) = Operand::preg(R);
       }
-      Out.push_back(I);
-      for (const Instr &A : After)
-        Out.push_back(A);
+      B.instrs()[Idx] = I; // rewritten in place: id preserved
+      Out.push_back(B.instrId(Idx));
+      if (StoreId != ~0u)
+        Out.push_back(StoreId);
     }
-    B->instrs() = std::move(Out);
+    if (Inserted)
+      B.setInstrIds(Out);
   }
 }
 

@@ -111,14 +111,17 @@ ResolveCounts lsra::resolveEdges(Function &F, const ResolverInput &In,
     // placed there would also run before the first iteration.
     if (PredCount[E.Succ] == 1 && E.Succ != 0) {
       Block &S = F.block(E.Succ);
-      S.instrs().insert(S.instrs().begin(), Seq.begin(), Seq.end());
+      for (unsigned I = 0; I < Seq.size(); ++I)
+        S.insertAt(I, Seq[I]);
     } else if (SuccCount[E.Pred] == 1 &&
                F.block(E.Pred).terminator().opcode() == Opcode::Br) {
       Block &P = F.block(E.Pred);
-      P.instrs().insert(P.instrs().end() - 1, Seq.begin(), Seq.end());
+      for (const Instr &I : Seq)
+        P.insertBeforeTerminator(I);
     } else {
       Block &NewB = splitEdge(F, E.Pred, E.Succ);
-      NewB.instrs().insert(NewB.instrs().begin(), Seq.begin(), Seq.end());
+      for (unsigned I = 0; I < Seq.size(); ++I)
+        NewB.insertAt(I, Seq[I]);
       ++Counts.SplitEdges;
     }
   }

@@ -229,15 +229,15 @@ void TwoPassAllocator::rewrite() {
 
   for (unsigned B = 0; B < F.numBlocks(); ++B) {
     Block &Blk = F.block(B);
-    std::vector<Instr> Out;
+    std::vector<uint32_t> Out;
     Out.reserve(Blk.size());
+    bool Inserted = false;
     for (unsigned Idx = 0; Idx < Blk.size(); ++Idx) {
       Instr I = Blk.instrs()[Idx];
       unsigned G = Num.instrIndex(B, Idx);
       unsigned UsePos = Numbering::usePos(G);
       unsigned DefPos = Numbering::defPos(G);
       const OpcodeInfo &Info = I.info();
-      std::vector<Instr> After;
       unsigned LoadedV = ~0u;
       for (unsigned S = Info.NumDefs;
            S < unsigned(Info.NumDefs) + Info.NumUses; ++S) {
@@ -249,28 +249,34 @@ void TwoPassAllocator::rewrite() {
         if (R == NoReg) {
           R = PointRegAt(V, UsePos);
           if (V != LoadedV) {
-            Out.push_back(Slots.makeLoad(V, R, SpillKind::EvictLoad));
+            Out.push_back(
+                Blk.makeInstr(Slots.makeLoad(V, R, SpillKind::EvictLoad)));
             ++Stats.EvictLoads;
+            Inserted = true;
             LoadedV = V;
           }
         }
         Op = Operand::preg(R);
       }
+      uint32_t StoreId = ~0u;
       if (Info.NumDefs == 1 && I.op(0).isVReg()) {
         unsigned V = I.op(0).vregId();
         unsigned R = Assigned[V];
         if (R == NoReg) {
           R = PointRegAt(V, DefPos);
-          After.push_back(Slots.makeStore(V, R, SpillKind::EvictStore));
+          StoreId = Blk.makeInstr(Slots.makeStore(V, R, SpillKind::EvictStore));
           ++Stats.EvictStores;
+          Inserted = true;
         }
         I.op(0) = Operand::preg(R);
       }
-      Out.push_back(I);
-      for (const Instr &A : After)
-        Out.push_back(A);
+      Blk.instrs()[Idx] = I; // rewritten in place: id preserved
+      Out.push_back(Blk.instrId(Idx));
+      if (StoreId != ~0u)
+        Out.push_back(StoreId);
     }
-    Blk.instrs() = std::move(Out);
+    if (Inserted)
+      Blk.setInstrIds(Out);
   }
 }
 

@@ -1,0 +1,114 @@
+//===- support/AllocProfile.cpp -------------------------------------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Counting replacements for the global allocation functions. Kept in the
+// same translation unit as allocSnapshot() so that referencing the snapshot
+// API pulls the replacements into the link.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AllocProfile.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define LSRA_ALLOC_PROFILE_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define LSRA_ALLOC_PROFILE_DISABLED 1
+#endif
+#endif
+
+namespace {
+
+std::atomic<uint64_t> GCount{0};
+std::atomic<uint64_t> GBytes{0};
+
+#ifndef LSRA_ALLOC_PROFILE_DISABLED
+inline void *countedAlloc(std::size_t Size, std::size_t Align) {
+  GCount.fetch_add(1, std::memory_order_relaxed);
+  // A zero-size request still allocates a distinct object; bill it one byte
+  // so alloc.bytes >= alloc.count holds (check_trace.py asserts it).
+  GBytes.fetch_add(Size ? Size : 1, std::memory_order_relaxed);
+  void *P = Align > alignof(std::max_align_t)
+                ? std::aligned_alloc(Align, (Size + Align - 1) / Align * Align)
+                : std::malloc(Size ? Size : 1);
+  return P;
+}
+#endif
+
+} // namespace
+
+#ifndef LSRA_ALLOC_PROFILE_DISABLED
+
+void *operator new(std::size_t Size) {
+  void *P = countedAlloc(Size, 0);
+  if (!P)
+    throw std::bad_alloc();
+  return P;
+}
+
+void *operator new[](std::size_t Size) { return ::operator new(Size); }
+
+void *operator new(std::size_t Size, std::align_val_t Align) {
+  void *P = countedAlloc(Size, static_cast<std::size_t>(Align));
+  if (!P)
+    throw std::bad_alloc();
+  return P;
+}
+
+void *operator new[](std::size_t Size, std::align_val_t Align) {
+  return ::operator new(Size, Align);
+}
+
+void *operator new(std::size_t Size, const std::nothrow_t &) noexcept {
+  return countedAlloc(Size, 0);
+}
+
+void *operator new[](std::size_t Size, const std::nothrow_t &) noexcept {
+  return countedAlloc(Size, 0);
+}
+
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+void operator delete(void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t, std::align_val_t) noexcept {
+  std::free(P);
+}
+void operator delete[](void *P, std::size_t, std::align_val_t) noexcept {
+  std::free(P);
+}
+void operator delete(void *P, const std::nothrow_t &) noexcept {
+  std::free(P);
+}
+void operator delete[](void *P, const std::nothrow_t &) noexcept {
+  std::free(P);
+}
+
+#endif // !LSRA_ALLOC_PROFILE_DISABLED
+
+namespace lsra {
+
+AllocSnapshot allocSnapshot() {
+  return {GCount.load(std::memory_order_relaxed),
+          GBytes.load(std::memory_order_relaxed)};
+}
+
+bool allocProfileAvailable() {
+#ifdef LSRA_ALLOC_PROFILE_DISABLED
+  return false;
+#else
+  return true;
+#endif
+}
+
+} // namespace lsra

@@ -1,0 +1,48 @@
+//===- support/AllocProfile.h - Heap allocation counters -------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-wide heap allocation profiling. AllocProfile.cpp replaces the
+/// global operator new/delete family with thin counting wrappers over
+/// malloc/free: every allocation bumps a relaxed atomic count and a byte
+/// total. The counters are cumulative since process start; callers measure
+/// a region by subtracting two snapshots.
+///
+/// The wrappers are installed by linking the translation unit, which
+/// happens automatically for any binary that calls allocSnapshot() (the
+/// function is defined in the same TU as the replaced operators). Under
+/// AddressSanitizer the replacement is skipped — ASan's own new/delete
+/// bookkeeping stays intact — and allocProfileAvailable() reports false
+/// while snapshots read as zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_SUPPORT_ALLOCPROFILE_H
+#define LSRA_SUPPORT_ALLOCPROFILE_H
+
+#include <cstdint>
+
+namespace lsra {
+
+/// Cumulative heap allocation totals since process start.
+struct AllocSnapshot {
+  uint64_t Count = 0; ///< number of operator new calls
+  uint64_t Bytes = 0; ///< sum of requested sizes
+
+  AllocSnapshot operator-(const AllocSnapshot &O) const {
+    return {Count - O.Count, Bytes - O.Bytes};
+  }
+};
+
+/// Read the current totals. Wait-free (two relaxed loads).
+AllocSnapshot allocSnapshot();
+
+/// Whether the counting operators are installed in this binary.
+bool allocProfileAvailable();
+
+} // namespace lsra
+
+#endif // LSRA_SUPPORT_ALLOCPROFILE_H

@@ -1,0 +1,117 @@
+//===- support/Arena.h - Bump-pointer arena -------------------*- C++ -*-===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bump-pointer arena and a std::allocator adaptor over it. The IR uses
+/// one arena per function: all block-local id vectors bump-allocate from it,
+/// and the whole function body is released in O(#chunks) instead of
+/// O(#nodes). Individual deallocation is a no-op — growth by a
+/// vector-with-ArenaAllocator leaks the old buffer into the arena, which is
+/// the intended trade (freed wholesale with the function).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSRA_SUPPORT_ARENA_H
+#define LSRA_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace lsra {
+
+class BumpArena {
+public:
+  BumpArena() = default;
+  BumpArena(const BumpArena &) = delete;
+  BumpArena &operator=(const BumpArena &) = delete;
+  ~BumpArena() { reset(); }
+
+  void *allocate(std::size_t Size, std::size_t Align) {
+    std::uintptr_t P = (Cur + Align - 1) & ~static_cast<std::uintptr_t>(Align - 1);
+    if (P + Size > End) {
+      grow(Size + Align);
+      P = (Cur + Align - 1) & ~static_cast<std::uintptr_t>(Align - 1);
+    }
+    Cur = P + Size;
+    return reinterpret_cast<void *>(P);
+  }
+
+  template <typename T> T *allocate(std::size_t N = 1) {
+    return static_cast<T *>(allocate(N * sizeof(T), alignof(T)));
+  }
+
+  /// Free every chunk. All memory handed out becomes invalid.
+  void reset() {
+    for (void *C : Chunks)
+      ::operator delete(C);
+    Chunks.clear();
+    Cur = End = 0;
+    Reserved = 0;
+  }
+
+  /// Bytes reserved from the OS (an upper bound on bytes handed out).
+  std::size_t bytesReserved() const { return Reserved; }
+
+private:
+  void grow(std::size_t Min) {
+    std::size_t Sz = Min > ChunkBytes ? Min : ChunkBytes;
+    void *C = ::operator new(Sz);
+    Chunks.push_back(C);
+    Cur = reinterpret_cast<std::uintptr_t>(C);
+    End = Cur + Sz;
+    Reserved += Sz;
+  }
+
+  static constexpr std::size_t ChunkBytes = 1u << 16;
+  std::vector<void *> Chunks;
+  std::uintptr_t Cur = 0;
+  std::uintptr_t End = 0;
+  std::size_t Reserved = 0;
+};
+
+/// std::allocator adaptor. A null arena falls back to the global heap, so
+/// default-constructed containers (e.g. a moved-from vector) stay valid.
+template <typename T> class ArenaAllocator {
+public:
+  using value_type = T;
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+
+  ArenaAllocator() noexcept : A(nullptr) {}
+  explicit ArenaAllocator(BumpArena *A) noexcept : A(A) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U> &O) noexcept : A(O.arena()) {}
+
+  T *allocate(std::size_t N) {
+    if (A)
+      return static_cast<T *>(A->allocate(N * sizeof(T), alignof(T)));
+    return static_cast<T *>(::operator new(N * sizeof(T)));
+  }
+  void deallocate(T *P, std::size_t) noexcept {
+    if (!A)
+      ::operator delete(P);
+    // Arena memory is reclaimed wholesale by BumpArena::reset().
+  }
+
+  BumpArena *arena() const { return A; }
+
+  template <typename U> bool operator==(const ArenaAllocator<U> &O) const {
+    return A == O.arena();
+  }
+  template <typename U> bool operator!=(const ArenaAllocator<U> &O) const {
+    return A != O.arena();
+  }
+
+private:
+  BumpArena *A;
+};
+
+} // namespace lsra
+
+#endif // LSRA_SUPPORT_ARENA_H

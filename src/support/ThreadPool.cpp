@@ -109,3 +109,34 @@ void lsra::parallelFor(unsigned N, unsigned Threads,
   Drain();
   Pool.wait();
 }
+
+void lsra::parallelForChunked(unsigned N, unsigned Threads, unsigned ChunkSize,
+                              const std::function<void(unsigned)> &Body) {
+  ChunkSize = std::max(ChunkSize, 1u);
+  unsigned NumChunks = ChunkSize >= N ? (N ? 1 : 0)
+                                      : (N + ChunkSize - 1) / ChunkSize;
+  Threads = std::min(Threads, NumChunks);
+  if (Threads <= 1 || NumChunks <= 1) {
+    for (unsigned I = 0; I < N; ++I)
+      Body(I);
+    return;
+  }
+
+  std::atomic<unsigned> NextChunk{0};
+  auto Drain = [&] {
+    for (unsigned C = NextChunk.fetch_add(1, std::memory_order_relaxed);
+         C < NumChunks;
+         C = NextChunk.fetch_add(1, std::memory_order_relaxed)) {
+      unsigned Begin = C * ChunkSize;
+      unsigned End = std::min(N, Begin + ChunkSize);
+      for (unsigned I = Begin; I < End; ++I)
+        Body(I);
+    }
+  };
+
+  ThreadPool Pool(Threads - 1);
+  for (unsigned W = 0; W + 1 < Threads; ++W)
+    Pool.submit(Drain);
+  Drain();
+  Pool.wait();
+}

@@ -80,6 +80,17 @@ private:
 void parallelFor(unsigned N, unsigned Threads,
                  const std::function<void(unsigned)> &Body);
 
+/// Chunked variant of parallelFor: workers claim \p ChunkSize consecutive
+/// indices per grab from the shared counter, so the claim rate (and the
+/// atomic contention) drops by the chunk factor while dynamic
+/// self-scheduling still balances skewed chunk costs. Within a chunk the
+/// indices are visited in increasing order, and chunks are claimed in
+/// increasing start order — properties the streaming module driver relies
+/// on for its deterministic index-order merge. ChunkSize == 1 is exactly
+/// parallelFor.
+void parallelForChunked(unsigned N, unsigned Threads, unsigned ChunkSize,
+                        const std::function<void(unsigned)> &Body);
+
 } // namespace lsra
 
 #endif // LSRA_SUPPORT_THREADPOOL_H

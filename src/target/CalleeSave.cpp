@@ -14,8 +14,8 @@ unsigned lsra::insertCalleeSaves(Function &F, const TargetDesc &TD) {
   // Collect every callee-saved register the function writes, in ascending
   // register id (integer registers before floating-point).
   uint64_t Written = 0;
-  for (const auto &BlkPtr : F.blocks())
-    for (const Instr &I : BlkPtr->instrs())
+  for (const Block &Blk : F.blocks())
+    for (const Instr &I : Blk.instrs())
       forEachDefinedReg(I, [&](const Operand &Op) {
         if (Op.isPReg() && TD.isCalleeSaved(Op.pregId()))
           Written |= uint64_t(1) << Op.pregId();
@@ -38,29 +38,24 @@ unsigned lsra::insertCalleeSaves(Function &F, const TargetDesc &TD) {
   }
 
   // Prologue: store each register at the very top of the entry block.
-  std::vector<Instr> Prologue;
+  unsigned Pos = 0;
   for (const Save &S : Saves) {
     Instr St(S.IsFloat ? Opcode::FStSlot : Opcode::StSlot,
              Operand::preg(S.Reg), Operand::slot(S.Slot));
     St.Spill = SpillKind::CalleeSave;
-    Prologue.push_back(St);
+    F.entry().insertAt(Pos++, St);
   }
-  auto &EntryInstrs = F.entry().instrs();
-  EntryInstrs.insert(EntryInstrs.begin(), Prologue.begin(), Prologue.end());
 
   // Epilogues: reload each register immediately before every return.
-  for (auto &BlkPtr : F.blocks()) {
-    auto &Instrs = BlkPtr->instrs();
-    if (Instrs.empty() || Instrs.back().opcode() != Opcode::Ret)
+  for (Block &Blk : F.blocks()) {
+    if (Blk.empty() || Blk.instrs().back().opcode() != Opcode::Ret)
       continue;
-    std::vector<Instr> Restores;
     for (const Save &S : Saves) {
       Instr Ld(S.IsFloat ? Opcode::FLdSlot : Opcode::LdSlot,
                Operand::preg(S.Reg), Operand::slot(S.Slot));
       Ld.Spill = SpillKind::CalleeRestore;
-      Restores.push_back(Ld);
+      Blk.insertBeforeTerminator(Ld);
     }
-    Instrs.insert(Instrs.end() - 1, Restores.begin(), Restores.end());
   }
 
   return static_cast<unsigned>(Saves.size());

@@ -23,38 +23,43 @@ void lsra::lowerCalls(Function &F) {
   for (unsigned I = 0; I < F.FpParamVRegs.size(); ++I)
     Entry.push_back(Instr(Opcode::FMov, Operand::vreg(F.FpParamVRegs[I]),
                           Operand::preg(TargetDesc::fpArgReg(I))));
-  if (!Entry.empty() && F.numBlocks() > 0) {
-    auto &Instrs = F.entry().instrs();
-    Instrs.insert(Instrs.begin(), Entry.begin(), Entry.end());
-  }
+  if (!Entry.empty() && F.numBlocks() > 0)
+    for (unsigned I = 0; I < Entry.size(); ++I)
+      F.entry().insertAt(I, Entry[I]);
 
-  for (auto &BlkPtr : F.blocks()) {
-    auto &Instrs = BlkPtr->instrs();
-    std::vector<Instr> Out;
-    Out.reserve(Instrs.size());
-    for (Instr &I : Instrs) {
+  for (Block &Blk : F.blocks()) {
+    // 1:1 replacements mutate the instruction in place (id preserved);
+    // only a Ret that expands into a move + Ret forces an id-list rebuild.
+    std::vector<uint32_t> Out;
+    Out.reserve(Blk.size());
+    bool Changed = false;
+    for (unsigned Idx = 0; Idx < Blk.size(); ++Idx) {
+      Instr &I = Blk.instrs()[Idx];
+      uint32_t Id = Blk.instrId(Idx);
       switch (I.opcode()) {
       case Opcode::CArg: {
-        unsigned Idx = static_cast<unsigned>(I.op(1).immValue());
-        Out.push_back(Instr(Opcode::Mov,
-                            Operand::preg(TargetDesc::intArgReg(Idx)),
-                            I.op(0)));
+        unsigned ArgIdx = static_cast<unsigned>(I.op(1).immValue());
+        I = Instr(Opcode::Mov, Operand::preg(TargetDesc::intArgReg(ArgIdx)),
+                  I.op(0));
+        Out.push_back(Id);
         break;
       }
       case Opcode::FCArg: {
-        unsigned Idx = static_cast<unsigned>(I.op(1).immValue());
-        Out.push_back(Instr(Opcode::FMov,
-                            Operand::preg(TargetDesc::fpArgReg(Idx)),
-                            I.op(0)));
+        unsigned ArgIdx = static_cast<unsigned>(I.op(1).immValue());
+        I = Instr(Opcode::FMov, Operand::preg(TargetDesc::fpArgReg(ArgIdx)),
+                  I.op(0));
+        Out.push_back(Id);
         break;
       }
       case Opcode::CRes:
-        Out.push_back(Instr(Opcode::Mov, I.op(0),
-                            Operand::preg(TargetDesc::intRetReg())));
+        I = Instr(Opcode::Mov, I.op(0),
+                  Operand::preg(TargetDesc::intRetReg()));
+        Out.push_back(Id);
         break;
       case Opcode::FCRes:
-        Out.push_back(Instr(Opcode::FMov, I.op(0),
-                            Operand::preg(TargetDesc::fpRetReg())));
+        I = Instr(Opcode::FMov, I.op(0),
+                  Operand::preg(TargetDesc::fpRetReg()));
+        Out.push_back(Id);
         break;
       case Opcode::Ret: {
         // Route the return value through the convention register so the
@@ -63,20 +68,24 @@ void lsra::lowerCalls(Function &F) {
           bool IsFloat = F.RetKind == CallRetKind::Float;
           unsigned RetR = TargetDesc::retReg(IsFloat ? RegClass::Float
                                                      : RegClass::Int);
-          Out.push_back(Instr(IsFloat ? Opcode::FMov : Opcode::Mov,
-                              Operand::preg(RetR), I.op(0)));
-          Out.push_back(Instr(Opcode::Ret, Operand::preg(RetR)));
+          Out.push_back(Blk.makeInstr(Instr(
+              IsFloat ? Opcode::FMov : Opcode::Mov, Operand::preg(RetR),
+              I.op(0))));
+          I = Instr(Opcode::Ret, Operand::preg(RetR));
+          Out.push_back(Id);
+          Changed = true;
         } else {
-          Out.push_back(I);
+          Out.push_back(Id);
         }
         break;
       }
       default:
-        Out.push_back(I);
+        Out.push_back(Id);
         break;
       }
     }
-    Instrs = std::move(Out);
+    if (Changed)
+      Blk.setInstrIds(Out);
   }
 
   F.CallsLowered = true;

@@ -8,6 +8,7 @@
 
 #include "ir/Builder.h"
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -87,7 +88,161 @@ void buildProc(Module &M, const std::string &Name,
   B.retVal(Acc);
 }
 
+/// Shared body shape for the big-module generator: the fpppp-style loop of
+/// buildProc, parameterised by operand class. Integer-flavoured procedures
+/// read words 64..127 of the image; fp-flavoured ones read doubles 0..63.
+void emitBigProcBody(FunctionBuilder &B, unsigned Window, unsigned PerBlock,
+                     unsigned Blocks, bool IntFlavor, Mixer &Rand) {
+  unsigned Base = B.movi(0);
+  unsigned Acc = IntFlavor ? B.movi(0) : B.movf(0.0);
+
+  unsigned Counter = B.movi(0);
+  Block &Head = B.newBlock("loop.head");
+  Block &Body = B.newBlock("loop.body");
+  Block &Exit = B.newBlock("loop.exit");
+  B.br(Head);
+  B.setBlock(Head);
+  unsigned Cond = B.cmpi(Opcode::CmpLt, Counter, 2);
+  B.cbr(Cond, Body, Exit);
+  B.setBlock(Body);
+
+  std::vector<unsigned> Live;
+  for (unsigned I = 0; I < Window; ++I)
+    Live.push_back(IntFlavor
+                       ? B.load(Base, static_cast<int64_t>(64 + I % 64))
+                       : B.fload(Base, static_cast<int64_t>(I % 64)));
+
+  for (unsigned Blk = 0; Blk < Blocks; ++Blk) {
+    for (unsigned I = 0; I < PerBlock; ++I) {
+      unsigned A = Rand.pick(Window);
+      unsigned C = Rand.pick(Window);
+      unsigned V;
+      if (IntFlavor) {
+        Opcode Op = (I & 1) ? Opcode::Add : Opcode::Xor;
+        V = B.binop(Op, Live[A], Live[C]);
+      } else {
+        Opcode Op = (I & 1) ? Opcode::FAdd : Opcode::FMul;
+        V = B.fbinop(Op, Live[A], Live[C]);
+      }
+      Live[A] = V;
+    }
+    Block &NextChunk = B.newBlock("chunk" + std::to_string(Blk));
+    B.br(NextChunk);
+    B.setBlock(NextChunk);
+  }
+
+  unsigned Sum = IntFlavor ? B.movi(0) : B.movf(0.0);
+  Opcode SumOp = IntFlavor ? Opcode::Add : Opcode::FAdd;
+  for (unsigned I = 0; I < Window; ++I)
+    B.emit(Instr(SumOp, Operand::vreg(Sum), Operand::vreg(Sum),
+                 Operand::vreg(Live[I])));
+  B.emit(Instr(SumOp, Operand::vreg(Acc), Operand::vreg(Acc),
+               Operand::vreg(Sum)));
+  B.emit(Instr(Opcode::Add, Operand::vreg(Counter), Operand::vreg(Counter),
+               Operand::imm(1)));
+  B.br(Head);
+  B.setBlock(Exit);
+  if (IntFlavor) {
+    B.emitValue(Acc);
+  } else {
+    B.femitValue(Acc);
+  }
+  B.retVal(Acc);
+}
+
+/// splitmix64: one well-mixed per-function seed from (Seed, Index).
+uint64_t mixSeed(uint64_t Seed, uint64_t Index) {
+  uint64_t Z = Seed + (Index + 1) * 0x9E3779B97F4A7C15ull;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+/// Every third procedure works the integer file; the rest are fp-heavy
+/// like the fpppp blocks the paper highlights.
+bool bigProcIsInt(unsigned I) { return I % 3 == 2; }
+
+/// Per-procedure shape, derived deterministically from (Opts, I) alone.
+struct BigProcShape {
+  unsigned Window;
+  unsigned PerBlock;
+  unsigned Blocks;
+  uint64_t BodySeed;
+};
+
+BigProcShape bigProcShape(const BigModuleOptions &Opts, unsigned I) {
+  Mixer Shape(mixSeed(Opts.Seed, I));
+  BigProcShape S;
+  double Skew = std::min(0.95, std::max(0.0, Opts.SizeSkew));
+  unsigned Lo = static_cast<unsigned>(Opts.InstrsPerFunc * (1.0 - Skew));
+  unsigned Span = std::max(
+      1u, static_cast<unsigned>(2.0 * Skew * Opts.InstrsPerFunc) + 1);
+  unsigned Size = std::max(16u, Lo + Shape.pick(Span));
+  S.Window = std::max(4u, Opts.LiveWindow / 2 +
+                              Shape.pick(std::max(1u, Opts.LiveWindow)));
+  S.Blocks = std::max(1u, Opts.BlocksPerFunc);
+  unsigned Chunk = Size > 2 * S.Window + 13 ? Size - 2 * S.Window - 13 : 16;
+  S.PerBlock = std::max(1u, Chunk / S.Blocks);
+  S.BodySeed = mixSeed(Opts.Seed ^ 0xA5A5A5A5A5A5A5A5ull, I);
+  return S;
+}
+
 } // namespace
+
+std::unique_ptr<Module> BigModuleGenerator::buildShell() const {
+  auto M = std::make_unique<Module>();
+  for (unsigned I = 0; I < 64; ++I)
+    M->initDouble(I, 0.001 + static_cast<double>(I) / 64.0);
+  for (unsigned I = 0; I < 64; ++I)
+    M->initWord(64 + I, static_cast<int64_t>(I * 2654435761u % 1021));
+  for (unsigned P = 0; P < Opts.NumFuncs; ++P) {
+    Function &F = M->addFunction("proc" + std::to_string(P));
+    F.RetKind = bigProcIsInt(P) ? CallRetKind::Int : CallRetKind::Float;
+  }
+  M->addFunction("main").RetKind = CallRetKind::Int;
+  return M;
+}
+
+void BigModuleGenerator::buildBody(Module &M, unsigned I) const {
+  assert(I < numFunctions() && "bad function index");
+  Function &F = M.function(I);
+  if (I == Opts.NumFuncs) {
+    // main: call every procedure, fold the results into per-class
+    // checksums.
+    FunctionBuilder B(M, F, 0, 0, CallRetKind::Int);
+    B.setBlock(B.newBlock("entry"));
+    unsigned SumF = B.movf(0.0);
+    unsigned SumI = B.movi(0);
+    for (unsigned P = 0; P < Opts.NumFuncs; ++P) {
+      unsigned V = B.call(M.function(P), {});
+      if (bigProcIsInt(P))
+        B.emit(Instr(Opcode::Add, Operand::vreg(SumI), Operand::vreg(SumI),
+                     Operand::vreg(V)));
+      else
+        B.emit(Instr(Opcode::FAdd, Operand::vreg(SumF), Operand::vreg(SumF),
+                     Operand::vreg(V)));
+    }
+    B.femitValue(SumF);
+    B.emitValue(SumI);
+    B.retVal(B.movi(0));
+    return;
+  }
+  BigProcShape S = bigProcShape(Opts, I);
+  bool IntFlavor = bigProcIsInt(I);
+  FunctionBuilder B(M, F, 0, 0,
+                    IntFlavor ? CallRetKind::Int : CallRetKind::Float);
+  B.setBlock(B.newBlock("entry"));
+  Mixer Rand(S.BodySeed);
+  emitBigProcBody(B, S.Window, S.PerBlock, S.Blocks, IntFlavor, Rand);
+}
+
+std::unique_ptr<Module> lsra::buildBigModule(const BigModuleOptions &Opts) {
+  BigModuleGenerator G(Opts);
+  auto M = G.buildShell();
+  for (unsigned I = 0; I < G.numFunctions(); ++I)
+    G.buildBody(*M, I);
+  return M;
+}
 
 std::unique_ptr<Module> lsra::buildScaledModule(
     const ScaledModuleOptions &Opts) {

@@ -35,6 +35,54 @@ struct ScaledModuleOptions {
 /// (it emits a checksum), so quality comparisons also work on it.
 std::unique_ptr<Module> buildScaledModule(const ScaledModuleOptions &Opts);
 
+/// Parameters for the million-instruction scaling generator: function count
+/// × function size × register pressure, fully deterministic. Unlike
+/// ScaledModuleOptions (one RNG threaded through all procedures in order),
+/// every function here derives its own seed from (Seed, index), so a body
+/// can be built in isolation and in any order — the property the streaming
+/// pipeline depends on.
+struct BigModuleOptions {
+  unsigned NumFuncs = 64;         ///< procedures (main is added on top)
+  unsigned InstrsPerFunc = 2000;  ///< mean instruction count per procedure
+  unsigned LiveWindow = 24;       ///< register pressure (simultaneously live)
+  unsigned BlocksPerFunc = 8;     ///< straight-line chunks per procedure
+  uint64_t Seed = 1;
+  /// Size skew: each function's size is drawn uniformly from
+  /// [InstrsPerFunc*(1-Skew), InstrsPerFunc*(1+Skew)] with its own seed.
+  /// Skewed sizes exercise the chunked scheduler's load balancing.
+  double SizeSkew = 0.5;
+};
+
+/// Incremental access to the big module: the shell (declarations + memory
+/// image) and per-function body construction. buildBody(M, I) is
+/// deterministic in (Opts, I) alone — independent of which other bodies
+/// exist and of build order.
+class BigModuleGenerator {
+public:
+  explicit BigModuleGenerator(const BigModuleOptions &Opts) : Opts(Opts) {}
+
+  /// Procedures plus the final main.
+  unsigned numFunctions() const { return Opts.NumFuncs + 1; }
+
+  /// All function declarations (ids, names) and the memory image; no
+  /// bodies. Function ids equal their generator index.
+  std::unique_ptr<Module> buildShell() const;
+
+  /// Materialise function \p I's body into its empty shell function.
+  void buildBody(Module &M, unsigned I) const;
+
+  /// Mean instructions for sizing reports (exact count comes from the IR).
+  uint64_t approxTotalInstrs() const {
+    return static_cast<uint64_t>(Opts.NumFuncs) * Opts.InstrsPerFunc;
+  }
+
+private:
+  BigModuleOptions Opts;
+};
+
+/// Shell + every body: the whole module resident in memory.
+std::unique_ptr<Module> buildBigModule(const BigModuleOptions &Opts);
+
 } // namespace lsra
 
 #endif // LSRA_WORKLOADS_SYNTHETICMODULE_H

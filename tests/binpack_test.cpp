@@ -23,8 +23,8 @@ namespace {
 
 unsigned countSpill(const Function &F, SpillKind K) {
   unsigned N = 0;
-  for (const auto &B : F.blocks())
-    for (const Instr &I : B->instrs())
+  for (const lsra::Block &B : F.blocks())
+    for (const Instr &I : B.instrs())
       N += I.Spill == K;
   return N;
 }
@@ -130,8 +130,8 @@ TEST(Binpack, Figure2SemanticsPreserved) {
     // Patch the condition constant.
     for (Module *Mp : {&MRef, &MAl})
       for (auto &F : Mp->functions())
-        for (auto &Blk : F->blocks())
-          for (Instr &I : Blk->instrs())
+        for (lsra::Block &Blk : F->blocks())
+          for (Instr &I : Blk.instrs())
             if (I.opcode() == Opcode::MovI && I.op(1).immValue() == 1)
               I.op(1) = Operand::imm(CondVal);
     RunResult Ref = runReference(MRef, TD);
@@ -200,7 +200,7 @@ TEST(Binpack, MoveCoalescingRespectsConflicts) {
   // $16 at its use after the call.
   // (Simply ensure the function verifies and no operand of the final add
   // references $16.)
-  const auto &Instrs = M.function(1).blocks().back()->instrs();
+  const auto Instrs = M.function(1).blocks().back().instrs();
   for (const Instr &I : Instrs)
     if (I.opcode() == Opcode::Add)
       for (unsigned S2 = 1; S2 <= 2; ++S2)

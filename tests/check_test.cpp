@@ -202,7 +202,7 @@ TEST(VerifierMutation, DroppedReloadIsStaleAfterEvict) {
   AB.append(Instr(Opcode::Ret));
   ASSERT_TRUE(H.verify().ok());
 
-  AB.instrs().erase(AB.instrs().begin() + 3); // drop the reload
+  AB.eraseInstr(3); // drop the reload
   VerifyAllocResult R = H.verify();
   ASSERT_FALSE(R.ok());
   const AllocError &E = R.Errors[0];

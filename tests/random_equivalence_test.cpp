@@ -118,8 +118,8 @@ TEST(RandomProgram, RespectsFeatureSwitches) {
   auto M = buildRandomProgram(9, RPO);
   EXPECT_EQ(M->numFunctions(), 1u); // no helpers
   for (const auto &F : M->functions())
-    for (const auto &B : F->blocks())
-      for (const Instr &I : B->instrs()) {
+    for (const lsra::Block &B : F->blocks())
+      for (const Instr &I : B.instrs()) {
         EXPECT_NE(I.opcode(), Opcode::Call);
         EXPECT_NE(I.opcode(), Opcode::FAdd);
         EXPECT_NE(I.opcode(), Opcode::Ld);

@@ -14,9 +14,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -111,4 +113,57 @@ TEST(ParallelFor, CoversEveryIndexOnce) {
   parallelFor(257, 4, [&](unsigned I) { Hits[I]++; });
   for (auto &H : Hits)
     EXPECT_EQ(H.load(), 1);
+}
+
+TEST(ParallelForChunked, CoversEveryIndexOnce) {
+  // N deliberately not a multiple of the chunk size: the last chunk is
+  // short.
+  std::vector<std::atomic<int>> Hits(1003);
+  parallelForChunked(1003, 4, 16, [&](unsigned I) { Hits[I]++; });
+  for (auto &H : Hits)
+    EXPECT_EQ(H.load(), 1);
+}
+
+TEST(ParallelForChunked, DegenerateShapes) {
+  // Chunk larger than N: one chunk, sequential fallback.
+  std::vector<std::atomic<int>> Hits(10);
+  parallelForChunked(10, 8, 64, [&](unsigned I) { Hits[I]++; });
+  for (auto &H : Hits)
+    EXPECT_EQ(H.load(), 1);
+
+  // N == 0: no calls, no hang.
+  std::atomic<int> Calls{0};
+  parallelForChunked(0, 4, 8, [&](unsigned) { Calls++; });
+  EXPECT_EQ(Calls.load(), 0);
+
+  // ChunkSize == 0 is clamped to 1.
+  std::vector<std::atomic<int>> Hits2(33);
+  parallelForChunked(33, 4, 0, [&](unsigned I) { Hits2[I]++; });
+  for (auto &H : Hits2)
+    EXPECT_EQ(H.load(), 1);
+}
+
+TEST(ParallelForChunked, ChunksVisitIndicesInOrder) {
+  // Within every chunk the indices must arrive in increasing order, and
+  // each chunk must be executed by a single worker — the properties the
+  // streaming driver's index-order merge is built on.
+  constexpr unsigned N = 512, Chunk = 16;
+  std::array<std::atomic<unsigned>, N / Chunk> LastInChunk;
+  std::array<std::atomic<std::thread::id *>, N / Chunk> Owner{};
+  for (auto &L : LastInChunk)
+    L.store(~0u);
+  std::atomic<bool> Ordered{true}, SingleOwner{true};
+  std::vector<std::unique_ptr<std::thread::id>> Ids(N / Chunk);
+  parallelForChunked(N, 4, Chunk, [&](unsigned I) {
+    unsigned C = I / Chunk;
+    unsigned Prev = LastInChunk[C].exchange(I);
+    if (Prev != ~0u && Prev + 1 != I)
+      Ordered = false;
+    if (!Ids[C])
+      Ids[C] = std::make_unique<std::thread::id>(std::this_thread::get_id());
+    else if (*Ids[C] != std::this_thread::get_id())
+      SingleOwner = false;
+  });
+  EXPECT_TRUE(Ordered.load());
+  EXPECT_TRUE(SingleOwner.load());
 }

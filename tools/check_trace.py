@@ -27,9 +27,15 @@ violation:
                        insertions, evictions) and the cache.bytes
                        distribution, with the lifetime invariants
                        evictions <= insertions <= misses.
+  --alloc-stats s.jsonl
+                       Stats snapshot including the heap-allocation profile:
+                       the --stats schema plus the alloc.count / alloc.bytes
+                       counters (positive, with alloc.bytes >= alloc.count:
+                       every allocation requests at least one byte).
 
 Usage: check_trace.py [--trace FILE] [--stats FILE] [--decisions FILE]
                       [--server-stats FILE] [--cache-stats FILE]
+                      [--alloc-stats FILE]
 """
 
 import argparse
@@ -289,6 +295,38 @@ def check_cache_stats(path):
         print(f"{path}: cache.* counter contract: OK")
 
 
+def check_alloc_stats(path):
+    """The --stats schema plus the alloc.count / alloc.bytes profile."""
+    check_stats(path)
+    counters = {}
+    for _lineno, obj in check_jsonl_lines(path):
+        if obj.get("kind") == "counter":
+            counters[obj.get("name")] = obj.get("value")
+    for name in ("alloc.count", "alloc.bytes"):
+        if name not in counters:
+            fail(f"{path}: missing required counter {name!r}")
+    if any(n not in counters for n in ("alloc.count", "alloc.bytes")):
+        return
+    count = counters["alloc.count"]
+    nbytes = counters["alloc.bytes"]
+    if count == 0 and nbytes == 0:
+        # Sanitizer builds disable the operator new/delete interposer; the
+        # counters are present but empty. Nothing further to validate.
+        print(f"{path}: alloc.* profile disabled (sanitizer build): skipped")
+        return
+    if count <= 0:
+        fail(f"{path}: alloc.count must be positive, got {count}")
+    if nbytes <= 0:
+        fail(f"{path}: alloc.bytes must be positive, got {nbytes}")
+    if nbytes < count:
+        fail(
+            f"{path}: alloc.bytes ({nbytes}) < alloc.count ({count}); "
+            f"every allocation requests at least one byte"
+        )
+    if not errors:
+        print(f"{path}: alloc.* profile counters: OK")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--trace")
@@ -296,12 +334,13 @@ def main():
     ap.add_argument("--decisions")
     ap.add_argument("--server-stats")
     ap.add_argument("--cache-stats")
+    ap.add_argument("--alloc-stats")
     args = ap.parse_args()
     if not (args.trace or args.stats or args.decisions or args.server_stats
-            or args.cache_stats):
+            or args.cache_stats or args.alloc_stats):
         ap.error(
             "nothing to check: pass --trace/--stats/--decisions/"
-            "--server-stats/--cache-stats"
+            "--server-stats/--cache-stats/--alloc-stats"
         )
     if args.trace:
         check_trace(args.trace)
@@ -313,6 +352,8 @@ def main():
         check_server_stats(args.server_stats)
     if args.cache_stats:
         check_cache_stats(args.cache_stats)
+    if args.alloc_stats:
+        check_alloc_stats(args.alloc_stats)
     if errors:
         for e in errors:
             print(f"error: {e}", file=sys.stderr)

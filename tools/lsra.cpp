@@ -335,6 +335,7 @@ int cmdRun(const std::string &Input, int Argc, char **Argv) {
 
   if (!StatsJson.empty()) {
     CR.recordAllocStats(Stats);
+    CR.recordAllocProfile();
     std::ofstream OS(StatsJson);
     if (!OS.good()) {
       std::fprintf(stderr, "lsra: cannot write '%s'\n", StatsJson.c_str());

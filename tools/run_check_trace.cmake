@@ -17,10 +17,13 @@ if(NOT RUN_RC EQUAL 0)
 endif()
 
 # The run above compiles through the default-on compile cache, so the same
-# stats snapshot must also satisfy the cache.* counter contract.
+# stats snapshot must also satisfy the cache.* counter contract, and the
+# CLI exports the heap-allocation profile, so the alloc.count/alloc.bytes
+# contract must hold too.
 execute_process(
   COMMAND "${PYTHON}" "${CHECKER}" "--trace" "${TRACE}" "--stats" "${STATS}"
           "--decisions" "${DECISIONS}" "--cache-stats" "${STATS}"
+          "--alloc-stats" "${STATS}"
   RESULT_VARIABLE CHECK_RC
   OUTPUT_VARIABLE CHECK_OUT
   ERROR_VARIABLE CHECK_ERR)
