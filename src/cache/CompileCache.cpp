@@ -8,6 +8,7 @@
 
 #include "ir/Function.h"
 #include "obs/Counters.h"
+#include "obs/Metrics.h"
 
 #include <algorithm>
 #include <cstring>
@@ -126,12 +127,14 @@ void CompileCache::sampleBytes() const {
   obs::CounterRegistry &CR = obs::CounterRegistry::global();
   if (!CR.enabled())
     return;
-  size_t Total = 0;
+  size_t Total = 0, Entries = 0;
   for (const auto &S : Shards) {
     std::lock_guard<std::mutex> L(S->Mu);
     Total += S->Bytes;
+    Entries += S->Map.size();
   }
-  CR.distribution("cache.bytes").sample(static_cast<double>(Total));
+  CR.gauge("cache.bytes").set(static_cast<int64_t>(Total));
+  CR.gauge("cache.entries").set(static_cast<int64_t>(Entries));
 }
 
 std::shared_ptr<const CachedCompile>

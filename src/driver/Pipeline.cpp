@@ -13,6 +13,7 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "obs/Log.h"
+#include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "passes/DCE.h"
 #include "support/ThreadPool.h"
@@ -42,12 +43,15 @@ AllocStats lsra::compileModule(Module &M, const TargetDesc &TD,
   if (Threads <= 1) {
     {
       obs::ScopedSpan S("lowerCalls", "pass");
+      obs::RequestPhase RP(EO.ReqTrace, "alloc:lower");
       lowerCalls(M);
     }
     {
       obs::ScopedSpan S("dce", "pass");
+      obs::RequestPhase RP(EO.ReqTrace, "alloc:dce");
       eliminateDeadCode(M, TD);
     }
+    obs::RequestPhase RP(EO.ReqTrace, "alloc:regalloc");
     Total = allocateModule(M, TD, K, AO, EO);
   } else {
     // Parallel path: lowering and DCE are per-function, so run them on the
@@ -166,6 +170,7 @@ TextCompileResult lsra::compileTextModule(const std::string &IRText,
   // hit costs one hash + one lookup and skips parsing entirely.
   cache::CacheKey ModKey;
   if (EO.Cache) {
+    obs::RequestPhase RP(EO.ReqTrace, "cache-probe");
     ModKey = cache::makeModuleKey(IRText, AO.fingerprint(), K,
                                   TD.fingerprint());
     if (auto Hit = EO.Cache->lookup(ModKey)) {
@@ -185,7 +190,11 @@ TextCompileResult lsra::compileTextModule(const std::string &IRText,
       return R;
     }
   }
-  ParseResult P = parseModule(IRText);
+  ParseResult P;
+  {
+    obs::RequestPhase RP(EO.ReqTrace, "parse");
+    P = parseModule(IRText);
+  }
   if (!P.ok()) {
     R.Error = P.Error;
     R.ErrLine = P.ErrLine;
@@ -207,7 +216,10 @@ TextCompileResult lsra::compileTextModule(const std::string &IRText,
     eliminateDeadCode(*P.M, TD);
     Snapshot = cloneModule(*P.M);
   }
-  R.Stats = compileModule(*P.M, TD, K, AO, EO);
+  {
+    obs::RequestPhase RP(EO.ReqTrace, "alloc");
+    R.Stats = compileModule(*P.M, TD, K, AO, EO);
+  }
   Diag = checkAllocated(*P.M);
   if (!Diag.empty()) {
     R.Error = "post-allocation verify: " + Diag;
@@ -222,7 +234,10 @@ TextCompileResult lsra::compileTextModule(const std::string &IRText,
     }
   }
   std::ostringstream OS;
-  printModule(OS, *P.M);
+  {
+    obs::RequestPhase RP(EO.ReqTrace, "emit");
+    printModule(OS, *P.M);
+  }
   R.AllocatedText = OS.str();
   R.Ok = true;
   if (EO.Cache) {

@@ -7,11 +7,13 @@
 #include "obs/Counters.h"
 
 #include "obs/Json.h"
+#include "obs/Metrics.h"
 #include "regalloc/Allocator.h"
 #include "support/AllocProfile.h"
 #include "vm/VM.h"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -54,9 +56,13 @@ double Distribution::mean() const {
 
 struct CounterRegistry::Entry {
   std::string Name;
-  enum class Kind { Unused, Count, Dist } K = Kind::Unused;
+  enum class Kind { Unused, Count, Dist, Hist, Gauge } K = Kind::Unused;
   Counter C;
   Distribution D;
+  /// Lazily allocated (a WindowedHistogram is a few hundred KB; most
+  /// entries are plain counters).
+  std::unique_ptr<WindowedHistogram> H;
+  obs::Gauge G;
 };
 
 CounterRegistry &CounterRegistry::global() {
@@ -69,13 +75,21 @@ CounterRegistry::Entry &CounterRegistry::entry(const std::string &Name,
   std::lock_guard<std::mutex> L(Mu);
   for (auto &E : Entries) {
     if (E->Name == Name) {
-      E->K = static_cast<Entry::Kind>(Kind);
+      // First registration wins: a name keeps the kind it was created
+      // with, so a later accessor of a different kind cannot flip how the
+      // entry is reported mid-run.
+      if (E->K == Entry::Kind::Unused)
+        E->K = static_cast<Entry::Kind>(Kind);
+      if (static_cast<Entry::Kind>(Kind) == Entry::Kind::Hist && !E->H)
+        E->H = std::make_unique<WindowedHistogram>();
       return *E;
     }
   }
   Entries.push_back(std::make_unique<Entry>());
   Entries.back()->Name = Name;
   Entries.back()->K = static_cast<Entry::Kind>(Kind);
+  if (Entries.back()->K == Entry::Kind::Hist)
+    Entries.back()->H = std::make_unique<WindowedHistogram>();
   return *Entries.back();
 }
 
@@ -85,6 +99,14 @@ Counter &CounterRegistry::counter(const std::string &Name) {
 
 Distribution &CounterRegistry::distribution(const std::string &Name) {
   return entry(Name, static_cast<int>(Entry::Kind::Dist)).D;
+}
+
+WindowedHistogram &CounterRegistry::histogram(const std::string &Name) {
+  return *entry(Name, static_cast<int>(Entry::Kind::Hist)).H;
+}
+
+obs::Gauge &CounterRegistry::gauge(const std::string &Name) {
+  return entry(Name, static_cast<int>(Entry::Kind::Gauge)).G;
 }
 
 void CounterRegistry::recordAllocStats(const AllocStats &S) {
@@ -163,6 +185,25 @@ void CounterRegistry::writeJsonl(std::ostream &OS) const {
           .field("max", E->D.max())
           .field("mean", E->D.mean());
       OS << O.str() << "\n";
+    } else if (E->K == Entry::Kind::Hist) {
+      HistogramSnapshot S = E->H->snapshot();
+      JsonObject O;
+      O.field("kind", "hist")
+          .field("name", E->Name)
+          .field("count", S.Count)
+          .field("sum", S.Sum)
+          .field("min", S.Min)
+          .field("max", S.Max)
+          .field("p50", S.percentile(50))
+          .field("p95", S.percentile(95))
+          .field("p99", S.percentile(99));
+      OS << O.str() << "\n";
+    } else if (E->K == Entry::Kind::Gauge) {
+      JsonObject O;
+      O.field("kind", "gauge")
+          .field("name", E->Name)
+          .fieldRaw("value", std::to_string(E->G.value()));
+      OS << O.str() << "\n";
     }
   }
 }
@@ -185,8 +226,53 @@ std::string CounterRegistry::snapshotText() const {
       OS << "dist " << E->Name << " " << E->D.count() << " "
          << jsonNumber(E->D.sum()) << " " << jsonNumber(E->D.min()) << " "
          << jsonNumber(E->D.max()) << "\n";
+    else if (E->K == Entry::Kind::Hist) {
+      HistogramSnapshot S = E->H->snapshot();
+      OS << "hist " << E->Name << " " << S.Count << " " << S.Sum << " "
+         << S.Min << " " << S.Max << "\n";
+    } else if (E->K == Entry::Kind::Gauge)
+      OS << "gauge " << E->Name << " " << E->G.value() << "\n";
   }
   return OS.str();
+}
+
+MetricsSnapshot CounterRegistry::metricsSnapshot() const {
+  MetricsSnapshot Out;
+  Out.UnixMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                   std::chrono::system_clock::now().time_since_epoch())
+                   .count();
+  std::lock_guard<std::mutex> L(Mu);
+  for (const Entry *E : sortedEntries(Entries)) {
+    switch (E->K) {
+    case Entry::Kind::Count:
+      Out.Counters.emplace_back(E->Name, E->C.value());
+      break;
+    case Entry::Kind::Dist:
+      // Legacy aggregate-only distributions surface as a sample-count
+      // counter so the snapshot stays closed under the three metric kinds.
+      Out.Counters.emplace_back(E->Name + ".count", E->D.count());
+      break;
+    case Entry::Kind::Gauge:
+      Out.Gauges.emplace_back(E->Name, E->G.value());
+      break;
+    case Entry::Kind::Hist: {
+      MetricsSnapshot::HistEntry H;
+      H.Name = E->Name;
+      // Windows are read before the lifetime view: samples recorded
+      // between the two reads inflate only the lifetime counts, keeping
+      // the "window count <= lifetime count" invariant intact.
+      H.W1 = E->H->windowSnapshot(1);
+      H.W10 = E->H->windowSnapshot(10);
+      H.W60 = E->H->windowSnapshot(60);
+      H.Life = E->H->snapshot();
+      Out.Hists.push_back(std::move(H));
+      break;
+    }
+    case Entry::Kind::Unused:
+      break;
+    }
+  }
+  return Out;
 }
 
 void CounterRegistry::reset() {

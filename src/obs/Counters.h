@@ -42,6 +42,10 @@ struct RunStats;
 
 namespace obs {
 
+class WindowedHistogram;
+class Gauge;
+struct MetricsSnapshot;
+
 /// Monotonically increasing counter. add() is wait-free and commutative,
 /// so totals are identical for any AllocOptions::Threads.
 class Counter {
@@ -85,6 +89,11 @@ public:
   /// references across runs.
   Counter &counter(const std::string &Name);
   Distribution &distribution(const std::string &Name);
+  /// Rolling-window histogram (obs/Metrics.h). Lazily allocated per name;
+  /// same validity rules as counter().
+  WindowedHistogram &histogram(const std::string &Name);
+  /// Point-in-time gauge (obs/Metrics.h).
+  Gauge &gauge(const std::string &Name);
 
   /// Re-export every AllocStats field under "alloc.*" (timing fields under
   /// "alloc.time.*", as distributions).
@@ -101,12 +110,21 @@ public:
   ///   {"kind": "counter", "name": ..., "value": N}
   ///   {"kind": "dist", "name": ..., "count": N, "sum": X, "min": X,
   ///    "max": X, "mean": X}
+  ///   {"kind": "hist", "name": ..., "count": N, "sum": N, "min": N,
+  ///    "max": N, "p50": N, "p95": N, "p99": N}
+  ///   {"kind": "gauge", "name": ..., "value": N}
   void writeJsonl(std::ostream &OS) const;
   bool writeJsonl(const std::string &Path) const;
 
   /// Deterministic plain-text snapshot ("counter NAME VALUE" / "dist NAME
-  /// COUNT SUM MIN MAX" lines sorted by name) for tests and debugging.
+  /// COUNT SUM MIN MAX" / "hist NAME COUNT SUM MIN MAX" / "gauge NAME
+  /// VALUE" lines sorted by name) for tests and debugging.
   std::string snapshotText() const;
+
+  /// Capture every counter, gauge, and histogram (lifetime + 1s/10s/60s
+  /// windows) into one versioned MetricsSnapshot — the value StatsReply
+  /// frames and the Prometheus rendering are produced from.
+  MetricsSnapshot metricsSnapshot() const;
 
   /// Drop every entry. References obtained before reset() are invalid.
   void reset();

@@ -27,6 +27,10 @@ namespace cache {
 class CompileCache;
 } // namespace cache
 
+namespace obs {
+struct RequestTrace;
+} // namespace obs
+
 enum class AllocatorKind {
   SecondChanceBinpack, ///< the paper's contribution (§2)
   GraphColoring,       ///< George/Appel iterated register coalescing
@@ -108,6 +112,12 @@ struct ExecOptions {
   /// compileModule additionally key each function on its canonical printed
   /// form, so repeated functions hit across modules.
   cache::CompileCache *Cache = nullptr;
+  /// Request-scoped span chain (borrowed, not owned; nullptr = no
+  /// tracing). The server threads its sampled obs::RequestTrace through
+  /// here so the pipeline phases (cache-probe, parse, alloc, emit) land on
+  /// the owning request's timeline. Pure observation — may not influence
+  /// the allocated code, same invariant as the rest of ExecOptions.
+  obs::RequestTrace *ReqTrace = nullptr;
 };
 
 struct AllocStats {

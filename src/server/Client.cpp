@@ -52,6 +52,43 @@ bool Client::compile(const CompileRequest &Req, CompileResponse &Out,
   }
 }
 
+bool Client::stats(const std::string &Format, std::string &Out,
+                   std::string &Err, int TimeoutMs) {
+  uint32_t Id = NextId++;
+  StatsRequest Req;
+  Req.Format = Format;
+  std::string Payload = encodeStatsRequest(Req);
+  if (!Sock.sendFrame(Id, FrameType::StatsRequest, Payload, Err))
+    return false;
+  BytesSent += FrameHeaderBytes + Payload.size();
+  while (true) {
+    uint32_t GotId = 0;
+    FrameType Type;
+    std::string Resp;
+    Socket::RecvStatus St = Sock.recvFrame(GotId, Type, Resp, TimeoutMs, Err);
+    if (St == Socket::RecvStatus::Timeout) {
+      Err = "timed out waiting for stats reply";
+      return false;
+    }
+    if (St == Socket::RecvStatus::Closed) {
+      Err = "server closed the connection";
+      return false;
+    }
+    if (St == Socket::RecvStatus::Error)
+      return false;
+    BytesReceived += FrameHeaderBytes + Resp.size();
+    if (GotId != Id)
+      continue;
+    if (Type != FrameType::StatsReply) {
+      Err = std::string("unexpected ") + frameTypeName(Type) +
+            " reply to stats request: " + Resp;
+      return false;
+    }
+    Out = std::move(Resp);
+    return true;
+  }
+}
+
 bool Client::ping(std::string &Err, int TimeoutMs) {
   uint32_t Id = NextId++;
   if (!Sock.sendFrame(Id, FrameType::Ping, "", Err))

@@ -44,6 +44,16 @@ public:
   /// Liveness probe; false on transport failure or timeout.
   bool ping(std::string &Err, int TimeoutMs = -1);
 
+  /// Fetch a telemetry snapshot rendered as \p Format ("json", "prom", or
+  /// "text"); the reply payload lands verbatim in \p Out.
+  bool stats(const std::string &Format, std::string &Out, std::string &Err,
+             int TimeoutMs = -1);
+
+  /// Seed the request-id sequence. The load generator gives each
+  /// connection a disjoint id range so per-request records from different
+  /// connections can be joined against the server's request log.
+  void setNextId(uint32_t Id) { NextId = Id; }
+
   /// Bytes moved over this connection (headers included).
   uint64_t bytesSent() const { return BytesSent; }
   uint64_t bytesReceived() const { return BytesReceived; }

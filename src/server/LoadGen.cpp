@@ -17,6 +17,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <fstream>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -44,11 +45,26 @@ int64_t nowNs() {
       .count();
 }
 
+/// One answered request, as the client saw it (--record-out).
+struct RequestRecord {
+  uint32_t Id;
+  unsigned Conn;
+  int64_t SendNs, RecvNs; ///< absolute steady-clock (joinable server-side)
+  const char *Status;
+  bool Cached;
+  uint64_t QueueUs; ///< server-reported admission wait
+  double LatencyMs;
+};
+
 struct WorkerResult {
   std::vector<double> LatenciesMs;
+  std::vector<RequestRecord> Records;
   uint64_t Ok = 0, Rejected = 0, Deadline = 0, Errors = 0, Transport = 0;
   uint64_t Sent = 0, BytesSent = 0, BytesReceived = 0, Cached = 0;
 };
+
+/// Request-id base for connection \p T: disjoint million-wide ranges.
+uint32_t requestIdBase(unsigned T) { return T * 1000000u + 1; }
 
 } // namespace
 
@@ -88,6 +104,17 @@ bool lsra::server::runLoadGen(const LoadGenOptions &Opts, LoadGenReport &Out,
 
   unsigned Threads = std::max(1u, Opts.Concurrency);
   unsigned Total = std::max(1u, Opts.Requests);
+
+  // Open the per-request record sink up front so an unwritable path is a
+  // setup failure, not a surprise after the whole run.
+  std::ofstream RecordOS;
+  if (!Opts.RecordOut.empty()) {
+    RecordOS.open(Opts.RecordOut);
+    if (!RecordOS) {
+      Err = "cannot open record file '" + Opts.RecordOut + "'";
+      return false;
+    }
+  }
 
   // Probe the server once before spawning the fleet.
   {
@@ -140,7 +167,12 @@ bool lsra::server::runLoadGen(const LoadGenOptions &Opts, LoadGenReport &Out,
         Req.NoCache = Opts.NoCache;
         Req.IRText = Corpus[K % Corpus.size()];
         CompileResponse Resp;
+        // Re-seed the id before every request (not just once at connect)
+        // so the Conn-disjoint numbering survives reconnects.
+        uint32_t MyId = requestIdBase(T) + static_cast<uint32_t>(R.Sent);
+        C.setNextId(MyId);
         R.Sent++;
+        int64_t SendNs = nowNs();
         if (!C.compile(Req, Resp, CErr)) {
           R.Transport++;
           // Transport loss kills this connection; reconnect for the rest.
@@ -151,8 +183,13 @@ bool lsra::server::runLoadGen(const LoadGenOptions &Opts, LoadGenReport &Out,
             break;
           continue;
         }
-        double LatMs = static_cast<double>(nowNs() - ScheduledNs) / 1e6;
+        int64_t RecvNs = nowNs();
+        double LatMs = static_cast<double>(RecvNs - ScheduledNs) / 1e6;
         R.LatenciesMs.push_back(LatMs);
+        if (RecordOS.is_open())
+          R.Records.push_back({MyId, T, SendNs, RecvNs,
+                               frameTypeName(Resp.Status), Resp.Cached,
+                               Resp.QueueUs, LatMs});
         switch (Resp.Status) {
         case FrameType::CompileOk:
           R.Ok++;
@@ -191,6 +228,23 @@ bool lsra::server::runLoadGen(const LoadGenOptions &Opts, LoadGenReport &Out,
     Out.BytesReceived += R.BytesReceived;
     Out.CachedResponses += R.Cached;
     All.insert(All.end(), R.LatenciesMs.begin(), R.LatenciesMs.end());
+  }
+  if (RecordOS.is_open()) {
+    for (const WorkerResult &R : Results)
+      for (const RequestRecord &Rec : R.Records) {
+        obs::JsonObject O;
+        O.field("kind", "client-request")
+            .field("id", static_cast<uint64_t>(Rec.Id))
+            .field("conn", Rec.Conn)
+            .field("send_ns", static_cast<uint64_t>(Rec.SendNs))
+            .field("recv_ns", static_cast<uint64_t>(Rec.RecvNs))
+            .field("status", Rec.Status)
+            .field("cached", Rec.Cached ? 1 : 0)
+            .field("queue_us", Rec.QueueUs)
+            .field("latency_ms", Rec.LatencyMs);
+        RecordOS << O.str() << "\n";
+      }
+    RecordOS.close();
   }
   Out.WallSeconds = Wall;
   uint64_t Answered = All.size();

@@ -59,6 +59,13 @@ struct LoadGenOptions {
   bool Run = false;
   uint32_t DeadlineMs = 0;
   bool NoCache = false; ///< ask the server to bypass its compile cache
+
+  /// When non-empty, write one JSONL record per answered request (id,
+  /// connection, send/recv steady-clock timestamps, status, and the
+  /// server-reported queue_us) so the client's view joins against the
+  /// server's --request-log by request id. Each connection uses a disjoint
+  /// id range (conn * 1e6 + seq) to keep ids unique across connections.
+  std::string RecordOut;
 };
 
 struct LoadGenReport {

@@ -33,6 +33,10 @@ const char *lsra::server::frameTypeName(FrameType T) {
     return "ping";
   case FrameType::Pong:
     return "pong";
+  case FrameType::StatsRequest:
+    return "stats-request";
+  case FrameType::StatsReply:
+    return "stats-reply";
   }
   return "unknown";
 }
@@ -123,7 +127,7 @@ bool lsra::server::decodeFrameHeader(
     return false;
   }
   if (T < static_cast<uint8_t>(FrameType::CompileRequest) ||
-      T > static_cast<uint8_t>(FrameType::Pong)) {
+      T > static_cast<uint8_t>(FrameType::StatsReply)) {
     Err = "unknown frame type " + std::to_string(T);
     return false;
   }
@@ -132,6 +136,31 @@ bool lsra::server::decodeFrameHeader(
     return false;
   }
   Type = static_cast<FrameType>(T);
+  return true;
+}
+
+std::string lsra::server::encodeStatsRequest(const StatsRequest &R) {
+  return "format=" + R.Format + "\n\n";
+}
+
+bool lsra::server::decodeStatsRequest(const std::string &Payload,
+                                      StatsRequest &Out, std::string &Err) {
+  std::vector<std::pair<std::string, std::string>> Fields;
+  std::string Body;
+  if (!splitPayload(Payload, Fields, Body, Err))
+    return false;
+  for (const auto &[K, V] : Fields) {
+    if (K == "format")
+      Out.Format = V;
+    else {
+      Err = "unknown stats-request field '" + K + "'";
+      return false;
+    }
+  }
+  if (Out.Format != "json" && Out.Format != "prom" && Out.Format != "text") {
+    Err = "unknown stats format '" + Out.Format + "'";
+    return false;
+  }
   return true;
 }
 
@@ -197,6 +226,7 @@ std::string lsra::server::encodeCompileResponse(const CompileResponse &R) {
     OS << "alloc_s=" << Buf << "\n";
     if (R.Cached)
       OS << "cached=1\n";
+    OS << "queue_us=" << R.QueueUs << "\n";
     if (R.HasRun)
       OS << "dyn_instrs=" << R.DynInstrs << "\n"
          << "cycles=" << R.Cycles << "\n"
@@ -211,6 +241,8 @@ std::string lsra::server::encodeCompileResponse(const CompileResponse &R) {
     OS << "err_col=" << R.ErrCol << "\n";
   if (!R.ErrToken.empty())
     OS << "err_token=" << R.ErrToken << "\n";
+  if (R.QueueUs)
+    OS << "queue_us=" << R.QueueUs << "\n";
   OS << "\n" << R.Message;
   return OS.str();
 }
@@ -234,6 +266,8 @@ bool lsra::server::decodeCompileResponse(FrameType T,
         Out.ErrCol = static_cast<unsigned>(toU64(V));
       else if (K == "err_token")
         Out.ErrToken = V;
+      else if (K == "queue_us")
+        Out.QueueUs = toU64(V);
     }
     return true;
   }
@@ -255,6 +289,8 @@ bool lsra::server::decodeCompileResponse(FrameType T,
       Out.AllocSeconds = std::strtod(V.c_str(), nullptr);
     else if (K == "cached")
       Out.Cached = V == "1";
+    else if (K == "queue_us")
+      Out.QueueUs = toU64(V);
     else if (K == "dyn_instrs") {
       Out.HasRun = true;
       Out.DynInstrs = toU64(V);

@@ -46,8 +46,10 @@ namespace server {
 constexpr uint32_t FrameMagic = 0x4153524cu;
 
 /// Wire-protocol version. Bump when the header or the defined payload
-/// fields change incompatibly.
-constexpr uint8_t ProtocolVersion = 1;
+/// fields change incompatibly. v2 added the StatsRequest/StatsReply
+/// introspection frames and the `queue_us` response field (decoders
+/// reject unknown fields, so both are incompatible additions).
+constexpr uint8_t ProtocolVersion = 2;
 
 /// Frame header size on the wire (magic + version + len + id + type).
 constexpr uint32_t FrameHeaderBytes = 14;
@@ -70,6 +72,8 @@ enum class FrameType : uint8_t {
   ShuttingDown = 6,     ///< server is draining; no new work accepted
   Ping = 7,             ///< client → server liveness probe
   Pong = 8,             ///< server → client probe reply
+  StatsRequest = 9,     ///< client → server: telemetry snapshot, please
+  StatsReply = 10,      ///< rendered MetricsSnapshot (json/prom/text)
 };
 
 const char *frameTypeName(FrameType T);
@@ -105,7 +109,8 @@ struct CompileResponse {
   unsigned Coalesced = 0;
   unsigned Splits = 0;
   double AllocSeconds = 0;
-  bool Cached = false; ///< served from the server's compile cache
+  bool Cached = false;   ///< served from the server's compile cache
+  uint64_t QueueUs = 0;  ///< server-side admission-queue wait (µs)
 
   // Dynamic execution statistics (CompileOk with CompileRequest::Run).
   bool HasRun = false;
@@ -118,6 +123,17 @@ struct CompileResponse {
 
   bool ok() const { return Status == FrameType::CompileOk; }
 };
+
+/// A telemetry-snapshot request. The server renders the snapshot itself
+/// (clients stay free of JSON machinery); the StatsReply payload is the
+/// rendered document, verbatim.
+struct StatsRequest {
+  std::string Format = "json"; ///< "json", "prom", or "text"
+};
+
+std::string encodeStatsRequest(const StatsRequest &R);
+bool decodeStatsRequest(const std::string &Payload, StatsRequest &Out,
+                        std::string &Err);
 
 /// Serialize \p R as a CompileRequest frame payload.
 std::string encodeCompileRequest(const CompileRequest &R);

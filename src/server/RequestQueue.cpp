@@ -6,7 +6,28 @@
 
 #include "server/RequestQueue.h"
 
+#include "obs/Counters.h"
+#include "obs/Metrics.h"
+
 using namespace lsra::server;
+
+namespace {
+
+/// Publish the post-transition depth. The gauge tracks every enqueue and
+/// dequeue (not just dispatch-time samples), so a scrape between
+/// dispatches sees the true depth; the windowed histogram records the
+/// depth each admission observed.
+void noteQueueTransition(unsigned Depth, bool Enqueued) {
+  lsra::obs::CounterRegistry &CR = lsra::obs::CounterRegistry::global();
+  if (!CR.enabled())
+    return;
+  CR.counter(Enqueued ? "server.enqueued" : "server.dequeued").add(1);
+  CR.gauge("server.queue_depth").set(Depth);
+  if (Enqueued)
+    CR.histogram("server.queue_depth.dist").record(Depth);
+}
+
+} // namespace
 
 bool RequestQueue::tryPush(std::function<void()> Task) {
   {
@@ -14,6 +35,10 @@ bool RequestQueue::tryPush(std::function<void()> Task) {
     if (Closed || Tasks.size() >= Cap)
       return false;
     Tasks.push_back(std::move(Task));
+    // Published under the queue lock so the gauge transitions in the same
+    // order as the depth it reports.
+    noteQueueTransition(static_cast<unsigned>(Tasks.size()),
+                        /*Enqueued=*/true);
   }
   HasWork.notify_one();
   return true;
@@ -26,6 +51,8 @@ bool RequestQueue::pop(std::function<void()> &Task) {
     return false; // closed and fully drained
   Task = std::move(Tasks.front());
   Tasks.pop_front();
+  noteQueueTransition(static_cast<unsigned>(Tasks.size()),
+                      /*Enqueued=*/false);
   return true;
 }
 

@@ -9,7 +9,9 @@
 #include "driver/Pipeline.h"
 #include "obs/Counters.h"
 #include "obs/Log.h"
+#include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "support/MemStats.h"
 
 #include <chrono>
 
@@ -27,10 +29,16 @@ void bumpCounter(const char *Name, uint64_t N = 1) {
     CR.counter(Name).add(N);
 }
 
-void sampleDist(const char *Name, double V) {
+void histRecord(const char *Name, uint64_t V) {
   obs::CounterRegistry &CR = obs::CounterRegistry::global();
   if (CR.enabled())
-    CR.distribution(Name).sample(V);
+    CR.histogram(Name).record(V);
+}
+
+void gaugeAdd(const char *Name, int64_t D) {
+  obs::CounterRegistry &CR = obs::CounterRegistry::global();
+  if (CR.enabled())
+    CR.gauge(Name).add(D);
 }
 
 } // namespace
@@ -52,10 +60,22 @@ bool Server::start(std::string &Err) {
     return false;
   }
   Stopping.store(false, std::memory_order_release);
+  // The telemetry plane is always on while serving: a StatsRequest must be
+  // answerable at any moment, so the registry is enabled up front rather
+  // than only when a --stats-json sink was requested.
+  obs::CounterRegistry::global().enable();
   L = Opts.UnixPath.empty() ? Listener::listenTcp(Opts.TcpPort, Err)
                             : Listener::listenUnix(Opts.UnixPath, Err);
   if (!L.valid())
     return false;
+  if (!Opts.RequestLogPath.empty()) {
+    if (!obs::RequestLog::global().open(Opts.RequestLogPath)) {
+      Err = "cannot open request log '" + Opts.RequestLogPath + "'";
+      L.close();
+      return false;
+    }
+    OpenedRequestLog = true;
+  }
 
   if (Opts.CacheBytes) {
     cache::CacheConfig CC;
@@ -134,6 +154,20 @@ void Server::readerLoop(ConnPtr C) {
       respond(C, Id, FrameType::Pong, "");
       continue;
     }
+    if (Type == FrameType::StatsRequest) {
+      StatsRequest SR;
+      std::string SErr;
+      if (!decodeStatsRequest(Payload, SR, SErr)) {
+        CompileResponse R;
+        R.Status = FrameType::Error;
+        R.Message = "bad stats request: " + SErr;
+        respond(C, Id, R.Status, encodeCompileResponse(R));
+        continue;
+      }
+      bumpCounter("server.stats_requests");
+      respond(C, Id, FrameType::StatsReply, renderStats(SR.Format));
+      continue;
+    }
     if (Type != FrameType::CompileRequest) {
       CompileResponse R;
       R.Status = FrameType::Error;
@@ -165,11 +199,26 @@ void Server::readerLoop(ConnPtr C) {
     }
     int64_t DeadlineNs =
         DeadlineMs ? ArrivalNs + int64_t(DeadlineMs) * 1'000'000 : 0;
+
+    // Request-scoped tracing, sampled every Nth admitted request. The
+    // "recv" phase is the frame's arrival instant; "admit" covers the
+    // deadline peek + queue push on the reader thread.
+    std::shared_ptr<obs::RequestTrace> RT;
+    if (Opts.SampleEvery &&
+        ReqSeq.fetch_add(1, std::memory_order_relaxed) % Opts.SampleEvery ==
+            0) {
+      RT = std::make_shared<obs::RequestTrace>();
+      RT->RequestId = Id;
+      RT->ArrivalNs = ArrivalNs;
+      RT->addPhase("recv", ArrivalNs, 0);
+    }
     bool Admitted = Queue.tryPush([this, C, Id, P = std::move(Payload),
-                                   DeadlineNs]() mutable {
-      handleCompile(C, Id, std::move(P), DeadlineNs);
+                                   ArrivalNs, DeadlineNs, RT]() mutable {
+      handleCompile(C, Id, std::move(P), ArrivalNs, DeadlineNs,
+                    std::move(RT));
     });
-    sampleDist("server.queue_depth", Queue.depth());
+    if (RT)
+      RT->addPhase("admit", ArrivalNs, nowNs() - ArrivalNs);
     if (!Admitted) {
       CompileResponse R;
       R.Status = FrameType::Rejected;
@@ -183,15 +232,59 @@ void Server::readerLoop(ConnPtr C) {
   }
 }
 
+namespace {
+
+/// Scope guard completing a request's telemetry: runs after the response
+/// is on the wire (end of handleCompile), records the arrival-to-reply
+/// latency histogram, maintains the in-flight gauge, and flushes the
+/// sampled trace to the Chrome tracer + request log.
+struct RequestFinisher {
+  std::shared_ptr<obs::RequestTrace> RT;
+  int64_t ArrivalNs;
+  uint64_t QueueUs = 0;
+  const char *Status = "ok";
+  bool Cached = false;
+
+  RequestFinisher(std::shared_ptr<obs::RequestTrace> RT, int64_t ArrivalNs)
+      : RT(std::move(RT)), ArrivalNs(ArrivalNs) {
+    gaugeAdd("server.inflight", 1);
+  }
+  ~RequestFinisher() {
+    int64_t TotalNs = obs::steadyNowNs() - ArrivalNs;
+    histRecord("server.latency_us", TotalNs > 0 ? TotalNs / 1000 : 0);
+    gaugeAdd("server.inflight", -1);
+    if (!RT)
+      return;
+    RT->emitToTracer();
+    obs::RequestLog::global().write(
+        *RT, Status, Cached, QueueUs,
+        TotalNs > 0 ? static_cast<uint64_t>(TotalNs / 1000) : 0);
+  }
+};
+
+} // namespace
+
 void Server::handleCompile(const ConnPtr &C, uint32_t Id,
-                           std::string Payload, int64_t DeadlineNs) {
+                           std::string Payload, int64_t ArrivalNs,
+                           int64_t DeadlineNs,
+                           std::shared_ptr<obs::RequestTrace> RT) {
   obs::ScopedSpan Span("serve:request", "request");
   int64_t StartNs = nowNs();
+  int64_t QueueWaitNs = StartNs > ArrivalNs ? StartNs - ArrivalNs : 0;
+  uint64_t QueueUs = static_cast<uint64_t>(QueueWaitNs / 1000);
+  histRecord("server.queue_wait_us", QueueUs);
+  if (RT)
+    RT->addPhase("queue-wait", ArrivalNs, QueueWaitNs);
+  RequestFinisher Fin(RT, ArrivalNs);
+  Fin.QueueUs = QueueUs;
+
   CompileResponse R;
+  R.QueueUs = QueueUs;
   if (DeadlineNs && StartNs > DeadlineNs) {
     R.Status = FrameType::DeadlineExceeded;
     R.Message = "deadline exceeded before dispatch";
     bumpCounter("server.deadline_exceeded");
+    Fin.Status = "deadline";
     respond(C, Id, R.Status, encodeCompileResponse(R));
     return;
   }
@@ -202,6 +295,7 @@ void Server::handleCompile(const ConnPtr &C, uint32_t Id,
     R.Status = FrameType::Error;
     R.Message = "bad request: " + Err;
     bumpCounter("server.parse_errors");
+    Fin.Status = "error";
     respond(C, Id, R.Status, encodeCompileResponse(R));
     return;
   }
@@ -213,6 +307,7 @@ void Server::handleCompile(const ConnPtr &C, uint32_t Id,
     R.Status = FrameType::Error;
     R.Message = "unknown allocator '" + Req.Allocator + "'";
     bumpCounter("server.parse_errors");
+    Fin.Status = "error";
     respond(C, Id, R.Status, encodeCompileResponse(R));
     return;
   }
@@ -226,8 +321,10 @@ void Server::handleCompile(const ConnPtr &C, uint32_t Id,
   EO.Threads = Opts.ThreadsPerRequest;
   EO.VerifyAlloc = Opts.VerifyAlloc;
   EO.Cache = Req.NoCache ? nullptr : Cache.get();
+  EO.ReqTrace = RT.get();
 
   TextCompileResult TC;
+  int64_t CompileStartNs = nowNs();
   try {
     TC = compileTextModule(Req.IRText, TD, Kind, AO, EO, Req.Run);
   } catch (const std::exception &E) {
@@ -237,6 +334,8 @@ void Server::handleCompile(const ConnPtr &C, uint32_t Id,
     TC.Ok = false;
     TC.Error = "internal error";
   }
+  int64_t CompileNs = nowNs() - CompileStartNs;
+  histRecord("server.compile_us", CompileNs > 0 ? CompileNs / 1000 : 0);
 
   if (!TC.Ok) {
     R.Status = FrameType::Error;
@@ -250,6 +349,7 @@ void Server::handleCompile(const ConnPtr &C, uint32_t Id,
     bumpCounter(TC.Error.rfind("allocation verify:", 0) == 0
                     ? "server.verify_rejects"
                     : "server.parse_errors");
+    Fin.Status = "error";
     respond(C, Id, R.Status, encodeCompileResponse(R));
     return;
   }
@@ -274,9 +374,31 @@ void Server::handleCompile(const ConnPtr &C, uint32_t Id,
   }
   R.IRText = TC.AllocatedText;
   bumpCounter("server.completed");
-  sampleDist("server.latency_ms",
-             static_cast<double>(nowNs() - StartNs) / 1e6);
+  Fin.Cached = TC.CacheHit;
+  if (RT) {
+    int64_t ReplyStartNs = nowNs();
+    respond(C, Id, R.Status, encodeCompileResponse(R));
+    RT->addPhase("reply", ReplyStartNs, nowNs() - ReplyStartNs);
+    return;
+  }
   respond(C, Id, R.Status, encodeCompileResponse(R));
+}
+
+std::string Server::renderStats(const std::string &Format) {
+  obs::CounterRegistry &CR = obs::CounterRegistry::global();
+  // Pull-updated gauges: refreshed at scrape time, not on a timer.
+  CR.gauge("proc.rss_bytes").set(static_cast<int64_t>(currentRssBytes()));
+  if (Cache) {
+    cache::CacheStats CS = Cache->stats();
+    CR.gauge("cache.bytes").set(static_cast<int64_t>(CS.Bytes));
+    CR.gauge("cache.entries").set(static_cast<int64_t>(CS.Entries));
+  }
+  obs::MetricsSnapshot S = CR.metricsSnapshot();
+  if (Format == "prom")
+    return S.toPrometheus();
+  if (Format == "text")
+    return S.toText();
+  return S.toJson();
 }
 
 void Server::respond(const ConnPtr &C, uint32_t Id, FrameType Type,
@@ -323,6 +445,10 @@ void Server::shutdown() {
   }
   for (std::thread &T : Rs)
     T.join();
+  if (OpenedRequestLog) {
+    obs::RequestLog::global().close();
+    OpenedRequestLog = false;
+  }
   LSRA_LOG(1, "server: drained, %llu responses served",
            static_cast<unsigned long long>(Served.load()));
 }

@@ -31,11 +31,15 @@
 ///                                line/column/token diagnostics;
 ///   - otherwise                → CompileOk with allocated IR + stats.
 ///
-/// Every request runs under an obs span ("serve:request") and bumps the
+/// Telemetry is always on: start() enables the counter registry, so the
 /// server.* counters (accepted, completed, rejected, deadline_exceeded,
-/// parse_errors, bytes_in, bytes_out, plus the server.queue_depth
-/// distribution sampled at every admission), all snapshot-able through the
-/// usual --stats-json JSONL path.
+/// parse_errors, bytes_in, bytes_out, ...), the rolling-window histograms
+/// (server.latency_us, server.queue_wait_us, server.compile_us,
+/// server.queue_depth.dist) and the gauges (server.queue_depth,
+/// server.inflight, proc.rss_bytes, cache.bytes) are live for the whole
+/// serve. Any connected client can fetch them mid-load with a
+/// StatsRequest frame (`lsra stats` / `lsra top`), and the same data
+/// lands in the usual --stats-json JSONL snapshot at exit.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -55,6 +59,11 @@
 #include <vector>
 
 namespace lsra {
+
+namespace obs {
+struct RequestTrace;
+} // namespace obs
+
 namespace server {
 
 struct ServerOptions {
@@ -83,6 +92,16 @@ struct ServerOptions {
   /// (0 = caching off). Requests can opt out individually with the wire
   /// field no_cache=1.
   size_t CacheBytes = 64u << 20;
+
+  /// Request-trace sampling: every Nth admitted compile request gets a
+  /// full recv→admit→queue-wait→cache-probe→parse→alloc→emit→reply span
+  /// chain (0 = tracing off, 1 = every request). Sampled traces go to the
+  /// Chrome tracer (when enabled) and the request log (when open).
+  unsigned SampleEvery = 0;
+
+  /// When non-empty, start() opens obs::RequestLog on this path and every
+  /// sampled request appends one JSONL timing record; shutdown() closes it.
+  std::string RequestLogPath;
 };
 
 class Server {
@@ -130,9 +149,13 @@ private:
   void acceptLoop();
   void readerLoop(ConnPtr C);
   void handleCompile(const ConnPtr &C, uint32_t Id, std::string Payload,
-                     int64_t DeadlineNs);
+                     int64_t ArrivalNs, int64_t DeadlineNs,
+                     std::shared_ptr<obs::RequestTrace> RT);
   void respond(const ConnPtr &C, uint32_t Id, FrameType Type,
                const std::string &Payload);
+  /// Refresh the process/cache gauges and render the registry's
+  /// MetricsSnapshot as \p Format ("json", "prom", or "text").
+  std::string renderStats(const std::string &Format);
   int64_t nowNs() const;
 
   ServerOptions Opts;
@@ -150,6 +173,8 @@ private:
   std::atomic<bool> Stopping{false};
   std::atomic<bool> Running{false};
   std::atomic<uint64_t> Served{0};
+  std::atomic<uint64_t> ReqSeq{0}; ///< admitted-request sequence (sampling)
+  bool OpenedRequestLog = false;
 };
 
 } // namespace server

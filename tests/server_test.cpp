@@ -21,12 +21,17 @@
 #include "driver/Pipeline.h"
 #include "ir/Printer.h"
 #include "obs/Counters.h"
+#include "obs/Metrics.h"
+#include "support/AllocProfile.h"
 #include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <set>
 #include <sstream>
 #include <sys/socket.h>
 #include <thread>
@@ -660,4 +665,240 @@ TEST(LoadGen, PercentileMath) {
   EXPECT_DOUBLE_EQ(latencyPercentile(V, 100), 10.0);
   EXPECT_DOUBLE_EQ(latencyPercentile(V, 50), 5.5);
   EXPECT_DOUBLE_EQ(latencyPercentile({}, 50), 0.0);
+}
+
+// --- Telemetry plane --------------------------------------------------------
+
+TEST(Protocol, StatsRequestRoundTrip) {
+  for (const char *Fmt : {"json", "prom", "text"}) {
+    StatsRequest R;
+    R.Format = Fmt;
+    StatsRequest Out;
+    std::string Err;
+    ASSERT_TRUE(decodeStatsRequest(encodeStatsRequest(R), Out, Err)) << Err;
+    EXPECT_EQ(Out.Format, Fmt);
+  }
+  StatsRequest Out;
+  std::string Err;
+  EXPECT_FALSE(decodeStatsRequest("format=xml\n\n", Out, Err));
+  EXPECT_NE(Err.find("unknown stats format"), std::string::npos) << Err;
+  EXPECT_FALSE(decodeStatsRequest("fromat=json\n\n", Out, Err));
+  EXPECT_NE(Err.find("unknown stats-request field"), std::string::npos) << Err;
+}
+
+// A StatsRequest is answered while a compile is in flight — live
+// introspection must not wait for the queue to drain.
+TEST(Server, StatsRequestLiveSnapshot) {
+  ServerOptions SO;
+  SO.UnixPath = uniqueSockPath("stats-live");
+  SO.Workers = 1;
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  // One completed request so server.latency_us has a sample.
+  Client C = Client::connectUnix(SO.UnixPath, Err);
+  ASSERT_TRUE(C.valid()) << Err;
+  CompileRequest Req;
+  Req.IRText = workloadText("wc");
+  CompileResponse Resp;
+  ASSERT_TRUE(C.compile(Req, Resp, Err, 30000)) << Err;
+  ASSERT_TRUE(Resp.ok()) << Resp.Message;
+
+  // Occupy the only worker, then introspect mid-flight.
+  std::thread Holder([&] {
+    std::string CErr;
+    Client H = Client::connectUnix(SO.UnixPath, CErr);
+    if (!H.valid())
+      return;
+    CompileRequest HReq;
+    HReq.IRText = workloadText("wc");
+    HReq.HoldMs = 400;
+    CompileResponse HResp;
+    H.compile(HReq, HResp, CErr, 60000);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::string Doc;
+  ASSERT_TRUE(C.stats("json", Doc, Err, 5000)) << Err;
+  EXPECT_NE(Doc.find("\"schema\": 1"), std::string::npos) << Doc;
+  EXPECT_NE(Doc.find("\"server.latency_us\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"server.inflight\""), std::string::npos);
+  std::string Prom;
+  ASSERT_TRUE(C.stats("prom", Prom, Err, 5000)) << Err;
+  EXPECT_NE(Prom.find("# TYPE lsra_server_completed counter"),
+            std::string::npos)
+      << Prom;
+  std::string Text;
+  ASSERT_TRUE(C.stats("text", Text, Err, 5000)) << Err;
+  EXPECT_NE(Text.find("lsra telemetry snapshot"), std::string::npos) << Text;
+
+  Holder.join();
+  S.shutdown();
+}
+
+// The queue-depth gauge is transition-consistent: enqueued == dequeued and
+// the gauge reads zero once the server has drained.
+TEST(Server, QueueGaugeConsistentAfterDrain) {
+  obs::CounterRegistry &CR = obs::CounterRegistry::global();
+  CR.reset();
+  {
+    ServerOptions SO;
+    SO.UnixPath = uniqueSockPath("gauge");
+    SO.Workers = 2;
+    Server S(SO);
+    std::string Err;
+    ASSERT_TRUE(S.start(Err)) << Err; // start() enables the registry
+    Client C = Client::connectUnix(SO.UnixPath, Err);
+    ASSERT_TRUE(C.valid()) << Err;
+    for (int K = 0; K < 6; ++K) {
+      CompileRequest Req;
+      Req.IRText = workloadText("wc");
+      CompileResponse Resp;
+      ASSERT_TRUE(C.compile(Req, Resp, Err, 30000)) << Err;
+      ASSERT_TRUE(Resp.ok()) << Resp.Message;
+    }
+    S.shutdown();
+  }
+  uint64_t Enq = CR.counter("server.enqueued").value();
+  uint64_t Deq = CR.counter("server.dequeued").value();
+  EXPECT_EQ(Enq, Deq);
+  EXPECT_GE(Enq, 6u);
+  EXPECT_EQ(CR.gauge("server.queue_depth").value(), 0);
+  EXPECT_EQ(CR.gauge("server.inflight").value(), 0);
+  CR.disable();
+  CR.reset();
+}
+
+// A request held behind a busy single worker reports a non-zero
+// server-side queue wait on the wire.
+TEST(Server, QueueWaitReportedOnWire) {
+  ServerOptions SO;
+  SO.UnixPath = uniqueSockPath("queue-wait");
+  SO.Workers = 1;
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  std::thread Holder([&] {
+    std::string CErr;
+    Client H = Client::connectUnix(SO.UnixPath, CErr);
+    if (!H.valid())
+      return;
+    CompileRequest Req;
+    Req.IRText = workloadText("wc");
+    Req.HoldMs = 300;
+    CompileResponse Resp;
+    H.compile(Req, Resp, CErr, 60000);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  Client C = Client::connectUnix(SO.UnixPath, Err);
+  ASSERT_TRUE(C.valid()) << Err;
+  CompileRequest Req;
+  Req.IRText = workloadText("wc");
+  CompileResponse Resp;
+  ASSERT_TRUE(C.compile(Req, Resp, Err, 60000)) << Err;
+  Holder.join();
+  ASSERT_TRUE(Resp.ok()) << Resp.Message;
+  // Queued behind ~200ms of remaining hold; tens of milliseconds at least.
+  EXPECT_GT(Resp.QueueUs, 10000u);
+  S.shutdown();
+}
+
+TEST(LoadGen, RecordOutWritesJoinableJsonl) {
+  ServerOptions SO;
+  SO.UnixPath = uniqueSockPath("records");
+  SO.Workers = 2;
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  std::string Path = "/tmp/lsra-test-records." +
+                     std::to_string(::getpid()) + ".jsonl";
+  LoadGenOptions LO;
+  LO.UnixPath = SO.UnixPath;
+  LO.Workloads = {"eqntott", "wc"};
+  LO.Concurrency = 2;
+  LO.Requests = 8;
+  LO.RecordOut = Path;
+  LoadGenReport R;
+  ASSERT_TRUE(runLoadGen(LO, R, Err)) << Err;
+  EXPECT_EQ(R.Ok, 8u);
+  S.shutdown();
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << Path;
+  std::set<uint64_t> Ids;
+  size_t Lines = 0;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    ++Lines;
+    EXPECT_NE(Line.find("\"kind\": \"client-request\""), std::string::npos)
+        << Line;
+    EXPECT_NE(Line.find("\"send_ns\": "), std::string::npos);
+    EXPECT_NE(Line.find("\"recv_ns\": "), std::string::npos);
+    EXPECT_NE(Line.find("\"queue_us\": "), std::string::npos);
+    size_t P = Line.find("\"id\": ");
+    ASSERT_NE(P, std::string::npos) << Line;
+    Ids.insert(std::strtoull(Line.c_str() + P + 6, nullptr, 10));
+  }
+  EXPECT_EQ(Lines, 8u);
+  EXPECT_EQ(Ids.size(), 8u); // ids unique across client threads
+  std::remove(Path.c_str());
+}
+
+// With every telemetry sink off (no sampling, no request log, tracer
+// disabled) steady-state cached serving is allocation-flat: a batch of
+// requests costs the same heap-allocation count as the previous batch,
+// and the replies stay byte-identical.
+TEST(Server, SteadyStateAllocFlat) {
+  if (!allocProfileAvailable())
+    GTEST_SKIP() << "allocation profile unavailable (sanitized build)";
+
+  ServerOptions SO;
+  SO.UnixPath = uniqueSockPath("alloc-flat");
+  SO.Workers = 1;
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+  Client C = Client::connectUnix(SO.UnixPath, Err);
+  ASSERT_TRUE(C.valid()) << Err;
+
+  CompileRequest Req;
+  Req.IRText = workloadText("wc");
+  auto batch = [&](unsigned N, std::string *FirstText) -> uint64_t {
+    AllocSnapshot Before = allocSnapshot();
+    for (unsigned K = 0; K < N; ++K) {
+      CompileResponse Resp;
+      EXPECT_TRUE(C.compile(Req, Resp, Err, 30000)) << Err;
+      EXPECT_TRUE(Resp.ok()) << Resp.Message;
+      EXPECT_TRUE(Resp.Cached);
+      if (FirstText) {
+        if (FirstText->empty())
+          *FirstText = Resp.IRText;
+        else
+          EXPECT_EQ(Resp.IRText, *FirstText); // byte-identical replies
+      }
+    }
+    return (allocSnapshot() - Before).Count;
+  };
+
+  // Cold compile + warmup (one-time lazy init: histograms, stripes, ...).
+  CompileResponse Cold;
+  ASSERT_TRUE(C.compile(Req, Cold, Err, 30000)) << Err;
+  ASSERT_TRUE(Cold.ok()) << Cold.Message;
+  std::string FirstText;
+  batch(4, nullptr);
+
+  constexpr unsigned N = 16;
+  uint64_t A = batch(N, &FirstText);
+  uint64_t B = batch(N, &FirstText);
+  // Flat, not growing: the second batch may not allocate measurably more
+  // than the first (small slack for queue/condvar node reuse jitter).
+  EXPECT_LE(B, A + A / 10 + 64)
+      << "per-batch alloc count grew: " << A << " -> " << B;
+  S.shutdown();
 }

@@ -1,0 +1,261 @@
+#!/usr/bin/env python3
+"""Regression gate: compare two BENCH_*.json files metric by metric.
+
+Both files hold a JSON array of row objects (the format written by
+bench-serve / bench-cache / bench-compile-time and `lsra loadgen --json`).
+Rows are matched across files by their *configuration*: every string-valued
+field plus the workload-shape integers (workers, threads, concurrency,
+requests, qps, deadline_ms, unique_programs, regs, no_cache). The remaining
+numeric fields are metrics, classified by name:
+
+  lower-is-better   *_s, *_ms, *latency*, *wall*, *_bytes, *_count, *rss*
+                    fail when candidate > baseline * (1 + tol) + abs-slack
+  higher-is-better  *throughput*, *speedup*, *hit* (rates)
+                    fail when candidate < baseline * (1 - tol)
+  exact             identical, ok, sent, errors, transport_errors --
+                    correctness counts that must not change at all
+  informational     everything else: reported in the verdict, never fails
+
+Default tolerance is 0.60 for timing metrics (benchmarks on shared CI are
+noisy) and 0.40 for rates; override per metric with --tol NAME=REL and
+--abs NAME=VALUE (absolute slack, added on top of the relative band).
+
+The last stdout line is a machine-readable verdict:
+
+  {"kind": "bench-diff", "verdict": "pass"|"fail", "rows": N,
+   "compared": M, "regressions": [...], "missing": [...], "new": K}
+
+Exit status: 0 pass, 1 regression or lost coverage, 2 usage/parse error.
+
+Usage: bench_diff.py BASELINE CANDIDATE [--tol NAME=REL] [--abs NAME=V]
+       bench_diff.py --selftest
+"""
+
+import argparse
+import json
+import sys
+
+# Integer fields that shape the workload rather than measure it: part of
+# the row key, never compared as metrics.
+CONFIG_INT_FIELDS = {
+    "workers", "threads", "concurrency", "requests", "qps", "deadline_ms",
+    "unique_programs", "regs", "no_cache",
+}
+
+EXACT_METRICS = {"identical", "ok", "sent", "errors", "transport_errors"}
+
+HIGHER_IS_BETTER = ("throughput", "speedup", "hit")
+LOWER_IS_BETTER = ("_s", "_ms", "latency", "wall", "_bytes", "_count", "rss")
+
+DEFAULT_TIME_TOL = 0.60
+DEFAULT_RATE_TOL = 0.40
+# Absolute slack floors: a 0.1 ms p99 doubling to 0.2 ms is noise, not a
+# regression worth gating on.
+DEFAULT_ABS = {"_ms": 2.0, "_s": 0.05}
+
+
+def classify(name):
+    """-> 'exact' | 'higher' | 'lower' | 'info'."""
+    if name in EXACT_METRICS:
+        return "exact"
+    if any(tag in name for tag in HIGHER_IS_BETTER):
+        return "higher"
+    if any(name.endswith(tag) or tag.strip("_") in name
+           for tag in LOWER_IS_BETTER):
+        return "lower"
+    return "info"
+
+
+def default_abs(name):
+    for suffix, slack in DEFAULT_ABS.items():
+        if name.endswith(suffix):
+            return slack
+    return 0.0
+
+
+def row_key(row):
+    """Hashable configuration key: sorted string fields + config ints."""
+    parts = []
+    for k in sorted(row):
+        v = row[k]
+        if isinstance(v, str) or (k in CONFIG_INT_FIELDS
+                                  and isinstance(v, (int, float))):
+            parts.append((k, v))
+    return tuple(parts)
+
+
+def metric_fields(row):
+    return {
+        k: v for k, v in row.items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+        and k not in CONFIG_INT_FIELDS
+    }
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, list):
+        raise ValueError(f"{path}: expected a JSON array of rows")
+    rows = {}
+    for i, row in enumerate(doc):
+        if not isinstance(row, dict):
+            raise ValueError(f"{path}: row {i} is not an object")
+        key = row_key(row)
+        # Repeated configurations (rare: re-run appends) keep the last row,
+        # matching "latest result wins".
+        rows[key] = row
+    return rows
+
+
+def compare_metric(name, base, cand, rel_tol, abs_slack):
+    """-> (regressed: bool, detail: dict) for one matched metric."""
+    kind = classify(name)
+    detail = {"metric": name, "base": base, "cand": cand, "class": kind}
+    if kind == "exact":
+        return cand != base, detail
+    if kind == "higher":
+        tol = DEFAULT_RATE_TOL if rel_tol is None else rel_tol
+        floor = base * (1.0 - tol) - (abs_slack or 0.0)
+        detail["floor"] = floor
+        return cand < floor, detail
+    if kind == "lower":
+        tol = DEFAULT_TIME_TOL if rel_tol is None else rel_tol
+        slack = default_abs(name) if abs_slack is None else abs_slack
+        ceiling = base * (1.0 + tol) + slack
+        detail["ceiling"] = ceiling
+        return cand > ceiling, detail
+    return False, detail
+
+
+def diff(base_rows, cand_rows, tols, abss):
+    """-> verdict dict; 'regressions' lists every gated failure."""
+    regressions = []
+    missing = []
+    compared = 0
+    for key, base in base_rows.items():
+        cand = cand_rows.get(key)
+        if cand is None:
+            missing.append(dict(key))
+            continue
+        base_metrics = metric_fields(base)
+        cand_metrics = metric_fields(cand)
+        for name, bval in sorted(base_metrics.items()):
+            cval = cand_metrics.get(name)
+            if cval is None:
+                continue  # metric dropped: schema change, not a regression
+            compared += 1
+            bad, detail = compare_metric(name, bval, cval, tols.get(name),
+                                         abss.get(name))
+            if bad:
+                detail["row"] = dict(key)
+                regressions.append(detail)
+    new = sum(1 for key in cand_rows if key not in base_rows)
+    verdict = "pass" if not regressions and not missing else "fail"
+    return {
+        "kind": "bench-diff",
+        "verdict": verdict,
+        "rows": len(base_rows),
+        "compared": compared,
+        "regressions": regressions,
+        "missing": missing,
+        "new": new,
+    }
+
+
+def parse_overrides(pairs, what):
+    out = {}
+    for pair in pairs or []:
+        name, _, value = pair.partition("=")
+        if not name or not value:
+            raise ValueError(f"--{what} wants NAME=VALUE, got {pair!r}")
+        out[name] = float(value)
+    return out
+
+
+def selftest():
+    def rows(latency, thr, ok=64, errors=0, wall=1.0):
+        return {
+            row_key(r): r for r in [
+                {"kind": "loadgen", "allocator": "binpack", "requests": 64,
+                 "latency_p99_ms": latency, "throughput_rps": thr,
+                 "wall_s": wall, "ok": ok, "errors": errors},
+            ]
+        }
+
+    b = rows(10.0, 500.0)
+    checks = [
+        # Identity compares clean.
+        ("identity", rows(10.0, 500.0), "pass"),
+        # Inside the band: 30% slower latency, 20% lower throughput.
+        ("within-tolerance", rows(13.0, 400.0), "pass"),
+        # Beyond the band: latency blows past 60% + 2 ms slack.
+        ("latency-regression", rows(20.0, 500.0), "fail"),
+        # Direction-aware: throughput halving fails ...
+        ("throughput-regression", rows(10.0, 200.0), "fail"),
+        # ... but a large *improvement* on every axis passes.
+        ("improvement", rows(1.0, 5000.0), "pass"),
+        # Correctness counts are exact: one lost response fails.
+        ("exact-count", rows(10.0, 500.0, ok=63), "fail"),
+    ]
+    failures = []
+    for name, cand, want in checks:
+        got = diff(b, cand, {}, {})["verdict"]
+        status = "ok" if got == want else "MISMATCH"
+        print(f"selftest {name}: want {want}, got {got}: {status}")
+        if got != want:
+            failures.append(name)
+    # Lost coverage: a baseline row with no candidate match fails.
+    gone = diff(b, {}, {}, {})
+    print(f"selftest missing-row: want fail, got {gone['verdict']}: "
+          f"{'ok' if gone['verdict'] == 'fail' else 'MISMATCH'}")
+    if gone["verdict"] != "fail":
+        failures.append("missing-row")
+    # Per-metric override: widening the latency band to 2x passes.
+    wide = diff(b, rows(20.0, 500.0), {"latency_p99_ms": 1.5}, {})
+    print(f"selftest tol-override: want pass, got {wide['verdict']}: "
+          f"{'ok' if wide['verdict'] == 'pass' else 'MISMATCH'}")
+    if wide["verdict"] != "pass":
+        failures.append("tol-override")
+    print(json.dumps({"kind": "bench-diff-selftest",
+                      "verdict": "pass" if not failures else "fail",
+                      "failures": failures}))
+    return 0 if not failures else 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("candidate", nargs="?")
+    ap.add_argument("--tol", action="append", metavar="NAME=REL",
+                    help="relative tolerance override for one metric")
+    ap.add_argument("--abs", action="append", metavar="NAME=VALUE",
+                    help="absolute slack override for one metric")
+    ap.add_argument("--selftest", action="store_true")
+    args = ap.parse_args()
+    if args.selftest:
+        return selftest()
+    if not args.baseline or not args.candidate:
+        ap.error("need BASELINE and CANDIDATE (or --selftest)")
+    try:
+        tols = parse_overrides(args.tol, "tol")
+        abss = parse_overrides(args.abs, "abs")
+        base_rows = load_rows(args.baseline)
+        cand_rows = load_rows(args.candidate)
+    except (ValueError, OSError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    verdict = diff(base_rows, cand_rows, tols, abss)
+    for r in verdict["regressions"]:
+        bound = r.get("ceiling", r.get("floor"))
+        bound_txt = f" (bound {bound:.6g})" if bound is not None else ""
+        print(f"regression: {r['metric']} {r['base']:.6g} -> "
+              f"{r['cand']:.6g}{bound_txt} in {r['row']}", file=sys.stderr)
+    for m in verdict["missing"]:
+        print(f"missing row in candidate: {m}", file=sys.stderr)
+    print(json.dumps(verdict))
+    return 0 if verdict["verdict"] == "pass" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,22 +10,48 @@ violation:
                        spans properly nested per tid.
   --stats s.jsonl      Counter snapshot: one JSON object per line; an
                        optional leading {"kind": "meta"} line, then
-                       counter/dist lines sorted by name.
+                       counter/dist/hist/gauge lines sorted by name.
   --decisions d.jsonl  Decision log: {"kind": "decision"} lines with a
                        known event name and a 0/1 split flag.
   --server-stats s.jsonl
                        Stats snapshot written by `lsra serve`: the --stats
                        schema plus the server.* counter set (connections,
-                       requests, accepted, completed, bytes_in, bytes_out)
-                       and the server.queue_depth / server.latency_ms
-                       distributions, with the cross-counter invariants
-                       (completed <= accepted <= requests, every answered
-                       request accounted by exactly one outcome counter).
+                       requests, accepted, completed, bytes_in, bytes_out),
+                       the queue/latency histograms (server.queue_wait_us,
+                       server.latency_us, server.compile_us,
+                       server.queue_depth.dist) and the server.queue_depth /
+                       server.inflight gauges, with the cross-counter
+                       invariants (completed <= accepted <= requests, every
+                       answered request accounted by exactly one outcome
+                       counter, enqueued == dequeued and both gauges back to
+                       zero after a graceful drain).
+  --metrics m.json     StatsReply document fetched live via `lsra stats`:
+                       versioned schema, count == sum-of-buckets for every
+                       histogram, every rolling window <= lifetime, and
+                       p50 <= p90 <= p95 <= p99 within [min, max]. Pass the
+                       flag twice (earlier snapshot first) to also check
+                       that counters and lifetime histogram counts are
+                       monotone across snapshots.
+  --records r.jsonl    Per-request records written by `lsra loadgen
+                       --record-out`: unique ids, send_ns <= recv_ns,
+                       non-negative queue_us / latency_ms.
+  --join r.jsonl:l.jsonl
+                       Join loadgen --record-out records against the server
+                       --request-log by request id: every server-side record
+                       must match a client record, arrive inside the
+                       client's [send, recv] window, and agree on queue_us.
+  --p99 m.json:r.jsonl
+                       Compare the server-side latency histogram p99
+                       (server.latency_us, lifetime) against the exact
+                       client-side p99 over the loadgen records; they must
+                       agree within max(40%, 3 ms) — histogram bucketing
+                       contributes at most 2.5%, the rest is the
+                       client-vs-server measurement span.
   --cache-stats s.jsonl
                        Stats snapshot from a cache-enabled run: the --stats
                        schema plus the cache.* counters (hits, misses,
-                       insertions, evictions) and the cache.bytes
-                       distribution, with the lifetime invariants
+                       insertions, evictions) and the cache.bytes /
+                       cache.entries gauges, with the lifetime invariants
                        evictions <= insertions <= misses.
   --alloc-stats s.jsonl
                        Stats snapshot including the heap-allocation profile:
@@ -35,7 +61,8 @@ violation:
 
 Usage: check_trace.py [--trace FILE] [--stats FILE] [--decisions FILE]
                       [--server-stats FILE] [--cache-stats FILE]
-                      [--alloc-stats FILE]
+                      [--alloc-stats FILE] [--metrics FILE ...]
+                      [--records FILE] [--join REC:LOG] [--p99 METRICS:REC]
 """
 
 import argparse
@@ -94,7 +121,10 @@ def check_trace(path):
         for key in ("pid", "tid"):
             if not isinstance(e.get(key), int):
                 fail(f"{where}: '{key}' must be an integer")
-        if isinstance(e.get("tid"), int):
+        # Request-scoped spans (cat "request") are logical per-request
+        # tracks flushed through whichever worker finished the request;
+        # they are exempt from the per-thread stack discipline.
+        if isinstance(e.get("tid"), int) and e.get("cat") != "request":
             per_tid.setdefault(e["tid"], []).append(e)
 
     # Per-tid nesting: spans on one thread must form a stack (the format
@@ -145,8 +175,9 @@ def check_stats(path):
             if lineno != 1:
                 fail(f"{where}: meta line must come first")
             continue
-        if kind not in ("counter", "dist"):
-            fail(f"{where}: kind must be meta/counter/dist, got {kind!r}")
+        if kind not in ("counter", "dist", "hist", "gauge"):
+            fail(f"{where}: kind must be meta/counter/dist/hist/gauge, "
+                 f"got {kind!r}")
             continue
         name = obj.get("name")
         if not isinstance(name, str) or not name:
@@ -158,15 +189,22 @@ def check_stats(path):
         if kind == "counter":
             if not isinstance(obj.get("value"), int):
                 fail(f"{where}: counter 'value' must be an integer")
+        elif kind == "gauge":
+            if not isinstance(obj.get("value"), int):
+                fail(f"{where}: gauge 'value' must be an integer")
+        elif kind == "hist":
+            for key in ("count", "sum", "min", "max", "p50", "p95", "p99"):
+                if not isinstance(obj.get(key), (int, float)):
+                    fail(f"{where}: hist '{key}' must be a number")
         else:
             for key in ("count", "sum", "min", "max", "mean"):
                 if not isinstance(obj.get(key), (int, float)):
                     fail(f"{where}: dist '{key}' must be a number")
         n += 1
     if n == 0:
-        fail(f"{path}: no counter/dist lines")
+        fail(f"{path}: no counter/dist/hist/gauge lines")
     else:
-        print(f"{path}: {n} counter/dist lines: OK")
+        print(f"{path}: {n} counter/dist/hist/gauge lines: OK")
 
 
 def check_decisions(path):
@@ -197,25 +235,37 @@ SERVER_COUNTERS = (
     "server.bytes_in",
     "server.bytes_out",
 )
-SERVER_DISTS = ("server.queue_depth", "server.latency_ms")
+SERVER_HISTS = (
+    "server.queue_depth.dist",
+    "server.queue_wait_us",
+    "server.compile_us",
+    "server.latency_us",
+)
+SERVER_GAUGES = ("server.queue_depth", "server.inflight")
 
 
 def check_server_stats(path):
     """The --stats schema plus the server.* counter contract."""
     check_stats(path)
     counters = {}
-    dists = {}
+    hists = {}
+    gauges = {}
     for _lineno, obj in check_jsonl_lines(path):
         if obj.get("kind") == "counter":
             counters[obj.get("name")] = obj.get("value")
-        elif obj.get("kind") == "dist":
-            dists[obj.get("name")] = obj
+        elif obj.get("kind") == "hist":
+            hists[obj.get("name")] = obj
+        elif obj.get("kind") == "gauge":
+            gauges[obj.get("name")] = obj.get("value")
     for name in SERVER_COUNTERS:
         if name not in counters:
             fail(f"{path}: missing required counter {name!r}")
-    for name in SERVER_DISTS:
-        if name not in dists:
-            fail(f"{path}: missing required distribution {name!r}")
+    for name in SERVER_HISTS:
+        if name not in hists:
+            fail(f"{path}: missing required histogram {name!r}")
+    for name in SERVER_GAUGES:
+        if name not in gauges:
+            fail(f"{path}: missing required gauge {name!r}")
     if any(n not in counters for n in SERVER_COUNTERS):
         return
 
@@ -243,12 +293,38 @@ def check_server_stats(path):
         fail(f"{path}: server.bytes_in must be positive when requests > 0")
     if requests and counters["server.bytes_out"] <= 0:
         fail(f"{path}: server.bytes_out must be positive when requests > 0")
-    lat = dists.get("server.latency_ms")
-    if lat is not None and lat.get("count") != completed:
-        fail(
-            f"{path}: server.latency_ms count {lat.get('count')} != "
-            f"server.completed {completed}"
-        )
+
+    # Queue accounting: after a graceful drain every admitted request has
+    # been dequeued and handled, and the live gauges have returned to zero.
+    enq = counters.get("server.enqueued")
+    deq = counters.get("server.dequeued")
+    if enq is not None and deq is not None and enq != deq:
+        fail(f"{path}: server.enqueued {enq} != server.dequeued {deq} "
+             f"after drain")
+    for name in SERVER_GAUGES:
+        if gauges.get(name) not in (None, 0):
+            fail(f"{path}: gauge {name} must be 0 after drain, "
+                 f"got {gauges[name]}")
+    # Every dequeued request passes through the handler exactly once, which
+    # records both its queue wait and its total latency.
+    lat = hists.get("server.latency_us")
+    qwait = hists.get("server.queue_wait_us")
+    if lat is not None and qwait is not None:
+        if lat.get("count") != qwait.get("count"):
+            fail(
+                f"{path}: server.latency_us count {lat.get('count')} != "
+                f"server.queue_wait_us count {qwait.get('count')}"
+            )
+        if deq is not None and lat.get("count") != deq:
+            fail(
+                f"{path}: server.latency_us count {lat.get('count')} != "
+                f"server.dequeued {deq}"
+            )
+        if lat.get("count", 0) < completed:
+            fail(
+                f"{path}: server.latency_us count {lat.get('count')} < "
+                f"server.completed {completed}"
+            )
     if not errors:
         print(f"{path}: server.* counter contract: OK")
 
@@ -265,12 +341,12 @@ def check_cache_stats(path):
     """The --stats schema plus the cache.* counter contract."""
     check_stats(path)
     counters = {}
-    dists = {}
+    gauges = {}
     for _lineno, obj in check_jsonl_lines(path):
         if obj.get("kind") == "counter":
             counters[obj.get("name")] = obj.get("value")
-        elif obj.get("kind") == "dist":
-            dists[obj.get("name")] = obj
+        elif obj.get("kind") == "gauge":
+            gauges[obj.get("name")] = obj.get("value")
     # Counters register on their first bump, so a cold run has only
     # cache.misses; hits/insertions/evictions appear once one happened.
     if "cache.misses" not in counters:
@@ -289,8 +365,10 @@ def check_cache_stats(path):
             f"{path}: expected evictions <= insertions <= misses, got "
             f"{evictions} / {insertions} / {misses}"
         )
-    if insertions and "cache.bytes" not in dists:
-        fail(f"{path}: missing cache.bytes distribution despite insertions")
+    if insertions and "cache.bytes" not in gauges:
+        fail(f"{path}: missing cache.bytes gauge despite insertions")
+    if insertions and not evictions and gauges.get("cache.bytes", 0) <= 0:
+        fail(f"{path}: cache.bytes gauge must be positive with live entries")
     if not errors:
         print(f"{path}: cache.* counter contract: OK")
 
@@ -327,6 +405,277 @@ def check_alloc_stats(path):
         print(f"{path}: alloc.* profile counters: OK")
 
 
+HIST_VIEWS = ("life", "w1", "w10", "w60")
+
+
+def load_metrics_doc(path):
+    """Parse one StatsReply JSON document, or None after a fail()."""
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: not valid JSON: {e}")
+            return None
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level must be an object")
+        return None
+    return doc
+
+
+def check_hist_view(where, view):
+    """One rendered histogram view: field types, count == sum of buckets,
+    percentile ordering inside [min, max]."""
+    for key in ("count", "sum", "min", "max", "mean",
+                "p50", "p90", "p95", "p99"):
+        if not isinstance(view.get(key), (int, float)):
+            fail(f"{where}: '{key}' must be a number")
+            return
+    buckets = view.get("buckets")
+    if not isinstance(buckets, list):
+        fail(f"{where}: 'buckets' must be an array")
+        return
+    total = 0
+    prev_low = -1
+    for b in buckets:
+        if (not isinstance(b, list) or len(b) != 2
+                or not all(isinstance(x, int) for x in b)):
+            fail(f"{where}: bucket entries must be [low, count] int pairs")
+            return
+        low, count = b
+        if low <= prev_low:
+            fail(f"{where}: bucket lows must be strictly increasing")
+        if count <= 0:
+            fail(f"{where}: bucket counts must be positive (sparse form)")
+        prev_low = low
+        total += count
+    if total != view["count"]:
+        fail(f"{where}: count {view['count']} != sum of buckets {total}")
+    if view["count"]:
+        lo, hi = view["min"], view["max"]
+        ps = [view["p50"], view["p90"], view["p95"], view["p99"]]
+        if any(q < lo or q > hi for q in ps):
+            fail(f"{where}: percentiles must lie within [min, max]")
+        if any(a > b for a, b in zip(ps, ps[1:])):
+            fail(f"{where}: p50 <= p90 <= p95 <= p99 violated: {ps}")
+        if view["min"] > view["max"]:
+            fail(f"{where}: min {lo} > max {hi}")
+
+
+def check_metrics(paths):
+    """Live StatsReply documents: schema, per-histogram invariants, and
+    (when two snapshots are given) cross-snapshot monotonicity."""
+    docs = []
+    for path in paths:
+        doc = load_metrics_doc(path)
+        if doc is None:
+            continue
+        if doc.get("schema") != 1:
+            fail(f"{path}: schema must be 1, got {doc.get('schema')!r}")
+        if not isinstance(doc.get("unix_ms"), int) or doc["unix_ms"] <= 0:
+            fail(f"{path}: unix_ms must be a positive integer")
+        for section in ("counters", "gauges", "histograms"):
+            if not isinstance(doc.get(section), dict):
+                fail(f"{path}: missing '{section}' object")
+        if errors:
+            continue
+        for name, v in doc["counters"].items():
+            if not isinstance(v, int) or v < 0:
+                fail(f"{path}: counter {name!r} must be a non-negative int")
+        for name, v in doc["gauges"].items():
+            if not isinstance(v, int):
+                fail(f"{path}: gauge {name!r} must be an int")
+        for name, h in doc["histograms"].items():
+            if not isinstance(h, dict):
+                fail(f"{path}: histogram {name!r} must be an object")
+                continue
+            for view_name in HIST_VIEWS:
+                view = h.get(view_name)
+                if not isinstance(view, dict):
+                    fail(f"{path}: histogram {name!r} missing {view_name!r}")
+                    continue
+                check_hist_view(f"{path}: {name}.{view_name}", view)
+            life = h.get("life", {})
+            for w in ("w1", "w10", "w60"):
+                win = h.get(w, {})
+                if (isinstance(win.get("count"), int)
+                        and isinstance(life.get("count"), int)
+                        and win["count"] > life["count"]):
+                    fail(
+                        f"{path}: {name}.{w} count {win['count']} > "
+                        f"lifetime count {life['count']}"
+                    )
+        docs.append((path, doc))
+        print(f"{path}: {len(doc['counters'])} counters, "
+              f"{len(doc['gauges'])} gauges, "
+              f"{len(doc['histograms'])} histograms: OK")
+
+    # Counters and lifetime histogram counts only ever grow; a later
+    # snapshot going backwards means a counter was reset mid-run.
+    for (p1, d1), (p2, d2) in zip(docs, docs[1:]):
+        for name, v1 in d1["counters"].items():
+            v2 = d2["counters"].get(name)
+            if isinstance(v2, int) and v2 < v1:
+                fail(f"{p2}: counter {name!r} went backwards "
+                     f"({v1} -> {v2} vs {p1})")
+        for name, h1 in d1["histograms"].items():
+            c1 = h1.get("life", {}).get("count")
+            c2 = d2["histograms"].get(name, {}).get("life", {}).get("count")
+            if isinstance(c1, int) and isinstance(c2, int) and c2 < c1:
+                fail(f"{p2}: histogram {name!r} lifetime count went "
+                     f"backwards ({c1} -> {c2} vs {p1})")
+
+
+def load_records(path):
+    """Validated loadgen --record-out lines, keyed by request id."""
+    records = {}
+    for lineno, obj in check_jsonl_lines(path):
+        where = f"{path}:{lineno}"
+        if obj.get("kind") != "client-request":
+            fail(f"{where}: kind must be 'client-request'")
+            continue
+        rid = obj.get("id")
+        if not isinstance(rid, int) or rid <= 0:
+            fail(f"{where}: 'id' must be a positive integer")
+            continue
+        if rid in records:
+            fail(f"{where}: duplicate request id {rid}")
+            continue
+        ok = True
+        for key in ("conn", "send_ns", "recv_ns", "queue_us"):
+            if not isinstance(obj.get(key), int) or obj[key] < 0:
+                fail(f"{where}: '{key}' must be a non-negative integer")
+                ok = False
+        if not isinstance(obj.get("status"), str) or not obj["status"]:
+            fail(f"{where}: missing 'status'")
+            ok = False
+        if obj.get("cached") not in (0, 1):
+            fail(f"{where}: 'cached' must be 0 or 1")
+            ok = False
+        if not isinstance(obj.get("latency_ms"), (int, float)):
+            fail(f"{where}: 'latency_ms' must be a number")
+            ok = False
+        if ok and obj["recv_ns"] < obj["send_ns"]:
+            fail(f"{where}: recv_ns precedes send_ns")
+            ok = False
+        if ok:
+            records[rid] = obj
+    return records
+
+
+def check_records(path):
+    records = load_records(path)
+    if not records:
+        fail(f"{path}: no client-request records")
+    else:
+        print(f"{path}: {len(records)} client-request records: OK")
+
+
+REQUEST_PHASES = {
+    "recv", "admit", "queue-wait", "cache-probe", "parse",
+    "alloc", "alloc:lower", "alloc:dce", "alloc:regalloc",
+    "emit", "reply",
+}
+
+
+def check_join(spec):
+    """records.jsonl:request_log.jsonl — join by request id."""
+    try:
+        rec_path, log_path = spec.split(":", 1)
+    except ValueError:
+        fail(f"--join wants RECORDS:REQUEST_LOG, got {spec!r}")
+        return
+    records = load_records(rec_path)
+    joined = 0
+    for lineno, obj in check_jsonl_lines(log_path):
+        where = f"{log_path}:{lineno}"
+        if obj.get("kind") != "request":
+            fail(f"{where}: kind must be 'request'")
+            continue
+        rid = obj.get("id")
+        if not isinstance(rid, int):
+            fail(f"{where}: 'id' must be an integer")
+            continue
+        for key in ("arrival_ns", "queue_us", "total_us"):
+            if not isinstance(obj.get(key), int) or obj[key] < 0:
+                fail(f"{where}: '{key}' must be a non-negative integer")
+        phases = obj.get("phases")
+        if not isinstance(phases, list) or not phases:
+            fail(f"{where}: missing 'phases'")
+        else:
+            for ph in phases:
+                if not isinstance(ph, dict) or ph.get("name") not in \
+                        REQUEST_PHASES:
+                    fail(f"{where}: unknown phase "
+                         f"{ph.get('name') if isinstance(ph, dict) else ph!r}")
+                elif (not isinstance(ph.get("rel_us"), int)
+                      or not isinstance(ph.get("dur_us"), int)
+                      or ph["rel_us"] < 0 or ph["dur_us"] < 0):
+                    fail(f"{where}: phase {ph.get('name')!r} needs "
+                         f"non-negative rel_us/dur_us")
+        rec = records.get(rid)
+        if rec is None:
+            fail(f"{where}: request id {rid} has no client record")
+            continue
+        joined += 1
+        # Same steady clock on both sides: the request reached the server
+        # inside the client's [send, recv] window.
+        if not (rec["send_ns"] <= obj.get("arrival_ns", 0) <=
+                rec["recv_ns"]):
+            fail(
+                f"{where}: arrival_ns {obj.get('arrival_ns')} outside the "
+                f"client window [{rec['send_ns']}, {rec['recv_ns']}]"
+            )
+        # Both queue_us fields are the same server-side measurement, one
+        # reported in the response and one logged locally.
+        if obj.get("queue_us") != rec["queue_us"]:
+            fail(
+                f"{where}: server queue_us {obj.get('queue_us')} != "
+                f"client-reported queue_us {rec['queue_us']}"
+            )
+    if joined == 0:
+        fail(f"{log_path}: no server records joined against {rec_path}")
+    elif not errors:
+        print(f"{log_path}: {joined} records joined against client view: OK")
+
+
+def check_p99(spec):
+    """metrics.json:records.jsonl — histogram p99 vs exact client p99."""
+    try:
+        metrics_path, rec_path = spec.split(":", 1)
+    except ValueError:
+        fail(f"--p99 wants METRICS:RECORDS, got {spec!r}")
+        return
+    doc = load_metrics_doc(metrics_path)
+    records = load_records(rec_path)
+    if doc is None or not records:
+        return
+    hist = doc.get("histograms", {}).get("server.latency_us", {}).get("life")
+    if not isinstance(hist, dict) or not isinstance(
+            hist.get("p99"), (int, float)):
+        fail(f"{metrics_path}: missing server.latency_us lifetime p99")
+        return
+    hist_p99_ms = hist["p99"] / 1000.0
+    lats = sorted(r["latency_ms"] for r in records.values())
+    rank = 0.99 * (len(lats) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(lats) - 1)
+    exact_p99 = lats[lo] + (rank - lo) * (lats[hi] - lats[lo])
+    # The histogram contributes <= 2.5% relative error; the rest of the
+    # budget covers the client-vs-server measurement span (transport and
+    # scheduling outside the server's arrival-to-reply window).
+    tol = max(0.40 * max(exact_p99, hist_p99_ms), 3.0)
+    if abs(hist_p99_ms - exact_p99) > tol:
+        fail(
+            f"{metrics_path}: histogram p99 {hist_p99_ms:.3f} ms vs exact "
+            f"client p99 {exact_p99:.3f} ms differ beyond max(40%, 3 ms)"
+        )
+    else:
+        print(
+            f"{metrics_path}: histogram p99 {hist_p99_ms:.3f} ms agrees "
+            f"with exact client p99 {exact_p99:.3f} ms: OK"
+        )
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--trace")
@@ -335,12 +684,18 @@ def main():
     ap.add_argument("--server-stats")
     ap.add_argument("--cache-stats")
     ap.add_argument("--alloc-stats")
+    ap.add_argument("--metrics", action="append", default=[])
+    ap.add_argument("--records")
+    ap.add_argument("--join")
+    ap.add_argument("--p99")
     args = ap.parse_args()
     if not (args.trace or args.stats or args.decisions or args.server_stats
-            or args.cache_stats or args.alloc_stats):
+            or args.cache_stats or args.alloc_stats or args.metrics
+            or args.records or args.join or args.p99):
         ap.error(
             "nothing to check: pass --trace/--stats/--decisions/"
-            "--server-stats/--cache-stats/--alloc-stats"
+            "--server-stats/--cache-stats/--alloc-stats/--metrics/"
+            "--records/--join/--p99"
         )
     if args.trace:
         check_trace(args.trace)
@@ -354,6 +709,14 @@ def main():
         check_cache_stats(args.cache_stats)
     if args.alloc_stats:
         check_alloc_stats(args.alloc_stats)
+    if args.metrics:
+        check_metrics(args.metrics)
+    if args.records:
+        check_records(args.records)
+    if args.join:
+        check_join(args.join)
+    if args.p99:
+        check_p99(args.p99)
     if errors:
         for e in errors:
             print(f"error: {e}", file=sys.stderr)

@@ -41,6 +41,7 @@
 #include "obs/Json.h"
 #include "obs/Log.h"
 #include "obs/Trace.h"
+#include "server/Client.h"
 #include "server/LoadGen.h"
 #include "server/Server.h"
 #include "workloads/Workloads.h"
@@ -72,6 +73,10 @@ int usage() {
                "over a socket)\n"
                "  loadgen [options]             replay workloads against a "
                "server\n"
+               "  stats <addr> [--prom|--text]  fetch a live metrics "
+               "snapshot\n"
+               "  top <addr> [options]          live-refresh server "
+               "telemetry\n"
                "  fuzz [options]                differential allocator "
                "fuzzing\n"
                "  reduce <file> [options]       minimize a failing program "
@@ -86,6 +91,11 @@ int usage() {
                "default 64)\n"
                "  --deadline-ms=N default per-request deadline (0 = none)\n"
                "  --stats-json=F write server.* counters as JSONL on exit\n"
+               "  --sample=N     trace every Nth request (0 = off)\n"
+               "  --request-log=F per-request JSONL timing records (implies "
+               "--sample=1)\n"
+               "  --trace-out=F  Chrome trace of sampled requests, written "
+               "on exit\n"
                "options for loadgen:\n"
                "  --socket=PATH | --port=N      server address\n"
                "  --workloads=a,b,c  corpus to replay (default all)\n"
@@ -95,6 +105,14 @@ int usage() {
                "loop)\n"
                "  --allocator=K --regs=N --run --deadline-ms=N  per-request\n"
                "  --json=F           append the report as one JSON line\n"
+               "  --record-out=F     per-request JSONL records (joins the\n"
+               "                     server --request-log by request id)\n"
+               "options for stats / top:\n"
+               "  <addr>         --socket=PATH | --port=N (same as loadgen)\n"
+               "  --prom | --text    rendering (stats; default json)\n"
+               "  --interval-ms=N    refresh period for top (default 1000)\n"
+               "  --count=N          stop top after N refreshes (0 = until "
+               "interrupted)\n"
                "shared compile flags (run, serve, loadgen, reduce):\n"
                "%s"
                "options for run:\n"
@@ -430,7 +448,8 @@ int cmdServe(int Argc, char **Argv) {
   server::ServerOptions SO;
   SO.UnixPath = "/tmp/lsra.sock";
   bool UseTcp = false;
-  std::string StatsJson;
+  bool SampleSet = false;
+  std::string StatsJson, TraceOut;
   for (int I = 0; I < Argc; ++I) {
     std::string A = Argv[I];
     if (A.rfind("--socket=", 0) == 0) {
@@ -451,6 +470,14 @@ int cmdServe(int Argc, char **Argv) {
           static_cast<uint32_t>(std::strtoul(A.c_str() + 14, nullptr, 10));
     } else if (A.rfind("--stats-json=", 0) == 0) {
       StatsJson = A.substr(13);
+    } else if (A.rfind("--sample=", 0) == 0) {
+      SO.SampleEvery =
+          static_cast<unsigned>(std::strtoul(A.c_str() + 9, nullptr, 10));
+      SampleSet = true;
+    } else if (A.rfind("--request-log=", 0) == 0) {
+      SO.RequestLogPath = A.substr(14);
+    } else if (A.rfind("--trace-out=", 0) == 0) {
+      TraceOut = A.substr(12);
     } else if (A == "--verify-alloc") {
       SO.VerifyAlloc = true;
     } else if (A.rfind("--cache-mb=", 0) == 0) {
@@ -468,10 +495,16 @@ int cmdServe(int Argc, char **Argv) {
   }
   if (UseTcp)
     SO.UnixPath.clear();
+  // A request-log or trace sink without an explicit sampling rate means
+  // "trace everything": sampling is what feeds both sinks.
+  if (!SampleSet && (!SO.RequestLogPath.empty() || !TraceOut.empty()))
+    SO.SampleEvery = 1;
 
   obs::CounterRegistry &CR = obs::CounterRegistry::global();
   if (!StatsJson.empty())
     CR.enable();
+  if (!TraceOut.empty())
+    obs::Tracer::global().enable();
 
   server::Server S(SO);
   std::string Err;
@@ -495,6 +528,16 @@ int cmdServe(int Argc, char **Argv) {
   S.shutdown();
   std::printf("lsra serve: drained after %llu responses\n",
               (unsigned long long)S.requestsServed());
+
+  if (!TraceOut.empty()) {
+    obs::Tracer &TR = obs::Tracer::global();
+    TR.disable();
+    if (!TR.writeChromeJson(TraceOut)) {
+      std::fprintf(stderr, "lsra serve: cannot write '%s'\n",
+                   TraceOut.c_str());
+      return 1;
+    }
+  }
 
   if (!StatsJson.empty()) {
     std::ofstream OS(StatsJson);
@@ -561,6 +604,8 @@ int cmdLoadgen(int Argc, char **Argv) {
       LO.NoCache = true;
     } else if (A.rfind("--json=", 0) == 0) {
       JsonOut = A.substr(7);
+    } else if (A.rfind("--record-out=", 0) == 0) {
+      LO.RecordOut = A.substr(13);
     } else {
       return usage();
     }
@@ -606,6 +651,122 @@ int cmdLoadgen(int Argc, char **Argv) {
   // Any successful responses at all count as success; a fully failed run
   // (server down mid-test) fails the command.
   return R.Ok > 0 || R.Rejected > 0 || R.DeadlineExceeded > 0 ? 0 : 1;
+}
+
+// --- stats / top -----------------------------------------------------------
+
+/// Shared address parsing for the stats/top clients. Accepts --socket=PATH
+/// and --port=N like loadgen, plus one bare positional: all-digits is a
+/// port, anything else a unix socket path.
+bool parseStatsAddr(const std::string &A, std::string &UnixPath,
+                    uint16_t &Port) {
+  if (A.rfind("--socket=", 0) == 0) {
+    UnixPath = A.substr(9);
+    return true;
+  }
+  if (A.rfind("--port=", 0) == 0) {
+    Port = static_cast<uint16_t>(std::strtoul(A.c_str() + 7, nullptr, 10));
+    return true;
+  }
+  if (!A.empty() && A[0] != '-') {
+    if (A.find_first_not_of("0123456789") == std::string::npos)
+      Port = static_cast<uint16_t>(std::strtoul(A.c_str(), nullptr, 10));
+    else
+      UnixPath = A;
+    return true;
+  }
+  return false;
+}
+
+server::Client connectStats(const std::string &UnixPath, uint16_t Port,
+                            std::string &Err) {
+  return UnixPath.empty() ? server::Client::connectTcp("127.0.0.1", Port, Err)
+                          : server::Client::connectUnix(UnixPath, Err);
+}
+
+int cmdStats(int Argc, char **Argv) {
+  std::string UnixPath;
+  uint16_t Port = 0;
+  std::string Format = "json";
+  for (int I = 0; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--prom")
+      Format = "prom";
+    else if (A == "--text")
+      Format = "text";
+    else if (A == "--json")
+      Format = "json";
+    else if (!parseStatsAddr(A, UnixPath, Port))
+      return usage();
+  }
+  if (UnixPath.empty() && Port == 0) {
+    std::fprintf(stderr, "lsra stats: need --socket=PATH or --port=N\n");
+    return 2;
+  }
+  std::string Err;
+  server::Client C = connectStats(UnixPath, Port, Err);
+  if (!C.valid()) {
+    std::fprintf(stderr, "lsra stats: %s\n", Err.c_str());
+    return 1;
+  }
+  std::string Doc;
+  if (!C.stats(Format, Doc, Err, 5000)) {
+    std::fprintf(stderr, "lsra stats: %s\n", Err.c_str());
+    return 1;
+  }
+  std::fputs(Doc.c_str(), stdout);
+  if (!Doc.empty() && Doc.back() != '\n')
+    std::fputc('\n', stdout);
+  return 0;
+}
+
+int cmdTop(int Argc, char **Argv) {
+  std::string UnixPath;
+  uint16_t Port = 0;
+  unsigned IntervalMs = 1000, Count = 0;
+  for (int I = 0; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.rfind("--interval-ms=", 0) == 0)
+      IntervalMs = static_cast<unsigned>(
+          std::strtoul(A.c_str() + 14, nullptr, 10));
+    else if (A.rfind("--count=", 0) == 0)
+      Count = static_cast<unsigned>(std::strtoul(A.c_str() + 8, nullptr, 10));
+    else if (!parseStatsAddr(A, UnixPath, Port))
+      return usage();
+  }
+  if (UnixPath.empty() && Port == 0) {
+    std::fprintf(stderr, "lsra top: need --socket=PATH or --port=N\n");
+    return 2;
+  }
+  std::signal(SIGINT, onStopSignal);
+  std::signal(SIGTERM, onStopSignal);
+  std::string Err;
+  server::Client C = connectStats(UnixPath, Port, Err);
+  if (!C.valid()) {
+    std::fprintf(stderr, "lsra top: %s\n", Err.c_str());
+    return 1;
+  }
+  for (unsigned Iter = 0; !GStopRequested.load(); ++Iter) {
+    std::string Doc;
+    if (!C.stats("text", Doc, Err, 5000)) {
+      // One reconnect attempt: the server may have restarted between
+      // refreshes; a second failure ends the loop.
+      C = connectStats(UnixPath, Port, Err);
+      if (!C.valid() || !C.stats("text", Doc, Err, 5000)) {
+        std::fprintf(stderr, "lsra top: %s\n", Err.c_str());
+        return 1;
+      }
+    }
+    // Home the cursor and clear below, rather than a full clear, so the
+    // refresh does not flicker.
+    std::fputs("\x1b[H\x1b[J", stdout);
+    std::fputs(Doc.c_str(), stdout);
+    std::fflush(stdout);
+    if (Count && Iter + 1 >= Count)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(IntervalMs));
+  }
+  return 0;
 }
 
 // --- fuzz / reduce ---------------------------------------------------------
@@ -740,6 +901,10 @@ int main(int argc, char **argv) {
     return cmdServe(argc - 2, argv + 2);
   if (Cmd == "loadgen")
     return cmdLoadgen(argc - 2, argv + 2);
+  if (Cmd == "stats")
+    return cmdStats(argc - 2, argv + 2);
+  if (Cmd == "top")
+    return cmdTop(argc - 2, argv + 2);
   if (Cmd == "fuzz")
     return cmdFuzz(argc - 2, argv + 2);
   if (argc < 3)

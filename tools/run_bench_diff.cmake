@@ -1,0 +1,53 @@
+# Test driver: the bench regression gate itself. Runs bench_diff.py's
+# --selftest (direction-aware tolerances, exact correctness counts, lost
+# coverage, per-metric overrides), then self-compares every committed
+# BENCH_*.json baseline — identity must always pass — and finally checks
+# that an injected latency regression is caught. Invoked by ctest as
+#   cmake -DPYTHON=... -DDIFFER=... -DREPO_DIR=... -DOUT_DIR=... -P this
+
+execute_process(
+  COMMAND "${PYTHON}" "${DIFFER}" "--selftest"
+  RESULT_VARIABLE SELF_RC
+  OUTPUT_VARIABLE SELF_OUT
+  ERROR_VARIABLE SELF_ERR)
+message(STATUS "${SELF_OUT}")
+if(NOT SELF_RC EQUAL 0)
+  message(FATAL_ERROR
+          "bench_diff.py --selftest failed (rc=${SELF_RC}):\n${SELF_ERR}")
+endif()
+
+foreach(BENCH BENCH_serve.json BENCH_cache.json BENCH_compile_time.json)
+  set(BASE "${REPO_DIR}/${BENCH}")
+  if(NOT EXISTS "${BASE}")
+    message(FATAL_ERROR "committed baseline ${BASE} is missing")
+  endif()
+  execute_process(
+    COMMAND "${PYTHON}" "${DIFFER}" "${BASE}" "${BASE}"
+    RESULT_VARIABLE DIFF_RC
+    OUTPUT_VARIABLE DIFF_OUT
+    ERROR_VARIABLE DIFF_ERR)
+  message(STATUS "${BENCH} self-compare: ${DIFF_OUT}")
+  if(NOT DIFF_RC EQUAL 0)
+    message(FATAL_ERROR
+            "${BENCH} does not self-compare clean (rc=${DIFF_RC}):\n"
+            "${DIFF_OUT}${DIFF_ERR}")
+  endif()
+endforeach()
+
+# Gate sensitivity: a candidate with a 10x p99 regression must fail.
+set(REGRESSED "${OUT_DIR}/bench_diff_regressed.json")
+file(READ "${REPO_DIR}/BENCH_serve.json" SERVE_JSON)
+string(REGEX REPLACE "\"latency_p99_ms\": [0-9.]+"
+       "\"latency_p99_ms\": 99999.0" SERVE_JSON "${SERVE_JSON}")
+file(WRITE "${REGRESSED}" "${SERVE_JSON}")
+execute_process(
+  COMMAND "${PYTHON}" "${DIFFER}" "${REPO_DIR}/BENCH_serve.json"
+          "${REGRESSED}"
+  RESULT_VARIABLE BAD_RC
+  OUTPUT_VARIABLE BAD_OUT
+  ERROR_VARIABLE BAD_ERR)
+if(BAD_RC EQUAL 0)
+  message(FATAL_ERROR
+          "bench_diff.py passed a 10x latency regression:\n${BAD_OUT}")
+endif()
+message(STATUS "injected regression correctly rejected")

@@ -62,3 +62,75 @@ if(NOT CHECK_RC EQUAL 0)
   message(FATAL_ERROR
           "check_trace.py --server-stats failed (rc=${CHECK_RC}):\n${CHECK_ERR}")
 endif()
+
+# --- telemetry leg ----------------------------------------------------------
+# A fresh server with full request tracing: one loadgen run with client-side
+# records, two live StatsRequest fetches (json for the validators, prom and
+# text for rendering smoke), then the graceful drain. The lifetime
+# histograms cover exactly this run, so the server p99 can be compared
+# against the loadgen's exact percentile.
+set(TSOCK "${OUT_DIR}/check_serve_telemetry.sock")
+set(REQLOG "${OUT_DIR}/check_serve.request_log.jsonl")
+set(RECORDS "${OUT_DIR}/check_serve.records.jsonl")
+set(LGJSON "${OUT_DIR}/check_serve.loadgen.json")
+set(SNAP1 "${OUT_DIR}/check_serve.metrics1.json")
+set(SNAP2 "${OUT_DIR}/check_serve.metrics2.json")
+set(TTRACE "${OUT_DIR}/check_serve.trace.json")
+
+execute_process(
+  COMMAND sh -ec "
+    rm -f '${TSOCK}' '${REQLOG}' '${RECORDS}' '${LGJSON}' \
+        '${SNAP1}' '${SNAP2}' '${TTRACE}'
+    '${LSRA_TOOL}' serve --socket='${TSOCK}' --workers=4 \
+        --request-log='${REQLOG}' --trace-out='${TTRACE}' &
+    pid=\$!
+    trap 'kill \$pid 2>/dev/null' EXIT
+    i=0
+    while [ ! -S '${TSOCK}' ]; do
+      i=\$((i+1))
+      [ \$i -gt 300 ] && { echo 'server never bound socket' >&2; exit 1; }
+      sleep 0.1
+    done
+    '${LSRA_TOOL}' loadgen --socket='${TSOCK}' --concurrency=4 \
+        --requests=64 --workloads=eqntott,espresso,sort,wc \
+        --record-out='${RECORDS}' --json='${LGJSON}'
+    rc=\$?
+    [ \$rc -eq 0 ] || { echo \"telemetry loadgen failed (rc=\$rc)\" >&2; exit 1; }
+    '${LSRA_TOOL}' stats --socket='${TSOCK}' > '${SNAP1}'
+    '${LSRA_TOOL}' stats --socket='${TSOCK}' --prom | \
+        grep -q '^lsra_server_completed ' || {
+      echo 'prom rendering missing lsra_server_completed' >&2; exit 1; }
+    '${LSRA_TOOL}' top --socket='${TSOCK}' --count=1 --interval-ms=10 | \
+        grep -q 'lsra telemetry snapshot' || {
+      echo 'top rendering missing snapshot header' >&2; exit 1; }
+    '${LSRA_TOOL}' stats --socket='${TSOCK}' > '${SNAP2}'
+    kill -TERM \$pid
+    wait \$pid
+    srv=\$?
+    trap - EXIT
+    [ \$srv -eq 0 ] || { echo \"telemetry server exit rc=\$srv\" >&2; exit 1; }
+  "
+  RESULT_VARIABLE TRUN_RC
+  OUTPUT_VARIABLE TRUN_OUT
+  ERROR_VARIABLE TRUN_ERR)
+message(STATUS "${TRUN_OUT}")
+if(NOT TRUN_RC EQUAL 0)
+  message(FATAL_ERROR
+          "telemetry leg failed (rc=${TRUN_RC}):\n${TRUN_OUT}${TRUN_ERR}")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${CHECKER}"
+          "--metrics" "${SNAP1}" "--metrics" "${SNAP2}"
+          "--records" "${RECORDS}"
+          "--join" "${RECORDS}:${REQLOG}"
+          "--p99" "${SNAP1}:${RECORDS}"
+          "--trace" "${TTRACE}"
+  RESULT_VARIABLE TCHECK_RC
+  OUTPUT_VARIABLE TCHECK_OUT
+  ERROR_VARIABLE TCHECK_ERR)
+message(STATUS "${TCHECK_OUT}")
+if(NOT TCHECK_RC EQUAL 0)
+  message(FATAL_ERROR
+          "telemetry validation failed (rc=${TCHECK_RC}):\n${TCHECK_ERR}")
+endif()
