@@ -8,13 +8,27 @@
 /// Replays the src/workloads corpus against a compile server and reports
 /// throughput and latency percentiles. Two load models:
 ///
-///   - closed loop (Qps == 0): each of Concurrency connections keeps
-///     exactly one request outstanding — measures capacity;
+///   - closed loop (Qps == 0): every connection keeps its pipeline full —
+///     measures capacity;
 ///   - open loop (Qps > 0): requests are launched on a global schedule of
 ///     one every 1/Qps seconds regardless of completions, and latency is
 ///     measured from the *scheduled* send time, so queueing delay under
 ///     overload is charged to the server, not hidden by client
 ///     self-throttling (the coordinated-omission correction).
+///
+/// And two engines:
+///
+///   - thread fleet (Connections == 0): Concurrency threads, one blocking
+///     connection each, one request outstanding per connection — the
+///     classic synchronous client;
+///   - pipelined (Connections > 0): one epoll event loop drives that many
+///     connections with up to Pipeline requests in flight on each, so a
+///     single loadgen process can hold tens of thousands of connections
+///     against the server's event loop. Responses arrive out of order and
+///     are matched by globally-unique request id; any frame that cannot be
+///     matched or decoded counts as a protocol error. --verify
+///     additionally compiles the corpus offline and byte-compares every
+///     CompileOk payload against the offline result.
 ///
 /// Per-request latencies are kept raw and percentiles computed by sorting,
 /// not from a histogram, so p99 on small runs is exact.
@@ -49,9 +63,18 @@ struct LoadGenOptions {
   unsigned UniquePrograms = 0;
   uint64_t MixSeed = 1; ///< base seed for the repeated-mix programs
 
-  unsigned Concurrency = 4; ///< connections = client threads
+  unsigned Concurrency = 4; ///< thread-fleet engine: connections = threads
   unsigned Requests = 64;   ///< total requests to send
   double Qps = 0;           ///< open-loop arrival rate (0 = closed loop)
+
+  /// Pipelined engine: when non-zero, drive this many connections from one
+  /// event loop instead of the Concurrency thread fleet.
+  unsigned Connections = 0;
+  /// Maximum requests in flight per connection (pipelined engine only).
+  unsigned Pipeline = 8;
+  /// Compile the corpus offline first and byte-compare every CompileOk
+  /// response's IR text against the offline result (pipelined engine only).
+  bool Verify = false;
 
   // Per-request knobs, forwarded verbatim.
   std::string Allocator = "binpack";
@@ -81,6 +104,9 @@ struct LoadGenReport {
   double MeanMs = 0, P50Ms = 0, P95Ms = 0, P99Ms = 0, MaxMs = 0;
   uint64_t BytesSent = 0, BytesReceived = 0;
   uint64_t CachedResponses = 0; ///< CompileOk frames carrying cached=1
+  uint64_t MergedResponses = 0; ///< responses carrying merged=1
+  uint64_t ProtocolErrors = 0;  ///< undecodable frames / unmatched ids
+  uint64_t VerifyMismatches = 0; ///< CompileOk bytes != offline compile
 };
 
 /// Run the load test. False (with \p Err) only for setup failures

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -226,6 +227,8 @@ std::string lsra::server::encodeCompileResponse(const CompileResponse &R) {
     OS << "alloc_s=" << Buf << "\n";
     if (R.Cached)
       OS << "cached=1\n";
+    if (R.Merged)
+      OS << "merged=1\n";
     OS << "queue_us=" << R.QueueUs << "\n";
     if (R.HasRun)
       OS << "dyn_instrs=" << R.DynInstrs << "\n"
@@ -245,6 +248,47 @@ std::string lsra::server::encodeCompileResponse(const CompileResponse &R) {
     OS << "queue_us=" << R.QueueUs << "\n";
   OS << "\n" << R.Message;
   return OS.str();
+}
+
+void FrameDecoder::append(const char *Data, size_t N) {
+  // Compact lazily: only when the consumed prefix dominates the buffer,
+  // so steady-state appends are O(bytes) amortized.
+  if (Pos > 4096 && Pos > Buf.size() / 2) {
+    Buf.erase(0, Pos);
+    Pos = 0;
+  }
+  Buf.append(Data, N);
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame &Out) {
+  if (Broken) {
+    Out.Err = "frame stream broken";
+    return Status::Error;
+  }
+  if (Buf.size() - Pos < FrameHeaderBytes)
+    return Status::NeedMore;
+  const unsigned char *H =
+      reinterpret_cast<const unsigned char *>(Buf.data() + Pos);
+  uint32_t PayloadLen = 0;
+  Out = Frame();
+  std::string Err;
+  if (!decodeFrameHeader(H, PayloadLen, Out.RequestId, Out.Type, Err)) {
+    Broken = true;
+    Out.Err = std::move(Err);
+    Out.VersionMismatch =
+        Out.Err.compare(0, std::strlen(VersionMismatchPrefix),
+                        VersionMismatchPrefix) == 0;
+    return Status::Error;
+  }
+  if (Buf.size() - Pos < FrameHeaderBytes + PayloadLen)
+    return Status::NeedMore;
+  Out.Payload.assign(Buf, Pos + FrameHeaderBytes, PayloadLen);
+  Pos += FrameHeaderBytes + PayloadLen;
+  if (Pos == Buf.size()) {
+    Buf.clear();
+    Pos = 0;
+  }
+  return Status::Frame;
 }
 
 bool lsra::server::decodeCompileResponse(FrameType T,
@@ -289,6 +333,8 @@ bool lsra::server::decodeCompileResponse(FrameType T,
       Out.AllocSeconds = std::strtod(V.c_str(), nullptr);
     else if (K == "cached")
       Out.Cached = V == "1";
+    else if (K == "merged")
+      Out.Merged = V == "1";
     else if (K == "queue_us")
       Out.QueueUs = toU64(V);
     else if (K == "dyn_instrs") {

@@ -48,8 +48,12 @@ constexpr uint32_t FrameMagic = 0x4153524cu;
 /// Wire-protocol version. Bump when the header or the defined payload
 /// fields change incompatibly. v2 added the StatsRequest/StatsReply
 /// introspection frames and the `queue_us` response field (decoders
-/// reject unknown fields, so both are incompatible additions).
-constexpr uint8_t ProtocolVersion = 2;
+/// reject unknown fields, so both are incompatible additions). v3 added
+/// the `merged` response field and pipelining semantics: a client may
+/// keep many requests in flight on one connection, and the server may
+/// answer them out of order (responses match requests by id, never by
+/// position).
+constexpr uint8_t ProtocolVersion = 3;
 
 /// Frame header size on the wire (magic + version + len + id + type).
 constexpr uint32_t FrameHeaderBytes = 14;
@@ -110,6 +114,7 @@ struct CompileResponse {
   unsigned Splits = 0;
   double AllocSeconds = 0;
   bool Cached = false;   ///< served from the server's compile cache
+  bool Merged = false;   ///< piggybacked on an identical in-flight compile
   uint64_t QueueUs = 0;  ///< server-side admission-queue wait (µs)
 
   // Dynamic execution statistics (CompileOk with CompileRequest::Run).
@@ -162,6 +167,53 @@ std::string encodeFrameHeader(uint32_t PayloadLen, uint32_t RequestId,
 bool decodeFrameHeader(const unsigned char Header[FrameHeaderBytes],
                        uint32_t &PayloadLen, uint32_t &RequestId,
                        FrameType &Type, std::string &Err);
+
+/// Incremental frame decoder for non-blocking connections: feed it
+/// whatever bytes recv() produced, pull complete frames out. Unlike the
+/// blocking recvFrame() path it never waits — a frame split across any
+/// number of reads (even one byte at a time) reassembles correctly.
+///
+/// Typical use from a read handler:
+///
+///   Dec.append(Buf, N);
+///   FrameDecoder::Frame F;
+///   while (Dec.next(F) == FrameDecoder::Status::Frame)
+///     handle(F);
+///   if (Dec.next(...) returned Error) → reply/close per F.Err
+///
+/// An Error result is sticky: the stream is desynchronized and the
+/// connection must be closed (after an optional typed Error reply when
+/// F.VersionMismatch made the request id readable).
+class FrameDecoder {
+public:
+  enum class Status : uint8_t {
+    NeedMore, ///< no complete frame buffered yet
+    Frame,    ///< one frame decoded into the out-param
+    Error,    ///< stream is broken; close the connection
+  };
+
+  struct Frame {
+    uint32_t RequestId = 0;
+    FrameType Type = FrameType::Error;
+    std::string Payload;
+    std::string Err;              ///< Status::Error only
+    bool VersionMismatch = false; ///< Error, but the id was readable
+  };
+
+  /// Buffer \p N raw bytes from the wire.
+  void append(const char *Data, size_t N);
+
+  /// Decode the next complete frame into \p Out.
+  Status next(Frame &Out);
+
+  /// Bytes buffered but not yet consumed (observability / tests).
+  size_t buffered() const { return Buf.size() - Pos; }
+
+private:
+  std::string Buf;
+  size_t Pos = 0; ///< consumed prefix, compacted away periodically
+  bool Broken = false;
+};
 
 } // namespace server
 } // namespace lsra

@@ -13,15 +13,16 @@ using namespace lsra::server;
 
 namespace {
 
-/// Publish the post-transition depth. The gauge tracks every enqueue and
-/// dequeue (not just dispatch-time samples), so a scrape between
-/// dispatches sees the true depth; the windowed histogram records the
-/// depth each admission observed.
-void noteQueueTransition(unsigned Depth, bool Enqueued) {
+/// Publish the post-transition depth (in requests). The gauge tracks every
+/// enqueue and dequeue (not just dispatch-time samples), so a scrape
+/// between dispatches sees the true depth; the windowed histogram records
+/// the depth each admission observed. The enqueued/dequeued counters move
+/// by the task's weight so they stay request-denominated under batching.
+void noteQueueTransition(unsigned Depth, unsigned Weight, bool Enqueued) {
   lsra::obs::CounterRegistry &CR = lsra::obs::CounterRegistry::global();
   if (!CR.enabled())
     return;
-  CR.counter(Enqueued ? "server.enqueued" : "server.dequeued").add(1);
+  CR.counter(Enqueued ? "server.enqueued" : "server.dequeued").add(Weight);
   CR.gauge("server.queue_depth").set(Depth);
   if (Enqueued)
     CR.histogram("server.queue_depth.dist").record(Depth);
@@ -29,16 +30,18 @@ void noteQueueTransition(unsigned Depth, bool Enqueued) {
 
 } // namespace
 
-bool RequestQueue::tryPush(std::function<void()> Task) {
+bool RequestQueue::tryPush(std::function<void()> Task, unsigned Weight) {
+  if (Weight == 0)
+    Weight = 1;
   {
     std::unique_lock<std::mutex> Lock(Mu);
-    if (Closed || Tasks.size() >= Cap)
+    if (Closed || WeightSum >= Cap)
       return false;
-    Tasks.push_back(std::move(Task));
+    WeightSum += Weight;
+    Tasks.emplace_back(std::move(Task), Weight);
     // Published under the queue lock so the gauge transitions in the same
     // order as the depth it reports.
-    noteQueueTransition(static_cast<unsigned>(Tasks.size()),
-                        /*Enqueued=*/true);
+    noteQueueTransition(WeightSum, Weight, /*Enqueued=*/true);
   }
   HasWork.notify_one();
   return true;
@@ -49,10 +52,11 @@ bool RequestQueue::pop(std::function<void()> &Task) {
   HasWork.wait(Lock, [this] { return Closed || !Tasks.empty(); });
   if (Tasks.empty())
     return false; // closed and fully drained
-  Task = std::move(Tasks.front());
+  Task = std::move(Tasks.front().first);
+  unsigned Weight = Tasks.front().second;
   Tasks.pop_front();
-  noteQueueTransition(static_cast<unsigned>(Tasks.size()),
-                      /*Enqueued=*/false);
+  WeightSum -= Weight;
+  noteQueueTransition(WeightSum, Weight, /*Enqueued=*/false);
   return true;
 }
 
@@ -71,5 +75,5 @@ bool RequestQueue::closed() const {
 
 unsigned RequestQueue::depth() const {
   std::unique_lock<std::mutex> Lock(Mu);
-  return static_cast<unsigned>(Tasks.size());
+  return WeightSum;
 }

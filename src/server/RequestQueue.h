@@ -6,10 +6,17 @@
 ///
 /// \file
 /// The server's admission control: a bounded MPMC queue of request tasks
-/// between connection readers (producers) and compile workers (consumers).
+/// between the event loop (producer) and compile workers (consumers).
 /// The bound is the load-shedding mechanism — tryPush() fails immediately
-/// when the queue is full, and the reader answers with a typed Rejected
-/// frame instead of letting latency grow without limit (the 503 analogue).
+/// when the queue is full, and the admission path answers with a typed
+/// Rejected frame instead of letting latency grow without limit (the
+/// 503 analogue).
+///
+/// Tasks carry a weight, in requests: the event loop batches several small
+/// requests into one worker dispatch, so capacity, depth, and the
+/// enqueued/dequeued counters are all denominated in requests (weight
+/// units), not tasks — a batch of 5 consumes 5 slots and the depth gauge
+/// reports request counts regardless of how they were grouped.
 ///
 /// close() starts a graceful drain: producers are refused from then on,
 /// consumers keep draining what was already admitted, and pop() returns
@@ -26,6 +33,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <utility>
 
 namespace lsra {
 namespace server {
@@ -35,9 +43,10 @@ public:
   explicit RequestQueue(unsigned Capacity)
       : Cap(Capacity ? Capacity : 1) {}
 
-  /// Admit \p Task. False when the queue is at capacity or closed — the
-  /// caller owes the client a Rejected/ShuttingDown response.
-  bool tryPush(std::function<void()> Task);
+  /// Admit \p Task carrying \p Weight requests. False when the weighted
+  /// depth would exceed capacity or the queue is closed — the caller owes
+  /// each carried request a Rejected/ShuttingDown response.
+  bool tryPush(std::function<void()> Task, unsigned Weight = 1);
 
   /// Block until a task is available or the drain completes. False means
   /// closed-and-empty: the consumer should exit.
@@ -47,6 +56,7 @@ public:
   void close();
 
   bool closed() const;
+  /// Queued requests (sum of task weights), not task count.
   unsigned depth() const;
   unsigned capacity() const { return Cap; }
 
@@ -54,7 +64,8 @@ private:
   const unsigned Cap;
   mutable std::mutex Mu;
   std::condition_variable HasWork;
-  std::deque<std::function<void()>> Tasks;
+  std::deque<std::pair<std::function<void()>, unsigned>> Tasks;
+  unsigned WeightSum = 0;
   bool Closed = false;
 };
 

@@ -14,14 +14,13 @@
 #include "support/MemStats.h"
 
 #include <chrono>
+#include <future>
+#include <sys/epoll.h>
 
 using namespace lsra;
 using namespace lsra::server;
 
 namespace {
-
-/// Poll interval for shutdown checks in accept/reader loops.
-constexpr int TickMs = 50;
 
 void bumpCounter(const char *Name, uint64_t N = 1) {
   obs::CounterRegistry &CR = obs::CounterRegistry::global();
@@ -41,6 +40,10 @@ void gaugeAdd(const char *Name, int64_t D) {
     CR.gauge(Name).add(D);
 }
 
+uint64_t clampedUs(int64_t Ns) {
+  return Ns > 0 ? static_cast<uint64_t>(Ns / 1000) : 0;
+}
+
 } // namespace
 
 Server::Server(const ServerOptions &O)
@@ -48,11 +51,7 @@ Server::Server(const ServerOptions &O)
 
 Server::~Server() { shutdown(); }
 
-int64_t Server::nowNs() const {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+int64_t Server::nowNs() const { return net::EventLoop::nowNs(); }
 
 bool Server::start(std::string &Err) {
   if (Running.load(std::memory_order_acquire)) {
@@ -64,10 +63,15 @@ bool Server::start(std::string &Err) {
   // answerable at any moment, so the registry is enabled up front rather
   // than only when a --stats-json sink was requested.
   obs::CounterRegistry::global().enable();
+  raiseFdLimit();
   L = Opts.UnixPath.empty() ? Listener::listenTcp(Opts.TcpPort, Err)
                             : Listener::listenUnix(Opts.UnixPath, Err);
   if (!L.valid())
     return false;
+  if (!L.setNonBlocking(Err)) {
+    L.close();
+    return false;
+  }
   if (!Opts.RequestLogPath.empty()) {
     if (!obs::RequestLog::global().open(Opts.RequestLogPath)) {
       Err = "cannot open request log '" + Opts.RequestLogPath + "'";
@@ -83,6 +87,22 @@ bool Server::start(std::string &Err) {
     Cache = std::make_unique<cache::CompileCache>(CC);
   }
 
+  bool LoopReady =
+      Loop.init(Err) &&
+      // The listener is just another fd on the loop; its handler accepts
+      // until the backlog is empty (level-triggered, so a burst left over
+      // re-fires).
+      Loop.add(L.fd(), EPOLLIN, [this](uint32_t) { onAcceptable(); }, Err);
+  if (!LoopReady) {
+    L.close();
+    if (OpenedRequestLog) {
+      obs::RequestLog::global().close();
+      OpenedRequestLog = false;
+    }
+    return false;
+  }
+  Loop.setAfterPoll([this] { afterPoll(); });
+
   unsigned NumWorkers =
       Opts.Workers ? Opts.Workers : ThreadPool::defaultThreadCount();
   Workers = std::make_unique<ThreadPool>(NumWorkers);
@@ -96,8 +116,8 @@ bool Server::start(std::string &Err) {
     });
 
   Running.store(true, std::memory_order_release);
-  AcceptThread = std::thread([this] { acceptLoop(); });
-  LSRA_LOG(1, "server: listening on %s (workers=%u, queue=%u)",
+  LoopThread = std::thread([this] { Loop.run(); });
+  LSRA_LOG(1, "server: listening on %s (workers=%u, queue=%u, event loop)",
            Opts.UnixPath.empty()
                ? ("tcp 127.0.0.1:" + std::to_string(L.port())).c_str()
                : Opts.UnixPath.c_str(),
@@ -105,231 +125,369 @@ bool Server::start(std::string &Err) {
   return true;
 }
 
-void Server::acceptLoop() {
-  while (!Stopping.load(std::memory_order_acquire)) {
-    Socket S = L.accept(TickMs);
+//===----------------------------------------------------------------------===//
+// Loop-thread side: accept, decode, admit
+//===----------------------------------------------------------------------===//
+
+void Server::onAcceptable() {
+  while (true) {
+    Socket S = L.acceptNow();
     if (!S.valid())
-      continue;
+      return;
     bumpCounter("server.connections");
-    auto C = std::make_shared<Conn>();
-    C->Sock = std::move(S);
-    std::unique_lock<std::mutex> Lock(ReadersMu);
-    Conns.emplace_back(C);
-    Readers.emplace_back([this, C] { readerLoop(C); });
+    uint64_t Id = NextConnId++;
+    auto C = std::make_unique<net::Connection>(Loop, S.release(), Id);
+    std::string Err;
+    bool Started = C->start(
+        [this, Id](FrameDecoder::Frame &F) { onFrame(Id, F); },
+        [this, Id](const std::string &) { onConnClosed(Id); }, Err);
+    if (!Started) {
+      LSRA_LOG(2, "server: cannot watch connection: %s", Err.c_str());
+      continue; // Connection destructor closes the fd
+    }
+    gaugeAdd("server.open_connections", 1);
+    Conns.emplace(Id, std::move(C));
   }
 }
 
-void Server::readerLoop(ConnPtr C) {
-  std::string Err;
-  while (true) {
-    bool Draining = Stopping.load(std::memory_order_acquire);
-    uint32_t Id = 0;
-    FrameType Type;
-    std::string Payload;
-    Socket::RecvStatus St =
-        C->Sock.recvFrame(Id, Type, Payload, TickMs, Err);
-    if (St == Socket::RecvStatus::Timeout) {
-      if (Draining)
-        return; // drained: no new requests from this connection
-      continue;
-    }
-    if (St == Socket::RecvStatus::Closed)
-      return;
-    if (St == Socket::RecvStatus::Error) {
-      // A version-mismatched frame still yields its request id, so the
-      // client gets a typed Error telling it why before the close; any
-      // other header damage (bad magic, torn frame) is just dropped.
-      if (Err.rfind(VersionMismatchPrefix, 0) == 0) {
-        CompileResponse R;
-        R.Status = FrameType::Error;
-        R.Message = Err;
-        bumpCounter("server.version_mismatch");
-        respond(C, Id, R.Status, encodeCompileResponse(R));
-      }
-      LSRA_LOG(2, "server: dropping connection: %s", Err.c_str());
-      return;
-    }
-    bumpCounter("server.bytes_in", FrameHeaderBytes + Payload.size());
-    if (Type == FrameType::Ping) {
-      respond(C, Id, FrameType::Pong, "");
-      continue;
-    }
-    if (Type == FrameType::StatsRequest) {
-      StatsRequest SR;
-      std::string SErr;
-      if (!decodeStatsRequest(Payload, SR, SErr)) {
-        CompileResponse R;
-        R.Status = FrameType::Error;
-        R.Message = "bad stats request: " + SErr;
-        respond(C, Id, R.Status, encodeCompileResponse(R));
-        continue;
-      }
-      bumpCounter("server.stats_requests");
-      respond(C, Id, FrameType::StatsReply, renderStats(SR.Format));
-      continue;
-    }
-    if (Type != FrameType::CompileRequest) {
+void Server::onConnClosed(uint64_t ConnId) {
+  gaugeAdd("server.open_connections", -1);
+  // The Connection is still on the stack inside its own close(); defer the
+  // erase to the next posted-task drain.
+  Loop.post([this, ConnId] { Conns.erase(ConnId); });
+}
+
+void Server::onFrame(uint64_t ConnId, FrameDecoder::Frame &F) {
+  if (!F.Err.empty()) {
+    // Decoder error: the stream is desynchronized. A version mismatch
+    // still yields the request id, so the client learns why before the
+    // close; any other header damage just drops the connection (the
+    // Connection closes itself after this callback).
+    if (F.VersionMismatch) {
+      bumpCounter("server.version_mismatch");
       CompileResponse R;
       R.Status = FrameType::Error;
-      R.Message = std::string("unexpected frame type '") +
-                  frameTypeName(Type) + "'";
-      respond(C, Id, R.Status, encodeCompileResponse(R));
-      continue;
+      R.Message = F.Err;
+      sendToConn(ConnId, F.RequestId, R.Status, encodeCompileResponse(R));
+      auto It = Conns.find(ConnId);
+      if (It != Conns.end())
+        It->second->closeAfterFlush(F.Err);
     }
-    bumpCounter("server.requests");
-    if (Draining || Stopping.load(std::memory_order_acquire)) {
+    LSRA_LOG(2, "server: dropping connection: %s", F.Err.c_str());
+    return;
+  }
+  bumpCounter("server.bytes_in", FrameHeaderBytes + F.Payload.size());
+  switch (F.Type) {
+  case FrameType::Ping:
+    sendToConn(ConnId, F.RequestId, FrameType::Pong, "");
+    return;
+  case FrameType::StatsRequest: {
+    StatsRequest SR;
+    std::string SErr;
+    if (!decodeStatsRequest(F.Payload, SR, SErr)) {
       CompileResponse R;
-      R.Status = FrameType::ShuttingDown;
-      R.Message = "server is draining";
-      bumpCounter("server.shutdown_rejected");
-      respond(C, Id, R.Status, encodeCompileResponse(R));
-      continue;
+      R.Status = FrameType::Error;
+      R.Message = "bad stats request: " + SErr;
+      sendToConn(ConnId, F.RequestId, R.Status, encodeCompileResponse(R));
+      return;
     }
-
-    // Admission control: deadline starts at arrival; the queue bound is
-    // the load shed.
-    int64_t ArrivalNs = nowNs();
-    uint32_t DeadlineMs = Opts.DefaultDeadlineMs;
-    // Peek the deadline without a full decode; the worker re-decodes.
-    {
-      CompileRequest Peek;
-      std::string PeekErr;
-      if (decodeCompileRequest(Payload, Peek, PeekErr) && Peek.DeadlineMs)
-        DeadlineMs = Peek.DeadlineMs;
-    }
-    int64_t DeadlineNs =
-        DeadlineMs ? ArrivalNs + int64_t(DeadlineMs) * 1'000'000 : 0;
-
-    // Request-scoped tracing, sampled every Nth admitted request. The
-    // "recv" phase is the frame's arrival instant; "admit" covers the
-    // deadline peek + queue push on the reader thread.
-    std::shared_ptr<obs::RequestTrace> RT;
-    if (Opts.SampleEvery &&
-        ReqSeq.fetch_add(1, std::memory_order_relaxed) % Opts.SampleEvery ==
-            0) {
-      RT = std::make_shared<obs::RequestTrace>();
-      RT->RequestId = Id;
-      RT->ArrivalNs = ArrivalNs;
-      RT->addPhase("recv", ArrivalNs, 0);
-    }
-    bool Admitted = Queue.tryPush([this, C, Id, P = std::move(Payload),
-                                   ArrivalNs, DeadlineNs, RT]() mutable {
-      handleCompile(C, Id, std::move(P), ArrivalNs, DeadlineNs,
-                    std::move(RT));
-    });
-    if (RT)
-      RT->addPhase("admit", ArrivalNs, nowNs() - ArrivalNs);
-    if (!Admitted) {
-      CompileResponse R;
-      R.Status = FrameType::Rejected;
-      R.Message = "admission queue full (capacity " +
-                  std::to_string(Queue.capacity()) + ")";
-      bumpCounter("server.rejected");
-      respond(C, Id, R.Status, encodeCompileResponse(R));
-      continue;
-    }
-    bumpCounter("server.accepted");
+    bumpCounter("server.stats_requests");
+    sendToConn(ConnId, F.RequestId, FrameType::StatsReply,
+               renderStats(SR.Format));
+    return;
+  }
+  case FrameType::CompileRequest:
+    admitCompile(ConnId, F.RequestId, F.Payload);
+    return;
+  default: {
+    CompileResponse R;
+    R.Status = FrameType::Error;
+    R.Message =
+        std::string("unexpected frame type '") + frameTypeName(F.Type) + "'";
+    sendToConn(ConnId, F.RequestId, R.Status, encodeCompileResponse(R));
+    return;
+  }
   }
 }
 
-namespace {
-
-/// Scope guard completing a request's telemetry: runs after the response
-/// is on the wire (end of handleCompile), records the arrival-to-reply
-/// latency histogram, maintains the in-flight gauge, and flushes the
-/// sampled trace to the Chrome tracer + request log.
-struct RequestFinisher {
-  std::shared_ptr<obs::RequestTrace> RT;
-  int64_t ArrivalNs;
-  uint64_t QueueUs = 0;
-  const char *Status = "ok";
-  bool Cached = false;
-
-  RequestFinisher(std::shared_ptr<obs::RequestTrace> RT, int64_t ArrivalNs)
-      : RT(std::move(RT)), ArrivalNs(ArrivalNs) {
-    gaugeAdd("server.inflight", 1);
-  }
-  ~RequestFinisher() {
-    int64_t TotalNs = obs::steadyNowNs() - ArrivalNs;
-    histRecord("server.latency_us", TotalNs > 0 ? TotalNs / 1000 : 0);
-    gaugeAdd("server.inflight", -1);
-    if (!RT)
-      return;
-    RT->emitToTracer();
-    obs::RequestLog::global().write(
-        *RT, Status, Cached, QueueUs,
-        TotalNs > 0 ? static_cast<uint64_t>(TotalNs / 1000) : 0);
-  }
-};
-
-} // namespace
-
-void Server::handleCompile(const ConnPtr &C, uint32_t Id,
-                           std::string Payload, int64_t ArrivalNs,
-                           int64_t DeadlineNs,
-                           std::shared_ptr<obs::RequestTrace> RT) {
-  obs::ScopedSpan Span("serve:request", "request");
-  int64_t StartNs = nowNs();
-  int64_t QueueWaitNs = StartNs > ArrivalNs ? StartNs - ArrivalNs : 0;
-  uint64_t QueueUs = static_cast<uint64_t>(QueueWaitNs / 1000);
-  histRecord("server.queue_wait_us", QueueUs);
-  if (RT)
-    RT->addPhase("queue-wait", ArrivalNs, QueueWaitNs);
-  RequestFinisher Fin(RT, ArrivalNs);
-  Fin.QueueUs = QueueUs;
-
-  CompileResponse R;
-  R.QueueUs = QueueUs;
-  if (DeadlineNs && StartNs > DeadlineNs) {
-    R.Status = FrameType::DeadlineExceeded;
-    R.Message = "deadline exceeded before dispatch";
-    bumpCounter("server.deadline_exceeded");
-    Fin.Status = "deadline";
-    respond(C, Id, R.Status, encodeCompileResponse(R));
+void Server::admitCompile(uint64_t ConnId, uint32_t Id,
+                          const std::string &Payload) {
+  bumpCounter("server.requests");
+  if (Stopping.load(std::memory_order_acquire)) {
+    CompileResponse R;
+    R.Status = FrameType::ShuttingDown;
+    R.Message = "server is draining";
+    bumpCounter("server.shutdown_rejected");
+    sendToConn(ConnId, Id, R.Status, encodeCompileResponse(R));
     return;
   }
 
+  int64_t ArrivalNs = nowNs();
+  std::shared_ptr<obs::RequestTrace> RT;
+  if (Opts.SampleEvery && ReqSeq++ % Opts.SampleEvery == 0) {
+    RT = std::make_shared<obs::RequestTrace>();
+    RT->RequestId = Id;
+    RT->ArrivalNs = ArrivalNs;
+    RT->addPhase("recv", ArrivalNs, 0);
+  }
+
+  // Decode once, at admission: the merge key needs the request fields, and
+  // a payload that cannot even be decoded should not cost a queue slot.
   CompileRequest Req;
   std::string Err;
   if (!decodeCompileRequest(Payload, Req, Err)) {
+    CompileResponse R;
     R.Status = FrameType::Error;
     R.Message = "bad request: " + Err;
     bumpCounter("server.parse_errors");
-    Fin.Status = "error";
-    respond(C, Id, R.Status, encodeCompileResponse(R));
+    sendToConn(ConnId, Id, R.Status, encodeCompileResponse(R));
     return;
   }
-  if (Req.HoldMs) // load-test knob: simulate a slow compilation
-    std::this_thread::sleep_for(std::chrono::milliseconds(Req.HoldMs));
-
   AllocatorKind Kind;
   if (!parseAllocatorName(Req.Allocator, Kind)) {
+    CompileResponse R;
     R.Status = FrameType::Error;
     R.Message = "unknown allocator '" + Req.Allocator + "'";
     bumpCounter("server.parse_errors");
-    Fin.Status = "error";
-    respond(C, Id, R.Status, encodeCompileResponse(R));
+    sendToConn(ConnId, Id, R.Status, encodeCompileResponse(R));
     return;
   }
+
+  uint32_t DeadlineMs = Req.DeadlineMs ? Req.DeadlineMs : Opts.DefaultDeadlineMs;
+  auto P = std::make_shared<Pending>();
+  P->ConnId = ConnId;
+  P->FrameId = Id;
+  P->ArrivalNs = ArrivalNs;
+  P->DeadlineNs = DeadlineMs ? ArrivalNs + int64_t(DeadlineMs) * 1'000'000 : 0;
+  P->RT = RT;
 
   TargetDesc TD = TargetDesc::alphaLike();
   if (Req.Regs)
     TD = TD.withRegLimit(Req.Regs, Req.Regs);
   AllocOptions AO;
   AO.SpillCleanup = Req.Cleanup;
+
+  // The merge key is the compile cache's content x options x target hash,
+  // with every request field that changes the response folded in. The
+  // deadline is deliberately excluded (it changes when a request is
+  // abandoned, not what it computes); HoldMs is deliberately included (two
+  // requests with different holds are different work, which the load tests
+  // rely on).
+  uint64_t OptionsFp = AO.fingerprint();
+  OptionsFp = OptionsFp * 1000003u + Req.HoldMs;
+  OptionsFp = OptionsFp * 31u + (Req.Run ? 2u : 0u) + (Req.NoCache ? 1u : 0u);
+  OptionsFp = OptionsFp * 1000003u + std::hash<std::string>{}(Req.Allocator);
+  cache::CacheKey Key =
+      cache::makeModuleKey(Req.IRText, OptionsFp, Kind, TD.fingerprint());
+
+  {
+    std::lock_guard<std::mutex> Lock(MergeMu);
+    auto It = InflightTable.find(Key);
+    if (It != InflightTable.end()) {
+      // Identical compile already in flight (queued or running): piggyback
+      // instead of queueing a duplicate. The waiter costs no queue slot —
+      // it adds no compile work.
+      P->Merged = true;
+      It->second->Waiters.push_back(P);
+      bumpCounter("server.accepted");
+      bumpCounter("server.merged");
+      gaugeAdd("server.inflight", 1);
+      if (RT)
+        RT->addPhase("admit", ArrivalNs, nowNs() - ArrivalNs);
+      armDeadline(P);
+      return;
+    }
+  }
+
+  // Not mergeable: this request needs a queue slot now or at the next
+  // batch flush. Count the unflushed batch against capacity so a burst
+  // within one poll iteration cannot overshoot the admission bound.
+  if (Queue.depth() + Batch.size() >= Queue.capacity()) {
+    CompileResponse R;
+    R.Status = FrameType::Rejected;
+    R.Message = "admission queue full (capacity " +
+                std::to_string(Queue.capacity()) + ")";
+    bumpCounter("server.rejected");
+    sendToConn(ConnId, Id, R.Status, encodeCompileResponse(R));
+    return;
+  }
+
+  auto E = std::make_shared<Inflight>();
+  E->Key = Key;
+  E->Req = std::move(Req);
+  E->Kind = Kind;
+  E->TD = TD;
+  E->Leader = P;
+  E->LeaderRT = RT;
+  E->Waiters.push_back(P);
+  {
+    std::lock_guard<std::mutex> Lock(MergeMu);
+    InflightTable.emplace(Key, E);
+  }
+  Batch.push_back(std::move(E));
+  bumpCounter("server.accepted");
+  gaugeAdd("server.inflight", 1);
+  if (RT)
+    RT->addPhase("admit", ArrivalNs, nowNs() - ArrivalNs);
+  armDeadline(P);
+  // Large modules never batch — they hold a worker long enough that
+  // grouping them only adds head-of-line blocking for whatever shares the
+  // dispatch. A full batch flushes immediately too.
+  if (Payload.size() >= SmallRequestBytes || Batch.size() >= BatchMax)
+    flushBatch();
+}
+
+void Server::armDeadline(const PendingPtr &P) {
+  if (!P->DeadlineNs)
+    return;
+  P->TimerId = Loop.addTimerAtNs(P->DeadlineNs, [this, P] { onDeadline(P); });
+}
+
+void Server::onDeadline(const PendingPtr &P) {
+  if (P->Answered.exchange(true, std::memory_order_acq_rel))
+    return; // the worker's fan-out won; this timer is stale
+  int64_t Now = nowNs();
+  uint64_t WaitedUs = clampedUs(Now - P->ArrivalNs);
+  bumpCounter("server.deadline_exceeded");
+  histRecord("server.queue_wait_us", WaitedUs);
+  CompileResponse R;
+  R.Status = FrameType::DeadlineExceeded;
+  R.Message = "deadline exceeded before dispatch";
+  R.QueueUs = WaitedUs;
+  R.Merged = P->Merged;
+  if (P->RT) {
+    P->RT->addPhase("queue-wait", P->ArrivalNs, Now - P->ArrivalNs);
+    P->RT->addPhase("reply", Now, 0);
+  }
+  finishRequest(P, "deadline", /*Cached=*/false, WaitedUs, Now);
+  sendToConn(P->ConnId, P->FrameId, R.Status, encodeCompileResponse(R));
+  // The request stays in its Inflight entry; the worker sees Answered and
+  // skips it (and skips the whole compile when every waiter expired).
+}
+
+void Server::flushBatch() {
+  if (Batch.empty())
+    return;
+  auto B = std::make_shared<std::vector<InflightPtr>>(std::move(Batch));
+  Batch.clear();
+  unsigned Weight = static_cast<unsigned>(B->size());
+  bumpCounter("server.batches");
+  histRecord("server.batch.requests", Weight);
+  bool Pushed = Queue.tryPush(
+      [this, B] {
+        for (const InflightPtr &E : *B)
+          compileEntry(E);
+      },
+      Weight);
+  if (Pushed)
+    return;
+  // Only reachable when the queue was closed between admission and flush.
+  // Provably not during a normal drain (shutdown's synchronized flush task
+  // runs before Queue.close(), and admission bounded depth + batch size
+  // below capacity), but a defensive path beats stranded clients: answer
+  // every carried request as a drain refusal.
+  LSRA_LOG(2, "server: batch push refused, answering %u requests as "
+              "shutting down", Weight);
+  for (const InflightPtr &E : *B) {
+    std::vector<PendingPtr> Waiters;
+    {
+      std::lock_guard<std::mutex> Lock(MergeMu);
+      Waiters = std::move(E->Waiters);
+      InflightTable.erase(E->Key);
+    }
+    CompileResponse R;
+    R.Status = FrameType::ShuttingDown;
+    R.Message = "server is draining";
+    for (const PendingPtr &W : Waiters) {
+      if (W->Answered.exchange(true, std::memory_order_acq_rel))
+        continue;
+      bumpCounter("server.shutdown_rejected");
+      gaugeAdd("server.inflight", -1);
+      R.Merged = W->Merged;
+      if (W->TimerId)
+        Loop.cancelTimer(W->TimerId); // flushBatch runs on the loop thread
+      sendToConn(W->ConnId, W->FrameId, R.Status, encodeCompileResponse(R));
+    }
+  }
+}
+
+void Server::afterPoll() {
+  flushBatch();
+  if (!DrainFinal)
+    return;
+  if (Conns.empty()) {
+    Loop.stop();
+    return;
+  }
+  if (nowNs() > DrainDeadlineNs) {
+    // A peer that stopped reading cannot hold shutdown hostage: cut the
+    // stragglers and let their queued bytes go.
+    for (auto &KV : Conns)
+      KV.second->close("drain flush timeout");
+    Loop.stop();
+  }
+}
+
+void Server::sendToConn(uint64_t ConnId, uint32_t Id, FrameType Type,
+                        const std::string &Payload) {
+  // Counted before the write so the total is never behind what a client
+  // has already observed on the wire.
+  Served.fetch_add(1, std::memory_order_relaxed);
+  auto It = Conns.find(ConnId);
+  if (It == Conns.end() || It->second->closed()) {
+    // Client went away (the mid-merge-disconnect case); nothing to do but
+    // count it.
+    bumpCounter("server.send_errors");
+    return;
+  }
+  It->second->sendFrame(Id, Type, Payload);
+  bumpCounter("server.bytes_out", FrameHeaderBytes + Payload.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Worker side: compile once, fan out to every waiter
+//===----------------------------------------------------------------------===//
+
+void Server::compileEntry(const InflightPtr &E) {
+  int64_t TaskStartNs = nowNs();
+  {
+    // Every waiter already answered (deadlines fired while queued): the
+    // compile would be pure waste, skip it and retire the entry.
+    std::lock_guard<std::mutex> Lock(MergeMu);
+    bool AnyAlive = false;
+    for (const PendingPtr &W : E->Waiters)
+      if (!W->Answered.load(std::memory_order_acquire)) {
+        AnyAlive = true;
+        break;
+      }
+    if (!AnyAlive) {
+      InflightTable.erase(E->Key);
+      return;
+    }
+  }
+
+  obs::ScopedSpan Span("serve:request", "request");
+  if (E->LeaderRT)
+    E->LeaderRT->addPhase("queue-wait", E->Leader->ArrivalNs,
+                          TaskStartNs - E->Leader->ArrivalNs);
+  if (E->Req.HoldMs) // load-test knob: simulate a slow compilation
+    std::this_thread::sleep_for(std::chrono::milliseconds(E->Req.HoldMs));
+
   ExecOptions EO;
   EO.Threads = Opts.ThreadsPerRequest;
   EO.VerifyAlloc = Opts.VerifyAlloc;
-  EO.Cache = Req.NoCache ? nullptr : Cache.get();
-  EO.ReqTrace = RT.get();
+  EO.Cache = E->Req.NoCache ? nullptr : Cache.get();
+  EO.ReqTrace = E->LeaderRT.get();
+  AllocOptions AO;
+  AO.SpillCleanup = E->Req.Cleanup;
 
   TextCompileResult TC;
   int64_t CompileStartNs = nowNs();
   try {
-    TC = compileTextModule(Req.IRText, TD, Kind, AO, EO, Req.Run);
-  } catch (const std::exception &E) {
+    TC = compileTextModule(E->Req.IRText, E->TD, E->Kind, AO, EO, E->Req.Run);
+  } catch (const std::exception &Ex) {
     TC.Ok = false;
-    TC.Error = std::string("internal error: ") + E.what();
+    TC.Error = std::string("internal error: ") + Ex.what();
   } catch (...) {
     TC.Ok = false;
     TC.Error = "internal error";
@@ -337,51 +495,107 @@ void Server::handleCompile(const ConnPtr &C, uint32_t Id,
   int64_t CompileNs = nowNs() - CompileStartNs;
   histRecord("server.compile_us", CompileNs > 0 ? CompileNs / 1000 : 0);
 
-  if (!TC.Ok) {
-    R.Status = FrameType::Error;
-    R.Message = TC.Error;
-    R.ErrLine = TC.ErrLine;
-    R.ErrCol = TC.ErrCol;
-    R.ErrToken = TC.ErrToken;
-    // Verifier rejections are a distinct failure class from client-side
-    // parse/verify mistakes: they mean the *allocator* produced code the
-    // validator could not prove correct.
-    bumpCounter(TC.Error.rfind("allocation verify:", 0) == 0
-                    ? "server.verify_rejects"
-                    : "server.parse_errors");
-    Fin.Status = "error";
-    respond(C, Id, R.Status, encodeCompileResponse(R));
-    return;
+  // Close the entry: joins from here on start a fresh compile (usually a
+  // cache hit). Snapshot the waiters under the same lock so a join racing
+  // the erase lands wholly in this fan-out or wholly in a new entry.
+  std::vector<PendingPtr> Waiters;
+  {
+    std::lock_guard<std::mutex> Lock(MergeMu);
+    Waiters = std::move(E->Waiters);
+    InflightTable.erase(E->Key);
   }
 
-  R.Status = FrameType::CompileOk;
-  R.Allocator = Req.Allocator;
-  R.Candidates = TC.Stats.RegCandidates;
-  R.Spilled = TC.Stats.SpilledTemps;
-  R.StaticSpills = TC.Stats.staticSpillInstrs();
-  R.Coalesced = TC.Stats.MovesCoalesced;
-  R.Splits = TC.Stats.LifetimeSplits;
-  R.AllocSeconds = TC.Stats.AllocSeconds;
-  R.Cached = TC.CacheHit;
-  if (TC.CacheHit)
-    bumpCounter("server.cache_hits");
-  if (TC.Ran && TC.Run.Ok) {
-    R.HasRun = true;
-    R.DynInstrs = TC.Run.Stats.Total;
-    R.Cycles = TC.Run.Stats.Cycles;
-    R.DynSpills = TC.Run.Stats.spillInstrs();
-    R.ReturnValue = TC.Run.ReturnValue;
+  CompileResponse Base;
+  const char *CounterName;
+  const char *LogStatus;
+  if (!TC.Ok) {
+    Base.Status = FrameType::Error;
+    Base.Message = TC.Error;
+    Base.ErrLine = TC.ErrLine;
+    Base.ErrCol = TC.ErrCol;
+    Base.ErrToken = TC.ErrToken;
+    // Verifier rejections are a distinct failure class from client-side
+    // parse mistakes: they mean the *allocator* produced code the
+    // validator could not prove correct.
+    CounterName = TC.Error.rfind("allocation verify:", 0) == 0
+                      ? "server.verify_rejects"
+                      : "server.parse_errors";
+    LogStatus = "error";
+  } else {
+    Base.Status = FrameType::CompileOk;
+    Base.Allocator = E->Req.Allocator;
+    Base.Candidates = TC.Stats.RegCandidates;
+    Base.Spilled = TC.Stats.SpilledTemps;
+    Base.StaticSpills = TC.Stats.staticSpillInstrs();
+    Base.Coalesced = TC.Stats.MovesCoalesced;
+    Base.Splits = TC.Stats.LifetimeSplits;
+    Base.AllocSeconds = TC.Stats.AllocSeconds;
+    Base.Cached = TC.CacheHit;
+    if (TC.CacheHit)
+      bumpCounter("server.cache_hits");
+    if (TC.Ran && TC.Run.Ok) {
+      Base.HasRun = true;
+      Base.DynInstrs = TC.Run.Stats.Total;
+      Base.Cycles = TC.Run.Stats.Cycles;
+      Base.DynSpills = TC.Run.Stats.spillInstrs();
+      Base.ReturnValue = TC.Run.ReturnValue;
+    }
+    Base.IRText = TC.AllocatedText;
+    CounterName = "server.completed";
+    LogStatus = "ok";
   }
-  R.IRText = TC.AllocatedText;
-  bumpCounter("server.completed");
-  Fin.Cached = TC.CacheHit;
-  if (RT) {
-    int64_t ReplyStartNs = nowNs();
-    respond(C, Id, R.Status, encodeCompileResponse(R));
-    RT->addPhase("reply", ReplyStartNs, nowNs() - ReplyStartNs);
+
+  bool Cached = TC.Ok && TC.CacheHit;
+  for (const PendingPtr &W : Waiters) {
+    if (W->Answered.exchange(true, std::memory_order_acq_rel))
+      continue; // expired while we compiled; the timer answered it
+    bumpCounter(CounterName);
+    answerWaiter(W, Base, LogStatus, Cached, TaskStartNs);
+  }
+}
+
+void Server::answerWaiter(const PendingPtr &W, const CompileResponse &Base,
+                          const char *LogStatus, bool Cached,
+                          int64_t TaskStartNs) {
+  // Per-waiter response: identical compile payload, per-request queue wait
+  // and merge marker. A merged waiter that arrived after dispatch waited
+  // zero queue time by definition.
+  CompileResponse R = Base;
+  R.Merged = W->Merged;
+  uint64_t QueueUs = clampedUs(TaskStartNs - W->ArrivalNs);
+  R.QueueUs = QueueUs;
+  int64_t Now = nowNs();
+  if (W->RT) {
+    if (W->Merged)
+      W->RT->addPhase("merged", W->ArrivalNs,
+                      Now - W->ArrivalNs > 0 ? Now - W->ArrivalNs : 0);
+    W->RT->addPhase("reply", Now, 0);
+  }
+  histRecord("server.queue_wait_us", QueueUs);
+  finishRequest(W, LogStatus, Cached, QueueUs, Now);
+  std::string Payload = encodeCompileResponse(R);
+  FrameType Type = R.Status;
+  uint64_t ConnId = W->ConnId;
+  uint32_t FrameId = W->FrameId;
+  uint64_t TimerId = W->TimerId;
+  Loop.post([this, ConnId, FrameId, Type, TimerId,
+             Payload = std::move(Payload)] {
+    if (TimerId)
+      Loop.cancelTimer(TimerId);
+    sendToConn(ConnId, FrameId, Type, Payload);
+  });
+}
+
+void Server::finishRequest(const PendingPtr &W, const char *Status,
+                           bool Cached, uint64_t QueueUs, int64_t AnsweredNs) {
+  int64_t TotalNs = AnsweredNs - W->ArrivalNs;
+  histRecord("server.latency_us", clampedUs(TotalNs));
+  gaugeAdd("server.inflight", -1);
+  if (!W->RT)
     return;
-  }
-  respond(C, Id, R.Status, encodeCompileResponse(R));
+  W->RT->emitToTracer();
+  obs::RequestLog::global().write(*W->RT, Status, Cached, QueueUs,
+                                  clampedUs(TotalNs));
 }
 
 std::string Server::renderStats(const std::string &Format) {
@@ -401,50 +615,52 @@ std::string Server::renderStats(const std::string &Format) {
   return S.toJson();
 }
 
-void Server::respond(const ConnPtr &C, uint32_t Id, FrameType Type,
-                     const std::string &Payload) {
-  std::string Err;
-  std::unique_lock<std::mutex> Lock(C->WriteMu);
-  // Counted before the write so the total is never behind what a client
-  // has already observed on the wire.
-  Served.fetch_add(1, std::memory_order_relaxed);
-  if (!C->Sock.sendFrame(Id, Type, Payload, Err)) {
-    // Client went away; nothing to do but count it.
-    bumpCounter("server.send_errors");
-    LSRA_LOG(2, "server: response send failed: %s", Err.c_str());
-    return;
-  }
-  bumpCounter("server.bytes_out", FrameHeaderBytes + Payload.size());
-}
-
 void Server::shutdown() {
   if (!Running.exchange(false, std::memory_order_acq_rel))
     return;
-  // 1. Refuse new connections and new requests.
+  // 1. Refuse new requests; stop accepting; flush any half-built batch so
+  // everything admitted is in the queue. Synchronized through the loop so
+  // no admission races the close.
   Stopping.store(true, std::memory_order_release);
-  if (AcceptThread.joinable())
-    AcceptThread.join();
-  L.close();
+  {
+    std::promise<void> Done;
+    std::future<void> F = Done.get_future();
+    Loop.post([this, &Done] {
+      flushBatch();
+      Loop.del(L.fd());
+      Done.set_value();
+    });
+    F.wait();
+  }
   // 2. Drain: answer everything already admitted, then retire workers.
   Queue.close();
   if (Workers) {
     Workers->wait();
     Workers.reset();
   }
-  // 3. Every admitted request has now been answered, so cut the
-  // connections: shutdown(2) wakes readers blocked in recv and makes any
-  // client that keeps sending fail fast instead of waiting for a timeout.
-  std::vector<std::thread> Rs;
+  // 3. Workers are done, so every response is either on the wire or in the
+  // loop's posted queue (FIFO: posted before this sentinel, runs before
+  // it). Flush each connection's write queue, then stop the loop; a peer
+  // that won't read gets cut at the drain deadline in afterPoll().
+  Loop.post([this] {
+    DrainFinal = true;
+    DrainDeadlineNs = nowNs() + DrainFlushTimeoutNs;
+    if (Conns.empty()) {
+      Loop.stop();
+      return;
+    }
+    for (auto &KV : Conns)
+      KV.second->closeAfterFlush("server drained");
+  });
+  if (LoopThread.joinable())
+    LoopThread.join();
+  Conns.clear();
+  Batch.clear();
   {
-    std::unique_lock<std::mutex> Lock(ReadersMu);
-    for (const std::weak_ptr<Conn> &W : Conns)
-      if (ConnPtr C = W.lock())
-        C->Sock.shutdownBoth();
-    Conns.clear();
-    Rs.swap(Readers);
+    std::lock_guard<std::mutex> Lock(MergeMu);
+    InflightTable.clear();
   }
-  for (std::thread &T : Rs)
-    T.join();
+  L.close();
   if (OpenedRequestLog) {
     obs::RequestLog::global().close();
     OpenedRequestLog = false;

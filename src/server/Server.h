@@ -1,4 +1,4 @@
-//===- server/Server.h - Concurrent compile server -------------*- C++ -*-===//
+//===- server/Server.h - Event-driven compile server -----------*- C++ -*-===//
 //
 // Part of the lsra project (PLDI 1998 linear-scan reproduction).
 //
@@ -13,31 +13,53 @@
 /// combinatorial-allocation literature draws against solver-based
 /// allocators.
 ///
-/// Threading model:
-///   - one accept thread (poll + timeout, so shutdown needs no tricks);
-///   - one reader thread per connection decoding frames and running
-///     admission control;
+/// Threading model (event-driven, since the epoll rewrite):
+///   - ONE loop thread (net/EventLoop) owns the listener and every
+///     connection: accepts, incremental frame decode, admission control,
+///     deadline timers, and all socket writes. Workers never touch an fd;
+///     they post completion closures back to the loop. One thread
+///     multiplexing every socket is what lifts the connection ceiling
+///     from "a few hundred reader threads" to tens of thousands of
+///     non-blocking fds;
 ///   - a fixed support/ThreadPool of compile workers draining the bounded
-///     server/RequestQueue.
+///     server/RequestQueue (unchanged from the thread-per-connection era:
+///     compiles are where the cores go).
+///
+/// Connections are pipelined: a client may keep any number of requests in
+/// flight; responses are written in completion order behind a
+/// per-connection write queue and matched by request id.
+///
+/// Identical in-flight requests merge: admission keys every compile by the
+/// cache's 128-bit content x options x target hash, and a request whose
+/// key is already in flight joins that entry as a waiter instead of
+/// queueing a duplicate compile. The one compile fans its reply out to
+/// every waiter (byte-identical payloads; per-waiter queue_us and a
+/// merged=1 marker). A waiter whose connection dies mid-merge is simply
+/// skipped at fan-out — the compile and the other waiters are unaffected.
+/// Small requests admitted in the same poll iteration batch into a single
+/// worker dispatch (the queue is request-weighted, so admission math is
+/// unchanged).
 ///
 /// Overload and lifecycle policy, in order of evaluation per request:
 ///   - drain in progress        → ShuttingDown frame, no admission;
+///   - payload fails to decode / unknown allocator → Error frame at
+///                                admission (nothing is queued);
 ///   - admission queue full     → Rejected frame (load shed, 503-style);
-///   - deadline already passed when a worker dequeues the request
-///                              → DeadlineExceeded frame (the request is
-///                                never compiled; deadlines are checked at
-///                                dispatch, not preemptively mid-compile);
-///   - payload fails to decode/parse/verify → Error frame with the parser's
+///   - deadline expires while queued or merged → DeadlineExceeded frame
+///                                from the loop's timer wheel (the compile
+///                                is skipped when every waiter expired);
+///   - parse/verify failure in the worker → Error frame with the parser's
 ///                                line/column/token diagnostics;
 ///   - otherwise                → CompileOk with allocated IR + stats.
 ///
 /// Telemetry is always on: start() enables the counter registry, so the
 /// server.* counters (accepted, completed, rejected, deadline_exceeded,
-/// parse_errors, bytes_in, bytes_out, ...), the rolling-window histograms
-/// (server.latency_us, server.queue_wait_us, server.compile_us,
-/// server.queue_depth.dist) and the gauges (server.queue_depth,
-/// server.inflight, proc.rss_bytes, cache.bytes) are live for the whole
-/// serve. Any connected client can fetch them mid-load with a
+/// parse_errors, merged, batches, bytes_in, bytes_out, ...), the
+/// rolling-window histograms (server.latency_us, server.queue_wait_us,
+/// server.compile_us, server.queue_depth.dist, server.batch.requests) and
+/// the gauges (server.queue_depth, server.inflight,
+/// server.open_connections, proc.rss_bytes, cache.bytes) are live for the
+/// whole serve. Any connected client can fetch them mid-load with a
 /// StatsRequest frame (`lsra stats` / `lsra top`), and the same data
 /// lands in the usual --stats-json JSONL snapshot at exit.
 ///
@@ -47,6 +69,9 @@
 #define LSRA_SERVER_SERVER_H
 
 #include "cache/CompileCache.h"
+#include "net/Connection.h"
+#include "net/EventLoop.h"
+#include "regalloc/Allocator.h"
 #include "server/RequestQueue.h"
 #include "server/Socket.h"
 #include "support/ThreadPool.h"
@@ -56,6 +81,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace lsra {
@@ -73,7 +99,7 @@ struct ServerOptions {
   uint16_t TcpPort = 0; ///< 0 = ephemeral (read back via Server::port())
 
   unsigned Workers = 0;       ///< compile workers (0 = hardware threads)
-  unsigned QueueCapacity = 64; ///< admission queue bound (load shed above)
+  unsigned QueueCapacity = 64; ///< admission bound, in requests (shed above)
 
   /// Deadline applied to requests that carry none (0 = unlimited).
   uint32_t DefaultDeadlineMs = 0;
@@ -95,8 +121,9 @@ struct ServerOptions {
 
   /// Request-trace sampling: every Nth admitted compile request gets a
   /// full recv→admit→queue-wait→cache-probe→parse→alloc→emit→reply span
-  /// chain (0 = tracing off, 1 = every request). Sampled traces go to the
-  /// Chrome tracer (when enabled) and the request log (when open).
+  /// chain (merged waiters get recv→admit→merged→reply; 0 = tracing off,
+  /// 1 = every request). Sampled traces go to the Chrome tracer (when
+  /// enabled) and the request log (when open).
   unsigned SampleEvery = 0;
 
   /// When non-empty, start() opens obs::RequestLog on this path and every
@@ -112,13 +139,14 @@ public:
   Server(const Server &) = delete;
   Server &operator=(const Server &) = delete;
 
-  /// Bind, listen, and spawn the accept thread + worker pool. False (with
+  /// Bind, listen, and spawn the loop thread + worker pool. False (with
   /// \p Err set) if the socket cannot be bound.
   bool start(std::string &Err);
 
   /// Graceful drain, idempotent: stop accepting connections and requests,
   /// answer every admitted request, refuse the rest with typed frames,
-  /// then join every thread. Blocks until the drain completes.
+  /// flush every connection's write queue, then join every thread.
+  /// Blocks until the drain completes.
   void shutdown();
 
   bool running() const { return Running.load(std::memory_order_acquire); }
@@ -137,22 +165,62 @@ public:
   cache::CompileCache *compileCache() { return Cache.get(); }
 
 private:
-  /// One live client connection. Workers for pipelined requests respond
-  /// concurrently, so writes are serialized by WriteMu; the struct is
-  /// kept alive by shared_ptr until the last queued response is sent.
-  struct Conn {
-    Socket Sock;
-    std::mutex WriteMu;
+  /// One admitted client request: the unit merging and deadlines operate
+  /// on. Answered is the once-only latch raced between the loop's
+  /// deadline timer and the worker's fan-out — whoever flips it owns the
+  /// response and the terminal telemetry for this request.
+  struct Pending {
+    uint64_t ConnId = 0;
+    uint32_t FrameId = 0;
+    int64_t ArrivalNs = 0;
+    int64_t DeadlineNs = 0; ///< 0 = none
+    uint64_t TimerId = 0;   ///< deadline timer (loop thread only)
+    bool Merged = false;    ///< joined an already-in-flight compile
+    std::shared_ptr<obs::RequestTrace> RT;
+    std::atomic<bool> Answered{false};
   };
-  using ConnPtr = std::shared_ptr<Conn>;
+  using PendingPtr = std::shared_ptr<Pending>;
 
-  void acceptLoop();
-  void readerLoop(ConnPtr C);
-  void handleCompile(const ConnPtr &C, uint32_t Id, std::string Payload,
-                     int64_t ArrivalNs, int64_t DeadlineNs,
-                     std::shared_ptr<obs::RequestTrace> RT);
-  void respond(const ConnPtr &C, uint32_t Id, FrameType Type,
-               const std::string &Payload);
+  /// One in-flight compile: the leader's decoded request plus every
+  /// waiter merged onto it. Lives in InflightTable (guarded by MergeMu)
+  /// from admission until the worker removes it at completion, so
+  /// identical requests can keep joining mid-queue and mid-compile.
+  struct Inflight {
+    cache::CacheKey Key;
+    CompileRequest Req;
+    AllocatorKind Kind{};
+    TargetDesc TD;
+    PendingPtr Leader; ///< the admission that created this entry
+    std::shared_ptr<obs::RequestTrace> LeaderRT;
+    std::vector<PendingPtr> Waiters; ///< guarded by Server::MergeMu
+  };
+  using InflightPtr = std::shared_ptr<Inflight>;
+
+  // --- loop-thread handlers -------------------------------------------------
+  void onAcceptable();
+  void onFrame(uint64_t ConnId, FrameDecoder::Frame &F);
+  void onConnClosed(uint64_t ConnId);
+  void admitCompile(uint64_t ConnId, uint32_t Id, const std::string &Payload);
+  void armDeadline(const PendingPtr &P);
+  void onDeadline(const PendingPtr &P);
+  void flushBatch();
+  void afterPoll();
+  /// Write one frame to a connection by id; counts Served/bytes_out, and
+  /// counts a send error if the connection is already gone.
+  void sendToConn(uint64_t ConnId, uint32_t Id, FrameType Type,
+                  const std::string &Payload);
+
+  // --- worker-side ----------------------------------------------------------
+  void compileEntry(const InflightPtr &E);
+  void answerWaiter(const PendingPtr &W, const CompileResponse &Base,
+                    const char *LogStatus, bool Cached, int64_t TaskStartNs);
+
+  /// Terminal per-request telemetry: latency/queue-wait histograms,
+  /// in-flight gauge, trace flush, request-log line. Called exactly once
+  /// per answered request (guarded by Pending::Answered).
+  void finishRequest(const PendingPtr &W, const char *Status, bool Cached,
+                     uint64_t QueueUs, int64_t AnsweredNs);
+
   /// Refresh the process/cache gauges and render the registry's
   /// MetricsSnapshot as \p Format ("json", "prom", or "text").
   std::string renderStats(const std::string &Format);
@@ -163,18 +231,37 @@ private:
   RequestQueue Queue;
   std::unique_ptr<cache::CompileCache> Cache;
   std::unique_ptr<ThreadPool> Workers;
-  std::thread AcceptThread;
-  std::mutex ReadersMu;
-  std::vector<std::thread> Readers;
-  /// Live connections, so shutdown() can unblock readers (and fail fast
-  /// any client that keeps sending) once the drain has answered all
-  /// admitted work. shutdown(2), not close: the fd stays owned by Conn.
-  std::vector<std::weak_ptr<Conn>> Conns;
+
+  net::EventLoop Loop;
+  std::thread LoopThread;
+
+  // Loop-thread-only state.
+  std::unordered_map<uint64_t, std::unique_ptr<net::Connection>> Conns;
+  uint64_t NextConnId = 1;
+  std::vector<InflightPtr> Batch; ///< admitted, not yet dispatched
+  bool DrainFinal = false;        ///< final flush phase of shutdown()
+  int64_t DrainDeadlineNs = 0;
+
+  // The in-flight merge table: loop thread inserts/joins, workers remove
+  // at completion.
+  std::mutex MergeMu;
+  std::unordered_map<cache::CacheKey, InflightPtr, cache::CacheKeyHash>
+      InflightTable;
+
   std::atomic<bool> Stopping{false};
   std::atomic<bool> Running{false};
   std::atomic<uint64_t> Served{0};
-  std::atomic<uint64_t> ReqSeq{0}; ///< admitted-request sequence (sampling)
+  uint64_t ReqSeq = 0; ///< admitted-request sequence (sampling; loop only)
   bool OpenedRequestLog = false;
+
+  /// Requests admitted into one worker dispatch at most (batch bound).
+  static constexpr unsigned BatchMax = 8;
+  /// Requests at or above this payload size never batch (they dominate a
+  /// worker long enough that grouping only adds head-of-line blocking).
+  static constexpr size_t SmallRequestBytes = 16 * 1024;
+  /// Shutdown flushes write queues for at most this long before forcing
+  /// connections closed.
+  static constexpr int64_t DrainFlushTimeoutNs = 5'000'000'000;
 };
 
 } // namespace server

@@ -9,9 +9,11 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -25,13 +27,29 @@ std::string errnoString(const char *What) {
   return std::string(What) + ": " + std::strerror(errno);
 }
 
-/// Write all of [Buf, Buf+N); retries on EINTR, suppresses SIGPIPE.
+/// Write all of [Buf, Buf+N); retries on EINTR, suppresses SIGPIPE, and
+/// waits for writability on EAGAIN so the same path is correct for
+/// sockets in non-blocking mode or with a tiny SO_SNDBUF: a short write
+/// resumes exactly where it stopped instead of tearing the frame.
 bool writeAll(int Fd, const char *Buf, size_t N, std::string &Err) {
   while (N > 0) {
     ssize_t W = ::send(Fd, Buf, N, MSG_NOSIGNAL);
     if (W < 0) {
       if (errno == EINTR)
         continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        struct pollfd P = {Fd, POLLOUT, 0};
+        int Rc = ::poll(&P, 1, -1);
+        if (Rc < 0 && errno != EINTR) {
+          Err = errnoString("poll(out)");
+          return false;
+        }
+        if (Rc > 0 && (P.revents & (POLLERR | POLLNVAL))) {
+          Err = "socket error while waiting to write";
+          return false;
+        }
+        continue;
+      }
       Err = errnoString("send");
       return false;
     }
@@ -80,6 +98,16 @@ int pollIn(int Fd, int TimeoutMs) {
 
 } // namespace
 
+void lsra::server::raiseFdLimit() {
+  struct rlimit RL;
+  if (::getrlimit(RLIMIT_NOFILE, &RL) != 0)
+    return;
+  if (RL.rlim_cur >= RL.rlim_max)
+    return;
+  RL.rlim_cur = RL.rlim_max;
+  ::setrlimit(RLIMIT_NOFILE, &RL);
+}
+
 Socket &Socket::operator=(Socket &&O) noexcept {
   if (this != &O) {
     close();
@@ -99,6 +127,24 @@ void Socket::close() {
 void Socket::shutdownBoth() {
   if (Fd >= 0)
     ::shutdown(Fd, SHUT_RDWR);
+}
+
+bool Socket::setNonBlocking(bool On, std::string &Err) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0) {
+    Err = errnoString("fcntl(F_GETFL)");
+    return false;
+  }
+  int NewFlags = On ? (Flags | O_NONBLOCK) : (Flags & ~O_NONBLOCK);
+  if (::fcntl(Fd, F_SETFL, NewFlags) != 0) {
+    Err = errnoString("fcntl(F_SETFL)");
+    return false;
+  }
+  return true;
+}
+
+bool Socket::setSendBufferBytes(int Bytes) {
+  return ::setsockopt(Fd, SOL_SOCKET, SO_SNDBUF, &Bytes, sizeof(Bytes)) == 0;
 }
 
 Socket Socket::connectUnix(const std::string &Path, std::string &Err) {
@@ -257,7 +303,7 @@ Listener Listener::listenUnix(const std::string &Path, std::string &Err) {
   ::unlink(Path.c_str()); // replace a stale socket from a dead server
   if (::bind(Fd, reinterpret_cast<struct sockaddr *>(&Addr), sizeof(Addr)) !=
           0 ||
-      ::listen(Fd, 128) != 0) {
+      ::listen(Fd, SOMAXCONN) != 0) {
     Err = errnoString("bind/listen") + " (" + Path + ")";
     ::close(Fd);
     return L;
@@ -283,7 +329,7 @@ Listener Listener::listenTcp(uint16_t Port, std::string &Err) {
   Addr.sin_port = htons(Port);
   if (::bind(Fd, reinterpret_cast<struct sockaddr *>(&Addr), sizeof(Addr)) !=
           0 ||
-      ::listen(Fd, 128) != 0) {
+      ::listen(Fd, SOMAXCONN) != 0) {
     Err = errnoString("bind/listen") + " (port " + std::to_string(Port) + ")";
     ::close(Fd);
     return L;
@@ -305,4 +351,22 @@ Socket Listener::accept(int TimeoutMs) {
   if (CFd < 0)
     return Socket();
   return Socket(CFd);
+}
+
+Socket Listener::acceptNow() {
+  if (Fd < 0)
+    return Socket();
+  int CFd = ::accept4(Fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (CFd < 0)
+    return Socket();
+  return Socket(CFd);
+}
+
+bool Listener::setNonBlocking(std::string &Err) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0 || ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) != 0) {
+    Err = errnoString("fcntl(listener O_NONBLOCK)");
+    return false;
+  }
+  return true;
 }

@@ -25,6 +25,11 @@
 namespace lsra {
 namespace server {
 
+/// Lift RLIMIT_NOFILE's soft limit to the hard limit, best-effort: both
+/// ends of a 10k-connection load test need more fds than the usual
+/// `ulimit -n 1024` default allows. Failure just leaves the old limit.
+void raiseFdLimit();
+
 /// Move-only owner of one connected stream-socket fd.
 class Socket {
 public:
@@ -64,6 +69,23 @@ public:
   /// Force-wake any thread blocked on this socket (shutdown(2) RDWR).
   void shutdownBoth();
 
+  /// Switch O_NONBLOCK on or off (event-loop connections run non-blocking;
+  /// the synchronous Client keeps the default blocking mode).
+  bool setNonBlocking(bool On, std::string &Err);
+
+  /// Shrink/grow the kernel send buffer (SO_SNDBUF). Used by tests to
+  /// force partial writes; the kernel doubles and clamps the value, so
+  /// treat it as a hint. Returns false if setsockopt failed.
+  bool setSendBufferBytes(int Bytes);
+
+  /// Detach and return the fd without closing it (ownership transfer to
+  /// an event-loop connection).
+  int release() {
+    int F = Fd;
+    Fd = -1;
+    return F;
+  }
+
   void close();
 
 private:
@@ -87,12 +109,23 @@ public:
   static Listener listenTcp(uint16_t Port, std::string &Err);
 
   bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
   uint16_t port() const { return Port; }
   const std::string &unixPath() const { return Path; }
 
   /// Accept one connection, waiting at most \p TimeoutMs (< 0 = forever).
   /// Returns an invalid Socket on timeout or close().
   Socket accept(int TimeoutMs);
+
+  /// Non-blocking accept for event-loop use: returns an invalid Socket
+  /// immediately when no connection is pending (the loop's readiness
+  /// notification replaces the poll). The accepted fd is already in
+  /// non-blocking close-on-exec mode.
+  Socket acceptNow();
+
+  /// Put the listening fd itself into non-blocking mode (required before
+  /// registering it with an event loop and using acceptNow()).
+  bool setNonBlocking(std::string &Err);
 
   /// Close the listening fd and unlink the unix socket file.
   void close();

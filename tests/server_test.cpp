@@ -524,7 +524,9 @@ TEST(Server, QueueFullRejectedTyped) {
   ASSERT_TRUE(S.start(Err)) << Err;
 
   // Request A occupies the worker; request B occupies the whole queue;
-  // request C must be shed with a typed Rejected response.
+  // request C must be shed with a typed Rejected response. A, B, and C use
+  // distinct HoldMs values so their merge keys differ — identical requests
+  // would piggyback on the in-flight compile instead of being shed.
   auto holdClient = [&](uint32_t HoldMs, FrameType *StatusOut) {
     std::string CErr;
     Client C = Client::connectUnix(SO.UnixPath, CErr);
@@ -541,7 +543,7 @@ TEST(Server, QueueFullRejectedTyped) {
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
   std::thread B([&] { holdClient(0, &StB); });
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
-  std::thread Cc([&] { holdClient(0, &StC); });
+  std::thread Cc([&] { holdClient(1, &StC); });
   A.join();
   B.join();
   Cc.join();
@@ -900,5 +902,268 @@ TEST(Server, SteadyStateAllocFlat) {
   // than the first (small slack for queue/condvar node reuse jitter).
   EXPECT_LE(B, A + A / 10 + 64)
       << "per-batch alloc count grew: " << A << " -> " << B;
+  S.shutdown();
+}
+
+// --- In-flight merging and pipelining ---------------------------------------
+
+// A burst of identical requests while the first is still compiling runs the
+// compile exactly once: the followers join the in-flight entry (no queue
+// slot), every reply is byte-identical, and the followers carry merged=1.
+TEST(Server, DuplicateBurstMergesToOneCompile) {
+  obs::CounterRegistry &CR = obs::CounterRegistry::global();
+  CR.reset();
+  CR.enable();
+
+  ServerOptions SO;
+  SO.UnixPath = uniqueSockPath("merge");
+  SO.Workers = 1;
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  // Identical payloads (same HoldMs — it is part of the merge key) so the
+  // followers join the leader's in-flight compile. NoCache keeps the cache
+  // out of the picture: a hit would also produce identical replies, which
+  // is not what this test is about.
+  const std::string Text = workloadText("wc");
+  constexpr unsigned Followers = 4;
+  auto sendOne = [&](CompileResponse *Out, bool *Ok) {
+    std::string CErr;
+    Client C = Client::connectUnix(SO.UnixPath, CErr);
+    ASSERT_TRUE(C.valid()) << CErr;
+    CompileRequest Req;
+    Req.IRText = Text;
+    Req.HoldMs = 300;
+    Req.NoCache = true;
+    *Ok = C.compile(Req, *Out, CErr, 60000);
+  };
+  CompileResponse Leader;
+  bool LeaderOk = false;
+  std::thread LeaderT([&] { sendOne(&Leader, &LeaderOk); });
+  // Let the leader reach the worker (it sleeps HoldMs there).
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  CompileResponse FResp[Followers];
+  bool FOk[Followers] = {};
+  std::vector<std::thread> FT;
+  for (unsigned I = 0; I < Followers; ++I)
+    FT.emplace_back([&, I] { sendOne(&FResp[I], &FOk[I]); });
+  LeaderT.join();
+  for (std::thread &T : FT)
+    T.join();
+
+  ASSERT_TRUE(LeaderOk);
+  ASSERT_TRUE(Leader.ok()) << Leader.Message;
+  EXPECT_FALSE(Leader.Merged);
+  unsigned Merged = 0;
+  for (unsigned I = 0; I < Followers; ++I) {
+    ASSERT_TRUE(FOk[I]);
+    ASSERT_TRUE(FResp[I].ok()) << FResp[I].Message;
+    EXPECT_EQ(FResp[I].IRText, Leader.IRText); // byte-identical fan-out
+    if (FResp[I].Merged)
+      Merged++;
+  }
+  EXPECT_EQ(Merged, Followers);
+
+  S.shutdown();
+  CR.disable();
+  // Exactly one compile was dispatched: the followers never took a queue
+  // slot, so only the leader's batch was ever dequeued.
+  EXPECT_EQ(CR.counter("server.merged").value(), uint64_t(Followers));
+  EXPECT_EQ(CR.counter("server.dequeued").value(), 1u);
+  CR.reset();
+}
+
+// A waiter that disconnects mid-merge must not corrupt the fan-out: the
+// remaining waiters still get correct replies and the server stays up.
+TEST(Server, MidMergeDisconnectLeavesWaitersIntact) {
+  ServerOptions SO;
+  SO.UnixPath = uniqueSockPath("merge-dc");
+  SO.Workers = 1;
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  const std::string Text = workloadText("wc");
+  auto makeReq = [&] {
+    CompileRequest Req;
+    Req.IRText = Text;
+    Req.HoldMs = 400;
+    Req.NoCache = true;
+    return Req;
+  };
+
+  CompileResponse Leader, Survivor;
+  bool LeaderOk = false, SurvivorOk = false;
+  std::thread LeaderT([&] {
+    std::string CErr;
+    Client C = Client::connectUnix(SO.UnixPath, CErr);
+    ASSERT_TRUE(C.valid()) << CErr;
+    LeaderOk = C.compile(makeReq(), Leader, CErr, 60000);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Two more join the merge; one of them hangs up before the compile
+  // finishes (its reply lands on a dead connection — a silent no-op).
+  std::thread SurvivorT([&] {
+    std::string CErr;
+    Client C = Client::connectUnix(SO.UnixPath, CErr);
+    ASSERT_TRUE(C.valid()) << CErr;
+    SurvivorOk = C.compile(makeReq(), Survivor, CErr, 60000);
+  });
+  {
+    std::string CErr;
+    Socket Quitter = Socket::connectUnix(SO.UnixPath, CErr);
+    ASSERT_TRUE(Quitter.valid()) << CErr;
+    ASSERT_TRUE(Quitter.sendFrame(99, FrameType::CompileRequest,
+                                  encodeCompileRequest(makeReq()), CErr))
+        << CErr;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  } // Quitter's destructor closes the socket mid-merge
+
+  LeaderT.join();
+  SurvivorT.join();
+  ASSERT_TRUE(LeaderOk);
+  ASSERT_TRUE(SurvivorOk);
+  ASSERT_TRUE(Leader.ok()) << Leader.Message;
+  ASSERT_TRUE(Survivor.ok()) << Survivor.Message;
+  EXPECT_EQ(Survivor.IRText, Leader.IRText);
+  EXPECT_TRUE(Survivor.Merged);
+  S.shutdown();
+}
+
+// Pipelining: two requests in flight on one connection, the slow one sent
+// first; the fast one's response overtakes it (matched by id, not order).
+TEST(Server, PipelinedResponsesOutOfOrder) {
+  ServerOptions SO;
+  SO.UnixPath = uniqueSockPath("ooo");
+  SO.Workers = 2; // both requests compile concurrently
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  Socket C = Socket::connectUnix(SO.UnixPath, Err);
+  ASSERT_TRUE(C.valid()) << Err;
+
+  CompileRequest Slow;
+  Slow.IRText = workloadText("wc");
+  Slow.HoldMs = 250;
+  CompileRequest Fast;
+  Fast.IRText = workloadText("eqntott");
+  ASSERT_TRUE(C.sendFrame(7, FrameType::CompileRequest,
+                          encodeCompileRequest(Slow), Err))
+      << Err;
+  ASSERT_TRUE(C.sendFrame(8, FrameType::CompileRequest,
+                          encodeCompileRequest(Fast), Err))
+      << Err;
+
+  uint32_t Id1 = 0, Id2 = 0;
+  FrameType T1, T2;
+  std::string P1, P2;
+  ASSERT_EQ(C.recvFrame(Id1, T1, P1, 30000, Err), Socket::RecvStatus::Ok)
+      << Err;
+  ASSERT_EQ(C.recvFrame(Id2, T2, P2, 30000, Err), Socket::RecvStatus::Ok)
+      << Err;
+  // The fast request (id 8) finished while the slow one (id 7) was still
+  // holding its worker.
+  EXPECT_EQ(Id1, 8u);
+  EXPECT_EQ(Id2, 7u);
+  CompileResponse R1, R2;
+  ASSERT_TRUE(decodeCompileResponse(T1, P1, R1, Err)) << Err;
+  ASSERT_TRUE(decodeCompileResponse(T2, P2, R2, Err)) << Err;
+  EXPECT_TRUE(R1.ok()) << R1.Message;
+  EXPECT_TRUE(R2.ok()) << R2.Message;
+  S.shutdown();
+}
+
+// Write-path robustness: a client with tiny socket buffers that stops
+// reading while dozens of responses are queued forces the server through
+// its partial-write path (EPOLLOUT re-arming, queued-frame writev). Every
+// response must still arrive complete and correct.
+TEST(Server, PartialWritesWithTinySocketBuffers) {
+  ServerOptions SO;
+  SO.UnixPath = uniqueSockPath("tinybuf");
+  SO.Workers = 2;
+  SO.QueueCapacity = 256;
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  Socket C = Socket::connectUnix(SO.UnixPath, Err);
+  ASSERT_TRUE(C.valid()) << Err;
+  // Tiny SO_SNDBUF on the client squeezes both directions of the unix
+  // socket pair: our sends go out in small chunks (client writeAll loop)
+  // and the server's replies hit a small in-flight window, forcing short
+  // writes on its side while we sleep instead of reading.
+  C.setSendBufferBytes(4096);
+
+  const char *Names[] = {"wc", "eqntott", "alvinn", "espresso"};
+  std::string Texts[4];
+  for (int I = 0; I < 4; ++I)
+    Texts[I] = workloadText(Names[I]);
+
+  constexpr uint32_t N = 96;
+  for (uint32_t K = 0; K < N; ++K) {
+    CompileRequest Req;
+    Req.IRText = Texts[K % 4];
+    ASSERT_TRUE(C.sendFrame(K + 1, FrameType::CompileRequest,
+                            encodeCompileRequest(Req), Err))
+        << Err << " at " << K;
+  }
+  // Let responses pile up in the server's write queue before draining.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  std::string PerWorkload[4];
+  std::set<uint32_t> Seen;
+  for (uint32_t K = 0; K < N; ++K) {
+    uint32_t Id;
+    FrameType T;
+    std::string Payload;
+    ASSERT_EQ(C.recvFrame(Id, T, Payload, 30000, Err), Socket::RecvStatus::Ok)
+        << Err << " after " << K << " frames";
+    ASSERT_GE(Id, 1u);
+    ASSERT_LE(Id, N);
+    EXPECT_TRUE(Seen.insert(Id).second) << "duplicate response id " << Id;
+    CompileResponse Resp;
+    ASSERT_TRUE(decodeCompileResponse(T, Payload, Resp, Err)) << Err;
+    ASSERT_TRUE(Resp.ok()) << Resp.Message;
+    // Same workload -> byte-identical allocated text, even through the
+    // chunked writes.
+    std::string &Expect = PerWorkload[(Id - 1) % 4];
+    if (Expect.empty())
+      Expect = Resp.IRText;
+    else
+      EXPECT_EQ(Resp.IRText, Expect) << "response " << Id << " corrupted";
+  }
+  EXPECT_EQ(Seen.size(), N);
+  S.shutdown();
+}
+
+// The pipelined loadgen engine end-to-end against a live server, with
+// offline verification on: many connections, deep pipelines, duplicate-
+// heavy corpus -> merging visible, zero protocol errors, zero mismatches.
+TEST(LoadGen, PipelinedEngineVerifies) {
+  ServerOptions SO;
+  SO.UnixPath = uniqueSockPath("pipe-lg");
+  SO.Workers = 2;
+  SO.QueueCapacity = 256;
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  LoadGenOptions LO;
+  LO.UnixPath = SO.UnixPath;
+  LO.Connections = 16;
+  LO.Pipeline = 4;
+  LO.Requests = 200;
+  LO.UniquePrograms = 4; // duplicate-heavy: plenty of cache hits + merges
+  LO.Verify = true;
+  LoadGenReport R;
+  ASSERT_TRUE(runLoadGen(LO, R, Err)) << Err;
+  EXPECT_EQ(R.Ok, 200u);
+  EXPECT_EQ(R.ProtocolErrors, 0u);
+  EXPECT_EQ(R.VerifyMismatches, 0u);
+  EXPECT_EQ(R.TransportErrors, 0u);
+  EXPECT_GT(R.CachedResponses, 0u);
   S.shutdown();
 }

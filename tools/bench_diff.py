@@ -39,10 +39,11 @@ import sys
 # the row key, never compared as metrics.
 CONFIG_INT_FIELDS = {
     "workers", "threads", "concurrency", "requests", "qps", "deadline_ms",
-    "unique_programs", "regs", "no_cache",
+    "unique_programs", "regs", "no_cache", "connections", "pipeline",
 }
 
-EXACT_METRICS = {"identical", "ok", "sent", "errors", "transport_errors"}
+EXACT_METRICS = {"identical", "ok", "sent", "errors", "transport_errors",
+                 "protocol_errors", "verify_mismatches"}
 
 HIGHER_IS_BETTER = ("throughput", "speedup", "hit")
 LOWER_IS_BETTER = ("_s", "_ms", "latency", "wall", "_bytes", "_count", "rss")

@@ -107,6 +107,36 @@ int main(int argc, char **argv) {
         std::fflush(stdout);
       }
     }
+
+    // High-concurrency pipelined points: one loadgen event loop holding
+    // hundreds of connections with deep pipelines against this server —
+    // the regime the thread-fleet client cannot reach. Duplicate-heavy
+    // corpus, so the rows also witness cache hits and request merging.
+    for (unsigned Conns : {64u, Quick ? 128u : 512u}) {
+      server::LoadGenOptions LO;
+      LO.UnixPath = SockPath;
+      LO.Connections = Conns;
+      LO.Pipeline = 4;
+      LO.Requests = Conns * (Quick ? 4 : 8);
+      LO.UniquePrograms = 8;
+      LO.MixSeed = 5;
+      server::LoadGenReport R;
+      if (!server::runLoadGen(LO, R, Err)) {
+        std::fprintf(stderr, "bench-serve: pipelined/%u: %s\n", Conns,
+                     Err.c_str());
+        return 1;
+      }
+      std::string Line = server::loadGenReportJson(LO, R);
+      Line.insert(1, "\"mix\": \"pipelined\", \"workers\": " +
+                         std::to_string(Workers) + ", ");
+      OS << (First ? "" : ",\n") << "  " << Line;
+      First = false;
+      std::printf("pipelined workers=%u conns=%-5u %.1f req/s  p50 %.2fms  "
+                  "p95 %.2fms  p99 %.2fms  merged %llu\n",
+                  Workers, Conns, R.Throughput, R.P50Ms, R.P95Ms, R.P99Ms,
+                  (unsigned long long)R.MergedResponses);
+      std::fflush(stdout);
+    }
     S.shutdown();
   }
   OS << "\n]\n";

@@ -305,20 +305,23 @@ def check_server_stats(path):
         if gauges.get(name) not in (None, 0):
             fail(f"{path}: gauge {name} must be 0 after drain, "
                  f"got {gauges[name]}")
-    # Every dequeued request passes through the handler exactly once, which
-    # records both its queue wait and its total latency.
+    # Every answered admitted request records exactly one queue wait and
+    # one total latency. Admitted requests are the dequeued ones plus the
+    # merged waiters, which piggyback on an in-flight compile and never
+    # occupy a queue slot.
     lat = hists.get("server.latency_us")
     qwait = hists.get("server.queue_wait_us")
+    merged = counters.get("server.merged", 0)
     if lat is not None and qwait is not None:
         if lat.get("count") != qwait.get("count"):
             fail(
                 f"{path}: server.latency_us count {lat.get('count')} != "
                 f"server.queue_wait_us count {qwait.get('count')}"
             )
-        if deq is not None and lat.get("count") != deq:
+        if deq is not None and lat.get("count") != deq + merged:
             fail(
                 f"{path}: server.latency_us count {lat.get('count')} != "
-                f"server.dequeued {deq}"
+                f"server.dequeued {deq} + server.merged {merged}"
             )
         if lat.get("count", 0) < completed:
             fail(
@@ -571,7 +574,7 @@ def check_records(path):
 
 
 REQUEST_PHASES = {
-    "recv", "admit", "queue-wait", "cache-probe", "parse",
+    "recv", "admit", "queue-wait", "merged", "cache-probe", "parse",
     "alloc", "alloc:lower", "alloc:dce", "alloc:regalloc",
     "emit", "reply",
 }

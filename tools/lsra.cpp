@@ -103,6 +103,12 @@ int usage() {
                "  --requests=N       total requests (default 64)\n"
                "  --qps=R            open-loop arrival rate (0 = closed "
                "loop)\n"
+               "  --connections=N    pipelined engine: drive N connections\n"
+               "                     from one event loop (0 = thread fleet)\n"
+               "  --pipeline=D       max in-flight requests per connection\n"
+               "                     (pipelined engine; default 8)\n"
+               "  --verify           byte-compare responses against offline\n"
+               "                     compiles of the same corpus\n"
                "  --allocator=K --regs=N --run --deadline-ms=N  per-request\n"
                "  --json=F           append the report as one JSON line\n"
                "  --record-out=F     per-request JSONL records (joins the\n"
@@ -602,6 +608,14 @@ int cmdLoadgen(int Argc, char **Argv) {
       LO.MixSeed = std::strtoull(A.c_str() + 11, nullptr, 10);
     } else if (A == "--no-cache") {
       LO.NoCache = true;
+    } else if (A.rfind("--connections=", 0) == 0) {
+      LO.Connections =
+          static_cast<unsigned>(std::strtoul(A.c_str() + 14, nullptr, 10));
+    } else if (A.rfind("--pipeline=", 0) == 0) {
+      LO.Pipeline =
+          static_cast<unsigned>(std::strtoul(A.c_str() + 11, nullptr, 10));
+    } else if (A == "--verify") {
+      LO.Verify = true;
     } else if (A.rfind("--json=", 0) == 0) {
       JsonOut = A.substr(7);
     } else if (A.rfind("--record-out=", 0) == 0) {
@@ -624,14 +638,19 @@ int cmdLoadgen(int Argc, char **Argv) {
     std::fprintf(stderr, "lsra loadgen: %s\n", Err.c_str());
     return 1;
   }
-  std::printf("sent %llu: ok %llu (cached %llu), rejected %llu, deadline "
-              "%llu, error %llu, transport %llu\n",
+  std::printf("sent %llu: ok %llu (cached %llu, merged %llu), rejected %llu, "
+              "deadline %llu, error %llu, transport %llu, protocol %llu\n",
               (unsigned long long)R.Sent, (unsigned long long)R.Ok,
               (unsigned long long)R.CachedResponses,
+              (unsigned long long)R.MergedResponses,
               (unsigned long long)R.Rejected,
               (unsigned long long)R.DeadlineExceeded,
               (unsigned long long)R.Errors,
-              (unsigned long long)R.TransportErrors);
+              (unsigned long long)R.TransportErrors,
+              (unsigned long long)R.ProtocolErrors);
+  if (LO.Verify)
+    std::printf("verify: %llu mismatches\n",
+                (unsigned long long)R.VerifyMismatches);
   std::printf("wall %.3fs, throughput %.1f req/s\n", R.WallSeconds,
               R.Throughput);
   std::printf("latency ms: mean %.2f p50 %.2f p95 %.2f p99 %.2f max %.2f\n",
@@ -648,8 +667,11 @@ int cmdLoadgen(int Argc, char **Argv) {
     }
     OS << server::loadGenReportJson(LO, R) << "\n";
   }
-  // Any successful responses at all count as success; a fully failed run
-  // (server down mid-test) fails the command.
+  // Protocol desync or a verify mismatch is always a failure; otherwise any
+  // successful responses at all count as success and only a fully failed
+  // run (server down mid-test) fails the command.
+  if (R.ProtocolErrors > 0 || R.VerifyMismatches > 0)
+    return 1;
   return R.Ok > 0 || R.Rejected > 0 || R.DeadlineExceeded > 0 ? 0 : 1;
 }
 

@@ -36,6 +36,18 @@ execute_process(
     [ \$mixrc -eq 0 ] || { echo \"mix loadgen failed (rc=\$mixrc)\" >&2; exit 1; }
     [ \"\${cached:-0}\" -ge 20 ] || {
       echo \"repeated-mix hit rate too low: \$cached/32 cached\" >&2; exit 1; }
+    # Pipelined leg: event-loop client, 64 connections x 8 deep, duplicate-
+    # heavy corpus, every CompileOk byte-compared against an offline
+    # compile. The first in-flight wave is all duplicates, so the server's
+    # request merging must be visible in the responses.
+    pout=\$('${LSRA_TOOL}' loadgen --socket='${SOCK}' --connections=64 \
+        --pipeline=8 --requests=512 --unique=4 --mix-seed=11 --verify)
+    prc=\$?
+    echo \"\$pout\"
+    [ \$prc -eq 0 ] || { echo \"pipelined loadgen failed (rc=\$prc)\" >&2; exit 1; }
+    merged=\$(printf '%s' \"\$pout\" | grep -o 'merged [0-9]*' | cut -d' ' -f2)
+    [ \"\${merged:-0}\" -gt 0 ] || {
+      echo \"duplicate-heavy pipelined mix produced no merges\" >&2; exit 1; }
     kill -TERM \$pid
     wait \$pid
     srv=\$?

@@ -1,0 +1,45 @@
+# Test driver: high-concurrency serving smoke test. Starts `lsra serve`,
+# then drives CONNS pipelined connections from one `lsra loadgen` event
+# loop — the c10k shape at CI scale. Every response is byte-compared
+# against an offline compile (--verify), and any protocol error fails the
+# loadgen exit code. Invoked by ctest as
+#   cmake -DLSRA_TOOL=... -DCONNS=N -DOUT_DIR=... -P this
+set(SOCK "${OUT_DIR}/serve_c10k.sock")
+if(NOT CONNS)
+  set(CONNS 1000)
+endif()
+# Keep the total pipelined in-flight volume proportional to the
+# connection count but bounded: 4 deep at 1k connections is 4000 requests
+# outstanding against the admission queue.
+math(EXPR REQUESTS "${CONNS} * 8")
+
+execute_process(
+  COMMAND sh -ec "
+    rm -f '${SOCK}'
+    '${LSRA_TOOL}' serve --socket='${SOCK}' --workers=4 --queue=512 &
+    pid=\$!
+    trap 'kill \$pid 2>/dev/null' EXIT
+    i=0
+    while [ ! -S '${SOCK}' ]; do
+      i=\$((i+1))
+      [ \$i -gt 300 ] && { echo 'server never bound socket' >&2; exit 1; }
+      sleep 0.1
+    done
+    '${LSRA_TOOL}' loadgen --socket='${SOCK}' --connections=${CONNS} \
+        --pipeline=4 --requests=${REQUESTS} --unique=8 --mix-seed=3 --verify
+    rc=\$?
+    kill -TERM \$pid
+    wait \$pid
+    srv=\$?
+    trap - EXIT
+    [ \$rc -eq 0 ] || { echo \"c10k loadgen failed (rc=\$rc)\" >&2; exit 1; }
+    [ \$srv -eq 0 ] || { echo \"server exit rc=\$srv\" >&2; exit 1; }
+  "
+  RESULT_VARIABLE RUN_RC
+  OUTPUT_VARIABLE RUN_OUT
+  ERROR_VARIABLE RUN_ERR)
+message(STATUS "${RUN_OUT}")
+if(NOT RUN_RC EQUAL 0)
+  message(FATAL_ERROR
+          "c10k smoke failed (rc=${RUN_RC}):\n${RUN_OUT}${RUN_ERR}")
+endif()
