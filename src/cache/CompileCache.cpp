@@ -6,6 +6,7 @@
 
 #include "cache/CompileCache.h"
 
+#include "cache/SharedCache.h"
 #include "ir/Function.h"
 #include "obs/Counters.h"
 #include "obs/Metrics.h"
@@ -117,24 +118,32 @@ CompileCache::CompileCache(CacheConfig C) : Config(C) {
     Shards.push_back(std::make_unique<Shard>());
 }
 
-CompileCache::~CompileCache() = default;
+CompileCache::~CompileCache() {
+  // The L2 agent thread may still be polling; make sure it can no longer
+  // call into this (dying) cache's L1 drop.
+  if (L2)
+    L2->setInvalidationSink(nullptr);
+}
 
 CompileCache::Shard &CompileCache::shardFor(const CacheKey &K) {
   return *Shards[CacheKeyHash()(K) % Shards.size()];
 }
 
-void CompileCache::sampleBytes() const {
+void CompileCache::publishGauges() const {
   obs::CounterRegistry &CR = obs::CounterRegistry::global();
   if (!CR.enabled())
     return;
-  size_t Total = 0, Entries = 0;
-  for (const auto &S : Shards) {
-    std::lock_guard<std::mutex> L(S->Mu);
-    Total += S->Bytes;
-    Entries += S->Map.size();
-  }
-  CR.gauge("cache.bytes").set(static_cast<int64_t>(Total));
-  CR.gauge("cache.entries").set(static_cast<int64_t>(Entries));
+  // TotBytes/TotEntries are mutated inside the shard critical sections, so
+  // after any mutation completes the atomics already reflect it. The mutex
+  // serialises the read-and-set pair: without it two publishers could each
+  // read a fresh total yet set the gauges in the opposite order, leaving a
+  // stale value visible at quiescence (the bug the concurrent
+  // GaugesMatchStatsUnderStorm test pins).
+  std::lock_guard<std::mutex> L(GaugeMu);
+  CR.gauge("cache.bytes")
+      .set(TotBytes.load(std::memory_order_acquire));
+  CR.gauge("cache.entries")
+      .set(TotEntries.load(std::memory_order_acquire));
 }
 
 std::shared_ptr<const CachedCompile>
@@ -164,8 +173,23 @@ CompileCache::lookup(const CacheKey &K) {
 
 void CompileCache::insert(const CacheKey &K,
                           std::shared_ptr<const CachedCompile> E) {
+  insertL1(K, std::move(E), /*PublishL2=*/true);
+}
+
+void CompileCache::insertL1(const CacheKey &K,
+                            std::shared_ptr<const CachedCompile> E,
+                            bool PublishL2) {
   if (!E)
     return;
+  // L2 publication is independent of L1 admission: an entry too large for
+  // a shard can still warm other processes (the arena budget is its own).
+  if (PublishL2 && L2 && !E->AllocatedText.empty() && !E->Fn) {
+    L2Entry P;
+    P.Payload = E->AllocatedText;
+    P.Stats = E->Stats;
+    P.ClassTag = E->ClassTag;
+    L2->publishAsync(K, std::move(P));
+  }
   if (E->Bytes > ShardBudget)
     return; // would evict the whole shard for one entry
   Shard &S = shardFor(K);
@@ -176,17 +200,29 @@ void CompileCache::insert(const CacheKey &K,
     std::lock_guard<std::mutex> L(S.Mu);
     auto It = S.Map.find(K);
     if (It != S.Map.end()) {
+      // Same-key replacement: credit the old entry back in full before
+      // charging the new one, so Bytes stays the sum of live entries.
       S.Bytes -= It->second->second->Bytes;
+      TotBytes.fetch_sub(
+          static_cast<int64_t>(It->second->second->Bytes),
+          std::memory_order_acq_rel);
+      TotEntries.fetch_sub(1, std::memory_order_acq_rel);
       Dead.push_back(std::move(It->second->second));
       S.Lru.erase(It->second);
       S.Map.erase(It);
     }
     S.Bytes += E->Bytes;
+    TotBytes.fetch_add(static_cast<int64_t>(E->Bytes),
+                       std::memory_order_acq_rel);
+    TotEntries.fetch_add(1, std::memory_order_acq_rel);
     S.Lru.emplace_front(K, std::move(E));
     S.Map[K] = S.Lru.begin();
     while (S.Bytes > ShardBudget && S.Lru.size() > 1) {
       auto &Victim = S.Lru.back();
       S.Bytes -= Victim.second->Bytes;
+      TotBytes.fetch_sub(static_cast<int64_t>(Victim.second->Bytes),
+                         std::memory_order_acq_rel);
+      TotEntries.fetch_sub(1, std::memory_order_acq_rel);
       Dead.push_back(std::move(Victim.second));
       S.Map.erase(Victim.first);
       S.Lru.pop_back();
@@ -202,7 +238,65 @@ void CompileCache::insert(const CacheKey &K,
     if (Evicted)
       CR.counter("cache.evictions").add(Evicted);
   }
-  sampleBytes();
+  publishGauges();
+}
+
+std::shared_ptr<const CachedCompile>
+CompileCache::lookupL2Fill(const CacheKey &K) {
+  if (!L2)
+    return nullptr;
+  L2Entry Found;
+  if (!L2->lookup(K, Found))
+    return nullptr;
+  auto E = std::make_shared<CachedCompile>();
+  E->AllocatedText = std::move(Found.Payload);
+  E->Stats = Found.Stats;
+  E->ClassTag = Found.ClassTag;
+  E->Bytes = E->AllocatedText.size() + sizeof(CachedCompile);
+  // Promote into L1 without echoing back to L2 — the entry came from
+  // there, and a re-publish would churn the arena log for nothing.
+  insertL1(K, E, /*PublishL2=*/false);
+  return E;
+}
+
+void CompileCache::attachL2(SharedCache *NewL2) {
+  if (L2 && L2 != NewL2)
+    L2->setInvalidationSink(nullptr);
+  L2 = NewL2;
+  if (L2)
+    L2->setInvalidationSink(
+        [this](uint64_t ClassTag) { dropClassLocal(ClassTag); });
+}
+
+void CompileCache::invalidateClass(uint64_t ClassTag) {
+  if (L2) {
+    // The shared directory is cleared and the record broadcast; our own
+    // L1 drop arrives through the sink attachL2 registered.
+    L2->invalidateClass(ClassTag);
+    return;
+  }
+  dropClassLocal(ClassTag);
+}
+
+void CompileCache::dropClassLocal(uint64_t ClassTag) {
+  for (const auto &S : Shards) {
+    std::vector<std::shared_ptr<const CachedCompile>> Dead;
+    std::lock_guard<std::mutex> L(S->Mu);
+    for (auto It = S->Lru.begin(); It != S->Lru.end();) {
+      if (ClassTag != 0 && It->second->ClassTag != ClassTag) {
+        ++It;
+        continue;
+      }
+      S->Bytes -= It->second->Bytes;
+      TotBytes.fetch_sub(static_cast<int64_t>(It->second->Bytes),
+                         std::memory_order_acq_rel);
+      TotEntries.fetch_sub(1, std::memory_order_acq_rel);
+      Dead.push_back(std::move(It->second));
+      S->Map.erase(It->first);
+      It = S->Lru.erase(It);
+    }
+  }
+  publishGauges();
 }
 
 CacheStats CompileCache::stats() const {
@@ -225,8 +319,15 @@ void CompileCache::clear() {
     std::lock_guard<std::mutex> L(S->Mu);
     for (auto &P : S->Lru)
       Dead.push_back(std::move(P.second));
+    TotBytes.fetch_sub(static_cast<int64_t>(S->Bytes),
+                       std::memory_order_acq_rel);
+    TotEntries.fetch_sub(static_cast<int64_t>(S->Map.size()),
+                         std::memory_order_acq_rel);
     S->Lru.clear();
     S->Map.clear();
     S->Bytes = 0;
   }
+  // clear() previously left the occupancy gauges at their pre-clear
+  // values; refresh them like every other mutation.
+  publishGauges();
 }

@@ -43,6 +43,8 @@
 namespace lsra {
 namespace cache {
 
+class SharedCache;
+
 /// 128-bit content-addressed key. The two halves are independent FNV-1a
 /// streams over the same input, so accidental collisions need both 64-bit
 /// hashes to collide at once.
@@ -72,6 +74,10 @@ struct CachedCompile {
   std::vector<std::pair<unsigned, std::string>> Callees;
   AllocStats Stats;                     ///< the original (cold) run's stats
   size_t Bytes = 0;                     ///< charged against the budget
+  /// Invalidation class (target fingerprint by convention): an
+  /// invalidateClass(Tag) drops every entry carrying Tag, in every tier,
+  /// in every attached process. 0 = unclassified (only a wildcard drops it).
+  uint64_t ClassTag = 0;
 };
 
 struct CacheConfig {
@@ -106,8 +112,29 @@ public:
   /// Insert \p E under \p K, evicting least-recently-used entries of the
   /// same shard until the shard budget holds. An entry larger than the
   /// whole shard budget is not admitted (it would only thrash). Inserting
-  /// over an existing key replaces it.
+  /// over an existing key replaces it. Module-level entries (AllocatedText
+  /// set, no Fn) are additionally queued for async publication to the
+  /// attached L2, so other processes warm up from this compile.
   void insert(const CacheKey &K, std::shared_ptr<const CachedCompile> E);
+
+  /// L2 half of the tiered lookup: probe the attached shared cache and, on
+  /// a hit, promote the entry into L1 (without re-publishing it) and
+  /// return it. Null when no L2 is attached or the key is absent there.
+  /// Callers probe L1 first (lookup) and fall back to this — split so the
+  /// request trace can attribute the "l2-probe" phase separately.
+  std::shared_ptr<const CachedCompile> lookupL2Fill(const CacheKey &K);
+
+  /// Attach (or detach, with nullptr) the process's shared L2. Non-owning:
+  /// the caller keeps \p L2 alive until this cache is destroyed or
+  /// detached. Registers this cache's L1 drop as the L2 invalidation sink,
+  /// so rotations from other processes evict matching L1 entries here.
+  void attachL2(SharedCache *L2);
+  SharedCache *l2() const { return L2; }
+
+  /// Drop every entry of \p ClassTag (0 = all) from L1 and, when an L2 is
+  /// attached, from the shared segment plus every other process's L1 via
+  /// the invalidation log.
+  void invalidateClass(uint64_t ClassTag);
 
   CacheStats stats() const;
   void clear();
@@ -118,15 +145,25 @@ private:
   struct Shard;
 
   Shard &shardFor(const CacheKey &K);
-  void sampleBytes() const;
+  void insertL1(const CacheKey &K, std::shared_ptr<const CachedCompile> E,
+                bool PublishL2);
+  void dropClassLocal(uint64_t ClassTag);
+  void publishGauges() const;
 
   CacheConfig Config;
   size_t ShardBudget;
   std::vector<std::unique_ptr<Shard>> Shards;
+  SharedCache *L2 = nullptr;
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
   std::atomic<uint64_t> Insertions{0};
   std::atomic<uint64_t> Evictions{0};
+  /// Exact occupancy mirrors, maintained inside the shard critical
+  /// sections, so the obs gauges can be published from a consistent
+  /// source instead of a racy cross-shard sweep (see publishGauges).
+  std::atomic<int64_t> TotBytes{0};
+  std::atomic<int64_t> TotEntries{0};
+  mutable std::mutex GaugeMu;
 };
 
 /// Conservative size estimate of an allocated function for cache

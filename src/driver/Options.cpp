@@ -6,6 +6,8 @@
 
 #include "driver/Options.h"
 
+#include "cache/SharedCache.h"
+
 #include <cstdlib>
 
 using namespace lsra;
@@ -62,6 +64,18 @@ bool lsra::parseCompileFlag(const std::string &Arg, CompileFlags &F,
     F.NoCache = true;
     return true;
   }
+  if (Arg.rfind("--l2-path=", 0) == 0) {
+    F.L2Path = Value(10);
+    return true;
+  }
+  if (Arg.rfind("--l2-mb=", 0) == 0) {
+    F.L2Mb = std::strtoul(Arg.c_str() + 8, nullptr, 10);
+    return true;
+  }
+  if (Arg == "--no-l2") {
+    F.NoL2 = true;
+    return true;
+  }
   return false;
 }
 
@@ -74,7 +88,10 @@ const char *lsra::compileFlagsHelp() {
          "  --consistency=iterative|conservative  §2.4 vs §2.6 dataflow\n"
          "  --no-second-chance --no-coalesce      §2.5 ablations\n"
          "  --cache-mb=N   compile-cache budget in MiB (default 64)\n"
-         "  --no-cache     disable the compile cache\n";
+         "  --no-cache     disable the compile cache\n"
+         "  --l2-path=FILE shared-memory L2 cache segment (cross-process)\n"
+         "  --l2-mb=N      L2 segment budget in MiB (default 256)\n"
+         "  --no-l2        disable the shared L2 even when --l2-path is set\n";
 }
 
 TargetDesc lsra::targetForFlags(const CompileFlags &F) {
@@ -91,4 +108,17 @@ lsra::makeCompileCache(const CompileFlags &F) {
   cache::CacheConfig C;
   C.MaxBytes = F.CacheMb << 20;
   return std::make_unique<cache::CompileCache>(C);
+}
+
+std::unique_ptr<cache::SharedCache>
+lsra::makeSharedCache(const CompileFlags &F, std::string &Err) {
+  Err.clear();
+  // The L2 tier only ever fills the L1; without an L1 there is nothing to
+  // promote into, so --no-cache implies no L2 either.
+  if (F.L2Path.empty() || F.NoL2 || F.NoCache || F.L2Mb == 0)
+    return nullptr;
+  cache::SharedCacheConfig C;
+  C.Path = F.L2Path;
+  C.MaxBytes = F.L2Mb << 20;
+  return cache::SharedCache::open(C, Err);
 }

@@ -36,6 +36,9 @@ struct CompileFlags {
   ExecOptions Exec; ///< Exec.Cache stays null; callers wire their cache in
   size_t CacheMb = 64; ///< --cache-mb=N budget for makeCompileCache
   bool NoCache = false; ///< --no-cache
+  std::string L2Path;  ///< --l2-path=FILE shared L2 segment (empty = off)
+  size_t L2Mb = 256;   ///< --l2-mb=N segment budget for makeSharedCache
+  bool NoL2 = false;   ///< --no-l2 (ignore --l2-path)
 };
 
 /// Consume one command-line argument if it is a shared compile flag:
@@ -58,6 +61,14 @@ TargetDesc targetForFlags(const CompileFlags &F);
 /// Build the compile cache the flags describe: null when --no-cache (or a
 /// zero budget), otherwise an LRU cache of CacheMb megabytes.
 std::unique_ptr<cache::CompileCache> makeCompileCache(const CompileFlags &F);
+
+/// Open the shared L2 segment the flags describe: null (without error)
+/// when no --l2-path was given or --no-l2/--no-cache is set; null with
+/// \p Err set when the path exists but cannot be mapped. Callers attach
+/// the result to their CompileCache (attachL2) and must keep it alive
+/// until the cache is destroyed.
+std::unique_ptr<cache::SharedCache> makeSharedCache(const CompileFlags &F,
+                                                    std::string &Err);
 
 } // namespace lsra
 

@@ -170,10 +170,22 @@ TextCompileResult lsra::compileTextModule(const std::string &IRText,
   // hit costs one hash + one lookup and skips parsing entirely.
   cache::CacheKey ModKey;
   if (EO.Cache) {
-    obs::RequestPhase RP(EO.ReqTrace, "cache-probe");
-    ModKey = cache::makeModuleKey(IRText, AO.fingerprint(), K,
-                                  TD.fingerprint());
-    if (auto Hit = EO.Cache->lookup(ModKey)) {
+    std::shared_ptr<const cache::CachedCompile> Hit;
+    {
+      obs::RequestPhase RP(EO.ReqTrace, "cache-probe");
+      ModKey = cache::makeModuleKey(IRText, AO.fingerprint(), K,
+                                    TD.fingerprint());
+      Hit = EO.Cache->lookup(ModKey);
+    }
+    if (!Hit && EO.Cache->l2()) {
+      // L1 missed; the shared segment may still have the module from
+      // another process (or an earlier life of this one). A hit here
+      // promotes into L1, so the next probe stops one phase earlier.
+      obs::RequestPhase RP(EO.ReqTrace, "l2-probe");
+      Hit = EO.Cache->lookupL2Fill(ModKey);
+      R.CacheL2 = Hit != nullptr;
+    }
+    if (Hit) {
       R.AllocatedText = Hit->AllocatedText;
       R.Stats = Hit->Stats;
       R.CacheHit = true;
@@ -246,6 +258,7 @@ TextCompileResult lsra::compileTextModule(const std::string &IRText,
     Entry->Stats = R.Stats;
     Entry->Bytes = IRText.size() + R.AllocatedText.size() +
                    sizeof(cache::CachedCompile);
+    Entry->ClassTag = TD.fingerprint();
     EO.Cache->insert(ModKey, std::move(Entry));
   }
   if (RunAfter) {

@@ -75,6 +75,7 @@ struct TextCompileResult {
   std::string AllocatedText; ///< printed module after allocation
   AllocStats Stats;
   bool CacheHit = false; ///< served whole from the module-level cache
+  bool CacheL2 = false;  ///< the hit was filled from the shared L2 tier
   bool Ran = false; ///< RunAfter was requested and compilation succeeded
   RunResult Run;    ///< dynamic statistics when Ran
 };

@@ -181,6 +181,25 @@ unsigned FunctionBuilder::call(const Function &Callee,
   return ~0u;
 }
 
+unsigned FunctionBuilder::call(unsigned CalleeId, CallRetKind Ret) {
+  Instr CallI(Opcode::Call, Operand::func(CalleeId));
+  CallI.CallIntArgs = 0;
+  CallI.CallFpArgs = 0;
+  CallI.CallRet = Ret;
+  emit(CallI);
+  if (Ret == CallRetKind::Int) {
+    unsigned D = newInt();
+    emit(Instr(Opcode::CRes, Operand::vreg(D)));
+    return D;
+  }
+  if (Ret == CallRetKind::Float) {
+    unsigned D = newFp();
+    emit(Instr(Opcode::FCRes, Operand::vreg(D)));
+    return D;
+  }
+  return ~0u;
+}
+
 void FunctionBuilder::emitValue(unsigned V) {
   emit(Instr(Opcode::Emit, Operand::vreg(V)));
 }

@@ -157,6 +157,13 @@ public:
   unsigned call(const Function &Callee, const std::vector<unsigned> &IntArgs,
                 const std::vector<unsigned> &FpArgs = {});
 
+  /// No-argument call by function id with an explicit return kind. Unlike
+  /// the overload above this never touches the callee Function, so a body
+  /// builder may call functions whose own bodies are being built
+  /// concurrently (the streaming pipeline builds bodies in parallel;
+  /// FunctionBuilder's constructor mutates the callee's signature state).
+  unsigned call(unsigned CalleeId, CallRetKind Ret);
+
   // --- Observation -----------------------------------------------------------
 
   void emitValue(unsigned V);

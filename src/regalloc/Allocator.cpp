@@ -191,7 +191,7 @@ namespace {
 /// func-ref operands when the entry hits in a different module.
 std::shared_ptr<const cache::CachedCompile>
 snapshotAllocatedFunction(const Module &M, const Function &F,
-                          const AllocStats &Stats) {
+                          const AllocStats &Stats, uint64_t ClassTag) {
   auto Entry = std::make_shared<cache::CachedCompile>();
   auto Clone = std::make_unique<Function>(F.id(), F.name());
   cloneFunctionInto(F, *Clone);
@@ -206,6 +206,7 @@ snapshotAllocatedFunction(const Module &M, const Function &F,
   Entry->Stats = Stats;
   Entry->Bytes = cache::estimateFunctionBytes(*Entry->Fn) +
                  sizeof(cache::CachedCompile);
+  Entry->ClassTag = ClassTag;
   return Entry;
 }
 
@@ -264,7 +265,8 @@ AllocStats allocateFunctionCached(Module &M, unsigned Idx,
     }
   }
   AllocStats Stats = allocateFunction(F, TD, K, AO);
-  EO.Cache->insert(Key, snapshotAllocatedFunction(M, F, Stats));
+  EO.Cache->insert(Key,
+                   snapshotAllocatedFunction(M, F, Stats, TD.fingerprint()));
   return Stats;
 }
 

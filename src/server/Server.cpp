@@ -6,6 +6,7 @@
 
 #include "server/Server.h"
 
+#include "cache/SharedCache.h"
 #include "driver/Pipeline.h"
 #include "obs/Counters.h"
 #include "obs/Log.h"
@@ -85,6 +86,23 @@ bool Server::start(std::string &Err) {
     cache::CacheConfig CC;
     CC.MaxBytes = Opts.CacheBytes;
     Cache = std::make_unique<cache::CompileCache>(CC);
+    if (!Opts.L2Path.empty()) {
+      cache::SharedCacheConfig SC;
+      SC.Path = Opts.L2Path;
+      SC.MaxBytes = Opts.L2Bytes;
+      L2 = cache::SharedCache::open(SC, Err);
+      if (!L2) {
+        // A misconfigured L2 should be loud, not a silent cold cache.
+        Cache.reset();
+        L.close();
+        if (OpenedRequestLog) {
+          obs::RequestLog::global().close();
+          OpenedRequestLog = false;
+        }
+        return false;
+      }
+      Cache->attachL2(L2.get());
+    }
   }
 
   bool LoopReady =
@@ -607,6 +625,13 @@ std::string Server::renderStats(const std::string &Format) {
     CR.gauge("cache.bytes").set(static_cast<int64_t>(CS.Bytes));
     CR.gauge("cache.entries").set(static_cast<int64_t>(CS.Entries));
   }
+  if (L2) {
+    cache::L2Stats LS = L2->stats();
+    CR.gauge("cache.l2.bytes").set(static_cast<int64_t>(LS.Bytes));
+    CR.gauge("cache.l2.entries").set(static_cast<int64_t>(LS.Entries));
+    CR.gauge("cache.l2.capacity_bytes")
+        .set(static_cast<int64_t>(LS.CapacityBytes));
+  }
   obs::MetricsSnapshot S = CR.metricsSnapshot();
   if (Format == "prom")
     return S.toPrometheus();
@@ -638,6 +663,10 @@ void Server::shutdown() {
     Workers->wait();
     Workers.reset();
   }
+  // Workers are quiet, so nothing enqueues L2 publishes any more; land
+  // what is queued so another process (or our next life) can hit it.
+  if (L2)
+    L2->drainPublishes();
   // 3. Workers are done, so every response is either on the wire or in the
   // loop's posted queue (FIFO: posted before this sentinel, runs before
   // it). Flush each connection's write queue, then stop the loop; a peer

@@ -119,6 +119,11 @@ struct ServerOptions {
   /// field no_cache=1.
   size_t CacheBytes = 64u << 20;
 
+  /// Shared-memory L2 cache segment shared with other server processes
+  /// (empty = no L2). Requires CacheBytes > 0: the L2 fills through L1.
+  std::string L2Path;
+  size_t L2Bytes = 256u << 20; ///< segment budget when creating L2Path
+
   /// Request-trace sampling: every Nth admitted compile request gets a
   /// full recv→admit→queue-wait→cache-probe→parse→alloc→emit→reply span
   /// chain (merged waiters get recv→admit→merged→reply; 0 = tracing off,
@@ -163,6 +168,9 @@ public:
 
   /// The server's compile cache (null when Opts.CacheBytes == 0).
   cache::CompileCache *compileCache() { return Cache.get(); }
+
+  /// The shared L2 tier (null when Opts.L2Path is empty or L1 is off).
+  cache::SharedCache *sharedCache() { return L2.get(); }
 
 private:
   /// One admitted client request: the unit merging and deadlines operate
@@ -229,6 +237,10 @@ private:
   ServerOptions Opts;
   Listener L;
   RequestQueue Queue;
+  /// Declared before Cache: the L1 detaches its invalidation sink in its
+  /// destructor, so the L2 (and its agent thread) must still be alive
+  /// when the Cache member is destroyed.
+  std::unique_ptr<cache::SharedCache> L2;
   std::unique_ptr<cache::CompileCache> Cache;
   std::unique_ptr<ThreadPool> Workers;
 

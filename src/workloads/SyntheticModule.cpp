@@ -214,7 +214,13 @@ void BigModuleGenerator::buildBody(Module &M, unsigned I) const {
     unsigned SumF = B.movf(0.0);
     unsigned SumI = B.movi(0);
     for (unsigned P = 0; P < Opts.NumFuncs; ++P) {
-      unsigned V = B.call(M.function(P), {});
+      // By-id call: under the streaming pipeline proc P's body may be
+      // building on another thread while main's body builds here, and
+      // FunctionBuilder's constructor mutates the callee's signature
+      // state. The shape is deterministic, so no callee read is needed.
+      unsigned V = B.call(M.function(P).id(),
+                          bigProcIsInt(P) ? CallRetKind::Int
+                                          : CallRetKind::Float);
       if (bigProcIsInt(P))
         B.emit(Instr(Opcode::Add, Operand::vreg(SumI), Operand::vreg(SumI),
                      Operand::vreg(V)));

@@ -14,10 +14,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "cache/CompileCache.h"
+#include "cache/SharedCache.h"
 #include "driver/Options.h"
 #include "driver/Pipeline.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
+#include "obs/Counters.h"
+#include "obs/Metrics.h"
 #include "workloads/RandomProgram.h"
 #include "workloads/Workloads.h"
 
@@ -26,6 +29,7 @@
 #include <atomic>
 #include <sstream>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 using namespace lsra;
@@ -376,6 +380,149 @@ TEST(CompileCache, ConcurrentHitMissStorm) {
   // per-function probes of each miss add more on top.
   EXPECT_GE(CS.Hits + CS.Misses,
             static_cast<uint64_t>(NumThreads) * PerThread);
+}
+
+// Replacing an existing key must credit back exactly the replaced entry's
+// bytes: after any sequence of same-key replacements, stats().Bytes is the
+// sum of the *live* entries' sizes, not an accumulation of dead ones.
+// (Regression: the replace path charged the new entry without fully
+// crediting the old, so long-running servers recompiling changed modules
+// under one key leaked budget until real entries were evicted to cover
+// phantom bytes.)
+TEST(CompileCache, InsertOverExistingKeyKeepsExactByteAccounting) {
+  cache::CacheConfig CC;
+  CC.MaxBytes = 1u << 20;
+  CC.Shards = 1;
+  cache::CompileCache Cache(CC);
+  auto KeyFor = [](unsigned I) {
+    return cache::makeModuleKey("replace " + std::to_string(I), 0,
+                                AllocatorKind::SecondChanceBinpack, 0);
+  };
+  auto EntryOf = [](size_t Bytes) {
+    auto E = std::make_shared<cache::CachedCompile>();
+    E->AllocatedText = "x";
+    E->Bytes = Bytes;
+    return E;
+  };
+  // Two stable keys plus one key replaced many times with varying sizes
+  // (growing and shrinking — both directions must balance).
+  Cache.insert(KeyFor(1), EntryOf(100));
+  Cache.insert(KeyFor(2), EntryOf(200));
+  size_t Live3 = 0;
+  for (unsigned I = 0; I < 50; ++I) {
+    Live3 = 300 + (I % 7) * 137 - (I % 3) * 29;
+    Cache.insert(KeyFor(3), EntryOf(Live3));
+  }
+  cache::CacheStats CS = Cache.stats();
+  EXPECT_EQ(CS.Entries, 3u);
+  EXPECT_EQ(CS.Bytes, 100u + 200u + Live3);
+  // No phantom bytes: the stable keys are still resident (replacement
+  // churn never forced an eviction to cover leaked budget).
+  EXPECT_EQ(CS.Evictions, 0u);
+  EXPECT_NE(Cache.lookup(KeyFor(1)), nullptr);
+  EXPECT_NE(Cache.lookup(KeyFor(2)), nullptr);
+
+  // Replacement after a lookup (the entry is mid-LRU, not tail) balances
+  // too.
+  Cache.insert(KeyFor(1), EntryOf(1000));
+  CS = Cache.stats();
+  EXPECT_EQ(CS.Bytes, 1000u + 200u + Live3);
+  EXPECT_EQ(CS.Entries, 3u);
+}
+
+// The obs gauges cache.bytes / cache.entries must agree exactly with
+// stats() once mutation quiesces — under a concurrent insert/evict/replace
+// storm across shards. (Regression: gauges were refreshed by a racy
+// cross-shard sweep outside the shard locks, so two concurrent inserts
+// could publish a sweep that double-counted one shard mid-mutation and the
+// stale value stuck until the next insert.) Run under
+// LSRA_SANITIZE=thread in CI.
+TEST(CompileCache, GaugesMatchStatsAfterConcurrentStorm) {
+  obs::CounterRegistry &CR = obs::CounterRegistry::global();
+  CR.reset();
+  CR.enable();
+  {
+    cache::CacheConfig CC;
+    CC.MaxBytes = 64u << 10; // small: every thread forces evictions
+    CC.Shards = 4;
+    cache::CompileCache Cache(CC);
+    constexpr unsigned NumThreads = 8, PerThread = 400;
+    std::vector<std::thread> Threads;
+    for (unsigned T = 0; T < NumThreads; ++T)
+      Threads.emplace_back([&, T] {
+        for (unsigned I = 0; I < PerThread; ++I) {
+          auto E = std::make_shared<cache::CachedCompile>();
+          E->AllocatedText = "storm";
+          E->Bytes = 512 + 64 * ((T + I) % 9);
+          // Mix fresh keys (insert + evict) with a small hot set
+          // (replacement), plus lookups to churn LRU order.
+          unsigned KeyId = (I % 4 == 0) ? (T * PerThread + I) : (I % 16);
+          auto K = cache::makeModuleKey(
+              "gauge " + std::to_string(KeyId), 0,
+              AllocatorKind::SecondChanceBinpack, 0);
+          Cache.insert(K, std::move(E));
+          if (I % 3 == 0)
+            Cache.lookup(K);
+        }
+      });
+    for (std::thread &T : Threads)
+      T.join();
+    cache::CacheStats CS = Cache.stats();
+    EXPECT_EQ(CR.gauge("cache.bytes").value(),
+              static_cast<int64_t>(CS.Bytes));
+    EXPECT_EQ(CR.gauge("cache.entries").value(),
+              static_cast<int64_t>(CS.Entries));
+    EXPECT_GT(CS.Evictions, 0u); // the storm actually exercised eviction
+    // clear() is a mutation like any other: gauges follow.
+    Cache.clear();
+    EXPECT_EQ(CR.gauge("cache.bytes").value(), 0);
+    EXPECT_EQ(CR.gauge("cache.entries").value(), 0);
+  }
+  CR.disable();
+  CR.reset();
+}
+
+// Tiering: an entry published by one CompileCache is promoted into a
+// second cache's L1 by lookupL2Fill without being re-published, and the
+// promotion pays the L1 accounting exactly once.
+TEST(CompileCache, LookupL2FillPromotesWithoutRepublish) {
+  std::string SegPath = "/tmp/lsra-l2-cachetest." +
+                        std::to_string(::getpid()) + ".seg";
+  ::unlink(SegPath.c_str());
+  cache::SharedCacheConfig SC;
+  SC.Path = SegPath;
+  SC.MaxBytes = 4u << 20;
+  SC.StartAgent = false;
+  std::string Err;
+  auto L2 = cache::SharedCache::open(SC, Err);
+  ASSERT_NE(L2, nullptr) << Err;
+
+  auto K = cache::makeModuleKey("tiered module", 0,
+                                AllocatorKind::SecondChanceBinpack, 0);
+  {
+    cache::CompileCache A;
+    A.attachL2(L2.get());
+    auto E = std::make_shared<cache::CachedCompile>();
+    E->AllocatedText = "allocated text of the tiered module";
+    E->Bytes = 4096;
+    A.insert(K, std::move(E)); // sync publish (no agent)
+  }
+  ASSERT_EQ(L2->stats().Fills, 1u);
+
+  cache::CompileCache B;
+  B.attachL2(L2.get());
+  EXPECT_EQ(B.lookup(K), nullptr); // L1 probe misses...
+  auto Hit = B.lookupL2Fill(K);    // ...the L2 fill serves it
+  ASSERT_NE(Hit, nullptr);
+  EXPECT_EQ(Hit->AllocatedText, "allocated text of the tiered module");
+  // Promotion filled L1 (next probe hits) without re-publishing to L2.
+  EXPECT_NE(B.lookup(K), nullptr);
+  EXPECT_EQ(L2->stats().Fills, 1u);
+  EXPECT_EQ(B.stats().Entries, 1u);
+  EXPECT_GT(B.stats().Bytes, 0u);
+  B.attachL2(nullptr);
+  L2.reset();
+  ::unlink(SegPath.c_str());
 }
 
 // The makeCompileCache helper honours --no-cache and --cache-mb.

@@ -18,6 +18,8 @@
 #include "server/RequestQueue.h"
 #include "server/Server.h"
 
+#include "cache/SharedCache.h"
+
 #include "driver/Pipeline.h"
 #include "ir/Printer.h"
 #include "obs/Counters.h"
@@ -971,6 +973,139 @@ TEST(Server, DuplicateBurstMergesToOneCompile) {
   // slot, so only the leader's batch was ever dequeued.
   EXPECT_EQ(CR.counter("server.merged").value(), uint64_t(Followers));
   EXPECT_EQ(CR.counter("server.dequeued").value(), 1u);
+  CR.reset();
+}
+
+// A merge leader whose result the cache refuses to admit (entry larger
+// than the cache budget) must still fan out to every waiter: admission
+// into the cache and fan-out to the merge table are independent outcomes
+// of the one compile. (Regression: N waiters, 1 dequeue, 0 hangs, 0 cache
+// entries — a fan-out keyed off the cache-insert path would strand the
+// waiters here until their deadlines.)
+TEST(Server, MergeFanOutSurvivesCacheAdmissionReject) {
+  obs::CounterRegistry &CR = obs::CounterRegistry::global();
+  CR.reset();
+  CR.enable();
+
+  ServerOptions SO;
+  SO.UnixPath = uniqueSockPath("merge-reject");
+  SO.Workers = 1;
+  // Tiny budget: any real module's allocated text (plus entry overhead)
+  // exceeds it, so the leader's insert is rejected at admission. Caching
+  // stays ON — the rejection path is the point.
+  SO.CacheBytes = 1 << 10;
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+  ASSERT_NE(S.compileCache(), nullptr);
+
+  const std::string Text = workloadText("wc");
+  constexpr unsigned Followers = 4;
+  auto sendOne = [&](CompileResponse *Out, bool *Ok) {
+    std::string CErr;
+    Client C = Client::connectUnix(SO.UnixPath, CErr);
+    ASSERT_TRUE(C.valid()) << CErr;
+    CompileRequest Req;
+    Req.IRText = Text;
+    Req.HoldMs = 300;
+    *Ok = C.compile(Req, *Out, CErr, 60000);
+  };
+  CompileResponse Leader;
+  bool LeaderOk = false;
+  std::thread LeaderT([&] { sendOne(&Leader, &LeaderOk); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  CompileResponse FResp[Followers];
+  bool FOk[Followers] = {};
+  std::vector<std::thread> FT;
+  for (unsigned I = 0; I < Followers; ++I)
+    FT.emplace_back([&, I] { sendOne(&FResp[I], &FOk[I]); });
+  LeaderT.join();
+  for (std::thread &T : FT)
+    T.join();
+
+  ASSERT_TRUE(LeaderOk);
+  ASSERT_TRUE(Leader.ok()) << Leader.Message;
+  for (unsigned I = 0; I < Followers; ++I) {
+    ASSERT_TRUE(FOk[I]); // nobody hung waiting on a fan-out that never came
+    ASSERT_TRUE(FResp[I].ok()) << FResp[I].Message;
+    EXPECT_EQ(FResp[I].IRText, Leader.IRText);
+    EXPECT_TRUE(FResp[I].Merged);
+  }
+  // The oversize result was indeed refused by the cache...
+  EXPECT_EQ(S.compileCache()->stats().Entries, 0u);
+
+  S.shutdown();
+  CR.disable();
+  // ...yet the merge behaved exactly like the admitted case: one dispatch,
+  // every follower fanned out.
+  EXPECT_EQ(CR.counter("server.merged").value(), uint64_t(Followers));
+  EXPECT_EQ(CR.counter("server.dequeued").value(), 1u);
+  EXPECT_EQ(CR.counter("server.deadline_exceeded").value(), 0u);
+  CR.reset();
+}
+
+// Two server lifetimes sharing one L2 segment: the second server's first
+// compile of a module the first server already served is an L2 hit with a
+// byte-identical response — the cross-process warm-start story at the
+// serving layer (sequential lifetimes here; the ctest leg runs two live
+// processes).
+TEST(Server, SharedL2WarmsSecondServerLifetime) {
+  obs::CounterRegistry &CR = obs::CounterRegistry::global();
+  CR.reset();
+  std::string SegPath = "/tmp/lsra-test-l2-serve." +
+                        std::to_string(::getpid()) + ".seg";
+  ::unlink(SegPath.c_str());
+  const std::string Text = workloadText("eqntott");
+
+  std::string ColdText;
+  {
+    ServerOptions SO;
+    SO.UnixPath = uniqueSockPath("l2-cold");
+    SO.Workers = 2;
+    SO.L2Path = SegPath;
+    SO.L2Bytes = 16u << 20;
+    Server S(SO);
+    std::string Err;
+    ASSERT_TRUE(S.start(Err)) << Err;
+    ASSERT_NE(S.sharedCache(), nullptr);
+    Client C = Client::connectUnix(SO.UnixPath, Err);
+    ASSERT_TRUE(C.valid()) << Err;
+    CompileRequest Req;
+    Req.IRText = Text;
+    CompileResponse Resp;
+    ASSERT_TRUE(C.compile(Req, Resp, Err, 60000)) << Err;
+    ASSERT_TRUE(Resp.ok()) << Resp.Message;
+    EXPECT_FALSE(Resp.Cached);
+    ColdText = Resp.IRText;
+    // shutdown() drains queued L2 publications before the segment closes.
+    S.shutdown();
+  }
+
+  {
+    ServerOptions SO;
+    SO.UnixPath = uniqueSockPath("l2-warm");
+    SO.Workers = 2;
+    SO.L2Path = SegPath;
+    SO.L2Bytes = 16u << 20;
+    Server S(SO);
+    std::string Err;
+    ASSERT_TRUE(S.start(Err)) << Err;
+    ASSERT_NE(S.sharedCache(), nullptr);
+    Client C = Client::connectUnix(SO.UnixPath, Err);
+    ASSERT_TRUE(C.valid()) << Err;
+    CompileRequest Req;
+    Req.IRText = Text;
+    CompileResponse Resp;
+    ASSERT_TRUE(C.compile(Req, Resp, Err, 60000)) << Err;
+    ASSERT_TRUE(Resp.ok()) << Resp.Message;
+    // A fresh L1 cannot have this module; only the shared segment can.
+    EXPECT_TRUE(Resp.Cached);
+    EXPECT_EQ(Resp.IRText, ColdText);
+    EXPECT_EQ(S.sharedCache()->stats().Hits, 1u);
+    S.shutdown();
+  }
+  ::unlink(SegPath.c_str());
+  CR.disable();
   CR.reset();
 }
 

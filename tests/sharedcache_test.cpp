@@ -1,0 +1,515 @@
+//===- tests/sharedcache_test.cpp - Shared-memory L2 cache tests ----------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The L2 tier's contract: a reader sees a complete entry or a clean miss,
+// never a torn value — across instances, across processes, and across a
+// writer SIGKILLed mid-publish. Plus the log-based invalidation protocol
+// (class drops propagate to other instances within one poll, ring overflow
+// degrades to a conservative wildcard) and the arena's wrap behaviour.
+// The fork-based tests create SharedCache instances only *after* forking
+// (or in instances with StartAgent=false), so no threads exist at fork
+// time. Designed to run under LSRA_SANITIZE=thread and =address.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/CompileCache.h"
+#include "cache/SharedCache.h"
+#include "driver/Options.h"
+#include "driver/Pipeline.h"
+#include "ir/Printer.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace lsra;
+using namespace lsra::cache;
+
+namespace {
+
+std::string uniqueSegPath(const char *Tag) {
+  return "/tmp/lsra-l2-test-" + std::string(Tag) + "." +
+         std::to_string(::getpid()) + ".seg";
+}
+
+/// RAII segment file: removed on scope exit so reruns start clean.
+struct SegFile {
+  std::string Path;
+  explicit SegFile(const char *Tag) : Path(uniqueSegPath(Tag)) {
+    ::unlink(Path.c_str());
+  }
+  ~SegFile() { ::unlink(Path.c_str()); }
+};
+
+std::unique_ptr<SharedCache> openSeg(const std::string &Path,
+                                     size_t MaxBytes = 4u << 20,
+                                     bool StartAgent = false) {
+  SharedCacheConfig C;
+  C.Path = Path;
+  C.MaxBytes = MaxBytes;
+  C.StartAgent = StartAgent;
+  std::string Err;
+  auto SC = SharedCache::open(C, Err);
+  EXPECT_NE(SC, nullptr) << Err;
+  return SC;
+}
+
+CacheKey keyFor(unsigned I) {
+  return makeModuleKey("l2 module " + std::to_string(I), 0,
+                       AllocatorKind::SecondChanceBinpack, 0);
+}
+
+L2Entry entryFor(unsigned I, size_t PayloadBytes = 256) {
+  L2Entry E;
+  E.Payload.reserve(PayloadBytes);
+  std::string Stamp = "payload " + std::to_string(I) + ":";
+  while (E.Payload.size() < PayloadBytes)
+    E.Payload += Stamp;
+  E.Payload.resize(PayloadBytes);
+  E.Stats.SpilledTemps = I;
+  E.Stats.RegCandidates = I * 3 + 1;
+  E.ClassTag = 0x1000 + (I % 4);
+  return E;
+}
+
+std::string workloadText(const char *Name) {
+  std::ostringstream OS;
+  printModule(OS, *buildWorkload(Name));
+  return OS.str();
+}
+
+} // namespace
+
+// --- Single-instance basics -------------------------------------------------
+
+TEST(SharedCache, PublishLookupRoundtrip) {
+  SegFile Seg("roundtrip");
+  auto SC = openSeg(Seg.Path);
+  ASSERT_NE(SC, nullptr);
+
+  L2Entry In = entryFor(7, 1000);
+  ASSERT_TRUE(SC->publish(keyFor(7), In));
+  L2Entry Out;
+  ASSERT_TRUE(SC->lookup(keyFor(7), Out));
+  EXPECT_EQ(Out.Payload, In.Payload);
+  EXPECT_EQ(Out.ClassTag, In.ClassTag);
+  EXPECT_EQ(Out.Stats.SpilledTemps, In.Stats.SpilledTemps);
+  EXPECT_EQ(Out.Stats.RegCandidates, In.Stats.RegCandidates);
+
+  // A key never published is a clean miss.
+  L2Entry Miss;
+  EXPECT_FALSE(SC->lookup(keyFor(8), Miss));
+
+  L2Stats St = SC->stats();
+  EXPECT_EQ(St.Hits, 1u);
+  EXPECT_EQ(St.Misses, 1u);
+  EXPECT_EQ(St.Fills, 1u);
+  EXPECT_EQ(St.Entries, 1u);
+  EXPECT_GT(St.Bytes, In.Payload.size());
+  EXPECT_LE(St.Bytes, St.CapacityBytes);
+}
+
+TEST(SharedCache, SameKeyRepublishReplacesValue) {
+  SegFile Seg("republish");
+  auto SC = openSeg(Seg.Path);
+  ASSERT_NE(SC, nullptr);
+  ASSERT_TRUE(SC->publish(keyFor(1), entryFor(1)));
+  L2Entry V2 = entryFor(1);
+  V2.Payload = "the second value wins";
+  ASSERT_TRUE(SC->publish(keyFor(1), V2));
+  L2Entry Out;
+  ASSERT_TRUE(SC->lookup(keyFor(1), Out));
+  EXPECT_EQ(Out.Payload, V2.Payload);
+  // Replacement reuses the slot: still exactly one directory entry.
+  EXPECT_EQ(SC->stats().Entries, 1u);
+}
+
+TEST(SharedCache, OversizeEntryIsRejectedNotTorn) {
+  SegFile Seg("oversize");
+  auto SC = openSeg(Seg.Path, 1u << 20); // minimum geometry
+  ASSERT_NE(SC, nullptr);
+  L2Entry Huge = entryFor(1, SC->stats().CapacityBytes); // > arena/2
+  EXPECT_FALSE(SC->publish(keyFor(1), Huge));
+  L2Entry Out;
+  EXPECT_FALSE(SC->lookup(keyFor(1), Out));
+  EXPECT_EQ(SC->stats().PublishRejected, 1u);
+  EXPECT_EQ(SC->stats().Entries, 0u);
+}
+
+// --- Crash consistency ------------------------------------------------------
+
+// A slot pointing at an uncommitted entry (writer died after publishing
+// the slot but before the commit word) must read as a clean miss, and the
+// reader self-heals the slot so the directory recovers.
+TEST(SharedCache, TornPublishIsCleanMiss) {
+  SegFile Seg("torn");
+  auto SC = openSeg(Seg.Path);
+  ASSERT_NE(SC, nullptr);
+  L2Entry E = entryFor(3, 2048);
+  SC->debugPublishTorn(keyFor(3), E, /*PayloadBytesWritten=*/700);
+  ASSERT_EQ(SC->stats().Entries, 1u); // slot is visible...
+  L2Entry Out;
+  EXPECT_FALSE(SC->lookup(keyFor(3), Out)); // ...but never a torn value
+  // Self-heal: the failed probe emptied the slot.
+  EXPECT_EQ(SC->stats().Entries, 0u);
+
+  // A fresh instance attaching to the same file must also see a miss
+  // (nothing process-local hides the tear).
+  SC->debugPublishTorn(keyFor(4), E, /*PayloadBytesWritten=*/0);
+  auto SC2 = openSeg(Seg.Path);
+  ASSERT_NE(SC2, nullptr);
+  EXPECT_FALSE(SC2->lookup(keyFor(4), Out));
+}
+
+// SIGKILL a writer process at a random point of a publish loop: every key
+// the parent then probes is either a complete byte-exact entry or a clean
+// miss. (The writer child creates its SharedCache after the fork, so no
+// threads exist at fork time.)
+TEST(SharedCache, SigkilledWriterNeverLeavesTornEntries) {
+  SegFile Seg("sigkill");
+  constexpr unsigned NumKeys = 64;
+  // 64 MB → 1024 directory buckets, so 64 keys never overflow a bucket
+  // (a 4-slot bucket with 5+ keys evicts, which would look like a miss
+  // and hide what this test is after).
+  constexpr size_t SegBytes = 64u << 20;
+  {
+    // Creator instance: build the segment before the child races in, so
+    // the child's open() attaches instead of initialising.
+    auto Boot = openSeg(Seg.Path, SegBytes);
+    ASSERT_NE(Boot, nullptr);
+  }
+  pid_t Child = ::fork();
+  ASSERT_GE(Child, 0);
+  if (Child == 0) {
+    // Writer: publish forever; the parent kills us mid-stream.
+    auto SC = openSeg(Seg.Path, SegBytes);
+    if (!SC)
+      ::_exit(2);
+    for (unsigned Round = 0;; ++Round)
+      for (unsigned I = 0; I < NumKeys; ++I)
+        SC->publish(keyFor(I), entryFor(I, 512 + 8 * I));
+  }
+  // Let the writer publish for a moment, then kill it mid-flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_EQ(::kill(Child, SIGKILL), 0);
+  int Status = 0;
+  ASSERT_EQ(::waitpid(Child, &Status, 0), Child);
+  ASSERT_TRUE(WIFSIGNALED(Status) && WTERMSIG(Status) == SIGKILL);
+
+  auto Reader = openSeg(Seg.Path, SegBytes);
+  ASSERT_NE(Reader, nullptr);
+  unsigned Hits = 0;
+  for (unsigned I = 0; I < NumKeys; ++I) {
+    L2Entry Out;
+    if (!Reader->lookup(keyFor(I), Out))
+      continue; // clean miss: acceptable for the in-flight key
+    L2Entry Want = entryFor(I, 512 + 8 * I);
+    ASSERT_EQ(Out.Payload, Want.Payload) << "torn entry for key " << I;
+    ASSERT_EQ(Out.Stats.SpilledTemps, Want.Stats.SpilledTemps);
+    ++Hits;
+  }
+  // The writer ran for ~100 ms; all but (at most) the in-flight key must
+  // have landed.
+  EXPECT_GE(Hits, NumKeys - 1);
+}
+
+// Two processes, one segment: a module compiled (and published) by a child
+// process is an L2 hit with byte-identical text in the parent — the
+// cross-process warm-start story end to end, through the real compile
+// pipeline and the L1 promotion path.
+TEST(SharedCache, WarmAcrossProcessesByteIdentical) {
+  SegFile Seg("xproc");
+  const std::string Text = workloadText("espresso");
+  TargetDesc TD = TargetDesc::alphaLike();
+
+  // Offline reference (no cache anywhere).
+  TextCompileResult Ref = compileTextModule(
+      Text, TD, AllocatorKind::SecondChanceBinpack);
+  ASSERT_TRUE(Ref.Ok) << Ref.Error;
+
+  pid_t Child = ::fork();
+  ASSERT_GE(Child, 0);
+  if (Child == 0) {
+    // Child: cold-compile with L1+L2 attached; publishAsync degrades to a
+    // synchronous publish with no agent, so the entry has landed by the
+    // time we exit.
+    auto L2 = openSeg(Seg.Path);
+    if (!L2)
+      ::_exit(2);
+    CompileCache L1;
+    L1.attachL2(L2.get());
+    ExecOptions EO;
+    EO.Cache = &L1;
+    TextCompileResult R = compileTextModule(
+        Text, TD, AllocatorKind::SecondChanceBinpack, {}, EO);
+    if (!R.Ok || R.CacheHit)
+      ::_exit(3);
+    if (L2->stats().Fills == 0)
+      ::_exit(4);
+    ::_exit(0);
+  }
+  int Status = 0;
+  ASSERT_EQ(::waitpid(Child, &Status, 0), Child);
+  ASSERT_TRUE(WIFEXITED(Status));
+  ASSERT_EQ(WEXITSTATUS(Status), 0);
+
+  // Parent: a fresh process-local L1, same segment. The first compile must
+  // be an L2 fill, not a fresh allocation, and byte-identical to offline.
+  auto L2 = openSeg(Seg.Path);
+  ASSERT_NE(L2, nullptr);
+  CompileCache L1;
+  L1.attachL2(L2.get());
+  ExecOptions EO;
+  EO.Cache = &L1;
+  TextCompileResult Warm = compileTextModule(
+      Text, TD, AllocatorKind::SecondChanceBinpack, {}, EO);
+  ASSERT_TRUE(Warm.Ok) << Warm.Error;
+  EXPECT_TRUE(Warm.CacheHit);
+  EXPECT_TRUE(Warm.CacheL2);
+  EXPECT_EQ(Warm.AllocatedText, Ref.AllocatedText);
+  EXPECT_EQ(L2->stats().Hits, 1u);
+
+  // The fill promoted into L1: a second compile stops at the L1 probe.
+  TextCompileResult Hot = compileTextModule(
+      Text, TD, AllocatorKind::SecondChanceBinpack, {}, EO);
+  EXPECT_TRUE(Hot.CacheHit);
+  EXPECT_FALSE(Hot.CacheL2);
+  EXPECT_EQ(L2->stats().Hits, 1u); // unchanged: L1 answered
+}
+
+// --- Invalidation -----------------------------------------------------------
+
+// invalidateClass in one instance clears matching L2 slots immediately and
+// reaches the other instance's L1 after one poll, with the epoch watermark
+// advancing to the rotation's epoch (the "bounded number of epochs" bound:
+// one).
+TEST(SharedCache, ClassInvalidationPropagatesAcrossInstances) {
+  SegFile Seg("inval");
+  auto A = openSeg(Seg.Path);
+  auto B = openSeg(Seg.Path);
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+
+  CompileCache L1A, L1B;
+  L1A.attachL2(A.get());
+  L1B.attachL2(B.get());
+
+  // Same entry in both L1s (class 42), plus the shared copy in L2.
+  auto mkEntry = [] {
+    auto E = std::make_shared<CachedCompile>();
+    E->AllocatedText = "allocated text";
+    E->Bytes = 256;
+    E->ClassTag = 42;
+    return E;
+  };
+  L1A.insert(keyFor(0), mkEntry()); // also publishes to L2 (sync, no agent)
+  L1B.insert(keyFor(0), mkEntry());
+  ASSERT_EQ(L1A.stats().Entries, 1u);
+  ASSERT_EQ(L1B.stats().Entries, 1u);
+  ASSERT_GE(A->stats().Entries, 1u);
+
+  uint64_t EpochBefore = B->stats().Epoch;
+  L1A.invalidateClass(42);
+
+  // L2 effect is immediate and global (shared directory).
+  L2Entry Out;
+  EXPECT_FALSE(B->lookup(keyFor(0), Out));
+  // A's own L1 dropped synchronously.
+  EXPECT_EQ(L1A.stats().Entries, 0u);
+  // B's L1 still warm until its agent consumes the ring...
+  EXPECT_EQ(L1B.stats().Entries, 1u);
+  B->poll();
+  // ...after which the drop has landed and the watermark covers the epoch.
+  EXPECT_EQ(L1B.stats().Entries, 0u);
+  EXPECT_GE(B->epochWatermark(), EpochBefore + 1);
+  EXPECT_GE(B->stats().Invalidations, 1u);
+}
+
+// Class selectivity: a rotation drops only matching entries.
+TEST(SharedCache, ClassInvalidationIsSelective) {
+  SegFile Seg("inval-sel");
+  auto A = openSeg(Seg.Path);
+  ASSERT_NE(A, nullptr);
+  CompileCache L1;
+  L1.attachL2(A.get());
+  for (unsigned I = 0; I < 8; ++I) {
+    auto E = std::make_shared<CachedCompile>();
+    E->AllocatedText = "text " + std::to_string(I);
+    E->Bytes = 128;
+    E->ClassTag = (I % 2) ? 7 : 9;
+    L1.insert(keyFor(I), std::move(E));
+  }
+  ASSERT_EQ(L1.stats().Entries, 8u);
+  ASSERT_EQ(A->stats().Entries, 8u);
+  L1.invalidateClass(7);
+  EXPECT_EQ(L1.stats().Entries, 4u);
+  EXPECT_EQ(A->stats().Entries, 4u);
+  // Wildcard: everything goes.
+  L1.invalidateClass(0);
+  EXPECT_EQ(L1.stats().Entries, 0u);
+  EXPECT_EQ(A->stats().Entries, 0u);
+}
+
+// A consumer that missed more ring records than the ring holds cannot know
+// what it missed: it must degrade to a conservative wildcard drop.
+TEST(SharedCache, RingOverflowDegradesToWildcardWipe) {
+  SegFile Seg("ringlag");
+  auto A = openSeg(Seg.Path);
+  auto B = openSeg(Seg.Path);
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+
+  std::atomic<unsigned> Wildcards{0};
+  std::atomic<unsigned> Records{0};
+  B->setInvalidationSink([&](uint64_t Tag) {
+    if (Tag == 0)
+      Wildcards.fetch_add(1);
+    else
+      Records.fetch_add(1);
+  });
+
+  // Far more rotations than the ring holds, with B never polling.
+  for (unsigned I = 0; I < 200; ++I)
+    A->invalidateClass(1000 + I);
+  B->poll();
+  EXPECT_GE(Wildcards.load(), 1u);
+  EXPECT_GE(B->stats().RingLagWipes, 1u);
+  // And the watermark still reaches the newest epoch eventually: later
+  // rotations with a caught-up consumer deliver their records exactly.
+  A->invalidateClass(5);
+  B->poll();
+  EXPECT_EQ(Records.load(), 1u);
+  EXPECT_GE(B->epochWatermark(), A->stats().Epoch);
+}
+
+// --- Arena wrap and occupancy -----------------------------------------------
+
+// Publishing far more bytes than the arena holds wraps the log; occupancy
+// stays within capacity, recent entries stay readable, and wrapped-over
+// entries read as clean misses (never torn values).
+TEST(SharedCache, ArenaWrapKeepsOccupancyBoundedAndReadsClean) {
+  SegFile Seg("wrap");
+  auto SC = openSeg(Seg.Path, 1u << 20);
+  ASSERT_NE(SC, nullptr);
+  size_t Cap = SC->stats().CapacityBytes;
+  size_t Payload = 32u << 10;
+  unsigned N = static_cast<unsigned>((Cap / Payload) * 3 + 8);
+  for (unsigned I = 0; I < N; ++I)
+    ASSERT_TRUE(SC->publish(keyFor(I), entryFor(I, Payload)));
+  L2Stats St = SC->stats();
+  EXPECT_GT(St.Wraps, 0u);
+  EXPECT_LE(St.Bytes, St.CapacityBytes);
+
+  // The most recent entry is always intact.
+  L2Entry Out;
+  ASSERT_TRUE(SC->lookup(keyFor(N - 1), Out));
+  EXPECT_EQ(Out.Payload, entryFor(N - 1, Payload).Payload);
+  // Early entries were wrapped over: every probe is a hit with the exact
+  // payload or a clean miss.
+  for (unsigned I = 0; I < N; I += 7) {
+    L2Entry P;
+    if (SC->lookup(keyFor(I), P))
+      EXPECT_EQ(P.Payload, entryFor(I, Payload).Payload) << I;
+  }
+}
+
+// --- Concurrency (TSan target) ----------------------------------------------
+
+// Concurrent publishers and readers on one instance, two instances on the
+// same mapping: the seqlock + commit/checksum protocol must hold under
+// contention. Run under LSRA_SANITIZE=thread in CI.
+TEST(SharedCache, ConcurrentPublishLookupStorm) {
+  SegFile Seg("storm");
+  auto A = openSeg(Seg.Path, 2u << 20);
+  auto B = openSeg(Seg.Path, 2u << 20);
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+
+  constexpr unsigned KeySpace = 32, Writers = 3, Readers = 3, Iters = 200;
+  std::atomic<unsigned> Corrupt{0};
+  std::vector<std::thread> Threads;
+  for (unsigned W = 0; W < Writers; ++W)
+    Threads.emplace_back([&, W] {
+      SharedCache *SC = (W % 2) ? A.get() : B.get();
+      for (unsigned I = 0; I < Iters; ++I) {
+        unsigned K = (W * 31 + I) % KeySpace;
+        SC->publish(keyFor(K), entryFor(K, 512 + 32 * (K % 8)));
+      }
+    });
+  for (unsigned R = 0; R < Readers; ++R)
+    Threads.emplace_back([&, R] {
+      SharedCache *SC = (R % 2) ? B.get() : A.get();
+      for (unsigned I = 0; I < Iters; ++I) {
+        unsigned K = (R * 17 + I) % KeySpace;
+        L2Entry Out;
+        if (!SC->lookup(keyFor(K), Out))
+          continue;
+        if (Out.Payload != entryFor(K, 512 + 32 * (K % 8)).Payload)
+          Corrupt.fetch_add(1);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Corrupt.load(), 0u);
+  L2Stats St = A->stats();
+  EXPECT_LE(St.Bytes, St.CapacityBytes);
+  EXPECT_LE(St.Entries, static_cast<size_t>(KeySpace));
+}
+
+// --- Wiring -----------------------------------------------------------------
+
+// makeSharedCache honours the flag surface: off by default, off under
+// --no-l2/--no-cache, on with a path, and --l2-mb sizes the segment.
+TEST(SharedCache, MakeSharedCacheHonoursFlags) {
+  SegFile Seg("flags");
+  CompileFlags F;
+  std::string Err;
+  EXPECT_EQ(makeSharedCache(F, Err), nullptr);
+  EXPECT_TRUE(Err.empty());
+
+  ASSERT_TRUE(parseCompileFlag("--l2-path=" + Seg.Path, F, Err));
+  ASSERT_TRUE(parseCompileFlag("--l2-mb=4", F, Err));
+  auto SC = makeSharedCache(F, Err);
+  ASSERT_NE(SC, nullptr) << Err;
+  EXPECT_EQ(SC->path(), Seg.Path);
+  SC.reset();
+
+  ASSERT_TRUE(parseCompileFlag("--no-l2", F, Err));
+  EXPECT_EQ(makeSharedCache(F, Err), nullptr);
+  EXPECT_TRUE(Err.empty());
+
+  CompileFlags NoCache;
+  NoCache.L2Path = Seg.Path;
+  NoCache.NoCache = true;
+  EXPECT_EQ(makeSharedCache(NoCache, Err), nullptr);
+  EXPECT_TRUE(Err.empty());
+}
+
+// Attaching to an existing segment keeps the creator's geometry and the
+// published contents (same-process "restart": warm across cache lives).
+TEST(SharedCache, ReattachSeesExistingEntries) {
+  SegFile Seg("reattach");
+  {
+    auto SC = openSeg(Seg.Path, 8u << 20);
+    ASSERT_NE(SC, nullptr);
+    ASSERT_TRUE(SC->publish(keyFor(11), entryFor(11, 4096)));
+  }
+  // New instance, different (ignored) budget request.
+  auto SC2 = openSeg(Seg.Path, 1u << 20);
+  ASSERT_NE(SC2, nullptr);
+  L2Entry Out;
+  ASSERT_TRUE(SC2->lookup(keyFor(11), Out));
+  EXPECT_EQ(Out.Payload, entryFor(11, 4096).Payload);
+}

@@ -52,7 +52,13 @@ violation:
                        schema plus the cache.* counters (hits, misses,
                        insertions, evictions) and the cache.bytes /
                        cache.entries gauges, with the lifetime invariants
-                       evictions <= insertions <= misses.
+                       evictions <= insertions <= misses. When any
+                       cache.l2.* metric is present the tier contract is
+                       checked too: l2.hits + l2.misses <= cache.misses,
+                       l2.fills <= cache.misses, and L2 occupancy within
+                       cache.l2.capacity_bytes. --expect-l2-hits
+                       additionally requires cache.l2.hits > 0 (the
+                       cross-process warm-start assertion).
   --alloc-stats s.jsonl
                        Stats snapshot including the heap-allocation profile:
                        the --stats schema plus the alloc.count / alloc.bytes
@@ -340,8 +346,8 @@ CACHE_COUNTERS = (
 )
 
 
-def check_cache_stats(path):
-    """The --stats schema plus the cache.* counter contract."""
+def check_cache_stats(path, expect_l2_hits=False):
+    """The --stats schema plus the cache.* (and cache.l2.*) contracts."""
     check_stats(path)
     counters = {}
     gauges = {}
@@ -372,8 +378,47 @@ def check_cache_stats(path):
         fail(f"{path}: missing cache.bytes gauge despite insertions")
     if insertions and not evictions and gauges.get("cache.bytes", 0) <= 0:
         fail(f"{path}: cache.bytes gauge must be positive with live entries")
+    # L2 tier contract, active once any cache.l2.* metric is present.
+    l2_hits = counters.get("cache.l2.hits", 0)
+    l2_misses = counters.get("cache.l2.misses", 0)
+    l2_fills = counters.get("cache.l2.fills", 0)
+    has_l2 = (any(n.startswith("cache.l2.") for n in counters)
+              or any(n.startswith("cache.l2.") for n in gauges))
+    if expect_l2_hits and not has_l2:
+        fail(f"{path}: --expect-l2-hits but no cache.l2.* metrics present")
+    if has_l2:
+        # Every L2 probe (hit or miss) follows an L1 miss, and an entry is
+        # only published after a compile that itself followed an L1 miss.
+        if l2_hits + l2_misses > misses:
+            fail(
+                f"{path}: L2 probes ({l2_hits} + {l2_misses}) exceed L1 "
+                f"misses ({misses}); the L2 is only probed after an L1 miss"
+            )
+        if l2_fills > misses:
+            fail(
+                f"{path}: cache.l2.fills ({l2_fills}) > cache.misses "
+                f"({misses}); publishes follow compiles, compiles follow "
+                f"L1 misses"
+            )
+        cap = gauges.get("cache.l2.capacity_bytes", 0)
+        occ = gauges.get("cache.l2.bytes", 0)
+        if cap <= 0:
+            fail(f"{path}: cache.l2.capacity_bytes must be positive")
+        if occ > cap:
+            fail(
+                f"{path}: L2 occupancy {occ} exceeds its capacity {cap}"
+            )
+        if l2_fills and gauges.get("cache.l2.entries", 0) <= 0 \
+                and not counters.get("cache.l2.invalidations", 0):
+            fail(
+                f"{path}: cache.l2.entries is zero despite {l2_fills} "
+                f"fills and no invalidations"
+            )
+        if expect_l2_hits and l2_hits <= 0:
+            fail(f"{path}: expected cache.l2.hits > 0, got {l2_hits}")
     if not errors:
-        print(f"{path}: cache.* counter contract: OK")
+        tier = " + cache.l2.*" if has_l2 else ""
+        print(f"{path}: cache.*{tier} counter contract: OK")
 
 
 def check_alloc_stats(path):
@@ -574,7 +619,8 @@ def check_records(path):
 
 
 REQUEST_PHASES = {
-    "recv", "admit", "queue-wait", "merged", "cache-probe", "parse",
+    "recv", "admit", "queue-wait", "merged", "cache-probe", "l2-probe",
+    "parse",
     "alloc", "alloc:lower", "alloc:dce", "alloc:regalloc",
     "emit", "reply",
 }
@@ -686,6 +732,7 @@ def main():
     ap.add_argument("--decisions")
     ap.add_argument("--server-stats")
     ap.add_argument("--cache-stats")
+    ap.add_argument("--expect-l2-hits", action="store_true")
     ap.add_argument("--alloc-stats")
     ap.add_argument("--metrics", action="append", default=[])
     ap.add_argument("--records")
@@ -709,7 +756,7 @@ def main():
     if args.server_stats:
         check_server_stats(args.server_stats)
     if args.cache_stats:
-        check_cache_stats(args.cache_stats)
+        check_cache_stats(args.cache_stats, expect_l2_hits=args.expect_l2_hits)
     if args.alloc_stats:
         check_alloc_stats(args.alloc_stats)
     if args.metrics:

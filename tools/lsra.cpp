@@ -25,6 +25,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "cache/CompileCache.h"
+#include "cache/SharedCache.h"
 #include "check/Clone.h"
 #include "check/Fuzz.h"
 #include "check/Reduce.h"
@@ -96,6 +97,9 @@ int usage() {
                "--sample=1)\n"
                "  --trace-out=F  Chrome trace of sampled requests, written "
                "on exit\n"
+               "  --l2-path=F    shared-memory L2 compile cache segment\n"
+               "  --l2-mb=N      L2 segment budget in MiB (default 256)\n"
+               "  --no-l2        disable the shared L2\n"
                "options for loadgen:\n"
                "  --socket=PATH | --port=N      server address\n"
                "  --workloads=a,b,c  corpus to replay (default all)\n"
@@ -326,9 +330,46 @@ int cmdRun(const std::string &Input, int Argc, char **Argv) {
     eliminateDeadCode(*M, TD);
     Snapshot = cloneModule(*M);
   }
+  std::string L2Err;
+  std::unique_ptr<cache::SharedCache> L2 = makeSharedCache(F, L2Err);
+  if (!L2Err.empty()) {
+    std::fprintf(stderr, "lsra: %s\n", L2Err.c_str());
+    return 1;
+  }
   std::unique_ptr<cache::CompileCache> Cache = makeCompileCache(F);
+  if (Cache && L2)
+    Cache->attachL2(L2.get());
   F.Exec.Cache = Cache.get();
-  AllocStats Stats = compileModule(*M, TD, F.Kind, F.Alloc, F.Exec);
+  AllocStats Stats;
+  if (Cache) {
+    // With a cache attached, compile the way the server does: the whole
+    // module as text through compileTextModule, so module-level entries
+    // (the only kind the shared L2 carries) are probed and published and
+    // a second `lsra run` against the same --l2-path warms from the
+    // segment. The allocated text is parsed back for the VM run below;
+    // print→parse is a fixed point, so the executed module is the same
+    // either way.
+    std::ostringstream SS;
+    printModule(SS, *M);
+    TextCompileResult R =
+        compileTextModule(SS.str(), TD, F.Kind, F.Alloc, F.Exec);
+    if (!R.Ok) {
+      std::fprintf(stderr, "lsra: %s\n", R.Error.c_str());
+      return 1;
+    }
+    ParseResult P = parseModule(R.AllocatedText);
+    if (!P.ok()) {
+      std::fprintf(stderr, "lsra: allocated module did not re-parse: %s\n",
+                   P.Error.c_str());
+      return 1;
+    }
+    M = std::move(P.M);
+    Stats = R.Stats;
+    if (R.CacheHit)
+      std::printf("cache: hit (%s)\n", R.CacheL2 ? "shared l2" : "l1");
+  } else {
+    Stats = compileModule(*M, TD, F.Kind, F.Alloc, F.Exec);
+  }
   std::string Diag = checkAllocated(*M);
   if (!Diag.empty()) {
     std::fprintf(stderr, "lsra: post-allocation verification failed:\n%s\n",
@@ -455,6 +496,7 @@ int cmdServe(int Argc, char **Argv) {
   SO.UnixPath = "/tmp/lsra.sock";
   bool UseTcp = false;
   bool SampleSet = false;
+  bool NoL2 = false;
   std::string StatsJson, TraceOut;
   for (int I = 0; I < Argc; ++I) {
     std::string A = Argv[I];
@@ -492,6 +534,13 @@ int cmdServe(int Argc, char **Argv) {
           << 20;
     } else if (A == "--no-cache") {
       SO.CacheBytes = 0;
+    } else if (A.rfind("--l2-path=", 0) == 0) {
+      SO.L2Path = A.substr(10);
+    } else if (A.rfind("--l2-mb=", 0) == 0) {
+      SO.L2Bytes =
+          static_cast<size_t>(std::strtoul(A.c_str() + 8, nullptr, 10)) << 20;
+    } else if (A == "--no-l2") {
+      NoL2 = true;
     } else if (A.rfind("--log-level=", 0) == 0) {
       obs::setLogLevel(
           static_cast<unsigned>(std::strtoul(A.c_str() + 12, nullptr, 10)));
@@ -501,6 +550,8 @@ int cmdServe(int Argc, char **Argv) {
   }
   if (UseTcp)
     SO.UnixPath.clear();
+  if (NoL2)
+    SO.L2Path.clear();
   // A request-log or trace sink without an explicit sampling rate means
   // "trace everything": sampling is what feeds both sinks.
   if (!SampleSet && (!SO.RequestLogPath.empty() || !TraceOut.empty()))
