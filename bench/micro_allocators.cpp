@@ -56,6 +56,9 @@ void BM_TwoPassBinpack(benchmark::State &State) {
 void BM_PolettoScan(benchmark::State &State) {
   runAllocatorBench(State, AllocatorKind::PolettoScan);
 }
+void BM_EbbScan(benchmark::State &State) {
+  runAllocatorBench(State, AllocatorKind::EbbScan);
+}
 
 } // namespace
 
@@ -71,3 +74,4 @@ BENCHMARK(BM_GraphColoring)
     ->Complexity(benchmark::oNSquared);
 BENCHMARK(BM_TwoPassBinpack)->Arg(250)->Arg(1000)->Arg(4000);
 BENCHMARK(BM_PolettoScan)->Arg(250)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_EbbScan)->Arg(250)->Arg(1000)->Arg(4000)->Complexity(benchmark::oN);

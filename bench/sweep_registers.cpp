@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Pipeline.h"
+#include "regalloc/Registry.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
@@ -33,14 +34,14 @@ int main(int argc, char **argv) {
     RunResult RefRun = runReference(*Ref, Full);
     std::printf("workload %s (reference %llu dynamic instructions)\n", Name,
                 (unsigned long long)RefRun.Stats.Total);
-    std::printf("%6s %16s %16s %16s %16s\n", "regs", "binpack", "coloring",
-                "two-pass", "poletto");
+    std::printf("%6s", "regs");
+    for (AllocatorKind K : AllocatorRegistry::global().kinds())
+      std::printf(" %16s", allocatorName(K));
+    std::printf("\n");
     for (unsigned Regs : {25u, 20u, 16u, 12u, 8u, 6u}) {
       TargetDesc TD = Regs == 25 ? Full : Full.withRegLimit(Regs, Regs);
       std::printf("%6u", Regs);
-      for (AllocatorKind K :
-           {AllocatorKind::SecondChanceBinpack, AllocatorKind::GraphColoring,
-            AllocatorKind::TwoPassBinpack, AllocatorKind::PolettoScan}) {
+      for (AllocatorKind K : AllocatorRegistry::global().kinds()) {
         auto M = buildWorkload(Name);
         compileModule(*M, TD, K);
         RunResult Run = runAllocated(*M, TD);

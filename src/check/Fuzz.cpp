@@ -15,6 +15,7 @@
 #include "ir/Printer.h"
 #include "ir/IRVerifier.h"
 #include "passes/DCE.h"
+#include "regalloc/Registry.h"
 #include "target/LowerCalls.h"
 #include "vm/VM.h"
 
@@ -148,6 +149,9 @@ FuzzReport lsra::check::runDifferentialFuzz(const FuzzOptions &Opts,
   std::vector<bool> Cleanups{false};
   if (Opts.WithSpillCleanup)
     Cleanups.push_back(true);
+  std::vector<AllocatorKind> Allocators = Opts.Allocators;
+  if (Allocators.empty())
+    Allocators = AllocatorRegistry::global().kinds();
 
   // One cache for the whole run, so cross-program (and cross-allocator)
   // collisions are part of what the differential tests.
@@ -164,7 +168,7 @@ FuzzReport lsra::check::runDifferentialFuzz(const FuzzOptions &Opts,
     ++Report.Programs;
 
     for (unsigned Regs : Opts.RegLimits) {
-      for (AllocatorKind K : Opts.Allocators) {
+      for (AllocatorKind K : Allocators) {
         for (bool Cleanup : Cleanups) {
           ++Report.Runs;
           OracleResult O = runOracle(Text, K, Regs, Cleanup);
@@ -219,7 +223,7 @@ FuzzReport lsra::check::runDifferentialFuzz(const FuzzOptions &Opts,
     // register limit), since the point is the cache key, not the allocator.
     if (DiffCache) {
       unsigned Regs = Opts.RegLimits.empty() ? 0 : Opts.RegLimits.front();
-      for (AllocatorKind K : Opts.Allocators) {
+      for (AllocatorKind K : Allocators) {
         ++Report.Runs;
         std::string Detail = runCacheDifferential(Text, K, Regs, *DiffCache);
         if (Detail.empty())

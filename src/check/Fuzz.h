@@ -57,9 +57,10 @@ struct FuzzOptions {
   /// Register limits to stress (0 = the full 25-per-class machine). Small
   /// limits force eviction, second chance, and resolution onto every path.
   std::vector<unsigned> RegLimits = {0, 8, 4};
-  std::vector<AllocatorKind> Allocators = {
-      AllocatorKind::SecondChanceBinpack, AllocatorKind::GraphColoring,
-      AllocatorKind::TwoPassBinpack, AllocatorKind::PolettoScan};
+  /// Allocators to grid over. Empty (the default) means every backend in
+  /// the AllocatorRegistry — a newly registered backend joins the
+  /// differential grid without touching the fuzzer.
+  std::vector<AllocatorKind> Allocators = {};
   /// Also run every configuration with the spill-cleanup pass enabled.
   bool WithSpillCleanup = true;
   RandomProgramOptions Program;

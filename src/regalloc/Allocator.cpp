@@ -16,10 +16,7 @@
 #include "obs/Trace.h"
 #include "passes/Peephole.h"
 #include "passes/SpillCleanup.h"
-#include "regalloc/Binpack.h"
-#include "regalloc/Coloring.h"
-#include "regalloc/Poletto.h"
-#include "regalloc/TwoPass.h"
+#include "regalloc/Registry.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 #include "target/CalleeSave.h"
@@ -30,30 +27,36 @@
 using namespace lsra;
 
 const char *lsra::allocatorName(AllocatorKind K) {
-  switch (K) {
-  case AllocatorKind::SecondChanceBinpack:
-    return "second-chance-binpack";
-  case AllocatorKind::GraphColoring:
-    return "graph-coloring";
-  case AllocatorKind::TwoPassBinpack:
-    return "two-pass-binpack";
-  case AllocatorKind::PolettoScan:
-    return "poletto-scan";
-  }
-  return "unknown";
+  return AllocatorRegistry::global().info(K).Name;
 }
 
 bool lsra::parseAllocatorName(const std::string &Name, AllocatorKind &Out) {
-  if (Name == "binpack" || Name == "second-chance" ||
-      Name == "second-chance-binpack")
-    Out = AllocatorKind::SecondChanceBinpack;
-  else if (Name == "coloring" || Name == "graph-coloring")
-    Out = AllocatorKind::GraphColoring;
-  else if (Name == "twopass" || Name == "two-pass" ||
-           Name == "two-pass-binpack")
-    Out = AllocatorKind::TwoPassBinpack;
-  else if (Name == "poletto" || Name == "poletto-scan")
-    Out = AllocatorKind::PolettoScan;
+  const AllocatorInfo *I = AllocatorRegistry::global().findByName(Name);
+  if (!I)
+    return false;
+  Out = I->Kind;
+  return true;
+}
+
+const char *lsra::tierPolicyName(TierPolicy T) {
+  switch (T) {
+  case TierPolicy::Off:
+    return "off";
+  case TierPolicy::Tier0Only:
+    return "tier0";
+  case TierPolicy::Tier0Promote:
+    return "promote";
+  }
+  return "off";
+}
+
+bool lsra::parseTierPolicy(const std::string &Name, TierPolicy &Out) {
+  if (Name == "off")
+    Out = TierPolicy::Off;
+  else if (Name == "tier0")
+    Out = TierPolicy::Tier0Only;
+  else if (Name == "promote")
+    Out = TierPolicy::Tier0Promote;
   else
     return false;
   return true;
@@ -108,47 +111,27 @@ AllocStats lsra::allocateFunction(Function &F, const TargetDesc &TD,
   // then time only the core allocation — the paper likewise reports times
   // "after setup activities common to both allocators".
   FunctionAnalyses FA(F, TD);
-  switch (K) {
-  case AllocatorKind::GraphColoring: {
-    {
-      obs::ScopedSpan S("liveness", "phase");
-      FA.liveness();
-    }
-    obs::ScopedSpan S("loops", "phase");
-    FA.loops();
-    break;
+  const AllocatorInfo &Info = AllocatorRegistry::global().info(K);
+  if (Info.needs(CapNeedsLiveness)) {
+    obs::ScopedSpan S("liveness", "phase");
+    FA.liveness();
   }
-  default: { // the three scan allocators all consume lifetimes
-    {
-      obs::ScopedSpan S("liveness", "phase");
-      FA.liveness();
-    }
+  if (Info.needs(CapNeedsLifetimes)) {
     obs::ScopedSpan S("lifetimes", "phase");
     FA.lifetimes();
     if (CR.enabled())
       CR.counter("lifetime.holes").add(countLifetimeHoles(FA.lifetimes()));
-    break;
   }
+  if (Info.needs(CapNeedsLoops)) {
+    obs::ScopedSpan S("loops", "phase");
+    FA.loops();
   }
   Timer T;
   T.start();
   AllocStats Stats;
   {
     obs::ScopedSpan Scan("scan", "phase");
-    switch (K) {
-    case AllocatorKind::SecondChanceBinpack:
-      Stats = runSecondChanceBinpack(F, TD, Opts, FA);
-      break;
-    case AllocatorKind::GraphColoring:
-      Stats = runGraphColoring(F, TD, Opts, FA);
-      break;
-    case AllocatorKind::TwoPassBinpack:
-      Stats = runTwoPassBinpack(F, TD, Opts, FA);
-      break;
-    case AllocatorKind::PolettoScan:
-      Stats = runPolettoScan(F, TD, Opts, FA);
-      break;
-    }
+    Stats = Info.Run(F, TD, Opts, FA);
   }
   T.stop();
   Stats.AllocSeconds = T.seconds();

@@ -31,19 +31,42 @@ namespace obs {
 struct RequestTrace;
 } // namespace obs
 
+/// Backend ids are stable and append-only: the integer value participates
+/// in compile-cache keys (cache::makeModuleKey / makeFunctionKey), so
+/// enumerators are never reordered or removed. The authoritative list of
+/// backends — names, aliases, capabilities, entry points — lives in
+/// regalloc/Registry.h; consumers should enumerate the registry rather
+/// than switch over this enum.
 enum class AllocatorKind {
   SecondChanceBinpack, ///< the paper's contribution (§2)
   GraphColoring,       ///< George/Appel iterated register coalescing
   TwoPassBinpack,      ///< GEM-style binpacking without second chance
   PolettoScan,         ///< Poletto et al. interval linear scan (§4)
+  EbbScan,             ///< one-pass EBB second chance (serving tier 0)
 };
 
 const char *allocatorName(AllocatorKind K);
 
 /// Inverse of allocatorName, also accepting the short CLI aliases
-/// ("binpack", "coloring", "twopass", "poletto"). The one parser shared by
-/// the CLI, the bench tools, and the server's wire-protocol decoding.
+/// ("binpack", "coloring", "twopass", "poletto", "ebb"). The one parser
+/// shared by the CLI, the bench tools, and the server's wire-protocol
+/// decoding; backed by the AllocatorRegistry.
 bool parseAllocatorName(const std::string &Name, AllocatorKind &Out);
+
+/// Tiered-compilation policy for the serving path (compileTextModule and
+/// the compile server). Execution-shaping: the tier only decides *which*
+/// allocator answers a cold request first, never what any given
+/// (text, allocator, options) key compiles to — so it lives in ExecOptions
+/// and stays out of cache keys (invariant-tested in tests/tier_test.cpp).
+enum class TierPolicy : uint8_t {
+  Off,          ///< always compile with the requested allocator
+  Tier0Only,    ///< cold requests answered by the EBB tier-0 backend only
+  Tier0Promote, ///< tier-0 answer now, background full-allocator requalify
+};
+
+/// CLI/wire spelling of a tier policy: "off", "tier0", "promote".
+const char *tierPolicyName(TierPolicy T);
+bool parseTierPolicy(const std::string &Name, TierPolicy &Out);
 
 /// The semantic allocation knobs: everything here changes the allocated
 /// code, so the set doubles as the compile cache's options key (see
@@ -118,6 +141,12 @@ struct ExecOptions {
   /// the owning request's timeline. Pure observation — may not influence
   /// the allocated code, same invariant as the rest of ExecOptions.
   obs::RequestTrace *ReqTrace = nullptr;
+  /// Tiered serving policy (compileTextModule only). Not part of any cache
+  /// key: an entry is always keyed by the allocator that produced it, so a
+  /// tier-0 answer is cached under the EBB backend's key and a promotion
+  /// refreshes the requested allocator's key with byte-identical output to
+  /// a direct compile.
+  TierPolicy Tier = TierPolicy::Off;
 };
 
 struct AllocStats {

@@ -1,0 +1,408 @@
+//===- tests/tier_test.cpp - Tiered serving and registry tests ------------===//
+//
+// Part of the lsra project (PLDI 1998 linear-scan reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The tiered pipeline is only sound if three contracts hold: the allocator
+// registry keeps every externally visible identity stable (names, legacy
+// spellings, kind ids — all participate in flags or cache keys), the tier
+// policy never leaks into cache keys (a promoted entry must be
+// byte-identical to a direct full-allocator compile), and a tier-0 answer
+// is itself a correct allocation. These tests pin all three down, offline
+// through compileTextModule and end-to-end through a promoting server.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/CompileCache.h"
+#include "driver/Pipeline.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "regalloc/Registry.h"
+#include "server/Client.h"
+#include "server/Server.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+
+using namespace lsra;
+
+namespace {
+
+std::string workloadText(const char *Name) {
+  std::ostringstream OS;
+  printModule(OS, *buildWorkload(Name));
+  return OS.str();
+}
+
+std::string uniqueSockPath(const char *Tag) {
+  return "/tmp/lsra-tier-" + std::string(Tag) + "." +
+         std::to_string(::getpid()) + ".sock";
+}
+
+// --- Allocator registry -----------------------------------------------------
+
+// Kind ids participate in cache keys (L1 and the cross-process L2): they
+// are append-only and these numeric values must never change.
+TEST(Registry, KindIdsAreStable) {
+  EXPECT_EQ(static_cast<int>(AllocatorKind::SecondChanceBinpack), 0);
+  EXPECT_EQ(static_cast<int>(AllocatorKind::GraphColoring), 1);
+  EXPECT_EQ(static_cast<int>(AllocatorKind::TwoPassBinpack), 2);
+  EXPECT_EQ(static_cast<int>(AllocatorKind::PolettoScan), 3);
+  EXPECT_EQ(static_cast<int>(AllocatorKind::EbbScan), 4);
+}
+
+TEST(Registry, EveryBackendRegistered) {
+  const auto &Kinds = AllocatorRegistry::global().kinds();
+  ASSERT_EQ(Kinds.size(), 5u);
+  for (AllocatorKind K : Kinds) {
+    const AllocatorInfo &Info = AllocatorRegistry::global().info(K);
+    EXPECT_EQ(Info.Kind, K);
+    EXPECT_NE(Info.Name, nullptr);
+    EXPECT_NE(Info.Run, nullptr);
+    // The canonical name must resolve back to the same kind.
+    AllocatorKind Back;
+    ASSERT_TRUE(parseAllocatorName(Info.Name, Back)) << Info.Name;
+    EXPECT_EQ(Back, K) << Info.Name;
+  }
+}
+
+// Flag spellings are user-facing API: every historical alias keeps
+// parsing to the kind it always named.
+TEST(Registry, LegacySpellingsStillParse) {
+  struct {
+    const char *Name;
+    AllocatorKind K;
+  } Cases[] = {
+      {"binpack", AllocatorKind::SecondChanceBinpack},
+      {"second-chance", AllocatorKind::SecondChanceBinpack},
+      {"second-chance-binpack", AllocatorKind::SecondChanceBinpack},
+      {"coloring", AllocatorKind::GraphColoring},
+      {"graph-coloring", AllocatorKind::GraphColoring},
+      {"twopass", AllocatorKind::TwoPassBinpack},
+      {"two-pass", AllocatorKind::TwoPassBinpack},
+      {"two-pass-binpack", AllocatorKind::TwoPassBinpack},
+      {"poletto", AllocatorKind::PolettoScan},
+      {"poletto-scan", AllocatorKind::PolettoScan},
+      {"ebb", AllocatorKind::EbbScan},
+      {"ebbscan", AllocatorKind::EbbScan},
+      {"ebb-scan", AllocatorKind::EbbScan},
+  };
+  for (const auto &C : Cases) {
+    AllocatorKind K;
+    ASSERT_TRUE(parseAllocatorName(C.Name, K)) << C.Name;
+    EXPECT_EQ(K, C.K) << C.Name;
+  }
+  AllocatorKind K;
+  EXPECT_FALSE(parseAllocatorName("no-such-allocator", K));
+}
+
+// Capability flags drive analysis warming: the tier-0 backend must not
+// demand global liveness (the whole point of the EBB construction), and
+// only it is tier-eligible.
+TEST(Registry, CapabilityFlags) {
+  const AllocatorRegistry &R = AllocatorRegistry::global();
+  EXPECT_TRUE(R.info(AllocatorKind::SecondChanceBinpack)
+                  .needs(CapNeedsLiveness));
+  EXPECT_TRUE(R.info(AllocatorKind::GraphColoring).needs(CapNeedsLoops));
+  EXPECT_FALSE(R.info(AllocatorKind::EbbScan).needs(CapNeedsLiveness));
+  EXPECT_FALSE(R.info(AllocatorKind::EbbScan).needs(CapNeedsLifetimes));
+  auto Tier = R.kindsWithCaps(CapTierEligible);
+  ASSERT_EQ(Tier.size(), 1u);
+  EXPECT_EQ(Tier[0], AllocatorKind::EbbScan);
+}
+
+TEST(TierPolicy, NamesRoundTrip) {
+  for (TierPolicy T : {TierPolicy::Off, TierPolicy::Tier0Only,
+                       TierPolicy::Tier0Promote}) {
+    TierPolicy Back;
+    ASSERT_TRUE(parseTierPolicy(tierPolicyName(T), Back));
+    EXPECT_EQ(Back, T);
+  }
+  TierPolicy T;
+  EXPECT_FALSE(parseTierPolicy("warp-speed", T));
+}
+
+// --- Tier semantics in compileTextModule ------------------------------------
+
+// The tier policy is an execution option: it picks which backend answers a
+// cold request but never enters a cache key. A tiered compile therefore
+// inserts under the EBB backend's own key, and a later untiered compile of
+// the same text must miss and produce the full allocator's output.
+TEST(Tier, PolicyNeverEntersCacheKeys) {
+  std::string Text = workloadText("eqntott");
+  TargetDesc TD = TargetDesc::alphaLike();
+  AllocOptions AO;
+  cache::CompileCache Cache(cache::CacheConfig{});
+
+  ExecOptions Tiered;
+  Tiered.Tier = TierPolicy::Tier0Only;
+  Tiered.Cache = &Cache;
+  TextCompileResult T0 = compileTextModule(Text, TD,
+                                           AllocatorKind::SecondChanceBinpack,
+                                           AO, Tiered);
+  ASSERT_TRUE(T0.Ok) << T0.Error;
+  EXPECT_EQ(T0.Tier, 0);
+  EXPECT_FALSE(T0.CacheHit);
+
+  // Same text, tiering off, same cache: the tier-0 entry must be
+  // invisible — this is a fresh full compile.
+  ExecOptions Off;
+  Off.Cache = &Cache;
+  TextCompileResult Full = compileTextModule(
+      Text, TD, AllocatorKind::SecondChanceBinpack, AO, Off);
+  ASSERT_TRUE(Full.Ok) << Full.Error;
+  EXPECT_EQ(Full.Tier, -1);
+  EXPECT_FALSE(Full.CacheHit);
+  EXPECT_NE(Full.AllocatedText, T0.AllocatedText)
+      << "tier-0 output unexpectedly identical to the full allocator";
+
+  // Tiered again: the full-allocator entry now exists, so the warm probe
+  // answers at tier 1 with the full allocator's exact bytes.
+  TextCompileResult Warm = compileTextModule(
+      Text, TD, AllocatorKind::SecondChanceBinpack, AO, Tiered);
+  ASSERT_TRUE(Warm.Ok) << Warm.Error;
+  EXPECT_TRUE(Warm.CacheHit);
+  EXPECT_EQ(Warm.Tier, 1);
+  EXPECT_EQ(Warm.AllocatedText, Full.AllocatedText);
+}
+
+// A repeated cold tiered request hits the tier-0 entry cached under the
+// EBB key — same bytes, reported as a tier-0 (not full) answer.
+TEST(Tier, Tier0AnswerIsCachedUnderEbbKey) {
+  std::string Text = workloadText("sort");
+  TargetDesc TD = TargetDesc::alphaLike();
+  AllocOptions AO;
+  cache::CompileCache Cache(cache::CacheConfig{});
+  ExecOptions EO;
+  EO.Tier = TierPolicy::Tier0Only;
+  EO.Cache = &Cache;
+
+  TextCompileResult Cold = compileTextModule(
+      Text, TD, AllocatorKind::SecondChanceBinpack, AO, EO);
+  ASSERT_TRUE(Cold.Ok) << Cold.Error;
+  EXPECT_EQ(Cold.Tier, 0);
+  TextCompileResult Again = compileTextModule(
+      Text, TD, AllocatorKind::SecondChanceBinpack, AO, EO);
+  ASSERT_TRUE(Again.Ok) << Again.Error;
+  EXPECT_TRUE(Again.CacheHit);
+  EXPECT_EQ(Again.Tier, 0);
+  EXPECT_EQ(Again.AllocatedText, Cold.AllocatedText);
+
+  // A direct request FOR the EBB backend shares that entry: same key, so
+  // the tiered insert serves it.
+  ExecOptions Off;
+  Off.Cache = &Cache;
+  TextCompileResult Direct =
+      compileTextModule(Text, TD, AllocatorKind::EbbScan, AO, Off);
+  ASSERT_TRUE(Direct.Ok) << Direct.Error;
+  EXPECT_TRUE(Direct.CacheHit);
+  EXPECT_EQ(Direct.AllocatedText, Cold.AllocatedText);
+}
+
+// Promotion contract, pipeline half: requalifying (same cache, tier off)
+// must land an entry byte-identical to a direct full-allocator compile in
+// a fresh cache — while the tier-0 answer it replaces verifies on its own.
+TEST(Tier, PromotionRefreshByteIdentical) {
+  std::string Text = workloadText("espresso");
+  TargetDesc TD = TargetDesc::alphaLike();
+  AllocOptions AO;
+
+  // Tier-0 answer, then the requalification, sharing one cache.
+  cache::CompileCache Cache(cache::CacheConfig{});
+  ExecOptions Tiered;
+  Tiered.Tier = TierPolicy::Tier0Promote;
+  Tiered.Cache = &Cache;
+  TextCompileResult T0 = compileTextModule(
+      Text, TD, AllocatorKind::SecondChanceBinpack, AO, Tiered);
+  ASSERT_TRUE(T0.Ok) << T0.Error;
+  ASSERT_EQ(T0.Tier, 0);
+
+  // The tier-0 answer is a complete, independently verified allocation:
+  // prove it equivalent to its own pre-allocation input.
+  {
+    ParseResult In = parseModule(Text);
+    ASSERT_TRUE(In.ok()) << In.Error;
+    ParseResult Out = parseModule(T0.AllocatedText);
+    ASSERT_TRUE(Out.ok()) << Out.Error;
+    TextCompileResult Verified = compileTextModule(
+        Text, TD, AllocatorKind::EbbScan, AO, [] {
+          ExecOptions E;
+          E.VerifyAlloc = true;
+          return E;
+        }());
+    EXPECT_TRUE(Verified.Ok) << Verified.Error;
+  }
+
+  ExecOptions Off;
+  Off.Cache = &Cache;
+  TextCompileResult Promoted = compileTextModule(
+      Text, TD, AllocatorKind::SecondChanceBinpack, AO, Off);
+  ASSERT_TRUE(Promoted.Ok) << Promoted.Error;
+  EXPECT_FALSE(Promoted.CacheHit);
+
+  // Ground truth: the same compile against a fresh cache.
+  cache::CompileCache Fresh(cache::CacheConfig{});
+  ExecOptions FreshEO;
+  FreshEO.Cache = &Fresh;
+  TextCompileResult Direct = compileTextModule(
+      Text, TD, AllocatorKind::SecondChanceBinpack, AO, FreshEO);
+  ASSERT_TRUE(Direct.Ok) << Direct.Error;
+  EXPECT_EQ(Promoted.AllocatedText, Direct.AllocatedText);
+
+  // And the promoted entry now answers tiered requests warm, at tier 1.
+  TextCompileResult Warm = compileTextModule(
+      Text, TD, AllocatorKind::SecondChanceBinpack, AO, Tiered);
+  ASSERT_TRUE(Warm.Ok) << Warm.Error;
+  EXPECT_TRUE(Warm.CacheHit);
+  EXPECT_EQ(Warm.Tier, 1);
+  EXPECT_EQ(Warm.AllocatedText, Direct.AllocatedText);
+}
+
+// A request for the EBB backend itself never tiers (there is nothing
+// faster to answer from): the policy is a no-op and Tier stays -1.
+TEST(Tier, EbbRequestsDoNotTier) {
+  std::string Text = workloadText("wc");
+  TargetDesc TD = TargetDesc::alphaLike();
+  AllocOptions AO;
+  ExecOptions EO;
+  EO.Tier = TierPolicy::Tier0Promote;
+  TextCompileResult R =
+      compileTextModule(Text, TD, AllocatorKind::EbbScan, AO, EO);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Tier, -1);
+}
+
+// --- End-to-end: a promoting server -----------------------------------------
+
+// Cold request to a Tier0Promote server: the answer is tier 0 (EBB text);
+// the background requalification then refreshes the cache, after which the
+// same request is answered warm at tier 1 with bytes identical to an
+// offline full-allocator compile.
+TEST(Server, PromotionRefreshesCache) {
+  using namespace lsra::server;
+  std::string Text = workloadText("eqntott");
+  TargetDesc TD = TargetDesc::alphaLike();
+  AllocOptions AO;
+
+  // Offline ground truths for both tiers.
+  ExecOptions Plain;
+  TextCompileResult FullGT = compileTextModule(
+      Text, TD, AllocatorKind::SecondChanceBinpack, AO, Plain);
+  ASSERT_TRUE(FullGT.Ok) << FullGT.Error;
+  ExecOptions T0EO;
+  T0EO.Tier = TierPolicy::Tier0Only;
+  TextCompileResult T0GT = compileTextModule(
+      Text, TD, AllocatorKind::SecondChanceBinpack, AO, T0EO);
+  ASSERT_TRUE(T0GT.Ok) << T0GT.Error;
+
+  ServerOptions SO;
+  SO.UnixPath = uniqueSockPath("promote");
+  SO.Workers = 2;
+  SO.Tier = lsra::TierPolicy::Tier0Promote;
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+  Client C = Client::connectUnix(SO.UnixPath, Err);
+  ASSERT_TRUE(C.valid()) << Err;
+
+  CompileRequest Req; // no per-request tier: the server default applies
+  Req.IRText = Text;
+  CompileResponse Cold;
+  ASSERT_TRUE(C.compile(Req, Cold, Err, 30000)) << Err;
+  ASSERT_TRUE(Cold.ok()) << Cold.Message;
+  EXPECT_EQ(Cold.Tier, 0);
+  EXPECT_EQ(Cold.IRText, T0GT.AllocatedText);
+
+  // The promotion lane runs in the background; poll until the refreshed
+  // full-allocator entry answers (bounded, typically one round-trip).
+  CompileResponse Warm;
+  bool PromotedSeen = false;
+  for (int Attempt = 0; Attempt < 200; ++Attempt) {
+    ASSERT_TRUE(C.compile(Req, Warm, Err, 30000)) << Err;
+    ASSERT_TRUE(Warm.ok()) << Warm.Message;
+    if (Warm.Tier == 1) {
+      PromotedSeen = true;
+      break;
+    }
+    EXPECT_EQ(Warm.Tier, 0); // pre-promotion repeats stay tier 0
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(PromotedSeen) << "promotion never refreshed the cache";
+  // Either served warm from the refreshed cache, or the poll landed while
+  // the promotion compile was in flight and merged with it — both carry
+  // the full allocator's bytes.
+  EXPECT_TRUE(Warm.Cached || Warm.Merged);
+  EXPECT_EQ(Warm.IRText, FullGT.AllocatedText)
+      << "promoted cache entry is not byte-identical to a direct compile";
+
+  // A per-request override turns tiering off on the same server.
+  CompileRequest OffReq = Req;
+  OffReq.Tier = "off";
+  OffReq.NoCache = true;
+  CompileResponse OffResp;
+  ASSERT_TRUE(C.compile(OffReq, OffResp, Err, 30000)) << Err;
+  ASSERT_TRUE(OffResp.ok()) << OffResp.Message;
+  EXPECT_EQ(OffResp.Tier, -1);
+  EXPECT_EQ(OffResp.IRText, FullGT.AllocatedText);
+
+  // An unknown tier spelling is a typed admission error.
+  CompileRequest BadReq = Req;
+  BadReq.Tier = "ludicrous";
+  CompileResponse BadResp;
+  ASSERT_TRUE(C.compile(BadReq, BadResp, Err, 30000)) << Err;
+  EXPECT_EQ(BadResp.Status, FrameType::Error);
+
+  S.shutdown();
+  EXPECT_GE(S.requestsServed(), 3u);
+}
+
+// Protocol v4 round-trip: the tier request field and the tier response
+// field survive encode/decode, and omission means "server default" /
+// "tiering off" respectively.
+TEST(Protocol, TierFieldsRoundTrip) {
+  using namespace lsra::server;
+  CompileRequest Req;
+  Req.Tier = "promote";
+  Req.IRText = "func @f() {\nentry:\n  ret\n}\n";
+  CompileRequest Back;
+  std::string Err;
+  ASSERT_TRUE(decodeCompileRequest(encodeCompileRequest(Req), Back, Err))
+      << Err;
+  EXPECT_EQ(Back.Tier, "promote");
+
+  CompileRequest Plain;
+  Plain.IRText = Req.IRText;
+  CompileRequest PlainBack;
+  ASSERT_TRUE(
+      decodeCompileRequest(encodeCompileRequest(Plain), PlainBack, Err))
+      << Err;
+  EXPECT_TRUE(PlainBack.Tier.empty());
+
+  CompileResponse Resp;
+  Resp.Status = FrameType::CompileOk;
+  Resp.Allocator = "binpack";
+  Resp.Tier = 0;
+  Resp.IRText = Req.IRText;
+  CompileResponse RBack;
+  ASSERT_TRUE(decodeCompileResponse(FrameType::CompileOk,
+                                    encodeCompileResponse(Resp), RBack, Err))
+      << Err;
+  EXPECT_EQ(RBack.Tier, 0);
+
+  Resp.Tier = -1; // tiering off: the field is omitted on the wire
+  std::string Wire = encodeCompileResponse(Resp);
+  EXPECT_EQ(Wire.find("tier="), std::string::npos);
+  ASSERT_TRUE(
+      decodeCompileResponse(FrameType::CompileOk, Wire, RBack, Err))
+      << Err;
+  EXPECT_EQ(RBack.Tier, -1);
+}
+
+} // namespace

@@ -27,6 +27,7 @@
 #include "driver/Pipeline.h"
 #include "ir/Printer.h"
 #include "obs/Json.h"
+#include "regalloc/Registry.h"
 #include "support/Timer.h"
 #include "workloads/Workloads.h"
 
@@ -54,9 +55,9 @@ struct Record {
   }
 };
 
-constexpr AllocatorKind Kinds[] = {
-    AllocatorKind::SecondChanceBinpack, AllocatorKind::GraphColoring,
-    AllocatorKind::TwoPassBinpack, AllocatorKind::PolettoScan};
+std::vector<AllocatorKind> allKinds() {
+  return AllocatorRegistry::global().kinds();
+}
 
 Record measure(const WorkloadSpec &W, AllocatorKind K,
                cache::CompileCache &Cache) {
@@ -230,7 +231,7 @@ int main(int argc, char **argv) {
   bool AllIdentical = true;
   double MinSpeedup = 1e9;
   for (const WorkloadSpec &W : allWorkloads())
-    for (AllocatorKind K : Kinds) {
+    for (AllocatorKind K : allKinds()) {
       Record R = measure(W, K, Cache);
       AllIdentical = AllIdentical && R.Identical;
       MinSpeedup = std::min(MinSpeedup, R.speedup());

@@ -15,6 +15,7 @@
 
 #include "driver/Pipeline.h"
 #include "ir/IRVerifier.h"
+#include "regalloc/Registry.h"
 #include "obs/Json.h"
 #include "obs/Trace.h"
 #include "support/AllocProfile.h"
@@ -311,9 +312,9 @@ int main(int argc, char **argv) {
       {"fpppp-like", {2, 3348, 56, 8, 33}},
       {"many-proc", {16, 500, 24, 6, 44}},
   };
-  AllocatorKind Kinds[] = {
-      AllocatorKind::SecondChanceBinpack, AllocatorKind::GraphColoring,
-      AllocatorKind::TwoPassBinpack, AllocatorKind::PolettoScan};
+  // Every registered backend, EBB tier-0 included, so a new allocator
+  // lands in the benchmark the moment it registers.
+  std::vector<AllocatorKind> Kinds = AllocatorRegistry::global().kinds();
   unsigned ThreadCounts[] = {1, 2, 4};
 
   std::vector<Record> Records;
@@ -348,6 +349,7 @@ int main(int argc, char **argv) {
         {AllocatorKind::SecondChanceBinpack, 8},
         {AllocatorKind::TwoPassBinpack, 4},
         {AllocatorKind::PolettoScan, 4},
+        {AllocatorKind::EbbScan, 4},
     };
     auto Report = [](const Record &R) {
       std::printf("%-14s %-22s T=%u  wall %.4fs  rss %.0fMB  allocs/instr "
